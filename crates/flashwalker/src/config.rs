@@ -1,0 +1,279 @@
+//! Accelerator configuration — Table II, plus the paper's §IV parameters
+//! (query caches, mapping table capacities, α/β, scheduler knobs) and the
+//! Figure 9 optimization toggles.
+
+use fw_sim::Duration;
+
+/// The three §IV-E optimizations, incrementally enableable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptToggles {
+    /// WQ — approximate walk search at channel level + walk query caches
+    /// at board level.
+    pub walk_query: bool,
+    /// HS — hot subgraphs resident in channel- and board-level
+    /// accelerators.
+    pub hot_subgraphs: bool,
+    /// SS — Eq. 1 score-based subgraph scheduling (off = GraphWalker-style
+    /// most-walks-first, i.e. α=1, β=1).
+    pub subgraph_scheduling: bool,
+}
+
+impl OptToggles {
+    /// Everything on (the default FlashWalker).
+    pub fn all() -> Self {
+        OptToggles {
+            walk_query: true,
+            hot_subgraphs: true,
+            subgraph_scheduling: true,
+        }
+    }
+
+    /// Everything off (the Figure 9 baseline).
+    pub fn none() -> Self {
+        OptToggles {
+            walk_query: false,
+            hot_subgraphs: false,
+            subgraph_scheduling: false,
+        }
+    }
+}
+
+/// Full accelerator parameterization.
+///
+/// Byte capacities in [`AccelConfig::paper`] are Table II verbatim; the
+/// experiment harness uses [`AccelConfig::scaled`], which divides every
+/// capacity by the structure-scale factor 16 (DESIGN.md §5) so all
+/// capacity *ratios* (subgraphs per buffer, walks per queue) match the
+/// paper exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct AccelConfig {
+    /// Chip-level updater/guider cycle (Table II: 16 ns at 500 MHz).
+    pub chip_cycle: Duration,
+    /// Channel-level updater/guider cycle (8 ns).
+    pub chan_cycle: Duration,
+    /// Board-level updater/guider cycle (4 ns at 1 GHz).
+    pub board_cycle: Duration,
+    /// Updaters per chip-level accelerator (1).
+    pub chip_updaters: u32,
+    /// Guiders per chip-level accelerator (1).
+    pub chip_guiders: u32,
+    /// Updaters per channel-level accelerator (1).
+    pub chan_updaters: u32,
+    /// Guiders per channel-level accelerator (4).
+    pub chan_guiders: u32,
+    /// Board-level updaters (4).
+    pub board_updaters: u32,
+    /// Board-level guiders (128).
+    pub board_guiders: u32,
+
+    /// Chip subgraph buffer capacity in bytes (1 MB).
+    pub chip_subgraph_buf: u64,
+    /// Channel subgraph buffer capacity (2 MB).
+    pub chan_subgraph_buf: u64,
+    /// Board subgraph buffer capacity (16 MB).
+    pub board_subgraph_buf: u64,
+    /// Chip walk-queue capacity in bytes (64 KB).
+    pub chip_walk_queue: u64,
+    /// Channel walk-queue capacity (128 KB).
+    pub chan_walk_queue: u64,
+    /// Board walk-queue capacity (1 MB).
+    pub board_walk_queue: u64,
+
+    /// Board subgraph mapping table capacity (2 MB).
+    pub mapping_table_bytes: u64,
+    /// Dense vertices mapping table capacity (128 KB).
+    pub dense_table_bytes: u64,
+    /// Number of board walk query caches (32; every 4 guiders share one).
+    pub query_caches: u32,
+    /// Capacity of each walk query cache (4 KB).
+    pub query_cache_bytes: u64,
+    /// Ports on the subgraph mapping table (concurrent probes). The table
+    /// is a single SRAM macro: "the mapping table access contentions,
+    /// caused by multiple walk guiders, further worsen the access
+    /// latency" (§III-D) — contention beyond the ports serializes, which
+    /// is exactly the bottleneck WQ attacks.
+    pub mapping_table_ports: u32,
+    /// Subgraphs per range in the channel range table (256).
+    pub range_size: u32,
+
+    /// On-board DRAM bytes available to the partition walk buffer.
+    pub dram_pwb_bytes: u64,
+
+    /// Eq. 1 α: walks in the partition walk buffer are this much more
+    /// critical than walks already spilled to flash (§IV: 1.2 default,
+    /// 0.4 in the ablation).
+    pub alpha: f64,
+    /// Eq. 1 β: the non-dense overflow-susceptibility weight (1.5).
+    pub beta: f64,
+    /// TopN list length per chip.
+    pub top_n: u32,
+    /// Refresh a subgraph's topN position every M walk insertions.
+    pub lazy_m: u32,
+    /// Evict a chip slot whose walk queue has fallen below this many
+    /// walks at a batch boundary (1 = evict only when empty). A small
+    /// threshold prevents a trickle of in-flight deliveries from pinning
+    /// a slot and starving the chip's other subgraphs.
+    pub evict_below: u32,
+    /// Maximum walks one chip update batch consumes. The real pipeline
+    /// processes walks continuously; bounding the simulation's batch size
+    /// keeps stages overlapped instead of moving walks in lockstep waves
+    /// (smaller = closer to continuous flow, more events).
+    pub chip_batch_cap: usize,
+    /// Maximum walks one channel batch consumes.
+    pub chan_batch_cap: usize,
+    /// Maximum walks one board batch consumes.
+    pub board_batch_cap: usize,
+    /// During active phases the scheduler only loads a subgraph once its
+    /// walk pool reaches this size (a load has a fixed flash-read cost;
+    /// tiny pools would thrash). Straggler pools below the threshold are
+    /// drained with relaxed picking once the pipeline quiesces.
+    pub min_load_walks: u64,
+
+    /// Optimization toggles.
+    pub opts: OptToggles,
+}
+
+impl AccelConfig {
+    /// Table II verbatim (paper-scale capacities).
+    pub fn paper() -> Self {
+        AccelConfig {
+            chip_cycle: Duration::nanos(16),
+            chan_cycle: Duration::nanos(8),
+            board_cycle: Duration::nanos(4),
+            chip_updaters: 1,
+            chip_guiders: 1,
+            chan_updaters: 1,
+            chan_guiders: 4,
+            board_updaters: 4,
+            board_guiders: 128,
+            chip_subgraph_buf: 1 << 20,
+            chan_subgraph_buf: 2 << 20,
+            board_subgraph_buf: 16 << 20,
+            chip_walk_queue: 64 << 10,
+            chan_walk_queue: 128 << 10,
+            board_walk_queue: 1 << 20,
+            mapping_table_bytes: 2 << 20,
+            dense_table_bytes: 128 << 10,
+            query_caches: 32,
+            query_cache_bytes: 4 << 10,
+            mapping_table_ports: 4,
+            range_size: 256,
+            dram_pwb_bytes: 4 << 30,
+            alpha: 1.2,
+            beta: 1.5,
+            top_n: 8,
+            lazy_m: 16,
+            evict_below: 8,
+            chip_batch_cap: 64,
+            chan_batch_cap: 512,
+            board_batch_cap: 1024,
+            min_load_walks: 32,
+            opts: OptToggles::all(),
+        }
+    }
+
+    /// Experiment-scale configuration: every capacity ÷ 16 (the structure
+    /// scale), DRAM ÷ 500 (the graph scale), cycle times and PE counts
+    /// unchanged. Range size scales with structure scale so ranges still
+    /// cover the same *fraction* of the mapping table.
+    pub fn scaled() -> Self {
+        let p = Self::paper();
+        const SS: u64 = fw_graph::datasets::STRUCT_SCALE;
+        const SG: u64 = fw_graph::datasets::GRAPH_SCALE;
+        AccelConfig {
+            chip_subgraph_buf: p.chip_subgraph_buf / SS,
+            chan_subgraph_buf: p.chan_subgraph_buf / SS,
+            board_subgraph_buf: p.board_subgraph_buf / SS,
+            chip_walk_queue: p.chip_walk_queue / SS,
+            chan_walk_queue: p.chan_walk_queue / SS,
+            board_walk_queue: p.board_walk_queue / SS,
+            mapping_table_bytes: p.mapping_table_bytes / SS,
+            dense_table_bytes: p.dense_table_bytes / SS,
+            query_cache_bytes: p.query_cache_bytes / SS,
+            range_size: (p.range_size / SS as u32).max(1),
+            dram_pwb_bytes: p.dram_pwb_bytes / SG,
+            ..p
+        }
+    }
+
+    /// Subgraphs a chip's buffer holds for a given graph-block size.
+    pub fn chip_slots(&self, subgraph_bytes: u64) -> u32 {
+        (self.chip_subgraph_buf / subgraph_bytes).max(1) as u32
+    }
+
+    /// Hot subgraphs a channel accelerator holds (its K).
+    pub fn chan_hot_slots(&self, subgraph_bytes: u64) -> u32 {
+        (self.chan_subgraph_buf / subgraph_bytes).max(1) as u32
+    }
+
+    /// Hot subgraphs the board accelerator holds.
+    pub fn board_hot_slots(&self, subgraph_bytes: u64) -> u32 {
+        (self.board_subgraph_buf / subgraph_bytes).max(1) as u32
+    }
+
+    /// Walks a chip's queue block holds.
+    pub fn chip_queue_walks(&self) -> u64 {
+        self.chip_walk_queue / fw_walk::WALK_BYTES
+    }
+
+    /// Entries one walk query cache holds (24-byte mapping entries).
+    pub fn query_cache_entries(&self) -> usize {
+        (self.query_cache_bytes / 24).max(1) as usize
+    }
+
+    /// Mapping-table capacity in entries — this bounds the subgraphs per
+    /// graph partition ("we associate one entry of the partition walk
+    /// buffer with one entry in the subgraph mapping table").
+    pub fn mapping_table_entries(&self) -> u32 {
+        (self.mapping_table_bytes / 24) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_matches_table_ii() {
+        let c = AccelConfig::paper();
+        assert_eq!(c.chip_cycle, Duration::nanos(16));
+        assert_eq!(c.chan_cycle, Duration::nanos(8));
+        assert_eq!(c.board_cycle, Duration::nanos(4));
+        assert_eq!((c.chip_updaters, c.chan_updaters, c.board_updaters), (1, 1, 4));
+        assert_eq!((c.chip_guiders, c.chan_guiders, c.board_guiders), (1, 4, 128));
+        assert_eq!(c.chip_subgraph_buf, 1 << 20);
+        assert_eq!(c.board_subgraph_buf, 16 << 20);
+        // 256 KB subgraphs: 4 per chip buffer, 8 per channel, 64 on board.
+        assert_eq!(c.chip_slots(256 << 10), 4);
+        assert_eq!(c.chan_hot_slots(256 << 10), 8);
+        assert_eq!(c.board_hot_slots(256 << 10), 64);
+    }
+
+    #[test]
+    fn scaled_preserves_capacity_ratios() {
+        let p = AccelConfig::paper();
+        let s = AccelConfig::scaled();
+        // 16 KB scaled subgraphs give the same slot counts as 256 KB paper.
+        assert_eq!(s.chip_slots(16 << 10), p.chip_slots(256 << 10));
+        assert_eq!(s.chan_hot_slots(16 << 10), p.chan_hot_slots(256 << 10));
+        assert_eq!(s.board_hot_slots(16 << 10), p.board_hot_slots(256 << 10));
+        // Walk-queue capacity ratio: 64 KB/256 KB == 4 KB/16 KB.
+        assert_eq!(
+            p.chip_walk_queue * 16,
+            p.chip_subgraph_buf * 4 / 4 // 64 KB × 16 = 1 MB
+        );
+        assert_eq!(s.chip_queue_walks(), p.chip_queue_walks() / 16);
+        // Timing identical.
+        assert_eq!(s.chip_cycle, p.chip_cycle);
+        assert_eq!(s.board_updaters, p.board_updaters);
+    }
+
+    #[test]
+    fn derived_capacities() {
+        let s = AccelConfig::scaled();
+        assert_eq!(s.chip_queue_walks(), (4 << 10) / 16); // 256 walks
+        assert!(s.query_cache_entries() >= 8);
+        assert!(s.mapping_table_entries() >= 5000);
+        assert_eq!(s.range_size, 16);
+    }
+}

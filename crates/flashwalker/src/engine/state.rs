@@ -1,0 +1,339 @@
+//! Mutable state of the accelerator hierarchy: per-chip slots and queues,
+//! channel and board mailboxes, the partition walk buffer, spill stores,
+//! and the subgraph scheduler's scoreboard.
+
+use std::collections::BTreeMap;
+
+use fw_graph::VertexId;
+use fw_walk::Walk;
+
+/// Subgraph (graph block) identifier.
+pub type SgId = u32;
+
+/// A walk in flight through the hierarchy, tagged with routing state.
+#[derive(Debug, Clone, Copy)]
+pub struct TWalk {
+    /// The walk itself.
+    pub walk: Walk,
+    /// Destination subgraph, once a guider has determined it. For dense
+    /// walks this is the pre-walked slice block.
+    pub dest: Option<SgId>,
+    /// Range tag attached by the channel-level approximate walk search.
+    pub range: Option<u32>,
+}
+
+impl TWalk {
+    /// A freshly updated walk whose destination is not yet known.
+    pub fn undirected(walk: Walk) -> TWalk {
+        TWalk {
+            walk,
+            dest: None,
+            range: None,
+        }
+    }
+}
+
+/// One chip-level subgraph buffer slot.
+#[derive(Debug, Clone)]
+pub enum Slot {
+    /// Nothing resident.
+    Empty,
+    /// A load command is in flight for this subgraph.
+    Loading(SgId),
+    /// Subgraph resident with its walk queue.
+    Loaded {
+        /// The resident subgraph.
+        sg: SgId,
+        /// Walks waiting to be updated in it.
+        queue: Vec<TWalk>,
+        /// True until the first update batch has consumed the queue —
+        /// fresh slots are exempt from trickle eviction.
+        fresh: bool,
+    },
+}
+
+/// Chip-level accelerator state.
+#[derive(Debug, Clone)]
+pub struct ChipState {
+    /// Subgraph buffer slots.
+    pub slots: Vec<Slot>,
+    /// An update batch is running.
+    pub busy: bool,
+    /// Completed walks buffered, awaiting a page-sized flush.
+    pub completed_buf: u64,
+}
+
+impl ChipState {
+    /// A chip with `n_slots` empty slots.
+    pub fn new(n_slots: u32) -> Self {
+        ChipState {
+            slots: vec![Slot::Empty; n_slots as usize],
+            busy: false,
+            completed_buf: 0,
+        }
+    }
+
+    /// Total walks queued across slots.
+    pub fn queued_walks(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| match s {
+                Slot::Loaded { queue, .. } => queue.len() as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Index of the slot holding `sg`, if loaded.
+    pub fn slot_of(&self, sg: SgId) -> Option<usize> {
+        self.slots.iter().position(|s| matches!(s, Slot::Loaded { sg: s2, .. } if *s2 == sg))
+    }
+
+    /// Index of a free slot, if any.
+    pub fn free_slot(&self) -> Option<usize> {
+        self.slots.iter().position(|s| matches!(s, Slot::Empty))
+    }
+
+    /// Subgraphs currently loaded or loading (to avoid double loads).
+    pub fn resident(&self) -> impl Iterator<Item = SgId> + '_ {
+        self.slots.iter().filter_map(|s| match s {
+            Slot::Empty => None,
+            Slot::Loading(sg) => Some(*sg),
+            Slot::Loaded { sg, .. } => Some(*sg),
+        })
+    }
+}
+
+/// Channel-level accelerator state.
+#[derive(Debug, Clone)]
+pub struct ChannelState {
+    /// Hot subgraphs resident this partition (top-K in-degree among the
+    /// channel's chips).
+    pub hot: Vec<SgId>,
+    /// Walks that arrived from chip-level accelerators, pending a batch.
+    pub inbox: Vec<TWalk>,
+    /// A batch is running.
+    pub busy: bool,
+}
+
+/// Board-level accelerator state (tables live in the sim root).
+#[derive(Debug, Clone)]
+pub struct BoardState {
+    /// Hot subgraphs resident this partition (global top in-degree).
+    pub hot: Vec<SgId>,
+    /// Walks pending a board batch.
+    pub inbox: Vec<TWalk>,
+    /// A batch is running.
+    pub busy: bool,
+    /// Foreigner walks buffered before a page flush.
+    pub foreigner_buf: Vec<TWalk>,
+    /// Completed walks buffered before a page flush.
+    pub completed_buf: u64,
+}
+
+/// A page of walks spilled to flash (overflowed partition-walk-buffer
+/// entries, or foreigners).
+#[derive(Debug, Clone)]
+pub struct SpillPage {
+    /// Logical page the walks were written to.
+    pub lpn: u64,
+    /// The walks stored in it.
+    pub walks: Vec<TWalk>,
+}
+
+/// One partition-walk-buffer entry: walks for one subgraph.
+#[derive(Debug, Clone, Default)]
+pub struct PwbEntry {
+    /// Walks resident in DRAM.
+    pub walks: Vec<TWalk>,
+    /// Pages of walks spilled to flash when the entry overflowed.
+    pub spilled: Vec<SpillPage>,
+}
+
+impl PwbEntry {
+    /// Walks in DRAM plus walks on flash for this subgraph.
+    pub fn total_walks(&self) -> u64 {
+        self.walks.len() as u64 + self.spilled.iter().map(|p| p.walks.len() as u64).sum::<u64>()
+    }
+}
+
+/// The partition walk buffer plus per-subgraph scheduler bookkeeping for
+/// the *current* partition.
+#[derive(Debug, Clone)]
+pub struct Pwb {
+    /// First subgraph id of the current partition.
+    pub first_sg: SgId,
+    /// One entry per subgraph in the partition.
+    pub entries: Vec<PwbEntry>,
+    /// DRAM quota per entry, in walks.
+    pub quota: u64,
+    /// Insertions since the last (lazy) score refresh, per entry.
+    pub inserts_since_refresh: Vec<u32>,
+    /// Stale scores used by the scheduler (refreshed every M inserts).
+    pub stale_score: Vec<f64>,
+}
+
+impl Pwb {
+    /// An empty buffer for a partition of `len` subgraphs starting at
+    /// `first_sg`, with `quota` walks of DRAM per entry.
+    pub fn new(first_sg: SgId, len: usize, quota: u64) -> Self {
+        Pwb {
+            first_sg,
+            entries: vec![PwbEntry::default(); len],
+            quota: quota.max(4),
+            inserts_since_refresh: vec![0; len],
+            stale_score: vec![0.0; len],
+        }
+    }
+
+    /// Entry index for a subgraph, if it belongs to this partition.
+    pub fn index_of(&self, sg: SgId) -> Option<usize> {
+        let i = sg.checked_sub(self.first_sg)? as usize;
+        (i < self.entries.len()).then_some(i)
+    }
+
+    /// Walks remaining anywhere in the partition buffer (DRAM + spill).
+    pub fn total_walks(&self) -> u64 {
+        self.entries.iter().map(|e| e.total_walks()).sum()
+    }
+}
+
+/// Eq. 1: the critical degree of a subgraph.
+///
+/// `score_i = (pwb·α + fls)·β` for non-dense subgraphs, `pwb·α + fls` for
+/// dense ones. With SS disabled the caller passes α = β = 1, reducing the
+/// score to the GraphWalker-style walk count.
+pub fn eq1_score(pwb_walks: u64, flash_walks: u64, is_dense: bool, alpha: f64, beta: f64) -> f64 {
+    let base = pwb_walks as f64 * alpha + flash_walks as f64;
+    if is_dense {
+        base
+    } else {
+        base * beta
+    }
+}
+
+/// Per-partition store of foreigner pages, keyed by destination partition.
+#[derive(Debug, Clone, Default)]
+pub struct ForeignStore {
+    /// Pages of foreigner walks, keyed by the partition they belong to.
+    /// BTreeMap for deterministic drain order.
+    pub pages: BTreeMap<u32, Vec<SpillPage>>,
+}
+
+impl ForeignStore {
+    /// Walks stored for partition `p`.
+    pub fn walks_for(&self, p: u32) -> u64 {
+        self.pages
+            .get(&p)
+            .map(|v| v.iter().map(|pg| pg.walks.len() as u64).sum())
+            .unwrap_or(0)
+    }
+
+    /// Total walks stored across partitions.
+    pub fn total_walks(&self) -> u64 {
+        self.pages
+            .values()
+            .flat_map(|v| v.iter())
+            .map(|p| p.walks.len() as u64)
+            .sum()
+    }
+}
+
+/// A cheap helper for bucketing walks by destination chip during board
+/// batch routing.
+#[derive(Debug, Default)]
+pub struct DeliveryBuckets {
+    /// `(chip, walks)` pairs in first-touch order (deterministic).
+    pub buckets: Vec<(u32, Vec<TWalk>)>,
+}
+
+impl DeliveryBuckets {
+    /// Append a walk to its chip's bucket.
+    pub fn push(&mut self, chip: u32, w: TWalk) {
+        match self.buckets.iter_mut().find(|(c, _)| *c == chip) {
+            Some((_, v)) => v.push(w),
+            None => self.buckets.push((chip, vec![w])),
+        }
+    }
+}
+
+/// Convenience: does this vertex fall inside `[low, high]`? (The chip
+/// guider's comparison against a loaded subgraph's end vertices.)
+#[inline]
+pub fn in_range(v: VertexId, low: VertexId, high: VertexId) -> bool {
+    low <= v && v <= high
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chip_slot_bookkeeping() {
+        let mut c = ChipState::new(2);
+        assert_eq!(c.free_slot(), Some(0));
+        c.slots[0] = Slot::Loading(7);
+        c.slots[1] = Slot::Loaded {
+            sg: 9,
+            queue: vec![TWalk::undirected(Walk::new(1, 6))],
+            fresh: true,
+        };
+        assert_eq!(c.free_slot(), None);
+        assert_eq!(c.slot_of(9), Some(1));
+        assert_eq!(c.slot_of(7), None, "loading != loaded");
+        assert_eq!(c.queued_walks(), 1);
+        let resident: Vec<_> = c.resident().collect();
+        assert_eq!(resident, vec![7, 9]);
+    }
+
+    #[test]
+    fn pwb_indexing_and_counts() {
+        let mut p = Pwb::new(10, 4, 8);
+        assert_eq!(p.index_of(10), Some(0));
+        assert_eq!(p.index_of(13), Some(3));
+        assert_eq!(p.index_of(14), None);
+        assert_eq!(p.index_of(9), None);
+        p.entries[0].walks.push(TWalk::undirected(Walk::new(0, 6)));
+        p.entries[1].spilled.push(SpillPage {
+            lpn: 1,
+            walks: vec![TWalk::undirected(Walk::new(1, 6)); 3],
+        });
+        assert_eq!(p.total_walks(), 4);
+        assert_eq!(p.entries[1].total_walks(), 3);
+    }
+
+    #[test]
+    fn eq1_matches_paper_formula() {
+        // non-dense: (pwb*alpha + fls) * beta
+        let s = eq1_score(10, 4, false, 1.2, 1.5);
+        assert!((s - (10.0 * 1.2 + 4.0) * 1.5).abs() < 1e-12);
+        // dense: no beta
+        let d = eq1_score(10, 4, true, 1.2, 1.5);
+        assert!((d - (10.0 * 1.2 + 4.0)).abs() < 1e-12);
+        // SS off: walk count
+        assert!((eq1_score(10, 4, false, 1.0, 1.0) - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn foreign_store_counts() {
+        let mut f = ForeignStore::default();
+        f.pages.entry(2).or_default().push(SpillPage {
+            lpn: 5,
+            walks: vec![TWalk::undirected(Walk::new(3, 6)); 7],
+        });
+        assert_eq!(f.walks_for(2), 7);
+        assert_eq!(f.walks_for(1), 0);
+        assert_eq!(f.total_walks(), 7);
+    }
+
+    #[test]
+    fn delivery_buckets_group_by_chip() {
+        let mut d = DeliveryBuckets::default();
+        d.push(3, TWalk::undirected(Walk::new(0, 6)));
+        d.push(1, TWalk::undirected(Walk::new(1, 6)));
+        d.push(3, TWalk::undirected(Walk::new(2, 6)));
+        assert_eq!(d.buckets.len(), 2);
+        assert_eq!(d.buckets[0].0, 3);
+        assert_eq!(d.buckets[0].1.len(), 2);
+    }
+}

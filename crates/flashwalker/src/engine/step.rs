@@ -1,0 +1,263 @@
+//! Walk stepping inside accelerators: normal subgraph updates, dense-slice
+//! sampling, and the pre-walking slice choice.
+
+use fw_graph::{Csr, DenseVertexMeta, PartitionedGraph, VertexId};
+use fw_sim::Xoshiro256pp;
+use fw_walk::{Walk, Workload};
+
+use super::state::SgId;
+
+/// Outcome of one in-accelerator hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HopResult {
+    /// The walk moved to a new vertex; here is the updated walk.
+    Moved(Walk),
+    /// The walk finished (length, stop probability, or dead end).
+    Completed(Walk),
+}
+
+/// Step a walk whose current vertex lives in an ordinary (non-dense)
+/// subgraph. Returns the hop result and the updater operation count.
+pub fn hop_regular(
+    wl: &Workload,
+    csr: &Csr,
+    walk: Walk,
+    rng: &mut Xoshiro256pp,
+) -> (HopResult, u32) {
+    let (ev, ops) = wl.step(csr, walk, rng);
+    match ev {
+        fw_walk::workload::WalkEvent::Moved(w) => (HopResult::Moved(w), ops),
+        fw_walk::workload::WalkEvent::Completed(w) => (HopResult::Completed(w), ops),
+    }
+}
+
+/// Step a dense walk whose chosen slice block is loaded: sample an edge
+/// *within the slice*. Together with the slice having been chosen
+/// proportionally to its edge count (see [`prewalk_slice`]), this equals a
+/// uniform draw over the dense vertex's full edge list — the paper's
+/// pre-walking argument. Weighted workloads sample within the slice by
+/// ITS over the global cumulative list restricted to the slice.
+pub fn hop_dense_slice(
+    wl: &Workload,
+    csr: &Csr,
+    pg: &PartitionedGraph,
+    slice_sg: SgId,
+    mut walk: Walk,
+    rng: &mut Xoshiro256pp,
+) -> (HopResult, u32) {
+    let sg = &pg.subgraphs[slice_sg as usize];
+    let slice = sg.dense.expect("hop_dense_slice on non-dense subgraph");
+    debug_assert_eq!(slice.vertex, walk.cur, "walk not at this dense vertex");
+
+    // Stop-probability termination happens before sampling, as in
+    // Workload::step.
+    if let fw_walk::Termination::StopProb { prob, .. } = wl.termination {
+        if rng.next_f64() < prob {
+            walk.hop = 0;
+            return (HopResult::Completed(walk), 2);
+        }
+    }
+
+    let start = slice.first_edge_in_vertex as usize;
+    let n = slice.num_edges as usize;
+    debug_assert!(n > 0);
+    let (pick, ops) = match wl.bias {
+        fw_walk::Bias::Unbiased => {
+            let idx = rng.next_below(n as u64) as usize;
+            (idx, fw_walk::UNBIASED_UPDATER_OPS)
+        }
+        fw_walk::Bias::Weighted => {
+            // ITS restricted to the slice: draw in the slice's cumulative
+            // weight interval and binary-search inside it.
+            let cl = csr.cumulative(walk.cur);
+            let lo_w = if start == 0 { 0.0 } else { cl[start - 1] };
+            let hi_w = cl[start + n - 1];
+            let r = lo_w + (rng.next_f64() as f32) * (hi_w - lo_w);
+            let mut lo = start;
+            let mut hi = start + n;
+            let mut probes = 0;
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                probes += 1;
+                if cl[mid] > r {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            (lo.min(start + n - 1) - start, fw_walk::UNBIASED_UPDATER_OPS + probes)
+        }
+    };
+    let next = csr.neighbors(walk.cur)[start + pick];
+    walk.advance(next);
+    if walk.is_done() {
+        (HopResult::Completed(walk), ops)
+    } else {
+        (HopResult::Moved(walk), ops)
+    }
+}
+
+/// Pre-walking (§III-D): choose the graph block `gb_next` in which a dense
+/// walk's next stop lands, *before* determining the stop itself: draw
+/// `rnd ∈ [0, outDegree)` and take the `rnd / size(gb)`-th block. Returns
+/// the chosen slice subgraph and the guider operation count.
+pub fn prewalk_slice(
+    meta: &DenseVertexMeta,
+    slice_cap: u64,
+    rng: &mut Xoshiro256pp,
+) -> (SgId, u32) {
+    let rnd = rng.next_below(meta.total_degree);
+    let idx = ((rnd / slice_cap) as u32).min(meta.num_blocks - 1);
+    (meta.first_subgraph + idx, 2)
+}
+
+/// The chip guider's membership test: is `v` inside any subgraph loaded on
+/// this chip? Returns the matching subgraph and the comparison-op count
+/// (one per resident subgraph probed, as the guider "compar[es] w.cur with
+/// two end vertices of each loaded subgraph").
+pub fn guide_local(
+    pg: &PartitionedGraph,
+    loaded: &[SgId],
+    v: VertexId,
+) -> (Option<SgId>, u32) {
+    let mut ops = 0;
+    for &sg in loaded {
+        ops += 1;
+        let s = &pg.subgraphs[sg as usize];
+        // Dense slices never accept local traffic: choosing among a dense
+        // vertex's blocks needs the dense table, which chips don't have.
+        if s.dense.is_some() {
+            continue;
+        }
+        if s.low <= v && v <= s.high {
+            return (Some(sg), ops);
+        }
+    }
+    (None, ops.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fw_graph::partition::PartitionConfig;
+    use fw_graph::Csr;
+
+    fn star_pg(weighted: bool) -> (Csr, PartitionedGraph) {
+        let mut e = vec![];
+        for v in 1..200u32 {
+            e.push((0, v));
+            e.push((v, 0));
+        }
+        let mut g = Csr::from_edges(200, &e);
+        if weighted {
+            g = g.with_random_weights(3);
+        }
+        let pg = PartitionedGraph::build(
+            &g,
+            PartitionConfig {
+                subgraph_bytes: 64, // 16 entries -> 15-edge slices
+                id_bytes: 4,
+                subgraphs_per_partition: 64,
+            },
+        );
+        (g, pg)
+    }
+
+    #[test]
+    fn prewalk_distributes_proportionally_to_slice_size() {
+        let (_, pg) = star_pg(false);
+        let meta = *pg.find_dense(0).unwrap();
+        let cap = pg.config.dense_slice_edges();
+        let mut rng = Xoshiro256pp::new(5);
+        let mut counts = vec![0u64; meta.num_blocks as usize];
+        let n = 50_000;
+        for _ in 0..n {
+            let (sg, ops) = prewalk_slice(&meta, cap, &mut rng);
+            assert!(sg >= meta.first_subgraph && sg < meta.first_subgraph + meta.num_blocks);
+            assert_eq!(ops, 2);
+            counts[(sg - meta.first_subgraph) as usize] += 1;
+        }
+        // Full slices hold `cap` edges; expect counts proportional.
+        for (i, &c) in counts.iter().enumerate() {
+            let slice_edges = if i as u32 == meta.num_blocks - 1 {
+                meta.last_block_degree
+            } else {
+                cap
+            };
+            let expect = n as f64 * slice_edges as f64 / meta.total_degree as f64;
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.15 + 10.0,
+                "slice {i}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn prewalk_plus_slice_hop_is_uniform_over_neighbors() {
+        let (g, pg) = star_pg(false);
+        let meta = *pg.find_dense(0).unwrap();
+        let cap = pg.config.dense_slice_edges();
+        let wl = Workload::paper_default(1);
+        let mut rng = Xoshiro256pp::new(9);
+        let mut counts = vec![0u32; 200];
+        let n = 100_000;
+        for _ in 0..n {
+            let (sg, _) = prewalk_slice(&meta, cap, &mut rng);
+            let w = Walk::new(0, 6);
+            match hop_dense_slice(&wl, &g, &pg, sg, w, &mut rng).0 {
+                HopResult::Moved(w2) => counts[w2.cur as usize] += 1,
+                HopResult::Completed(_) => panic!("6-hop walk can't finish in one hop"),
+            }
+        }
+        // All 199 leaves should be hit roughly uniformly.
+        let expect = n as f64 / 199.0;
+        for (v, &c) in counts.iter().enumerate().skip(1) {
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.35 + 10.0,
+                "vertex {v}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_dense_slice_hop_is_valid() {
+        let (g, pg) = star_pg(true);
+        let meta = *pg.find_dense(0).unwrap();
+        let cap = pg.config.dense_slice_edges();
+        let wl = Workload::node2vec_biased(1, 6);
+        let mut rng = Xoshiro256pp::new(11);
+        for _ in 0..2000 {
+            let (sg, _) = prewalk_slice(&meta, cap, &mut rng);
+            match hop_dense_slice(&wl, &g, &pg, sg, Walk::new(0, 6), &mut rng).0 {
+                HopResult::Moved(w) => {
+                    // Must land on a neighbor within the chosen slice.
+                    let slice = pg.subgraphs[sg as usize].dense.unwrap();
+                    let s = slice.first_edge_in_vertex as usize;
+                    let nbrs = &g.neighbors(0)[s..s + slice.num_edges as usize];
+                    assert!(nbrs.contains(&w.cur));
+                }
+                HopResult::Completed(_) => panic!("fixed-6 can't complete"),
+            }
+        }
+    }
+
+    #[test]
+    fn guide_local_matches_ranges_and_skips_dense() {
+        let (_, pg) = star_pg(false);
+        let meta = *pg.find_dense(0).unwrap();
+        // Loaded: the dense first slice and one regular subgraph.
+        let regular = pg.subgraph_of(50).unwrap();
+        let loaded = vec![meta.first_subgraph, regular];
+        let (hit, ops) = guide_local(&pg, &loaded, 50);
+        assert_eq!(hit, Some(regular));
+        assert!(ops >= 1);
+        // The dense vertex itself is NOT guided locally.
+        let (dense_hit, _) = guide_local(&pg, &loaded, 0);
+        assert_eq!(dense_hit, None);
+        // A vertex in no loaded subgraph roves.
+        let far = pg.subgraphs[pg.subgraph_of(199).unwrap() as usize].low;
+        if pg.subgraph_of(far) != Some(regular) {
+            assert_eq!(guide_local(&pg, &loaded, far).0, None);
+        }
+    }
+}

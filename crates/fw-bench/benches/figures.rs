@@ -1,0 +1,80 @@
+//! A quick end-to-end regeneration of every paper figure at reduced walk
+//! counts, wired into `cargo bench` so the standard bench run exercises
+//! the whole evaluation path. For the full-size experiments use the
+//! dedicated `fig*` binaries (see EXPERIMENTS.md).
+
+use flashwalker::OptToggles;
+use fw_bench::runner::{
+    compare, prepared, run_flashwalker, run_flashwalker_alpha, run_graphwalker, DEFAULT_SEED,
+};
+use fw_graph::datasets::GRAPH_SCALE;
+use fw_graph::DatasetId;
+
+fn main() {
+    // `cargo bench` passes --bench; nothing to parse.
+    let quick = [DatasetId::Twitter, DatasetId::Rmat2B];
+    let mem = (8u64 << 30) / GRAPH_SCALE;
+
+    println!("== quick figure regeneration (reduced walk counts) ==\n");
+
+    println!("-- Fig 5 (speedup) --");
+    let mut speedups = Vec::new();
+    for id in quick {
+        let p = prepared(id, DEFAULT_SEED);
+        let walks = id.default_walks() / 8;
+        let row = compare(&p, walks, mem, DEFAULT_SEED);
+        println!(
+            "{}\t{} walks\tfw {}\tgw {}\tspeedup {:.2}x",
+            row.dataset, row.walks, row.fw_time, row.gw_time, row.speedup
+        );
+        assert!(row.speedup > 1.0, "FlashWalker must win");
+        speedups.push(row.speedup);
+    }
+
+    println!("\n-- Fig 6 (traffic & bandwidth) --");
+    for id in quick {
+        let p = prepared(id, DEFAULT_SEED);
+        let walks = id.default_walks() / 8;
+        let row = compare(&p, walks, mem, DEFAULT_SEED);
+        println!(
+            "{}\tfw_bw {:.2} GB/s\tgw_bw {:.2} GB/s\timprovement {:.1}x",
+            row.dataset,
+            row.fw_read_bw / 1e9,
+            row.gw_read_bw / 1e9,
+            row.fw_read_bw / row.gw_read_bw.max(1.0)
+        );
+        assert!(row.fw_read_bw > row.gw_read_bw, "bandwidth story must hold");
+    }
+
+    println!("\n-- Fig 7 (memory sweep, TT) --");
+    let p = prepared(DatasetId::Twitter, DEFAULT_SEED);
+    let walks = DatasetId::Twitter.default_walks() / 8;
+    for (label, m) in [("4GB", mem / 2), ("8GB", mem), ("16GB", mem * 2)] {
+        let row = compare(&p, walks, m, DEFAULT_SEED);
+        println!("TT\tmem {label}\tspeedup {:.2}x", row.speedup);
+    }
+
+    println!("\n-- Fig 9 (ablation, R2B) --");
+    let p = prepared(DatasetId::Rmat2B, DEFAULT_SEED);
+    let walks = DatasetId::Rmat2B.default_walks() / 8;
+    let base = run_flashwalker(&p, walks, OptToggles::none(), DEFAULT_SEED);
+    let full = run_flashwalker_alpha(&p, walks, OptToggles::all(), 1.2, DEFAULT_SEED);
+    println!(
+        "R2B\tbase {}\tall-opts {}\tgain {:+.1}%",
+        base.time,
+        full.time,
+        (base.time.as_nanos() as f64 / full.time.as_nanos() as f64 - 1.0) * 100.0
+    );
+
+    println!("\n-- Fig 1 (GraphWalker breakdown, R2B) --");
+    let gw = run_graphwalker(&p, walks, mem, DEFAULT_SEED);
+    println!(
+        "R2B\tload {:.0}%\tupdate {:.0}%\twalk-io {:.0}%",
+        gw.breakdown.load_fraction() * 100.0,
+        gw.breakdown.update_walks.as_nanos() as f64 / gw.breakdown.total().as_nanos() as f64
+            * 100.0,
+        gw.breakdown.walk_io.as_nanos() as f64 / gw.breakdown.total().as_nanos() as f64 * 100.0,
+    );
+
+    println!("\nall quick figures regenerated (assertions passed)");
+}

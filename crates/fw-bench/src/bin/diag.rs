@@ -1,0 +1,79 @@
+//! Diagnostic: run FlashWalker on one dataset under each ablation config
+//! and dump the full engine statistics, to attribute where time goes.
+//!
+//! ```text
+//! cargo run --release -p fw-bench --bin diag [TT|FS|CW|R2B|R8B] [walks]
+//! ```
+
+use flashwalker::OptToggles;
+use fw_bench::runner::{prepared, run_flashwalker_alpha, DEFAULT_SEED};
+use fw_graph::DatasetId;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let id = match args.get(1).map(|s| s.as_str()) {
+        Some("FS") => DatasetId::Friendster,
+        Some("CW") => DatasetId::ClueWeb,
+        Some("R2B") => DatasetId::Rmat2B,
+        Some("R8B") => DatasetId::Rmat8B,
+        _ => DatasetId::Twitter,
+    };
+    let walks: u64 = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| id.default_walks() / 2);
+    let p = prepared(id, DEFAULT_SEED);
+    eprintln!(
+        "{}: subgraphs={} dense={} partitions={}",
+        id.abbrev(),
+        p.pg.num_subgraphs(),
+        p.pg.dense.len(),
+        p.pg.num_partitions()
+    );
+
+    let configs: Vec<(&str, OptToggles)> = vec![
+        ("base", OptToggles::none()),
+        ("WQ", OptToggles { walk_query: true, hot_subgraphs: false, subgraph_scheduling: false }),
+        ("HS", OptToggles { walk_query: false, hot_subgraphs: true, subgraph_scheduling: false }),
+        ("SS", OptToggles { walk_query: false, hot_subgraphs: false, subgraph_scheduling: true }),
+        ("all", OptToggles::all()),
+    ];
+    for (name, opts) in configs {
+        let alpha: f64 = std::env::var("FW_ALPHA").ok().and_then(|s| s.parse().ok()).unwrap_or(0.4);
+        let r = run_flashwalker_alpha(&p, walks, opts, alpha, DEFAULT_SEED);
+        let s = &r.stats;
+        println!(
+            "{name}\ttime={}\thops={} (chip {} chan {} board {})\troving={}\tloads={}\tdeliv={}\tprobes={}\tcache={}h/{}m\tpwb_spill={}\tforeign={}\tchan_util={:.2}\tbusy(chip/chan/board)={}/{}/{}ms dram={}ms map={}ms\tbatches(c/ch/b)={}/{}/{}\tfill(noslot/nocand)={}/{}\tload_lat={}us (arr {} fetch {} spill {}) walks/load={:.0}\tchan_wait={}us/xfer",
+            r.time,
+            s.hops,
+            s.chip_hops,
+            s.chan_hops,
+            s.board_hops,
+            s.roving,
+            s.sg_loads,
+            s.deliveries,
+            s.map_probes,
+            s.cache_hits,
+            s.cache_misses,
+            s.pwb_spill_pages,
+            s.foreign_pages,
+            r.channel_util,
+            s.chip_busy_ns / 1_000_000,
+            s.chan_busy_ns / 1_000_000,
+            s.board_busy_ns / 1_000_000,
+            s.board_dram_ns / 1_000_000,
+            s.board_map_ns / 1_000_000,
+            s.chip_batches,
+            s.chan_batches,
+            s.board_batches,
+            s.fill_no_slot,
+            s.fill_no_candidate,
+            s.load_latency_ns / s.sg_loads.max(1) / 1000,
+            s.load_array_ns / s.sg_loads.max(1) / 1000,
+            s.load_fetch_ns / s.sg_loads.max(1) / 1000,
+            s.load_spill_ns / s.sg_loads.max(1) / 1000,
+            s.load_walks as f64 / s.sg_loads.max(1) as f64,
+            r.channel_wait_ns / 1000,
+        );
+    }
+}

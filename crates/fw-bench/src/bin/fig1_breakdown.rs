@@ -1,0 +1,55 @@
+//! Figure 1: GraphWalker time-cost breakdown on ClueWeb.
+//!
+//! The paper's motivating observation: "time spent on loading graph
+//! structure data still accounts for the majority of total execution
+//! time". We run the baseline on the scaled ClueWeb stand-in at its
+//! default walk count and print the per-category split.
+
+use fw_bench::runner::{prepared, run_graphwalker, DEFAULT_SEED};
+use fw_graph::datasets::GRAPH_SCALE;
+use fw_graph::DatasetId;
+
+fn main() {
+    let id = DatasetId::ClueWeb;
+    eprintln!("generating {} …", id.abbrev());
+    let p = prepared(id, DEFAULT_SEED);
+    let walks = id.default_walks();
+    let mem = (8u64 << 30) / GRAPH_SCALE; // the paper's 8 GB default
+    eprintln!("running GraphWalker: {walks} walks, {} MB memory …", mem >> 20);
+    let r = run_graphwalker(&p, walks, mem, DEFAULT_SEED);
+
+    let b = r.breakdown;
+    let total = b.total().as_nanos().max(1) as f64;
+    println!("category\ttime\tfraction");
+    println!(
+        "load graph\t{}\t{:.1}%",
+        b.load_graph,
+        b.load_graph.as_nanos() as f64 / total * 100.0
+    );
+    println!(
+        "update walks\t{}\t{:.1}%",
+        b.update_walks,
+        b.update_walks.as_nanos() as f64 / total * 100.0
+    );
+    println!(
+        "walk I/O\t{}\t{:.1}%",
+        b.walk_io,
+        b.walk_io.as_nanos() as f64 / total * 100.0
+    );
+    println!(
+        "other\t{}\t{:.1}%",
+        b.other,
+        b.other.as_nanos() as f64 / total * 100.0
+    );
+    println!("total\t{}\t100%", r.time);
+    println!(
+        "\nblock loads: {}  flash read: {} MB  walk spills: {}",
+        r.block_loads,
+        r.flash_read_bytes >> 20,
+        r.walk_spills
+    );
+    println!(
+        "paper shape check: load fraction {:.1}% (paper: majority of total time)",
+        b.load_fraction() * 100.0
+    );
+}

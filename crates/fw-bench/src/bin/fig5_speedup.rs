@@ -1,0 +1,84 @@
+//! Figure 5: FlashWalker speedup over GraphWalker at varied walk counts.
+//!
+//! The paper reports 4.79×–660.50× (51.56× average), with larger graphs
+//! showing larger speedups. Datasets run in parallel (one thread each);
+//! walk counts sweep {max/8, max/4, max/2, max} per dataset, where max is
+//! the paper's count scaled by 1/500 (10⁹ for CW, 4×10⁸ otherwise).
+//!
+//! `FW_DATASETS=TT,FS` restricts the dataset set (useful for quick
+//! runs); `FW_SEEDS=N` repeats every cell over N seeds and reports
+//! mean and min–max spread.
+
+use fw_bench::runner::{compare, prepared, walk_sweep, ComparisonRow, DEFAULT_SEED};
+
+use fw_graph::datasets::GRAPH_SCALE;
+use fw_graph::DatasetId;
+
+fn selected_datasets() -> Vec<DatasetId> {
+    match std::env::var("FW_DATASETS") {
+        Ok(s) => DatasetId::ALL
+            .into_iter()
+            .filter(|d| s.split(',').any(|x| x.trim() == d.abbrev()))
+            .collect(),
+        Err(_) => DatasetId::ALL.to_vec(),
+    }
+}
+
+fn main() {
+    let mem = (8u64 << 30) / GRAPH_SCALE;
+    let datasets = selected_datasets();
+    let mut all_rows: Vec<(ComparisonRow, Vec<f64>)> = Vec::new();
+
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = datasets
+            .iter()
+            .map(|&id| {
+                s.spawn(move |_| {
+                    eprintln!("[{}] generating …", id.abbrev());
+                    let seeds: u64 = std::env::var("FW_SEEDS")
+                        .ok()
+                        .and_then(|x| x.parse().ok())
+                        .unwrap_or(1);
+                    let p = prepared(id, DEFAULT_SEED);
+                    let mut rows = Vec::new();
+                    for walks in walk_sweep(id) {
+                        eprintln!("[{}] {} walks …", id.abbrev(), walks);
+                        // Seed 0 is the canonical row; extra seeds fold
+                        // their speedups into the spread columns.
+                        let mut all: Vec<ComparisonRow> = (0..seeds)
+                            .map(|si| compare(&p, walks, mem, DEFAULT_SEED + si))
+                            .collect();
+                        let spread: Vec<f64> = all.iter().map(|r| r.speedup).collect();
+                        let mut row = all.swap_remove(0);
+                        let mean = spread.iter().sum::<f64>() / spread.len() as f64;
+                        row.speedup = mean;
+                        rows.push((row, spread));
+                    }
+                    rows
+                })
+            })
+            .collect();
+        for h in handles {
+            all_rows.extend(h.join().expect("dataset thread"));
+        }
+    })
+    .expect("scope");
+
+    println!("dataset\twalks\tfw_time\tgw_time\tspeedup\tmin\tmax");
+    let mut speedups = Vec::new();
+    for (r, spread) in &all_rows {
+        let min = spread.iter().cloned().fold(f64::MAX, f64::min);
+        let max = spread.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "{}\t{}\t{}\t{}\t{:.2}\t{:.2}\t{:.2}",
+            r.dataset, r.walks, r.fw_time, r.gw_time, r.speedup, min, max
+        );
+        speedups.push(r.speedup);
+    }
+    let min = speedups.iter().cloned().fold(f64::MAX, f64::min);
+    let max = speedups.iter().cloned().fold(0.0, f64::max);
+    let avg = speedups.iter().sum::<f64>() / speedups.len().max(1) as f64;
+    println!(
+        "\nsummary: min {min:.2}x  max {max:.2}x  avg {avg:.2}x   (paper: 4.79x / 660.50x / 51.56x)"
+    );
+}

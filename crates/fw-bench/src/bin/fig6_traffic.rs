@@ -1,0 +1,59 @@
+//! Figure 6: flash memory read-traffic reduction and achieved-bandwidth
+//! improvement of FlashWalker over GraphWalker.
+//!
+//! Paper shapes to reproduce: ~17.21× bandwidth improvement and ~3.82×
+//! read-traffic reduction on average across all tasks; **TT reads more
+//! total data than GraphWalker** (parallelism overload on a small graph)
+//! yet still wins on bandwidth; CW reads much less (finer subgraph
+//! granularity + GraphWalker thrashing).
+
+use fw_bench::runner::{compare, prepared, walk_sweep, DEFAULT_SEED};
+use fw_graph::datasets::GRAPH_SCALE;
+use fw_graph::DatasetId;
+
+fn main() {
+    let mem = (8u64 << 30) / GRAPH_SCALE;
+    println!("dataset\twalks\tfw_read_MB\tgw_read_MB\ttraffic_reduction\tfw_bw_GBs\tgw_bw_GBs\tbw_improvement");
+    let mut traffic = Vec::new();
+    let mut bw = Vec::new();
+
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = DatasetId::ALL
+            .iter()
+            .map(|&id| {
+                s.spawn(move |_| {
+                    let p = prepared(id, DEFAULT_SEED);
+                    let walks = *walk_sweep(id).last().unwrap();
+                    eprintln!("[{}] {} walks …", id.abbrev(), walks);
+                    compare(&p, walks, mem, DEFAULT_SEED)
+                })
+            })
+            .collect();
+        for h in handles {
+            let r = h.join().expect("dataset thread");
+            let t_red = r.gw_read_bytes as f64 / r.fw_read_bytes.max(1) as f64;
+            let bw_imp = r.fw_read_bw / r.gw_read_bw.max(1.0);
+            println!(
+                "{}\t{}\t{}\t{}\t{:.2}\t{:.2}\t{:.2}\t{:.2}",
+                r.dataset,
+                r.walks,
+                r.fw_read_bytes >> 20,
+                r.gw_read_bytes >> 20,
+                t_red,
+                r.fw_read_bw / 1e9,
+                r.gw_read_bw / 1e9,
+                bw_imp
+            );
+            traffic.push(t_red);
+            bw.push(bw_imp);
+        }
+    })
+    .expect("scope");
+
+    let gmean = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
+    println!(
+        "\nsummary (geo-mean): traffic reduction {:.2}x (paper avg 3.82x at smaller counts, 1.23x at max), bandwidth improvement {:.2}x (paper avg 17.21x, 33.44x at max)",
+        gmean(&traffic),
+        gmean(&bw)
+    );
+}

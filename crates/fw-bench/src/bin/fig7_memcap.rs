@@ -1,0 +1,48 @@
+//! Figure 7: FlashWalker speedup over GraphWalker with varied host DRAM
+//! capacities (the paper's 4 / 8 / 16 GB, scaled by 1/500).
+//!
+//! Paper shapes: speedup grows as GraphWalker's memory shrinks (4 GB
+//! emulates a larger graph); TT barely changes at 16 GB because the graph
+//! already fits at 8 GB; for CW even 16 GB is far below the graph size so
+//! the speedup stays high.
+
+use fw_bench::runner::{compare, prepared, walk_sweep, DEFAULT_SEED};
+use fw_graph::datasets::GRAPH_SCALE;
+use fw_graph::DatasetId;
+
+fn main() {
+    let mems: Vec<(u64, &str)> = vec![
+        ((4u64 << 30) / GRAPH_SCALE, "4GB"),
+        ((8u64 << 30) / GRAPH_SCALE, "8GB"),
+        ((16u64 << 30) / GRAPH_SCALE, "16GB"),
+    ];
+    println!("dataset\twalks\tmem\tfw_time\tgw_time\tspeedup");
+
+    crossbeam::scope(|s| {
+        let mems = &mems;
+        let handles: Vec<_> = DatasetId::ALL
+            .iter()
+            .map(|&id| {
+                s.spawn(move |_| {
+                    let p = prepared(id, DEFAULT_SEED);
+                    let walks = *walk_sweep(id).last().unwrap();
+                    mems.iter()
+                        .map(|&(m, label)| {
+                            eprintln!("[{}] mem {} …", id.abbrev(), label);
+                            (label, compare(&p, walks, m, DEFAULT_SEED))
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (label, r) in h.join().expect("dataset thread") {
+                println!(
+                    "{}\t{}\t{}\t{}\t{}\t{:.2}",
+                    r.dataset, r.walks, label, r.fw_time, r.gw_time, r.speedup
+                );
+            }
+        }
+    })
+    .expect("scope");
+}

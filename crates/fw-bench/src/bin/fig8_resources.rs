@@ -1,0 +1,78 @@
+//! Figure 8: FlashWalker resource-consumption behaviour over time —
+//! flash read bandwidth, flash write bandwidth, channel-bus bandwidth and
+//! walk-completion progression, in 1 ms windows.
+//!
+//! Paper shapes: channel bandwidth saturates near its ~10.4 GB/s
+//! aggregate ceiling for TT/FS/R8B while flash read bandwidth stays below
+//! its ceiling; write bandwidth is tiny; CW finishes ~90% of walks
+//! quickly and spends the long tail on stragglers.
+
+use flashwalker::OptToggles;
+use fw_bench::chart::chart_row;
+use fw_bench::runner::{prepared, run_flashwalker, walk_sweep, DEFAULT_SEED};
+use fw_graph::DatasetId;
+use fw_nand::SsdConfig;
+
+fn main() {
+    let ceiling = SsdConfig::paper().aggregate_channel_bw() as f64 / 1e9;
+    println!("# channel-bus aggregate ceiling: {ceiling:.2} GB/s");
+    println!("dataset\twindow_ms\tread_GBs\twrite_GBs\tchannel_GBs\tdone_pct");
+
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = DatasetId::ALL
+            .iter()
+            .map(|&id| {
+                s.spawn(move |_| {
+                    let p = prepared(id, DEFAULT_SEED);
+                    let walks = *walk_sweep(id).last().unwrap();
+                    eprintln!("[{}] {} walks …", id.abbrev(), walks);
+                    (id, walks, run_flashwalker(&p, walks, OptToggles::all(), DEFAULT_SEED))
+                })
+            })
+            .collect();
+        for h in handles {
+            let (id, walks, r) = h.join().expect("dataset thread");
+            let w_s = r.trace_window_ns as f64 / 1e9;
+            let n = r
+                .read_bytes_series
+                .len()
+                .max(r.channel_bytes_series.len())
+                .max(r.progress.len());
+            let mut done = 0.0;
+            for i in 0..n {
+                let get = |v: &Vec<f64>| v.get(i).copied().unwrap_or(0.0);
+                done += get(&r.progress);
+                println!(
+                    "{}\t{:.1}\t{:.2}\t{:.3}\t{:.2}\t{:.1}",
+                    id.abbrev(),
+                    i as f64 * w_s * 1e3,
+                    get(&r.read_bytes_series) / w_s / 1e9,
+                    get(&r.write_bytes_series) / w_s / 1e9,
+                    get(&r.channel_bytes_series) / w_s / 1e9,
+                    done / walks as f64 * 100.0
+                );
+            }
+            // Terminal-friendly summary (per-window GB/s, channel scaled
+            // to its aggregate ceiling).
+            let gbs = |v: &[f64]| -> Vec<f64> { v.iter().map(|b| b / w_s / 1e9).collect() };
+            let read = gbs(&r.read_bytes_series);
+            let write = gbs(&r.write_bytes_series);
+            let chan = gbs(&r.channel_bytes_series);
+            let read_max = read.iter().cloned().fold(0.0, f64::max);
+            eprintln!("\n[{}] {} walks, {}:", id.abbrev(), walks, r.time);
+            eprintln!("  {}", chart_row("flash read", &read, read_max, 60, " GB/s"));
+            eprintln!("  {}", chart_row("flash write", &write, read_max, 60, " GB/s"));
+            eprintln!("  {}", chart_row("channel bus", &chan, ceiling, 60, " GB/s"));
+            let cum: Vec<f64> = r
+                .progress
+                .iter()
+                .scan(0.0, |acc, v| {
+                    *acc += v;
+                    Some(*acc)
+                })
+                .collect();
+            eprintln!("  {}", chart_row("done", &cum, walks as f64, 60, " walks"));
+        }
+    })
+    .expect("scope");
+}

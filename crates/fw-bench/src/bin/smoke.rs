@@ -1,0 +1,47 @@
+//! Quick end-to-end sanity: one dataset, one walk count, both engines.
+//!
+//! ```text
+//! cargo run --release -p fw-bench --bin smoke [TT|FS|CW|R2B|R8B] [walks]
+//! ```
+
+use fw_bench::runner::{compare, prepared, DEFAULT_SEED};
+use fw_graph::DatasetId;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let id = match args.get(1).map(|s| s.as_str()) {
+        Some("FS") => DatasetId::Friendster,
+        Some("CW") => DatasetId::ClueWeb,
+        Some("R2B") => DatasetId::Rmat2B,
+        Some("R8B") => DatasetId::Rmat8B,
+        _ => DatasetId::Twitter,
+    };
+    let walks: u64 = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| id.default_walks() / 4);
+
+    eprintln!("generating {} …", id.abbrev());
+    let p = prepared(id, DEFAULT_SEED);
+    eprintln!(
+        "|V|={} |E|={} subgraphs={} dense={} partitions={}",
+        p.dataset.csr.num_vertices(),
+        p.dataset.csr.num_edges(),
+        p.pg.num_subgraphs(),
+        p.pg.dense.len(),
+        p.pg.num_partitions()
+    );
+    let gw_mem = (8u64 << 30) / fw_graph::datasets::GRAPH_SCALE;
+    let row = compare(&p, walks, gw_mem, DEFAULT_SEED);
+    println!(
+        "dataset={} walks={} fw_time={} gw_time={} speedup={:.2}x",
+        row.dataset, row.walks, row.fw_time, row.gw_time, row.speedup
+    );
+    println!(
+        "fw_read={}MB gw_read={}MB fw_bw={:.2}GB/s gw_bw={:.2}GB/s",
+        row.fw_read_bytes >> 20,
+        row.gw_read_bytes >> 20,
+        row.fw_read_bw / 1e9,
+        row.gw_read_bw / 1e9
+    );
+}

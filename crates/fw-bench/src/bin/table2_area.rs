@@ -1,0 +1,23 @@
+//! Regenerate the Table II area row from the analytical area model
+//! (the substitution for the paper's Chisel + Yosys / FreePDK45 flow —
+//! DESIGN.md §1).
+
+use flashwalker::area::AreaReport;
+use flashwalker::AccelConfig;
+use fw_nand::SsdConfig;
+
+fn main() {
+    let cfg = AccelConfig::paper();
+    let r = AreaReport::for_config(&cfg);
+    let g = SsdConfig::paper().geometry;
+    println!("level\tpaper_mm2\tmodel_mm2");
+    println!("chip-level\t1.30\t{:.2}", r.chip_mm2);
+    println!("channel-level\t1.84\t{:.2}", r.channel_mm2);
+    println!("board-level\t14.31\t{:.2}", r.board_mm2);
+    println!(
+        "\nwhole-SSD total ({} chips + {} channels + board): {:.1} mm2 @45nm",
+        g.num_chips(),
+        g.channels,
+        r.total_mm2(g.num_chips(), g.channels)
+    );
+}

@@ -1,0 +1,31 @@
+//! Regenerate Table IV: dataset statistics, paper scale vs experiment
+//! scale, plus partitioning facts (subgraphs, dense vertices) for each.
+
+use fw_bench::runner::{prepared, DEFAULT_SEED};
+use fw_graph::DatasetId;
+
+fn main() {
+    println!(
+        "dataset\tpaper_V\tpaper_E\tscaled_V\tscaled_E\tid_bytes\tsubgraph_KB\tcsr_MB\tsubgraphs\tdense\tpartitions\tmax_outdeg"
+    );
+    for id in DatasetId::ALL {
+        let p = prepared(id, DEFAULT_SEED);
+        let (pv, pe) = id.paper_size();
+        let (_, deg) = p.dataset.csr.max_out_degree();
+        println!(
+            "{}\t{:.1}M\t{:.2}B\t{}\t{}\t{}\t{}\t{:.1}\t{}\t{}\t{}\t{}",
+            id.abbrev(),
+            pv as f64 / 1e6,
+            pe as f64 / 1e9,
+            p.dataset.csr.num_vertices(),
+            p.dataset.csr.num_edges(),
+            id.id_bytes(),
+            id.subgraph_bytes() >> 10,
+            p.dataset.modeled_csr_bytes() as f64 / 1e6,
+            p.pg.num_subgraphs(),
+            p.pg.dense.len(),
+            p.pg.num_partitions(),
+            deg,
+        );
+    }
+}

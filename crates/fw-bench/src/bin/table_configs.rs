@@ -1,0 +1,76 @@
+//! Print the Table I (SSD), Table II (accelerators) and Table III (DRAM)
+//! configurations as the simulator actually uses them — paper-scale and
+//! experiment-scale side by side.
+
+use flashwalker::AccelConfig;
+use fw_dram::DramConfig;
+use fw_nand::SsdConfig;
+
+fn main() {
+    let ssd = SsdConfig::paper();
+    let ssd_s = SsdConfig::scaled();
+    let g = ssd.geometry;
+    println!("== Table I / Table III (SSD) ==");
+    println!("channels\t{}", g.channels);
+    println!("chips/channel\t{}", g.chips_per_channel);
+    println!("dies/chip\t{}", g.dies_per_chip);
+    println!("planes/die\t{}", g.planes_per_die);
+    println!("blocks/plane\t{} (scaled {})", g.blocks_per_plane, ssd_s.geometry.blocks_per_plane);
+    println!("pages/block\t{}", g.pages_per_block);
+    println!("page\t{} B", g.page_bytes);
+    println!("read latency\t{}", ssd.read_latency);
+    println!("program latency\t{}", ssd.program_latency);
+    println!("erase latency\t{}", ssd.erase_latency);
+    println!("channel rate\t{} MB/s", ssd.channel_rate / 1_000_000);
+    println!("PCIe\t{} GB/s", ssd.pcie_rate / 1_000_000_000);
+    println!(
+        "aggregate channel BW\t{:.2} GB/s (the Fig. 8 ceiling)",
+        ssd.aggregate_channel_bw() as f64 / 1e9
+    );
+    println!(
+        "aggregate array read BW\t{:.2} GB/s",
+        ssd.aggregate_array_read_bw() as f64 / 1e9
+    );
+
+    let d = DramConfig::ddr4_1600();
+    println!("\n== Table III (DRAM) ==");
+    println!("protocol\tDDR4 @ {} MHz", d.freq_mhz);
+    println!("capacity\t{} GB", d.capacity >> 30);
+    println!("bus width\t{} bit", d.bus_width_bits);
+    println!("BL\t{}", d.burst_length);
+    println!("tCL/tRCD/tRP/tRAS\t{}/{}/{}/{}", d.tcl, d.trcd, d.trp, d.tras);
+    println!("peak BW\t{:.1} GB/s", d.peak_bandwidth() as f64 / 1e9);
+
+    let a = AccelConfig::paper();
+    let s = AccelConfig::scaled();
+    println!("\n== Table II (accelerators, paper → scaled) ==");
+    println!("chip cycle\t{}", a.chip_cycle);
+    println!("chan cycle\t{}", a.chan_cycle);
+    println!("board cycle\t{}", a.board_cycle);
+    println!("updaters (chip/chan/board)\t{}/{}/{}", a.chip_updaters, a.chan_updaters, a.board_updaters);
+    println!("guiders (chip/chan/board)\t{}/{}/{}", a.chip_guiders, a.chan_guiders, a.board_guiders);
+    println!(
+        "chip subgraph buf\t{} KB -> {} KB",
+        a.chip_subgraph_buf >> 10,
+        s.chip_subgraph_buf >> 10
+    );
+    println!(
+        "chan subgraph buf\t{} KB -> {} KB",
+        a.chan_subgraph_buf >> 10,
+        s.chan_subgraph_buf >> 10
+    );
+    println!(
+        "board subgraph buf\t{} KB -> {} KB",
+        a.board_subgraph_buf >> 10,
+        s.board_subgraph_buf >> 10
+    );
+    println!(
+        "mapping table\t{} KB -> {} KB ({} entries)",
+        a.mapping_table_bytes >> 10,
+        s.mapping_table_bytes >> 10,
+        s.mapping_table_entries()
+    );
+    println!("range size\t{} -> {}", a.range_size, s.range_size);
+    println!("query caches\t{} x {} B", s.query_caches, s.query_cache_bytes);
+    println!("alpha/beta\t{}/{}", a.alpha, a.beta);
+}

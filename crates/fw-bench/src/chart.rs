@@ -1,0 +1,88 @@
+//! Terminal charts for the experiment harness: Unicode sparklines and a
+//! labeled multi-line plot, so `fig8_resources` can show the
+//! resource-consumption curves without leaving the terminal.
+
+/// The eight block characters used for sparklines.
+const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render a series as a single-row sparkline scaled to `max` (values
+/// above `max` clamp to the full block).
+pub fn sparkline(series: &[f64], max: f64) -> String {
+    if max <= 0.0 {
+        return BARS[0].to_string().repeat(series.len());
+    }
+    series
+        .iter()
+        .map(|&v| {
+            let t = (v / max).clamp(0.0, 1.0);
+            let idx = ((t * 7.0).round() as usize).min(7);
+            BARS[idx]
+        })
+        .collect()
+}
+
+/// Downsample a series to at most `width` points by averaging buckets —
+/// keeps sparklines terminal-sized for long runs.
+pub fn downsample(series: &[f64], width: usize) -> Vec<f64> {
+    if series.len() <= width || width == 0 {
+        return series.to_vec();
+    }
+    let mut out = Vec::with_capacity(width);
+    for i in 0..width {
+        let start = i * series.len() / width;
+        let end = ((i + 1) * series.len() / width).max(start + 1);
+        let slice = &series[start..end];
+        out.push(slice.iter().sum::<f64>() / slice.len() as f64);
+    }
+    out
+}
+
+/// A labeled chart row: name, sparkline, and the series' peak.
+pub fn chart_row(label: &str, series: &[f64], max: f64, width: usize, unit: &str) -> String {
+    let ds = downsample(series, width);
+    format!(
+        "{label:<12} {} peak {:.2}{unit}",
+        sparkline(&ds, max),
+        series.iter().cloned().fold(0.0, f64::max)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_scales_and_clamps() {
+        let s = sparkline(&[0.0, 0.5, 1.0, 2.0], 1.0);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 4);
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[2], '█');
+        assert_eq!(chars[3], '█', "clamped above max");
+        assert!(chars[1] > chars[0] && chars[1] < chars[2]);
+    }
+
+    #[test]
+    fn sparkline_handles_zero_max() {
+        assert_eq!(sparkline(&[1.0, 2.0], 0.0), "▁▁");
+    }
+
+    #[test]
+    fn downsample_preserves_mean_roughly() {
+        let series: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ds = downsample(&series, 10);
+        assert_eq!(ds.len(), 10);
+        let mean_orig = series.iter().sum::<f64>() / 100.0;
+        let mean_ds = ds.iter().sum::<f64>() / 10.0;
+        assert!((mean_orig - mean_ds).abs() < 1.0);
+        // Short series pass through untouched.
+        assert_eq!(downsample(&series[..5], 10), &series[..5]);
+    }
+
+    #[test]
+    fn chart_row_formats() {
+        let r = chart_row("read", &[1.0, 3.0, 2.0], 3.0, 40, " GB/s");
+        assert!(r.starts_with("read"));
+        assert!(r.contains("peak 3.00 GB/s"));
+    }
+}

@@ -1,0 +1,36 @@
+//! `fw-bench` — the experiment harness: shared runners that pit
+//! FlashWalker against GraphWalker on the five Table IV datasets, plus
+//! one binary per table/figure of the paper (see DESIGN.md §3).
+//!
+//! All binaries print TSV to stdout so results can be diffed and plotted;
+//! EXPERIMENTS.md records paper-vs-measured numbers from these runs.
+
+pub mod chart;
+pub mod runner;
+
+pub use runner::{
+    prepared, run_flashwalker, run_graphwalker, ComparisonRow, Prepared, DEFAULT_SEED,
+};
+
+/// Format a bytes/s figure as GB/s with 2 decimals.
+pub fn gbps(x: f64) -> String {
+    format!("{:.2}", x / 1e9)
+}
+
+/// Speedup ratio `slow / fast` (how much faster `fast` is).
+pub fn ratio(fast: f64, slow: f64) -> f64 {
+    if fast <= 0.0 {
+        0.0
+    } else {
+        slow / fast
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ratio_is_slow_over_fast() {
+        assert!((super::ratio(2.0, 10.0) - 5.0).abs() < 1e-12);
+        assert_eq!(super::ratio(0.0, 10.0), 0.0);
+    }
+}

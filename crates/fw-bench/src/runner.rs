@@ -1,0 +1,132 @@
+//! Shared experiment plumbing: dataset preparation and engine runners.
+
+use flashwalker::{AccelConfig, FlashWalkerSim, FwReport, OptToggles};
+use fw_graph::{Dataset, DatasetId, PartitionedGraph};
+use fw_nand::SsdConfig;
+use fw_sim::Duration;
+use fw_walk::Workload;
+use graphwalker::{GraphWalkerSim, GwConfig, GwReport};
+
+/// The seed every experiment uses unless it sweeps seeds.
+pub const DEFAULT_SEED: u64 = 42;
+
+/// A generated and partitioned dataset ready to run.
+pub struct Prepared {
+    /// Dataset identity.
+    pub id: DatasetId,
+    /// The generated graph.
+    pub dataset: Dataset,
+    /// FlashWalker's fine-grained partitioning.
+    pub pg: PartitionedGraph,
+}
+
+/// Generate and partition a dataset for FlashWalker. The partition size
+/// is the board mapping table's entry capacity, exactly the constraint
+/// the paper derives partitions from.
+pub fn prepared(id: DatasetId, seed: u64) -> Prepared {
+    let dataset = Dataset::generate(id, seed);
+    let cfg = AccelConfig::scaled();
+    let pg = dataset.partition(cfg.mapping_table_entries());
+    Prepared { id, dataset, pg }
+}
+
+/// Run FlashWalker on a prepared dataset.
+pub fn run_flashwalker(p: &Prepared, walks: u64, opts: OptToggles, seed: u64) -> FwReport {
+    run_flashwalker_alpha(p, walks, opts, AccelConfig::scaled().alpha, seed)
+}
+
+/// Run FlashWalker with an explicit Eq. 1 α (the §IV-E ablation sets
+/// α = 0.4 "to reduce the burden on the channel bus"; the default is 1.2).
+pub fn run_flashwalker_alpha(
+    p: &Prepared,
+    walks: u64,
+    opts: OptToggles,
+    alpha: f64,
+    seed: u64,
+) -> FwReport {
+    let mut cfg = AccelConfig::scaled();
+    cfg.opts = opts;
+    cfg.alpha = alpha;
+    let wl = Workload::paper_default(walks);
+    FlashWalkerSim::new(&p.dataset.csr, &p.pg, wl, cfg, SsdConfig::scaled(), seed)
+        .with_trace_window(1_000_000) // 1 ms windows
+        .run()
+}
+
+/// Run the GraphWalker baseline with a given host memory capacity.
+pub fn run_graphwalker(p: &Prepared, walks: u64, memory_bytes: u64, seed: u64) -> GwReport {
+    let cfg = GwConfig::scaled().with_memory(memory_bytes);
+    let wl = Workload::paper_default(walks);
+    GraphWalkerSim::new(
+        &p.dataset.csr,
+        p.id.id_bytes(),
+        cfg,
+        SsdConfig::scaled(),
+        wl,
+        seed,
+    )
+    .with_trace_window(1_000_000)
+    .run()
+}
+
+/// One dataset × walk-count comparison.
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// Dataset abbreviation.
+    pub dataset: &'static str,
+    /// Number of walks run.
+    pub walks: u64,
+    /// FlashWalker execution time.
+    pub fw_time: Duration,
+    /// GraphWalker execution time.
+    pub gw_time: Duration,
+    /// Speedup (GraphWalker / FlashWalker).
+    pub speedup: f64,
+    /// FlashWalker flash reads, bytes.
+    pub fw_read_bytes: u64,
+    /// GraphWalker flash reads, bytes.
+    pub gw_read_bytes: u64,
+    /// FlashWalker achieved read bandwidth, bytes/s.
+    pub fw_read_bw: f64,
+    /// GraphWalker achieved read bandwidth, bytes/s.
+    pub gw_read_bw: f64,
+}
+
+/// Run both engines and produce a comparison row.
+pub fn compare(p: &Prepared, walks: u64, gw_memory: u64, seed: u64) -> ComparisonRow {
+    let fw = run_flashwalker(p, walks, OptToggles::all(), seed);
+    let gw = run_graphwalker(p, walks, gw_memory, seed);
+    ComparisonRow {
+        dataset: p.id.abbrev(),
+        walks,
+        fw_time: fw.time,
+        gw_time: gw.time,
+        speedup: gw.time.as_nanos() as f64 / fw.time.as_nanos().max(1) as f64,
+        fw_read_bytes: fw.flash_read_bytes,
+        gw_read_bytes: gw.flash_read_bytes,
+        fw_read_bw: fw.read_bw,
+        gw_read_bw: gw.read_bw,
+    }
+}
+
+/// The Figure 5 walk-count sweep for a dataset: the paper's maximum is
+/// 10⁹ walks for CW and 4×10⁸ for the rest; the sweep halves downward
+/// (scaled by 1/500).
+pub fn walk_sweep(id: DatasetId) -> Vec<u64> {
+    let max = id.default_walks();
+    vec![max / 8, max / 4, max / 2, max]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_sweep_is_increasing_and_capped() {
+        let s = walk_sweep(DatasetId::Twitter);
+        assert_eq!(s.len(), 4);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*s.last().unwrap(), 800_000);
+        assert_eq!(*walk_sweep(DatasetId::ClueWeb).last().unwrap(), 2_000_000);
+    }
+}

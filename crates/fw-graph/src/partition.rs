@@ -1,0 +1,428 @@
+//! Graph-block partitioning with dense-vertex splitting (§III-D).
+//!
+//! Vertices are packed in ID order into fixed-size graph blocks; each
+//! block's contents form one *subgraph* covering a contiguous vertex range
+//! `[low, high]`. A vertex whose out-edge list cannot fit in one block is
+//! *dense*: its edges are split across several dedicated blocks ("we
+//! distribute a dense vertex's outgoing edges into several subgraphs so
+//! that each one of them can be loaded by the accelerator"), described by
+//! a [`DenseVertexMeta`] entry — the amount of graph blocks, the ID of the
+//! first block, and the out-degree of the last block, exactly the metadata
+//! the paper's dense vertices mapping table stores.
+//!
+//! Subgraph IDs are dense and ordered by vertex range, so *graph
+//! partitions* are simply consecutive runs of subgraph IDs.
+
+use crate::csr::{Csr, VertexId};
+
+/// Partitioning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionConfig {
+    /// Graph-block capacity in bytes (paper: 256 KB, 512 KB for ClueWeb;
+    /// scaled: 16 KB / 32 KB).
+    pub subgraph_bytes: u64,
+    /// Modeled on-flash vertex-id width (4, or 8 for ClueWeb).
+    pub id_bytes: u32,
+    /// Subgraphs per graph partition ("we divide a graph into graph
+    /// partitions, each of which consists of the same number of
+    /// subgraphs, except for the last partition").
+    pub subgraphs_per_partition: u32,
+}
+
+impl PartitionConfig {
+    /// Graph-block capacity in *entries* (ids): edges plus one offset
+    /// entry per resident vertex.
+    pub fn capacity_entries(&self) -> u64 {
+        self.subgraph_bytes / self.id_bytes as u64
+    }
+
+    /// Edge capacity of one dense-vertex slice block: one entry is spent
+    /// on the vertex's offset record.
+    pub fn dense_slice_edges(&self) -> u64 {
+        self.capacity_entries() - 1
+    }
+}
+
+/// One slice of a dense vertex's edge list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DenseSlice {
+    /// The dense vertex.
+    pub vertex: VertexId,
+    /// Which slice this is (0-based).
+    pub slice_index: u32,
+    /// Offset of the slice's first edge within the vertex's edge list.
+    pub first_edge_in_vertex: u64,
+    /// Edges in this slice.
+    pub num_edges: u64,
+}
+
+/// One subgraph = the contents of one graph block.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// Dense sequential subgraph ID (also the graph-block ID).
+    pub id: u32,
+    /// Lowest vertex stored in the block.
+    pub low: VertexId,
+    /// Highest vertex stored in the block (== `low` for dense slices).
+    pub high: VertexId,
+    /// Index of the block's first edge in the parent CSR edge array.
+    pub edge_start: u64,
+    /// Edges stored in the block.
+    pub num_edges: u64,
+    /// Sum of in-degrees of the block's vertices — the hot-subgraph
+    /// ranking key ("subgraphs whose in-degree are top K").
+    pub in_degree: u64,
+    /// Present iff this block is a slice of a dense vertex.
+    pub dense: Option<DenseSlice>,
+}
+
+impl Subgraph {
+    /// Number of vertices resident in the block.
+    pub fn num_vertices(&self) -> u32 {
+        self.high - self.low + 1
+    }
+
+    /// Modeled size in bytes (offset entries + edges).
+    pub fn bytes(&self, id_bytes: u32) -> u64 {
+        (self.num_vertices() as u64 + self.num_edges) * id_bytes as u64
+    }
+
+    /// True if this block holds a dense-vertex slice.
+    pub fn is_dense(&self) -> bool {
+        self.dense.is_some()
+    }
+}
+
+/// Dense vertices mapping table *contents* (the bloom-filter/hash-table
+/// hardware that serves it lives in the `flashwalker` crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DenseVertexMeta {
+    /// The dense vertex.
+    pub vertex: VertexId,
+    /// Subgraph ID of its first slice ("the ID of the first graph block").
+    pub first_subgraph: u32,
+    /// Number of slices ("the amount of graph blocks").
+    pub num_blocks: u32,
+    /// Edges in the final slice ("the out-degree of its last graph block").
+    pub last_block_degree: u64,
+    /// Total out-degree of the vertex.
+    pub total_degree: u64,
+}
+
+/// The partitioned graph: subgraphs in vertex order plus dense metadata.
+#[derive(Debug, Clone)]
+pub struct PartitionedGraph {
+    /// All subgraphs, ID order == vertex order.
+    pub subgraphs: Vec<Subgraph>,
+    /// Dense vertices, sorted by vertex ID.
+    pub dense: Vec<DenseVertexMeta>,
+    /// Partitioning parameters used.
+    pub config: PartitionConfig,
+}
+
+impl PartitionedGraph {
+    /// Partition a CSR graph into graph blocks.
+    ///
+    /// # Panics
+    /// Panics if the block capacity is smaller than two entries.
+    pub fn build(csr: &Csr, config: PartitionConfig) -> PartitionedGraph {
+        assert!(config.capacity_entries() >= 2, "graph block too small");
+        assert!(config.subgraphs_per_partition >= 1);
+        let cap = config.capacity_entries();
+        let indeg = csr.in_degrees();
+
+        let mut subgraphs: Vec<Subgraph> = Vec::new();
+        let mut dense: Vec<DenseVertexMeta> = Vec::new();
+
+        // Open (non-dense) block state.
+        let mut open: Option<Subgraph> = None;
+        let mut open_entries = 0u64;
+
+        for v in 0..csr.num_vertices() {
+            let deg = csr.out_degree(v);
+            let cost = deg + 1; // edges + offset entry
+            if cost > cap {
+                // Dense vertex: close the open block, emit dedicated slices.
+                if let Some(sg) = open.take() {
+                    subgraphs.push(sg);
+                    open_entries = 0;
+                }
+                let slice_cap = config.dense_slice_edges();
+                let num_blocks = deg.div_ceil(slice_cap) as u32;
+                let first_subgraph = subgraphs.len() as u32;
+                let mut remaining = deg;
+                let mut first_edge_in_vertex = 0u64;
+                for s in 0..num_blocks {
+                    let take = remaining.min(slice_cap);
+                    subgraphs.push(Subgraph {
+                        id: subgraphs.len() as u32,
+                        low: v,
+                        high: v,
+                        edge_start: csr.edge_start(v) + first_edge_in_vertex,
+                        num_edges: take,
+                        // Attribute the vertex's popularity to its first
+                        // slice so hot-subgraph ranking sees it once.
+                        in_degree: if s == 0 { indeg[v as usize] as u64 } else { 0 },
+                        dense: Some(DenseSlice {
+                            vertex: v,
+                            slice_index: s,
+                            first_edge_in_vertex,
+                            num_edges: take,
+                        }),
+                    });
+                    first_edge_in_vertex += take;
+                    remaining -= take;
+                }
+                dense.push(DenseVertexMeta {
+                    vertex: v,
+                    first_subgraph,
+                    num_blocks,
+                    last_block_degree: deg - (num_blocks as u64 - 1) * slice_cap,
+                    total_degree: deg,
+                });
+                continue;
+            }
+
+            // Regular vertex: open a new block if needed or if full.
+            if open.is_some() && open_entries + cost > cap {
+                subgraphs.push(open.take().unwrap());
+                open_entries = 0;
+            }
+            match &mut open {
+                Some(sg) => {
+                    sg.high = v;
+                    sg.num_edges += deg;
+                    sg.in_degree += indeg[v as usize] as u64;
+                    open_entries += cost;
+                }
+                None => {
+                    open = Some(Subgraph {
+                        id: subgraphs.len() as u32,
+                        low: v,
+                        high: v,
+                        edge_start: csr.edge_start(v),
+                        num_edges: deg,
+                        in_degree: indeg[v as usize] as u64,
+                        dense: None,
+                    });
+                    open_entries = cost;
+                }
+            }
+            // IDs assigned when pushed; fix up on close below.
+        }
+        if let Some(sg) = open.take() {
+            subgraphs.push(sg);
+        }
+        // Re-number ids to match final positions (dense emission above may
+        // have interleaved pushes with an open block's provisional id).
+        for (i, sg) in subgraphs.iter_mut().enumerate() {
+            sg.id = i as u32;
+        }
+        // Dense metas recorded provisional first_subgraph values that are
+        // correct because the open block is always flushed before slices
+        // are pushed. Assert it.
+        debug_assert!(dense
+            .iter()
+            .all(|d| subgraphs[d.first_subgraph as usize].dense.map(|s| s.vertex) == Some(d.vertex)));
+
+        PartitionedGraph {
+            subgraphs,
+            dense,
+            config,
+        }
+    }
+
+    /// Number of subgraphs (graph blocks).
+    pub fn num_subgraphs(&self) -> u32 {
+        self.subgraphs.len() as u32
+    }
+
+    /// Number of graph partitions.
+    pub fn num_partitions(&self) -> u32 {
+        (self.num_subgraphs()).div_ceil(self.config.subgraphs_per_partition)
+    }
+
+    /// Which partition a subgraph belongs to.
+    pub fn partition_of(&self, sg_id: u32) -> u32 {
+        sg_id / self.config.subgraphs_per_partition
+    }
+
+    /// Subgraph-ID range of partition `p`.
+    pub fn partition_range(&self, p: u32) -> std::ops::Range<u32> {
+        let k = self.config.subgraphs_per_partition;
+        let start = p * k;
+        let end = ((p + 1) * k).min(self.num_subgraphs());
+        start..end
+    }
+
+    /// Dense metadata for `v`, if dense (binary search).
+    pub fn find_dense(&self, v: VertexId) -> Option<&DenseVertexMeta> {
+        self.dense
+            .binary_search_by_key(&v, |d| d.vertex)
+            .ok()
+            .map(|i| &self.dense[i])
+    }
+
+    /// Locate the subgraph containing `v` (data-level ground truth; the
+    /// timed binary search lives in [`crate::mapping`]). For dense
+    /// vertices this returns the first slice.
+    pub fn subgraph_of(&self, v: VertexId) -> Option<u32> {
+        let sgs = &self.subgraphs;
+        // partition_point: first subgraph with low > v.
+        let idx = sgs.partition_point(|sg| sg.low <= v);
+        if idx == 0 {
+            return None;
+        }
+        // Walk back over dense slices sharing the same `low` to the first.
+        let mut i = idx - 1;
+        while i > 0 && sgs[i - 1].low == sgs[i].low {
+            i -= 1;
+        }
+        let sg = &sgs[i];
+        (sg.low <= v && v <= sg.high).then_some(sg.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rmat::{generate_csr, RmatParams};
+    use proptest::prelude::*;
+
+    fn cfg(bytes: u64) -> PartitionConfig {
+        PartitionConfig {
+            subgraph_bytes: bytes,
+            id_bytes: 4,
+            subgraphs_per_partition: 4,
+        }
+    }
+
+    fn star(n: u32) -> Csr {
+        // vertex 0 points to everyone; everyone points back to 0.
+        let mut e = vec![];
+        for v in 1..n {
+            e.push((0u32, v));
+            e.push((v, 0u32));
+        }
+        Csr::from_edges(n, &e)
+    }
+
+    #[test]
+    fn packs_regular_vertices_contiguously() {
+        // 16 vertices, 1 edge each; capacity 8 entries -> 4 vertices/block.
+        let edges: Vec<(u32, u32)> = (0..16u32).map(|v| (v, (v + 1) % 16)).collect();
+        let g = Csr::from_edges(16, &edges);
+        let p = PartitionedGraph::build(&g, cfg(32)); // 8 entries
+        assert_eq!(p.num_subgraphs(), 4);
+        for (i, sg) in p.subgraphs.iter().enumerate() {
+            assert_eq!(sg.low, i as u32 * 4);
+            assert_eq!(sg.high, i as u32 * 4 + 3);
+            assert_eq!(sg.num_edges, 4);
+            assert!(!sg.is_dense());
+        }
+        assert!(p.dense.is_empty());
+    }
+
+    #[test]
+    fn dense_vertex_splits_into_slices() {
+        let g = star(100); // vertex 0 has out-degree 99
+        let p = PartitionedGraph::build(&g, cfg(64)); // 16 entries, 15-edge slices
+        let meta = p.find_dense(0).expect("vertex 0 dense");
+        assert_eq!(meta.total_degree, 99);
+        assert_eq!(meta.num_blocks, 99u64.div_ceil(15) as u32); // 7
+        assert_eq!(meta.last_block_degree, 99 - 6 * 15); // 9
+        // Slice edges sum to the degree and are contiguous.
+        let slices: Vec<&Subgraph> = p.subgraphs.iter().filter(|s| s.is_dense()).collect();
+        assert_eq!(slices.len(), meta.num_blocks as usize);
+        let total: u64 = slices.iter().map(|s| s.num_edges).sum();
+        assert_eq!(total, 99);
+        let mut expect_off = 0;
+        for s in &slices {
+            let d = s.dense.unwrap();
+            assert_eq!(d.first_edge_in_vertex, expect_off);
+            expect_off += d.num_edges;
+        }
+        // Non-dense vertices 1..100 still land in subgraphs.
+        for v in 1..100u32 {
+            let sg = p.subgraph_of(v).unwrap();
+            let s = &p.subgraphs[sg as usize];
+            assert!(s.low <= v && v <= s.high);
+            assert!(!s.is_dense());
+        }
+    }
+
+    #[test]
+    fn subgraph_of_dense_returns_first_slice() {
+        let g = star(100);
+        let p = PartitionedGraph::build(&g, cfg(64));
+        let meta = *p.find_dense(0).unwrap();
+        assert_eq!(p.subgraph_of(0), Some(meta.first_subgraph));
+    }
+
+    #[test]
+    fn every_block_fits_capacity() {
+        let g = generate_csr(RmatParams::graph500(), 2000, 40_000, 9);
+        let c = cfg(256); // 64 entries
+        let p = PartitionedGraph::build(&g, c);
+        for sg in &p.subgraphs {
+            if sg.is_dense() {
+                assert!(sg.num_edges <= c.dense_slice_edges());
+            } else {
+                assert!(
+                    sg.num_edges + sg.num_vertices() as u64 <= c.capacity_entries(),
+                    "block {} overflows: {} edges, {} vertices",
+                    sg.id,
+                    sg.num_edges,
+                    sg.num_vertices()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_cover_all_subgraphs() {
+        let g = generate_csr(RmatParams::parmat_default(), 500, 5_000, 2);
+        let p = PartitionedGraph::build(&g, cfg(256));
+        let mut covered = 0;
+        for part in 0..p.num_partitions() {
+            let r = p.partition_range(part);
+            covered += r.len();
+            for sg in r {
+                assert_eq!(p.partition_of(sg), part);
+            }
+        }
+        assert_eq!(covered as u32, p.num_subgraphs());
+    }
+
+    #[test]
+    fn in_degree_totals_match_edge_count() {
+        let g = generate_csr(RmatParams::graph500(), 1000, 20_000, 4);
+        let p = PartitionedGraph::build(&g, cfg(512));
+        let total: u64 = p.subgraphs.iter().map(|s| s.in_degree).sum();
+        assert_eq!(total, g.num_edges());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_every_vertex_locatable_and_edges_partition(
+            seed in 0u64..1000, nv in 10u32..300, ne in 1u64..3000
+        ) {
+            let g = generate_csr(RmatParams::graph500(), nv, ne, seed);
+            let p = PartitionedGraph::build(&g, cfg(128)); // 32 entries
+            // Every vertex with any edges lands in exactly one subgraph
+            // (dense vertices in their first slice).
+            for v in 0..nv {
+                let sg = p.subgraph_of(v);
+                prop_assert!(sg.is_some(), "vertex {} unplaced", v);
+            }
+            // Total edges across blocks == graph edges.
+            let total: u64 = p.subgraphs.iter().map(|s| s.num_edges).sum();
+            prop_assert_eq!(total, g.num_edges());
+            // Vertex ranges are non-overlapping & sorted (dense share low).
+            for w in p.subgraphs.windows(2) {
+                prop_assert!(w[0].high <= w[1].low);
+            }
+        }
+    }
+}

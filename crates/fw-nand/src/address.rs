@@ -1,0 +1,177 @@
+//! Physical addressing: geometry and the physical page address (PPA).
+
+/// Physical organization of the flash array (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Number of flash channels.
+    pub channels: u32,
+    /// Chips (targets) per channel.
+    pub chips_per_channel: u32,
+    /// Dies (LUNs) per chip.
+    pub dies_per_chip: u32,
+    /// Planes per die.
+    pub planes_per_die: u32,
+    /// Blocks per plane.
+    pub blocks_per_plane: u32,
+    /// Pages per block.
+    pub pages_per_block: u32,
+    /// Bytes per page.
+    pub page_bytes: u64,
+}
+
+impl Geometry {
+    /// Total number of chips in the device.
+    pub fn num_chips(&self) -> u32 {
+        self.channels * self.chips_per_channel
+    }
+
+    /// Total number of planes in the device.
+    pub fn num_planes(&self) -> u32 {
+        self.num_chips() * self.dies_per_chip * self.planes_per_die
+    }
+
+    /// Planes per chip.
+    pub fn planes_per_chip(&self) -> u32 {
+        self.dies_per_chip * self.planes_per_die
+    }
+
+    /// Total physical pages in the device.
+    pub fn num_pages(&self) -> u64 {
+        self.num_planes() as u64 * self.blocks_per_plane as u64 * self.pages_per_block as u64
+    }
+
+    /// Raw capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.num_pages() * self.page_bytes
+    }
+
+    /// Bytes per flash block.
+    pub fn block_bytes(&self) -> u64 {
+        self.pages_per_block as u64 * self.page_bytes
+    }
+}
+
+/// A fully decoded physical page address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ppa {
+    /// Channel index.
+    pub channel: u32,
+    /// Chip index within the channel.
+    pub chip: u32,
+    /// Die index within the chip.
+    pub die: u32,
+    /// Plane index within the die.
+    pub plane: u32,
+    /// Block index within the plane.
+    pub block: u32,
+    /// Page index within the block.
+    pub page: u32,
+}
+
+impl Ppa {
+    /// Global chip index in `[0, channels × chips_per_channel)`.
+    pub fn chip_index(&self, g: &Geometry) -> usize {
+        (self.channel * g.chips_per_channel + self.chip) as usize
+    }
+
+    /// Global plane index in `[0, num_planes)`.
+    pub fn plane_index(&self, g: &Geometry) -> usize {
+        let per_chip = g.planes_per_chip();
+        self.chip_index(g) * per_chip as usize + (self.die * g.planes_per_die + self.plane) as usize
+    }
+
+    /// Global block index in `[0, num_planes × blocks_per_plane)`.
+    pub fn block_index(&self, g: &Geometry) -> usize {
+        self.plane_index(g) * g.blocks_per_plane as usize + self.block as usize
+    }
+
+    /// Flatten to a global physical page number.
+    pub fn to_linear(&self, g: &Geometry) -> u64 {
+        self.block_index(g) as u64 * g.pages_per_block as u64 + self.page as u64
+    }
+
+    /// Decode a global physical page number.
+    pub fn from_linear(g: &Geometry, mut n: u64) -> Ppa {
+        debug_assert!(n < g.num_pages(), "ppn {n} out of range");
+        let page = (n % g.pages_per_block as u64) as u32;
+        n /= g.pages_per_block as u64;
+        let block = (n % g.blocks_per_plane as u64) as u32;
+        n /= g.blocks_per_plane as u64;
+        let plane = (n % g.planes_per_die as u64) as u32;
+        n /= g.planes_per_die as u64;
+        let die = (n % g.dies_per_chip as u64) as u32;
+        n /= g.dies_per_chip as u64;
+        let chip = (n % g.chips_per_channel as u64) as u32;
+        n /= g.chips_per_channel as u64;
+        let channel = n as u32;
+        Ppa {
+            channel,
+            chip,
+            die,
+            plane,
+            block,
+            page,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SsdConfig;
+    use proptest::prelude::*;
+
+    fn g() -> Geometry {
+        SsdConfig::paper().geometry
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let g = g();
+        assert_eq!(g.num_chips(), 128);
+        assert_eq!(g.num_planes(), 1024);
+        assert_eq!(g.planes_per_chip(), 8);
+        assert_eq!(g.block_bytes(), 256 << 10);
+        assert_eq!(g.capacity_bytes(), g.num_pages() * 4096);
+    }
+
+    #[test]
+    fn linear_roundtrip_endpoints() {
+        let g = g();
+        for n in [0, 1, g.num_pages() / 2, g.num_pages() - 1] {
+            let ppa = Ppa::from_linear(&g, n);
+            assert_eq!(ppa.to_linear(&g), n);
+        }
+    }
+
+    #[test]
+    fn decoded_fields_in_range() {
+        let g = g();
+        let ppa = Ppa::from_linear(&g, g.num_pages() - 1);
+        assert_eq!(ppa.channel, g.channels - 1);
+        assert_eq!(ppa.chip, g.chips_per_channel - 1);
+        assert_eq!(ppa.die, g.dies_per_chip - 1);
+        assert_eq!(ppa.plane, g.planes_per_die - 1);
+        assert_eq!(ppa.block, g.blocks_per_plane - 1);
+        assert_eq!(ppa.page, g.pages_per_block - 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_linear_roundtrip(n in 0u64..SsdConfig::paper().geometry.num_pages()) {
+            let g = g();
+            let ppa = Ppa::from_linear(&g, n);
+            prop_assert_eq!(ppa.to_linear(&g), n);
+            prop_assert!(ppa.plane_index(&g) < g.num_planes() as usize);
+            prop_assert!(ppa.chip_index(&g) < g.num_chips() as usize);
+        }
+
+        #[test]
+        fn prop_distinct_pages_distinct_ppas(a in 0u64..10_000, b in 0u64..10_000) {
+            let g = g();
+            let pa = Ppa::from_linear(&g, a);
+            let pb = Ppa::from_linear(&g, b);
+            prop_assert_eq!(a == b, pa == pb);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! SSD configuration — Tables I and III of the paper.
+
+use fw_sim::Duration;
+
+use crate::address::Geometry;
+
+/// Full parameterization of the simulated SSD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SsdConfig {
+    /// Physical geometry (channels/chips/dies/planes/blocks/pages).
+    pub geometry: Geometry,
+    /// Flash page read (array-to-register) latency. Paper: 35 µs.
+    pub read_latency: Duration,
+    /// Flash page program latency. Paper: 350 µs.
+    pub program_latency: Duration,
+    /// Flash block erase latency. Paper: 2 ms.
+    pub erase_latency: Duration,
+    /// ONFI channel bus rate in bytes/s. Paper: NV-DDR2 333 MT/s × 8 bit.
+    pub channel_rate: u64,
+    /// Host link rate in bytes/s. Paper: PCIe 1 GB/s × 4 lanes.
+    pub pcie_rate: u64,
+    /// Fixed per-command channel occupancy (command/address cycles before
+    /// data): ONFI command overhead, ~0.2 µs.
+    pub channel_cmd_overhead: Duration,
+    /// Host command processing overhead per NVMe command (HIL decode,
+    /// doorbell, completion), ~2 µs.
+    pub nvme_cmd_overhead: Duration,
+    /// Maximum concurrently active array operations per chip. Four planes
+    /// per chip progress at once (one die's worth), matching §II-C's
+    /// aggregate bandwidth arithmetic.
+    pub array_ports_per_chip: u32,
+    /// Fraction of blocks per plane reserved as over-provisioning for GC.
+    pub op_blocks_per_plane: u32,
+    /// GC triggers when a plane's free blocks drop below this.
+    pub gc_threshold_blocks: u32,
+}
+
+impl SsdConfig {
+    /// The exact Table I / Table III SSD: 32 channels × 4 chips × 2 dies ×
+    /// 4 planes × 2048 blocks × 64 pages × 4 KB = 8 TB class device.
+    pub fn paper() -> Self {
+        SsdConfig {
+            geometry: Geometry {
+                channels: 32,
+                chips_per_channel: 4,
+                dies_per_chip: 2,
+                planes_per_die: 4,
+                blocks_per_plane: 2048,
+                pages_per_block: 64,
+                page_bytes: 4096,
+            },
+            read_latency: Duration::micros(35),
+            program_latency: Duration::micros(350),
+            erase_latency: Duration::millis(2),
+            channel_rate: 333_000_000,
+            pcie_rate: 4_000_000_000,
+            channel_cmd_overhead: Duration::nanos(200),
+            nvme_cmd_overhead: Duration::micros(2),
+            array_ports_per_chip: 4,
+            op_blocks_per_plane: 4,
+            gc_threshold_blocks: 2,
+        }
+    }
+
+    /// The scaled configuration used by the experiments (DESIGN.md §5):
+    /// identical latencies, rates and parallelism, but 32 blocks per plane
+    /// so the FTL map for the 1/1000-scaled graphs stays small. Capacity:
+    /// 1024 planes × 32 blocks × 256 KB = 8 GB.
+    pub fn scaled() -> Self {
+        let mut cfg = Self::paper();
+        cfg.geometry.blocks_per_plane = 32;
+        cfg
+    }
+
+    /// A deliberately tiny device for unit tests: 2 channels × 2 chips ×
+    /// 2 dies × 2 planes × 8 blocks × 8 pages × 4 KB.
+    pub fn tiny() -> Self {
+        SsdConfig {
+            geometry: Geometry {
+                channels: 2,
+                chips_per_channel: 2,
+                dies_per_chip: 2,
+                planes_per_die: 2,
+                blocks_per_plane: 8,
+                pages_per_block: 8,
+                page_bytes: 4096,
+            },
+            op_blocks_per_plane: 2,
+            gc_threshold_blocks: 1,
+            ..Self::paper()
+        }
+    }
+
+    /// Aggregate channel-bus bandwidth (bytes/s) — the 10.4 GB/s ceiling
+    /// Figure 8 shows the channel bandwidth saturating toward.
+    pub fn aggregate_channel_bw(&self) -> u64 {
+        self.channel_rate * self.geometry.channels as u64
+    }
+
+    /// Aggregate array read bandwidth (bytes/s) given the per-chip port
+    /// limit — the ~57 GB/s "maximal aggregated chip read throughput".
+    pub fn aggregate_array_read_bw(&self) -> u64 {
+        let concurrent =
+            self.geometry.channels as u64 * self.geometry.chips_per_channel as u64 * self.array_ports_per_chip as u64;
+        let per_op = self.geometry.page_bytes as f64 / self.read_latency.as_secs_f64();
+        (concurrent as f64 * per_op) as u64
+    }
+
+    /// Total user-visible capacity in bytes, excluding over-provisioning.
+    pub fn usable_bytes(&self) -> u64 {
+        let g = &self.geometry;
+        let usable_blocks = (g.blocks_per_plane - self.op_blocks_per_plane) as u64;
+        g.num_planes() as u64 * usable_blocks * g.pages_per_block as u64 * g.page_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_matches_table_i() {
+        let c = SsdConfig::paper();
+        let g = c.geometry;
+        assert_eq!(g.channels, 32);
+        assert_eq!(g.chips_per_channel, 4);
+        assert_eq!(g.dies_per_chip, 2);
+        assert_eq!(g.planes_per_die, 4);
+        assert_eq!(g.page_bytes, 4096);
+        assert_eq!(c.read_latency, Duration::micros(35));
+        assert_eq!(c.program_latency, Duration::micros(350));
+        assert_eq!(c.erase_latency, Duration::millis(2));
+        // One flash block = 64 × 4 KB = 256 KB = one graph block.
+        assert_eq!(g.pages_per_block as u64 * g.page_bytes, 256 << 10);
+    }
+
+    #[test]
+    fn aggregate_bandwidths_match_paper_ceilings() {
+        let c = SsdConfig::paper();
+        // 32 × 333 MB/s = 10.656 GB/s ~ paper's "10.4 GB/s" channel ceiling.
+        assert_eq!(c.aggregate_channel_bw(), 10_656_000_000);
+        // 512 concurrent reads × 4 KB / 35 µs ≈ 59.9 GB/s ~ paper's 55.8.
+        let bw = c.aggregate_array_read_bw() as f64;
+        assert!(bw > 55e9 && bw < 62e9, "{bw}");
+        // The ordering the whole paper hinges on:
+        assert!(c.aggregate_channel_bw() < c.aggregate_array_read_bw());
+        assert!(c.pcie_rate < c.aggregate_channel_bw());
+    }
+
+    #[test]
+    fn scaled_keeps_rates_shrinks_capacity() {
+        let p = SsdConfig::paper();
+        let s = SsdConfig::scaled();
+        assert_eq!(s.read_latency, p.read_latency);
+        assert_eq!(s.channel_rate, p.channel_rate);
+        assert_eq!(s.geometry.blocks_per_plane, 32);
+        assert_eq!(s.usable_bytes(), (32 - 4) * 1024 * 64 * 4096);
+    }
+}

@@ -1,0 +1,185 @@
+//! Static placement of the partitioned graph onto the flash array.
+//!
+//! The paper stores each subgraph in a fixed-size *graph block* and
+//! restricts a chip-level accelerator to subgraphs "in the same chip's
+//! flash planes". The layout therefore assigns graph blocks to chips
+//! round-robin (so consecutive subgraphs spread over all 128 chips), and
+//! stripes each graph block's pages across the chip's planes so a
+//! subgraph load engages every plane of the chip in parallel — the
+//! "finer granularity of subgraphs" that lets FlashWalker exploit plane
+//! parallelism (§IV-B).
+//!
+//! Graph blocks live in the *static* region (blocks `[0,
+//! static_blocks_per_plane)` of every plane); the FTL never touches them.
+
+use crate::address::{Geometry, Ppa};
+
+/// Where one graph block (one subgraph, or one slice of a dense vertex)
+/// physically lives.
+#[derive(Debug, Clone)]
+pub struct GraphBlockPlacement {
+    /// Global chip index owning the block.
+    pub chip: u32,
+    /// Channel the chip hangs off.
+    pub channel: u32,
+    /// The physical pages, in order.
+    pub pages: Vec<Ppa>,
+}
+
+/// Allocator for the static graph region.
+pub struct GraphLayout {
+    geometry: Geometry,
+    static_blocks_per_plane: u32,
+    /// Per-plane bump cursor: next free (block, page) in the static region.
+    cursors: Vec<(u32, u32)>,
+    next_chip: u32,
+}
+
+impl GraphLayout {
+    /// A layout over the first `static_blocks_per_plane` blocks of every
+    /// plane.
+    pub fn new(geometry: Geometry, static_blocks_per_plane: u32) -> Self {
+        assert!(
+            static_blocks_per_plane <= geometry.blocks_per_plane,
+            "static region larger than plane"
+        );
+        GraphLayout {
+            geometry,
+            static_blocks_per_plane,
+            cursors: vec![(0, 0); geometry.num_planes() as usize],
+            next_chip: 0,
+        }
+    }
+
+    /// Total pages the static region can hold.
+    pub fn capacity_pages(&self) -> u64 {
+        self.geometry.num_planes() as u64
+            * self.static_blocks_per_plane as u64
+            * self.geometry.pages_per_block as u64
+    }
+
+    /// Place one graph block of `pages` pages on the next chip in
+    /// round-robin order, striping its pages across that chip's planes.
+    ///
+    /// # Panics
+    /// Panics if the chip's static region is exhausted.
+    pub fn place_block(&mut self, pages: u32) -> GraphBlockPlacement {
+        let chip = self.next_chip;
+        self.next_chip = (self.next_chip + 1) % self.geometry.num_chips();
+        self.place_block_on_chip(chip, pages)
+    }
+
+    /// Place one graph block on a specific chip (used by tests and by the
+    /// dense-vertex splitter to co-locate a dense vertex's slices).
+    pub fn place_block_on_chip(&mut self, chip: u32, pages: u32) -> GraphBlockPlacement {
+        let g = self.geometry;
+        let planes_per_chip = g.planes_per_chip();
+        let first_plane = chip as usize * planes_per_chip as usize;
+        let channel = chip / g.chips_per_channel;
+        let chip_in_channel = chip % g.chips_per_channel;
+
+        let mut out = Vec::with_capacity(pages as usize);
+        for _ in 0..pages {
+            // Fill the least-used plane of the chip first: full-size
+            // blocks stripe over every plane, and page-granular
+            // placements (host-file striping) still spread evenly.
+            let plane_off = (0..planes_per_chip as usize)
+                .min_by_key(|&p| self.cursors[first_plane + p])
+                .expect("chip has planes");
+            let plane_idx = first_plane + plane_off;
+            let (block, page) = self.cursors[plane_idx];
+            assert!(
+                block < self.static_blocks_per_plane,
+                "static graph region exhausted on chip {chip} plane {plane_off}"
+            );
+            let die = plane_off as u32 / g.planes_per_die;
+            let plane = plane_off as u32 % g.planes_per_die;
+            out.push(Ppa {
+                channel,
+                chip: chip_in_channel,
+                die,
+                plane,
+                block,
+                page,
+            });
+            // Advance the plane cursor.
+            self.cursors[plane_idx] = if page + 1 < g.pages_per_block {
+                (block, page + 1)
+            } else {
+                (block + 1, 0)
+            };
+        }
+        GraphBlockPlacement {
+            chip,
+            channel,
+            pages: out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SsdConfig;
+    use std::collections::HashSet;
+
+    #[test]
+    fn blocks_round_robin_over_chips() {
+        let g = SsdConfig::paper().geometry;
+        let mut l = GraphLayout::new(g, 4);
+        let a = l.place_block(64);
+        let b = l.place_block(64);
+        assert_eq!(a.chip, 0);
+        assert_eq!(b.chip, 1);
+        assert_eq!(a.channel, 0);
+        // chip 4 lands on channel 1
+        for _ in 0..2 {
+            l.place_block(64);
+        }
+        let e = l.place_block(64);
+        assert_eq!(e.chip, 4);
+        assert_eq!(e.channel, 1);
+    }
+
+    #[test]
+    fn pages_stripe_across_all_planes_of_the_chip() {
+        let g = SsdConfig::paper().geometry;
+        let mut l = GraphLayout::new(g, 4);
+        let p = l.place_block(64);
+        let planes: HashSet<usize> = p.pages.iter().map(|ppa| ppa.plane_index(&g)).collect();
+        assert_eq!(planes.len(), g.planes_per_chip() as usize, "all 8 planes used");
+        // All pages on the same chip.
+        let chips: HashSet<usize> = p.pages.iter().map(|ppa| ppa.chip_index(&g)).collect();
+        assert_eq!(chips.len(), 1);
+    }
+
+    #[test]
+    fn placements_never_overlap() {
+        let g = SsdConfig::tiny().geometry;
+        let mut l = GraphLayout::new(g, 4);
+        let mut seen = HashSet::new();
+        // tiny: 16 planes * 4 static blocks * 8 pages = 512 pages capacity;
+        // place 32 blocks of 16 pages = 512 pages exactly.
+        for _ in 0..32 {
+            let p = l.place_block(16);
+            for ppa in &p.pages {
+                assert!(seen.insert(ppa.to_linear(&g)), "page reused: {ppa:?}");
+                assert!(ppa.block < 4, "escaped static region");
+            }
+        }
+        assert_eq!(seen.len() as u64, l.capacity_pages());
+    }
+
+    #[test]
+    #[should_panic(expected = "static graph region exhausted")]
+    fn overflow_panics() {
+        let g = SsdConfig::tiny().geometry;
+        let mut l = GraphLayout::new(g, 1);
+        // capacity = 16 planes * 1 block * 8 pages = 128 pages; each chip
+        // (4 planes) holds 32. Placing 5 blocks of 32 pages on chip 0
+        // overflows it.
+        for _ in 0..5 {
+            l.place_block_on_chip(0, 32);
+        }
+    }
+}

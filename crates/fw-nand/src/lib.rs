@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! `fw-nand` — an event-driven multi-queue SSD simulator (the MQSim
+//! stand-in) implementing the Table I / Table III configuration:
+//!
+//! * 32 channels × 4 chips × 2 dies × 4 planes, 4 KB pages, 64 pages per
+//!   block (so one 256 KB *graph block* is exactly one flash block),
+//! * read 35 µs, program 350 µs, erase 2 ms (MLC),
+//! * ONFI NV-DDR2 channel buses at 333 MB/s,
+//! * an NVMe host interface over 4 × 1 GB/s PCIe,
+//! * a page-mapped FTL with greedy garbage collection.
+//!
+//! ## Concurrency model
+//!
+//! Each plane serializes its own array operations ([`fw_sim::Timeline`]).
+//! Additionally each chip owns **four array ports** ([`fw_sim::ServerBank`]):
+//! at most four plane operations progress concurrently per chip, matching
+//! the paper's aggregate numbers (§II-C: "the aggregation bandwidth of all
+//! planes in this channel reaches 1786 MB/s" = 16 concurrent 4 KB/35 µs
+//! reads per channel; 32 channels ⇒ ≈57 GB/s array read ceiling, the
+//! paper's "theoretically maximal aggregated chip read throughput").
+//! The channel bus (333 MB/s) and PCIe (4 GB/s) are bandwidth links, which
+//! is why they saturate long before the array does — the observation that
+//! motivates FlashWalker.
+//!
+//! ## Two access paths
+//!
+//! [`Ssd::read_page_to_controller`] moves a page register across the
+//! channel bus (what a conventional SSD, the board-level accelerator, and
+//! the GraphWalker host path do), while [`Ssd::array_read`] only occupies
+//! the plane/chip array resources — this is the chip-level accelerator's
+//! private path that never touches the channel bus, the core of the
+//! FlashWalker design.
+
+pub mod address;
+pub mod config;
+pub mod ftl;
+pub mod layout;
+pub mod ssd;
+pub mod trace;
+
+pub use address::{Geometry, Ppa};
+pub use config::SsdConfig;
+pub use ftl::{Ftl, Lpn};
+pub use layout::GraphLayout;
+pub use ssd::{Ssd, SsdStats};
+pub use trace::SsdTrace;

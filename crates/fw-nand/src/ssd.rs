@@ -1,0 +1,456 @@
+//! The SSD device model: flash array resources, channel buses, the PCIe
+//! host link, and the timing of every operation both engines issue.
+//!
+//! All methods take the requester's current simulated time and return when
+//! the operation completes, reserving the underlying resources in the
+//! process (see [`fw_sim::Timeline`] for the queueing semantics). The
+//! device never runs its own event loop — the engines drive it — which
+//! keeps cross-engine comparisons exact: identical requests contend for
+//! identical resources.
+
+use fw_sim::timeline::Reservation;
+use fw_sim::{BandwidthLink, Duration, ServerBank, SimTime, Timeline};
+
+use crate::address::Ppa;
+use crate::config::SsdConfig;
+use crate::ftl::{Ftl, GcOp, Lpn};
+use crate::trace::SsdTrace;
+
+/// Aggregate operation counters, used for the Figure 6 traffic numbers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SsdStats {
+    /// Pages read from the flash arrays.
+    pub array_reads: u64,
+    /// Pages programmed.
+    pub array_programs: u64,
+    /// Blocks erased.
+    pub erases: u64,
+    /// Bytes moved over channel buses (both directions).
+    pub channel_bytes: u64,
+    /// Bytes moved over the PCIe host link (both directions).
+    pub pcie_bytes: u64,
+    /// Channel transfers issued.
+    pub channel_transfers: u64,
+    /// Cumulative queueing delay experienced by channel transfers (ns).
+    pub channel_wait_ns: u64,
+}
+
+impl SsdStats {
+    /// Bytes read from the flash arrays.
+    pub fn array_read_bytes(&self, cfg: &SsdConfig) -> u64 {
+        self.array_reads * cfg.geometry.page_bytes
+    }
+
+    /// Bytes programmed into the flash arrays.
+    pub fn array_write_bytes(&self, cfg: &SsdConfig) -> u64 {
+        self.array_programs * cfg.geometry.page_bytes
+    }
+}
+
+/// The device: geometry-indexed resource timelines plus the FTL.
+pub struct Ssd {
+    cfg: SsdConfig,
+    /// One timeline per plane: serializes array ops on that plane.
+    planes: Vec<Timeline>,
+    /// Four array ports per chip: caps concurrent plane ops per chip.
+    chip_ports: Vec<ServerBank>,
+    /// One ONFI bus per channel.
+    channels: Vec<BandwidthLink>,
+    /// The host link.
+    pcie: BandwidthLink,
+    ftl: Ftl,
+    stats: SsdStats,
+    trace: Option<SsdTrace>,
+}
+
+impl Ssd {
+    /// Build a device, reserving the first `static_blocks_per_plane`
+    /// blocks of every plane for the preconditioned graph region (the FTL
+    /// only allocates above them).
+    ///
+    /// # Panics
+    /// Panics if the static region leaves fewer than 2 dynamic blocks per
+    /// plane.
+    pub fn new(cfg: SsdConfig, static_blocks_per_plane: u32) -> Self {
+        let g = cfg.geometry;
+        let ftl = Ftl::new(g, static_blocks_per_plane, cfg.gc_threshold_blocks);
+        Ssd {
+            cfg,
+            planes: vec![Timeline::new(); g.num_planes() as usize],
+            chip_ports: vec![ServerBank::new(cfg.array_ports_per_chip as usize); g.num_chips() as usize],
+            channels: vec![BandwidthLink::new(cfg.channel_rate); g.channels as usize],
+            pcie: BandwidthLink::new(cfg.pcie_rate),
+            ftl,
+            stats: SsdStats::default(),
+            trace: None,
+        }
+    }
+
+    /// Enable windowed bandwidth tracing (Figure 8).
+    pub fn enable_trace(&mut self, window_ns: u64) {
+        self.trace = Some(SsdTrace::new(window_ns));
+    }
+
+    /// The trace collected so far, if tracing was enabled.
+    pub fn trace(&self) -> Option<&SsdTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Device configuration.
+    pub fn config(&self) -> &SsdConfig {
+        &self.cfg
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> &SsdStats {
+        &self.stats
+    }
+
+    /// The FTL (for write-amplification reporting and trims).
+    pub fn ftl_mut(&mut self) -> &mut Ftl {
+        &mut self.ftl
+    }
+
+    /// Read one page from the array into its plane's page register.
+    ///
+    /// This occupies only the plane and a chip array port — **not** the
+    /// channel bus. It is the chip-level accelerator's private access path.
+    pub fn array_read(&mut self, at: SimTime, ppa: Ppa) -> Reservation {
+        self.array_op(at, ppa, self.cfg.read_latency, ArrayOpKind::Read)
+    }
+
+    /// Program one page from its plane's register into the array.
+    pub fn array_program(&mut self, at: SimTime, ppa: Ppa) -> Reservation {
+        self.array_op(at, ppa, self.cfg.program_latency, ArrayOpKind::Program)
+    }
+
+    /// Erase the block containing `ppa`.
+    pub fn array_erase(&mut self, at: SimTime, ppa: Ppa) -> Reservation {
+        self.array_op(at, ppa, self.cfg.erase_latency, ArrayOpKind::Erase)
+    }
+
+    /// Move `bytes` over `channel`'s bus (either direction), starting no
+    /// earlier than `at`. Used for register→controller page transfers,
+    /// accelerator command/walk traffic, and controller→register writes.
+    pub fn channel_transfer(&mut self, at: SimTime, channel: u32, bytes: u64) -> Reservation {
+        let res = self.channels[channel as usize]
+            .transfer(at + self.cfg.channel_cmd_overhead, bytes);
+        self.stats.channel_bytes += bytes;
+        self.stats.channel_transfers += 1;
+        self.stats.channel_wait_ns += res
+            .wait_since(at + self.cfg.channel_cmd_overhead)
+            .as_nanos();
+        if let Some(t) = &mut self.trace {
+            t.record_channel(res.start, res.end, bytes);
+        }
+        res
+    }
+
+    /// Move `bytes` over the PCIe link (either direction).
+    pub fn pcie_transfer(&mut self, at: SimTime, bytes: u64) -> Reservation {
+        let res = self.pcie.transfer(at, bytes);
+        self.stats.pcie_bytes += bytes;
+        res
+    }
+
+    /// Full conventional read path for one page: array read, then channel
+    /// transfer of the page to the controller. Returns when the page is in
+    /// controller DRAM.
+    pub fn read_page_to_controller(&mut self, at: SimTime, ppa: Ppa) -> Reservation {
+        let rd = self.array_read(at, ppa);
+        let ch = self.channel_transfer(rd.end, ppa.channel, self.cfg.geometry.page_bytes);
+        Reservation {
+            start: rd.start,
+            end: ch.end,
+        }
+    }
+
+    /// Full conventional write path for one page: channel transfer of the
+    /// page to the chip's register, then program.
+    pub fn write_page_from_controller(&mut self, at: SimTime, ppa: Ppa) -> Reservation {
+        let ch = self.channel_transfer(at, ppa.channel, self.cfg.geometry.page_bytes);
+        let pg = self.array_program(ch.end, ppa);
+        Reservation {
+            start: ch.start,
+            end: pg.end,
+        }
+    }
+
+    /// Host read of `pages` physical pages (NVMe command → array reads →
+    /// channel transfers → PCIe DMA). Pages proceed in parallel across
+    /// their planes/channels; the PCIe DMA of each page is issued as soon
+    /// as that page reaches the controller. Returns when the last byte
+    /// lands in host memory.
+    pub fn host_read_pages(&mut self, at: SimTime, pages: &[Ppa]) -> SimTime {
+        let start = at + self.cfg.nvme_cmd_overhead;
+        let mut done = start;
+        for &ppa in pages {
+            let in_controller = self.read_page_to_controller(start, ppa);
+            let dma = self.pcie_transfer(in_controller.end, self.cfg.geometry.page_bytes);
+            done = done.max(dma.end);
+        }
+        done
+    }
+
+    /// Host write of `lpns` logical pages through the FTL (NVMe command →
+    /// PCIe DMA in → channel transfers → programs, plus any GC work).
+    /// Returns when the last program (including GC) finishes.
+    pub fn host_write_lpns(&mut self, at: SimTime, lpns: &[Lpn]) -> SimTime {
+        let start = at + self.cfg.nvme_cmd_overhead;
+        let mut done = start;
+        for &lpn in lpns {
+            let dma = self.pcie_transfer(start, self.cfg.geometry.page_bytes);
+            let end = self.ftl_write_page(dma.end, lpn);
+            done = done.max(end);
+        }
+        done
+    }
+
+    /// Controller-side write of one logical page (no PCIe): the path the
+    /// board-level accelerator uses to spill overflow / completed /
+    /// foreigner walks to flash. Returns when the program (and GC work)
+    /// finishes.
+    pub fn ftl_write_page(&mut self, at: SimTime, lpn: Lpn) -> SimTime {
+        let out = self.ftl.write(lpn);
+        let res = self.write_page_from_controller(at, out.ppa);
+        let mut done = res.end;
+        for op in out.gc {
+            done = done.max(self.execute_gc(at, op));
+        }
+        done
+    }
+
+    /// Chip-local write of one logical page: the data is already inside an
+    /// accelerator next to the planes, so only the program (and GC work)
+    /// is charged — no channel transfer. This is how chip-level
+    /// accelerators flush completed-walk pages.
+    pub fn local_write_page(&mut self, at: SimTime, lpn: Lpn) -> SimTime {
+        let out = self.ftl.write(lpn);
+        let res = self.array_program(at, out.ppa);
+        let mut done = res.end;
+        for op in out.gc {
+            done = done.max(self.execute_gc(at, op));
+        }
+        done
+    }
+
+    /// Controller-side read of one logical page (no PCIe). Returns `None`
+    /// if the page was never written.
+    pub fn ftl_read_page(&mut self, at: SimTime, lpn: Lpn) -> Option<Reservation> {
+        let ppa = self.ftl.translate(lpn)?;
+        Some(self.read_page_to_controller(at, ppa))
+    }
+
+    /// Apply one GC operation's timing. Migrations are in-plane copies
+    /// (array read + program through the register, no channel traffic).
+    fn execute_gc(&mut self, at: SimTime, op: GcOp) -> SimTime {
+        match op {
+            GcOp::Migrate { from, to } => {
+                let rd = self.array_read(at, from);
+                self.array_program(rd.end, to).end
+            }
+            GcOp::Erase { block } => self.array_erase(at, block).end,
+        }
+    }
+
+    /// Channel-bus busy time summed over all channels.
+    pub fn channel_busy(&self) -> Duration {
+        self.channels.iter().map(|c| c.busy_time()).sum()
+    }
+
+    /// Mean channel utilization over `[0, horizon]`.
+    pub fn channel_utilization(&self, horizon: SimTime) -> f64 {
+        let sum: f64 = self.channels.iter().map(|c| c.utilization(horizon)).sum();
+        sum / self.channels.len() as f64
+    }
+
+    /// PCIe utilization over `[0, horizon]`.
+    pub fn pcie_utilization(&self, horizon: SimTime) -> f64 {
+        self.pcie.utilization(horizon)
+    }
+
+    fn array_op(&mut self, at: SimTime, ppa: Ppa, latency: Duration, kind: ArrayOpKind) -> Reservation {
+        let g = self.cfg.geometry;
+        let plane = ppa.plane_index(&g);
+        let chip = ppa.chip_index(&g);
+        // The op must hold both its plane and one of the chip's array
+        // ports for the whole latency. The plane reservation (with
+        // backfill) fixes the schedule; the port bank then accounts the
+        // chip-level concurrency cap from that start. The two may drift
+        // slightly under backfill, but total port occupancy — what caps
+        // per-chip throughput — stays exact.
+        let plane_res = self.planes[plane].reserve(at, latency);
+        let port_res = self.chip_ports[chip].reserve(plane_res.start, latency);
+        let res = Reservation {
+            start: plane_res.start.max(port_res.start),
+            end: plane_res.end.max(port_res.end),
+        };
+        match kind {
+            ArrayOpKind::Read => {
+                self.stats.array_reads += 1;
+                if let Some(t) = &mut self.trace {
+                    t.record_read(res.start, res.end, g.page_bytes);
+                }
+            }
+            ArrayOpKind::Program => {
+                self.stats.array_programs += 1;
+                if let Some(t) = &mut self.trace {
+                    t.record_write(res.start, res.end, g.page_bytes);
+                }
+            }
+            ArrayOpKind::Erase => self.stats.erases += 1,
+        }
+        res
+    }
+}
+
+#[derive(Clone, Copy)]
+enum ArrayOpKind {
+    Read,
+    Program,
+    Erase,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::Geometry;
+
+    fn ssd() -> Ssd {
+        Ssd::new(SsdConfig::tiny(), 4)
+    }
+
+    fn ppa(channel: u32, chip: u32, die: u32, plane: u32, block: u32, page: u32) -> Ppa {
+        Ppa {
+            channel,
+            chip,
+            die,
+            plane,
+            block,
+            page,
+        }
+    }
+
+    #[test]
+    fn array_read_takes_read_latency() {
+        let mut s = ssd();
+        let r = s.array_read(SimTime::ZERO, ppa(0, 0, 0, 0, 0, 0));
+        assert_eq!(r.end - r.start, Duration::micros(35));
+        assert_eq!(s.stats().array_reads, 1);
+    }
+
+    #[test]
+    fn same_plane_reads_serialize_different_planes_overlap() {
+        let mut s = ssd();
+        let a = s.array_read(SimTime::ZERO, ppa(0, 0, 0, 0, 0, 0));
+        let b = s.array_read(SimTime::ZERO, ppa(0, 0, 0, 0, 0, 1)); // same plane
+        let c = s.array_read(SimTime::ZERO, ppa(0, 0, 1, 0, 0, 0)); // other die
+        assert_eq!(b.start, a.end, "same plane serializes");
+        assert_eq!(c.start, SimTime::ZERO, "other plane starts immediately");
+    }
+
+    #[test]
+    fn read_to_controller_adds_channel_time() {
+        let mut s = ssd();
+        let r = s.read_page_to_controller(SimTime::ZERO, ppa(0, 0, 0, 0, 0, 0));
+        let read_only = Duration::micros(35);
+        assert!(r.end - r.start > read_only, "channel transfer adds time");
+        assert_eq!(s.stats().channel_bytes, 4096);
+    }
+
+    #[test]
+    fn channel_is_shared_across_chips_of_one_channel() {
+        let mut s = ssd();
+        // Two chips on channel 0 finish their array reads simultaneously;
+        // their page transfers must serialize on the single channel bus.
+        let a = s.read_page_to_controller(SimTime::ZERO, ppa(0, 0, 0, 0, 0, 0));
+        let b = s.read_page_to_controller(SimTime::ZERO, ppa(0, 1, 0, 0, 0, 0));
+        let xfer = Duration::for_bytes(4096, 333_000_000);
+        assert!(b.end >= a.end + xfer || a.end >= b.end + xfer, "bus serialization");
+        // Different channel: no interference.
+        let c = s.read_page_to_controller(SimTime::ZERO, ppa(1, 0, 0, 0, 0, 0));
+        assert!(c.end < a.end.max(b.end));
+    }
+
+    #[test]
+    fn host_read_pays_pcie_and_nvme() {
+        let mut s = ssd();
+        let t = s.host_read_pages(SimTime::ZERO, &[ppa(0, 0, 0, 0, 0, 0)]);
+        let floor = Duration::micros(35) + Duration::micros(2);
+        assert!(t > SimTime::ZERO + floor);
+        assert_eq!(s.stats().pcie_bytes, 4096);
+    }
+
+    #[test]
+    fn host_reads_scale_with_parallelism() {
+        let mut s = ssd();
+        // 8 pages all on one plane vs 8 pages spread over 8 planes.
+        let serial: Vec<Ppa> = (0..8).map(|p| ppa(0, 0, 0, 0, 0, p)).collect();
+        let t_serial = s.host_read_pages(SimTime::ZERO, &serial);
+
+        let mut s2 = ssd();
+        let parallel: Vec<Ppa> = (0..8)
+            .map(|i| ppa(i % 2, (i / 2) % 2, (i / 4) % 2, 0, 0, 0))
+            .collect();
+        let t_parallel = s2.host_read_pages(SimTime::ZERO, &parallel);
+        assert!(
+            t_parallel.as_nanos() * 3 < t_serial.as_nanos(),
+            "parallel {t_parallel:?} vs serial {t_serial:?}"
+        );
+    }
+
+    #[test]
+    fn ftl_write_and_read_back() {
+        let mut s = ssd();
+        let done = s.host_write_lpns(SimTime::ZERO, &[5, 6]);
+        assert!(done > SimTime::ZERO + Duration::micros(350));
+        let r = s.ftl_read_page(done, 5);
+        assert!(r.is_some());
+        assert!(s.ftl_read_page(done, 99).is_none());
+        assert_eq!(s.stats().array_programs, 2);
+    }
+
+    #[test]
+    fn gc_timing_is_charged() {
+        let cfg = SsdConfig::tiny();
+        let mut s = Ssd::new(cfg, 4);
+        // Dynamic region: blocks 4..8 = 4 blocks/plane × 16 planes × 8 pages
+        // = 512 pages. Overwrite a 128-page live set repeatedly.
+        let mut t = SimTime::ZERO;
+        for round in 0..12 {
+            for lpn in 0..128u64 {
+                t = s.ftl_write_page(t, lpn);
+                let _ = round;
+            }
+        }
+        assert!(s.ftl_mut().gc_erases() > 0, "GC ran");
+        assert!(s.stats().erases > 0, "erase timing charged");
+    }
+
+    #[test]
+    fn chip_array_ports_cap_concurrency() {
+        // Paper geometry: 8 planes per chip but only 4 array ports — 8
+        // simultaneous reads to distinct planes of one chip run as two
+        // waves of four.
+        let mut s = Ssd::new(SsdConfig::scaled(), 16);
+        let mut ends = vec![];
+        for die in 0..2 {
+            for plane in 0..4 {
+                ends.push(s.array_read(SimTime::ZERO, ppa(0, 0, die, plane, 0, 0)).end);
+            }
+        }
+        let first_wave = ends.iter().filter(|e| e.as_nanos() == 35_000).count();
+        let second_wave = ends.iter().filter(|e| e.as_nanos() == 70_000).count();
+        assert_eq!(first_wave, 4, "{ends:?}");
+        assert_eq!(second_wave, 4, "{ends:?}");
+    }
+
+    #[test]
+    fn tiny_geometry_resource_counts() {
+        let s = ssd();
+        let g: Geometry = s.config().geometry;
+        assert_eq!(s.planes.len(), g.num_planes() as usize);
+        assert_eq!(s.chip_ports.len(), g.num_chips() as usize);
+        assert_eq!(s.channels.len(), g.channels as usize);
+    }
+}

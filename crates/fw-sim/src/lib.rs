@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! `fw-sim` — the discrete-event simulation substrate shared by every other
+//! crate in the FlashWalker reproduction.
+//!
+//! The paper evaluates FlashWalker with "a cycle-level microarchitectural
+//! simulator, which includes MQSim and DRAMSim3 to model SSD and DRAM".
+//! This crate provides the equivalents of the pieces those frameworks share:
+//!
+//! * [`SimTime`] / [`Duration`] — nanosecond-resolution simulated time,
+//! * [`EventQueue`] — a deterministic time-ordered event queue,
+//! * [`Timeline`] — a busy-until resource model used for flash planes,
+//!   dies, channel buses, the PCIe link and DRAM banks,
+//! * [`rng`] — self-contained deterministic PRNGs (SplitMix64 and
+//!   xoshiro256++) so whole experiments replay from a single `u64` seed,
+//! * [`stats`] — counters, histograms and the windowed time-series sampler
+//!   that produces the Figure 8 resource-consumption curves.
+//!
+//! Everything here is engine-agnostic: both the FlashWalker in-storage
+//! hierarchy and the GraphWalker host baseline are built on it, which keeps
+//! the two sides of the evaluation comparable.
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod timeline;
+
+pub use event::EventQueue;
+pub use rng::{SplitMix64, Xoshiro256pp};
+pub use stats::{Counter, Histogram, StatSet, TimeSeries};
+pub use time::{Duration, SimTime};
+pub use timeline::{BandwidthLink, ServerBank, Timeline};

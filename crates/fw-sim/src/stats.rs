@@ -1,0 +1,314 @@
+//! Measurement plumbing: counters, histograms and the windowed time-series
+//! sampler behind the Figure 8 resource-consumption curves.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// A monotonically increasing event/byte counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(pub u64);
+
+impl Counter {
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Add one to the counter.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// A named bag of counters, used by the harness to dump engine statistics
+/// without each engine exposing dozens of accessor methods.
+#[derive(Debug, Clone, Default)]
+pub struct StatSet {
+    counters: BTreeMap<&'static str, u64>,
+}
+
+impl StatSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to the named counter, creating it at zero if absent.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Set the named counter to an absolute value.
+    pub fn set(&mut self, name: &'static str, v: u64) {
+        self.counters.insert(name, v);
+    }
+
+    /// Read a counter (zero if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterate counters in name order (deterministic output).
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+}
+
+impl fmt::Display for StatSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in self.iter() {
+            writeln!(f, "{k}: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A power-of-two-bucketed latency/size histogram. Bucket `i` holds values
+/// in `[2^i, 2^(i+1))`, with bucket 0 holding `{0, 1}`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        let b = if v <= 1 { 0 } else { 63 - v.leading_zeros() as usize };
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate quantile (bucket upper bound containing quantile `q`).
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        self.max
+    }
+}
+
+/// Windowed time series: accumulates `(time, value)` samples into
+/// fixed-width windows. Figure 8 plots bytes moved per window as bandwidth
+/// and walks finished per window as progression.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    window_ns: u64,
+    windows: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// A series with the given window width.
+    ///
+    /// # Panics
+    /// Panics if `window_ns == 0`.
+    pub fn new(window_ns: u64) -> Self {
+        assert!(window_ns > 0, "zero-width window");
+        TimeSeries {
+            window_ns,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Window width in nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+
+    /// Accumulate `value` into the window containing `at`.
+    pub fn add(&mut self, at: SimTime, value: f64) {
+        let idx = (at.as_nanos() / self.window_ns) as usize;
+        if idx >= self.windows.len() {
+            self.windows.resize(idx + 1, 0.0);
+        }
+        self.windows[idx] += value;
+    }
+
+    /// Spread `value` uniformly over `[start, end)` across the windows it
+    /// overlaps — used for transfers that span window boundaries so the
+    /// bandwidth curve doesn't show spurious spikes.
+    pub fn add_spread(&mut self, start: SimTime, end: SimTime, value: f64) {
+        if end <= start {
+            self.add(start, value);
+            return;
+        }
+        let total = (end.as_nanos() - start.as_nanos()) as f64;
+        let first = start.as_nanos() / self.window_ns;
+        let last = (end.as_nanos() - 1) / self.window_ns;
+        for w in first..=last {
+            let w_start = w * self.window_ns;
+            let w_end = w_start + self.window_ns;
+            let overlap = (end.as_nanos().min(w_end) - start.as_nanos().max(w_start)) as f64;
+            self.add(SimTime(w_start), value * overlap / total);
+        }
+    }
+
+    /// Per-window sums.
+    pub fn windows(&self) -> &[f64] {
+        &self.windows
+    }
+
+    /// Per-window rate (sum / window length in seconds) — i.e. if values
+    /// are bytes, this yields bytes/s per window.
+    pub fn rates_per_sec(&self) -> Vec<f64> {
+        let w = self.window_ns as f64 / 1e9;
+        self.windows.iter().map(|&v| v / w).collect()
+    }
+
+    /// Running cumulative sum per window (for "% walks finished" curves).
+    pub fn cumulative(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.windows
+            .iter()
+            .map(|&v| {
+                acc += v;
+                acc
+            })
+            .collect()
+    }
+
+    /// Total of all samples.
+    pub fn total(&self) -> f64 {
+        self.windows.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::default();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn statset_accumulates_and_iterates_sorted() {
+        let mut s = StatSet::new();
+        s.add("zeta", 1);
+        s.add("alpha", 2);
+        s.add("alpha", 3);
+        s.set("mid", 7);
+        assert_eq!(s.get("alpha"), 5);
+        assert_eq!(s.get("missing"), 0);
+        let names: Vec<_> = s.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn histogram_mean_max_quantile() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 4, 8, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 1024);
+        assert!((h.mean() - 207.8).abs() < 0.01);
+        assert!(h.quantile(0.5) <= 8);
+        assert!(h.quantile(1.0) >= 1024);
+    }
+
+    #[test]
+    fn histogram_empty_is_safe() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn timeseries_buckets_by_window() {
+        let mut ts = TimeSeries::new(100);
+        ts.add(SimTime(0), 1.0);
+        ts.add(SimTime(99), 1.0);
+        ts.add(SimTime(100), 5.0);
+        ts.add(SimTime(350), 2.0);
+        assert_eq!(ts.windows(), &[2.0, 5.0, 0.0, 2.0]);
+        assert_eq!(ts.cumulative(), vec![2.0, 7.0, 7.0, 9.0]);
+        assert_eq!(ts.total(), 9.0);
+    }
+
+    #[test]
+    fn timeseries_rates() {
+        let mut ts = TimeSeries::new(1_000_000_000); // 1 s windows
+        ts.add(SimTime(0), 333_000_000.0); // 333 MB in second 0
+        let r = ts.rates_per_sec();
+        assert!((r[0] - 333e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn timeseries_spread_conserves_mass() {
+        let mut ts = TimeSeries::new(100);
+        // Transfer spanning [50, 250): 200 units over three windows
+        ts.add_spread(SimTime(50), SimTime(250), 200.0);
+        let w = ts.windows();
+        assert!((w[0] - 50.0).abs() < 1e-9);
+        assert!((w[1] - 100.0).abs() < 1e-9);
+        assert!((w[2] - 50.0).abs() < 1e-9);
+        assert!((ts.total() - 200.0).abs() < 1e-9);
+        // Degenerate zero-length span lands in one window
+        let mut ts2 = TimeSeries::new(100);
+        ts2.add_spread(SimTime(40), SimTime(40), 7.0);
+        assert_eq!(ts2.windows(), &[7.0]);
+    }
+}

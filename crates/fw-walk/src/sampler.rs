@@ -1,0 +1,168 @@
+//! Neighbor sampling: unbiased, and biased via Inverse Transform Sampling.
+
+use fw_graph::{Csr, VertexId};
+use fw_sim::Xoshiro256pp;
+
+/// Operations the chip-level walk updater performs per unbiased step:
+/// fetch walk, random number, out-degree calc, edge fetch, state update —
+/// "the walk updater performs 5 operations to process a walk" (§IV-A).
+pub const UNBIASED_UPDATER_OPS: u32 = 5;
+
+/// Result of attempting one hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The walk moves to this vertex.
+    Moved(VertexId),
+    /// The current vertex has no out-edges — the walk dies here.
+    DeadEnd,
+}
+
+/// Uniformly sample an out-neighbor of `v` (§III-B steps ③–⑤): draw
+/// `rnd1 ∈ [0, outDegree)` and index the edge list. Returns the outcome
+/// and the updater operation count.
+pub fn sample_unbiased(csr: &Csr, v: VertexId, rng: &mut Xoshiro256pp) -> (StepOutcome, u32) {
+    let nbrs = csr.neighbors(v);
+    if nbrs.is_empty() {
+        return (StepOutcome::DeadEnd, 2); // fetch + degree check
+    }
+    let idx = rng.next_below(nbrs.len() as u64) as usize;
+    (StepOutcome::Moved(nbrs[idx]), UNBIASED_UPDATER_OPS)
+}
+
+/// Sample an out-neighbor of `v` proportionally to edge weight using ITS:
+/// draw `rnd ∈ [0, sumWeight]` and binary-search the cumulative list `CL`
+/// for the smallest index with `rnd < CL[idx]` (§III-B). "The biased
+/// random walk requires … more cycles for the binary search": the op count
+/// is the unbiased 5 plus one op per probe.
+///
+/// # Panics
+/// Panics if the graph carries no weights.
+pub fn sample_biased(csr: &Csr, v: VertexId, rng: &mut Xoshiro256pp) -> (StepOutcome, u32) {
+    let nbrs = csr.neighbors(v);
+    if nbrs.is_empty() {
+        return (StepOutcome::DeadEnd, 2);
+    }
+    let cl = csr.cumulative(v);
+    let total = cl[cl.len() - 1];
+    let r = (rng.next_f64() as f32) * total;
+    // Binary search for the first cl[idx] > r, counting probes.
+    let mut lo = 0usize;
+    let mut hi = cl.len();
+    let mut probes = 0u32;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        probes += 1;
+        if cl[mid] > r {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let idx = lo.min(nbrs.len() - 1); // guard the r == total edge case
+    (StepOutcome::Moved(nbrs[idx]), UNBIASED_UPDATER_OPS + probes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn line_graph() -> Csr {
+        Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    fn fan(weighted: bool) -> Csr {
+        // 0 -> {1, 2, 3, 4}
+        let c = Csr::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        if weighted {
+            c.with_random_weights(5)
+        } else {
+            c
+        }
+    }
+
+    #[test]
+    fn unbiased_moves_to_a_neighbor() {
+        let g = fan(false);
+        let mut rng = Xoshiro256pp::new(1);
+        for _ in 0..100 {
+            match sample_unbiased(&g, 0, &mut rng) {
+                (StepOutcome::Moved(v), ops) => {
+                    assert!((1..=4).contains(&v));
+                    assert_eq!(ops, UNBIASED_UPDATER_OPS);
+                }
+                (StepOutcome::DeadEnd, _) => panic!("fan center is not a dead end"),
+            }
+        }
+    }
+
+    #[test]
+    fn dead_end_detected() {
+        let g = line_graph();
+        let mut rng = Xoshiro256pp::new(1);
+        assert_eq!(sample_unbiased(&g, 3, &mut rng).0, StepOutcome::DeadEnd);
+    }
+
+    #[test]
+    fn unbiased_is_roughly_uniform() {
+        let g = fan(false);
+        let mut rng = Xoshiro256pp::new(2);
+        let mut counts = [0u32; 5];
+        let n = 40_000;
+        for _ in 0..n {
+            if let (StepOutcome::Moved(v), _) = sample_unbiased(&g, 0, &mut rng) {
+                counts[v as usize] += 1;
+            }
+        }
+        for &c in &counts[1..] {
+            let expect = n as f64 / 4.0;
+            assert!((c as f64 - expect).abs() < expect * 0.05, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn biased_respects_weights() {
+        // Hand-built weights: edge to 1 carries ~90% of the mass.
+        let mut edges = vec![(0u32, 1u32)];
+        for _ in 0..9 {
+            edges.push((0, 2));
+        }
+        // 10 parallel edges total: one to v1, nine to v2; unweighted
+        // multigraph sampling already biases 90/10 — use that as the
+        // reference for the weighted sampler with uniform weights.
+        let g = Csr::from_edges(3, &edges).with_random_weights(3);
+        let mut rng = Xoshiro256pp::new(4);
+        let mut to2 = 0u32;
+        let n = 20_000;
+        for _ in 0..n {
+            if let (StepOutcome::Moved(2), _) = sample_biased(&g, 0, &mut rng) {
+                to2 += 1;
+            }
+        }
+        // With random weights in (0,1], nine edges to v2 should win the
+        // large majority of samples.
+        assert!(to2 as f64 > n as f64 * 0.6, "to2={to2}");
+    }
+
+    #[test]
+    fn biased_costs_more_ops_than_unbiased() {
+        let g = fan(true);
+        let mut rng = Xoshiro256pp::new(6);
+        let (_, ops) = sample_biased(&g, 0, &mut rng);
+        assert!(ops > UNBIASED_UPDATER_OPS, "binary search adds probes: {ops}");
+        assert!(ops <= UNBIASED_UPDATER_OPS + 3, "log2(4)+1 bound: {ops}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_biased_always_returns_valid_neighbor(seed in 0u64..500) {
+            let g = fan(true);
+            let mut rng = Xoshiro256pp::new(seed);
+            if let (StepOutcome::Moved(v), _) = sample_biased(&g, 0, &mut rng) {
+                prop_assert!(g.neighbors(0).contains(&v));
+            } else {
+                prop_assert!(false, "fan center never dead-ends");
+            }
+        }
+    }
+}

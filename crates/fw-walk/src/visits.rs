@@ -1,0 +1,151 @@
+//! Visit-count aggregation — the estimator side of walk-based analytics.
+//!
+//! Algorithms like Personalized PageRank, SimRank, and random-walk
+//! domination (§I) all reduce walks to counts: how often each vertex was
+//! visited, or where walks terminated. [`VisitCounts`] accumulates either
+//! statistic and converts it to normalized scores and top-k rankings.
+
+use fw_graph::VertexId;
+
+use crate::walk::Walk;
+
+/// Accumulated visit/termination counts over a vertex space.
+#[derive(Debug, Clone)]
+pub struct VisitCounts {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl VisitCounts {
+    /// An empty accumulator over `num_vertices` vertices.
+    pub fn new(num_vertices: u32) -> Self {
+        VisitCounts {
+            counts: vec![0; num_vertices as usize],
+            total: 0,
+        }
+    }
+
+    /// Record one visit to `v`.
+    #[inline]
+    pub fn visit(&mut self, v: VertexId) {
+        self.counts[v as usize] += 1;
+        self.total += 1;
+    }
+
+    /// Record the endpoint of a completed walk.
+    #[inline]
+    pub fn record_endpoint(&mut self, w: &Walk) {
+        debug_assert!(w.is_done());
+        self.visit(w.cur);
+    }
+
+    /// Record every endpoint in a walk log (e.g.
+    /// `FwReport::walk_log` from the FlashWalker engine).
+    pub fn record_endpoints<'a>(&mut self, walks: impl IntoIterator<Item = &'a Walk>) {
+        for w in walks {
+            self.record_endpoint(w);
+        }
+    }
+
+    /// Raw count for `v`.
+    pub fn count(&self, v: VertexId) -> u64 {
+        self.counts[v as usize]
+    }
+
+    /// Total recorded events.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Normalized score for `v` (count / total; 0 when empty).
+    pub fn score(&self, v: VertexId) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[v as usize] as f64 / self.total as f64
+        }
+    }
+
+    /// The `k` highest-scoring vertices, descending, ties broken by lower
+    /// vertex id (deterministic).
+    pub fn top_k(&self, k: usize) -> Vec<(VertexId, u64)> {
+        let mut idx: Vec<u32> = (0..self.counts.len() as u32).collect();
+        idx.sort_by_key(|&v| (std::cmp::Reverse(self.counts[v as usize]), v));
+        idx.truncate(k);
+        idx.into_iter()
+            .map(|v| (v, self.counts[v as usize]))
+            .collect()
+    }
+
+    /// Total-variation distance to another count vector over the same
+    /// vertex space — the metric the integration tests use to compare
+    /// engines' endpoint distributions.
+    pub fn total_variation(&self, other: &VisitCounts) -> f64 {
+        assert_eq!(self.counts.len(), other.counts.len(), "vertex spaces differ");
+        if self.total == 0 || other.total == 0 {
+            return if self.total == other.total { 0.0 } else { 1.0 };
+        }
+        let mut acc = 0.0;
+        for (a, b) in self.counts.iter().zip(&other.counts) {
+            acc += (*a as f64 / self.total as f64 - *b as f64 / other.total as f64).abs();
+        }
+        acc / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_scores_topk() {
+        let mut c = VisitCounts::new(5);
+        for _ in 0..6 {
+            c.visit(2);
+        }
+        for _ in 0..3 {
+            c.visit(0);
+        }
+        c.visit(4);
+        assert_eq!(c.total(), 10);
+        assert_eq!(c.count(2), 6);
+        assert!((c.score(2) - 0.6).abs() < 1e-12);
+        assert_eq!(c.top_k(2), vec![(2, 6), (0, 3)]);
+        // Ties break to the lower vertex id.
+        let mut t = VisitCounts::new(3);
+        t.visit(1);
+        t.visit(2);
+        assert_eq!(t.top_k(3), vec![(1, 1), (2, 1), (0, 0)]);
+    }
+
+    #[test]
+    fn endpoint_recording() {
+        let mut c = VisitCounts::new(10);
+        let mut w = Walk::new(3, 1);
+        w.advance(7);
+        c.record_endpoint(&w);
+        assert_eq!(c.count(7), 1);
+        assert_eq!(c.count(3), 0);
+    }
+
+    #[test]
+    fn total_variation_properties() {
+        let mut a = VisitCounts::new(4);
+        let mut b = VisitCounts::new(4);
+        assert_eq!(a.total_variation(&b), 0.0, "both empty");
+        for _ in 0..10 {
+            a.visit(0);
+        }
+        for _ in 0..10 {
+            b.visit(0);
+        }
+        assert!((a.total_variation(&b)).abs() < 1e-12, "identical dists");
+        let mut d = VisitCounts::new(4);
+        for _ in 0..10 {
+            d.visit(3);
+        }
+        assert!((a.total_variation(&d) - 1.0).abs() < 1e-12, "disjoint dists");
+        // Symmetry.
+        assert_eq!(a.total_variation(&d), d.total_variation(&a));
+    }
+}

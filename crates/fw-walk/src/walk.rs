@@ -1,0 +1,71 @@
+//! The walk record.
+
+use fw_graph::VertexId;
+
+/// Modeled size of one walk in buffers and on flash: the paper's walk
+/// state (`src`, `cur`, `hop`) padded to a 16-byte record, the same
+/// walk-record footprint KnightKing and GraphWalker use.
+pub const WALK_BYTES: u64 = 16;
+
+/// One random walk: "a walk, w, state includes the ID of its source
+/// vertex, the offset of the current vertex in the subgraph, and the
+/// number of hops, indicated by w.src, w.cur, and w.hop" (§III-B).
+///
+/// In the simulator `cur` holds the full vertex ID (the paper converts
+/// between subgraph-relative offsets and full IDs at step ⑥; that
+/// conversion is pure bookkeeping and carries no extra timing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Walk {
+    /// Vertex the walk started from.
+    pub src: VertexId,
+    /// Vertex the walk currently lands in.
+    pub cur: VertexId,
+    /// Remaining hops before completion.
+    pub hop: u16,
+}
+
+impl Walk {
+    /// A fresh walk of `len` hops starting at `start`.
+    pub fn new(start: VertexId, len: u16) -> Walk {
+        Walk {
+            src: start,
+            cur: start,
+            hop: len,
+        }
+    }
+
+    /// True once the walk has no hops left.
+    pub fn is_done(&self) -> bool {
+        self.hop == 0
+    }
+
+    /// Advance to `next`, consuming one hop.
+    pub fn advance(&mut self, next: VertexId) {
+        debug_assert!(self.hop > 0, "advancing a completed walk");
+        self.cur = next;
+        self.hop -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let mut w = Walk::new(7, 2);
+        assert_eq!(w.src, 7);
+        assert_eq!(w.cur, 7);
+        assert!(!w.is_done());
+        w.advance(3);
+        assert_eq!((w.src, w.cur, w.hop), (7, 3, 1));
+        w.advance(9);
+        assert!(w.is_done());
+    }
+
+    #[test]
+    fn record_is_small() {
+        // The in-memory record must not exceed its modeled footprint.
+        assert!(std::mem::size_of::<Walk>() as u64 <= WALK_BYTES);
+    }
+}

@@ -1,0 +1,53 @@
+//! Execution-time breakdown — the Figure 1 categories.
+
+use fw_sim::Duration;
+
+/// Where GraphWalker's time goes. Figure 1 of the paper shows graph
+/// loading dominating on ClueWeb; this struct is what the `fig1_breakdown`
+/// bench prints.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TimeBreakdown {
+    /// Reading graph blocks from the SSD into host memory.
+    pub load_graph: Duration,
+    /// CPU time updating walks in memory-resident blocks.
+    pub update_walks: Duration,
+    /// Spilling and reloading walk pools (disk walk state).
+    pub walk_io: Duration,
+    /// Scheduling and bookkeeping.
+    pub other: Duration,
+}
+
+impl TimeBreakdown {
+    /// Total across categories.
+    pub fn total(&self) -> Duration {
+        self.load_graph + self.update_walks + self.walk_io + self.other
+    }
+
+    /// Fraction of total spent loading graph data.
+    pub fn load_fraction(&self) -> f64 {
+        let t = self.total().as_nanos();
+        if t == 0 {
+            0.0
+        } else {
+            self.load_graph.as_nanos() as f64 / t as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_fractions() {
+        let b = TimeBreakdown {
+            load_graph: Duration::nanos(70),
+            update_walks: Duration::nanos(20),
+            walk_io: Duration::nanos(5),
+            other: Duration::nanos(5),
+        };
+        assert_eq!(b.total(), Duration::nanos(100));
+        assert!((b.load_fraction() - 0.7).abs() < 1e-12);
+        assert_eq!(TimeBreakdown::default().load_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,481 @@
+//! The GraphWalker host engine.
+//!
+//! A serial scheduler loop over coarse graph blocks: pick the block with
+//! the most waiting walks, fault it into the host block cache through the
+//! SSD's NVMe/PCIe path if absent, then asynchronously update every
+//! waiting walk until it leaves the cached block set or completes.
+//! Walks that leave go to the destination block's pool; pools beyond the
+//! walk buffer spill to disk and are read back when their block is next
+//! scheduled.
+
+use fw_graph::{Csr, PartitionedGraph, VertexId};
+use fw_graph::partition::PartitionConfig;
+use fw_nand::layout::GraphBlockPlacement;
+use fw_nand::{GraphLayout, Lpn, Ppa, Ssd, SsdConfig};
+use fw_sim::{Duration, SimTime, TimeSeries, Xoshiro256pp};
+use fw_walk::{Walk, Workload, WALK_BYTES};
+
+use crate::breakdown::TimeBreakdown;
+use crate::config::GwConfig;
+
+/// Result of a GraphWalker run.
+#[derive(Debug, Clone)]
+pub struct GwReport {
+    /// End-to-end execution time.
+    pub time: Duration,
+    /// Walks completed.
+    pub walks: u64,
+    /// Total hops executed.
+    pub hops: u64,
+    /// Figure 1 time breakdown.
+    pub breakdown: TimeBreakdown,
+    /// Bytes read from flash arrays on behalf of the host.
+    pub flash_read_bytes: u64,
+    /// Bytes written to flash (walk spills).
+    pub flash_write_bytes: u64,
+    /// Bytes over PCIe.
+    pub pcie_bytes: u64,
+    /// Achieved flash read bandwidth over the run, bytes/s.
+    pub read_bw: f64,
+    /// Graph-block loads (including re-loads).
+    pub block_loads: u64,
+    /// Walk pool spill events.
+    pub walk_spills: u64,
+    /// Walks completed per trace window.
+    pub progress: Vec<f64>,
+    /// Trace window width in nanoseconds.
+    pub trace_window_ns: u64,
+    /// Completed walks, collected when
+    /// [`GraphWalkerSim::with_walk_log`] is enabled.
+    pub walk_log: Vec<Walk>,
+}
+
+struct BlockPool {
+    walks: Vec<Walk>,
+    spilled: Vec<(Lpn, Vec<Walk>)>,
+}
+
+impl BlockPool {
+    fn total(&self) -> u64 {
+        self.walks.len() as u64 + self.spilled.iter().map(|(_, w)| w.len() as u64).sum::<u64>()
+    }
+}
+
+/// The GraphWalker simulator.
+pub struct GraphWalkerSim<'g> {
+    csr: &'g Csr,
+    blocks: PartitionedGraph,
+    placements: Vec<GraphBlockPlacement>,
+    cfg: GwConfig,
+    wl: Workload,
+    ssd: Ssd,
+    rng: Xoshiro256pp,
+    /// Block ids currently cached in host memory, LRU order (front = MRU).
+    cache: Vec<u32>,
+    pools: Vec<BlockPool>,
+    next_lpn: Lpn,
+    trace_window_ns: u64,
+    walk_log: Option<Vec<Walk>>,
+}
+
+impl<'g> GraphWalkerSim<'g> {
+    /// Build the engine: partition the graph into GraphWalker-size blocks
+    /// and lay them out on the shared SSD model.
+    pub fn new(csr: &'g Csr, id_bytes: u32, cfg: GwConfig, ssd_cfg: SsdConfig, wl: Workload, seed: u64) -> Self {
+        let blocks = PartitionedGraph::build(
+            csr,
+            PartitionConfig {
+                subgraph_bytes: cfg.block_bytes,
+                id_bytes,
+                subgraphs_per_partition: u32::MAX,
+            },
+        );
+        let pages_per_block =
+            (cfg.block_bytes / ssd_cfg.geometry.page_bytes).max(1) as u32;
+        let total_pages = blocks.num_subgraphs() as u64 * pages_per_block as u64;
+        let per_plane = total_pages.div_ceil(ssd_cfg.geometry.num_planes() as u64);
+        let static_blocks = (per_plane.div_ceil(ssd_cfg.geometry.pages_per_block as u64) as u32
+            + 1)
+            .min(ssd_cfg.geometry.blocks_per_plane - 4);
+        let mut layout = GraphLayout::new(ssd_cfg.geometry, static_blocks);
+        // GraphWalker block pages: sized by the block's actual bytes so a
+        // small final block doesn't read a full-size extent. Unlike
+        // FlashWalker's chip-local graph blocks, GraphWalker's blocks are
+        // ordinary host files — the FTL stripes them page-by-page across
+        // every chip, so a block load engages the whole device.
+        let placements: Vec<GraphBlockPlacement> = blocks
+            .subgraphs
+            .iter()
+            .map(|sg| {
+                let bytes = sg.bytes(id_bytes).max(ssd_cfg.geometry.page_bytes);
+                let pages = bytes.div_ceil(ssd_cfg.geometry.page_bytes) as u32;
+                let mut placement = layout.place_block(0);
+                for _ in 0..pages {
+                    placement.pages.extend(layout.place_block(1).pages);
+                }
+                placement
+            })
+            .collect();
+        let pools = (0..blocks.num_subgraphs())
+            .map(|_| BlockPool {
+                walks: Vec::new(),
+                spilled: Vec::new(),
+            })
+            .collect();
+        GraphWalkerSim {
+            csr,
+            blocks,
+            placements,
+            cfg,
+            wl,
+            ssd: Ssd::new(ssd_cfg, static_blocks),
+            rng: Xoshiro256pp::new(seed),
+            cache: Vec::new(),
+            pools,
+            next_lpn: 0,
+            trace_window_ns: 1_000_000,
+            walk_log: None,
+        }
+    }
+
+    /// Set the progress trace window (default 1 ms).
+    pub fn with_trace_window(mut self, window_ns: u64) -> Self {
+        self.trace_window_ns = window_ns;
+        self
+    }
+
+    /// Collect every completed walk into [`GwReport::walk_log`].
+    pub fn with_walk_log(mut self) -> Self {
+        self.walk_log = Some(Vec::new());
+        self
+    }
+
+    /// Number of GraphWalker blocks for this graph.
+    pub fn num_blocks(&self) -> u32 {
+        self.blocks.num_subgraphs()
+    }
+
+    fn block_of(&mut self, v: VertexId) -> u32 {
+        match self.blocks.find_dense(v) {
+            Some(meta) => {
+                // Dense vertices are rare at 2 MB blocks; walks at one pick
+                // a slice proportionally (same pre-walk arithmetic as
+                // FlashWalker, host-side).
+                let meta = *meta;
+                let cap = self.blocks.config.dense_slice_edges();
+                let rnd = self.rng.next_below(meta.total_degree);
+                let idx = ((rnd / cap) as u32).min(meta.num_blocks - 1);
+                meta.first_subgraph + idx
+            }
+            None => self
+                .blocks
+                .subgraph_of(v)
+                .expect("vertex outside all blocks"),
+        }
+    }
+
+    /// Pick the block with the most waiting walks (state-aware
+    /// scheduling). Ties break to the lower id.
+    fn pick_block(&self) -> Option<u32> {
+        (0..self.pools.len())
+            .filter(|&b| self.pools[b].total() > 0)
+            .max_by(|&a, &b| {
+                self.pools[a]
+                    .total()
+                    .cmp(&self.pools[b].total())
+                    .then(b.cmp(&a))
+            })
+            .map(|b| b as u32)
+    }
+
+    /// Fault `block` into the cache if absent; returns the time after any
+    /// required I/O. Reads go through the full host path (array → channel
+    /// → PCIe).
+    fn ensure_cached(
+        &mut self,
+        block: u32,
+        now: SimTime,
+        breakdown: &mut TimeBreakdown,
+        loads: &mut u64,
+    ) -> SimTime {
+        if let Some(pos) = self.cache.iter().position(|&b| b == block) {
+            self.cache.remove(pos);
+            self.cache.insert(0, block);
+            return now;
+        }
+        if self.cache.len() >= self.cfg.cache_blocks() {
+            self.cache.pop(); // evict LRU (clean data, no writeback)
+        }
+        self.cache.insert(0, block);
+        *loads += 1;
+        let pages: Vec<Ppa> = self.placements[block as usize].pages.clone();
+        let done = self.ssd.host_read_pages(now, &pages);
+        breakdown.load_graph += done - now;
+        done
+    }
+
+    /// Run to completion.
+    pub fn run(mut self) -> GwReport {
+        let mut breakdown = TimeBreakdown::default();
+        let mut progress = TimeSeries::new(self.trace_window_ns);
+        let mut now = SimTime::ZERO;
+        let mut completed: u64 = 0;
+        let mut hops: u64 = 0;
+        let mut block_loads: u64 = 0;
+        let mut walk_spills: u64 = 0;
+        let total = self.wl.num_walks;
+
+        // Initial distribution (uncharged, like FlashWalker's).
+        for w in self.wl.init_walks(self.csr, self.rng.next_u64()) {
+            let b = self.block_of(w.cur);
+            self.pools[b as usize].walks.push(w);
+        }
+
+        let page_bytes = self.ssd.config().geometry.page_bytes;
+        let walks_per_page = (page_bytes / WALK_BYTES) as usize;
+
+        while completed < total {
+            let block = self.pick_block().expect("walks remain but no pool has any");
+            // Scheduling overhead: a scan of per-block walk counts.
+            let sched = Duration::nanos(self.pools.len() as u64 * 2);
+            breakdown.other += sched;
+            now += sched;
+
+            now = self.ensure_cached(block, now, &mut breakdown, &mut block_loads);
+
+            // Read back spilled walks for this block (walk I/O). Pages
+            // are issued together and pipeline across planes.
+            let spilled = std::mem::take(&mut self.pools[block as usize].spilled);
+            if !spilled.is_empty() {
+                let mut done = now;
+                for (lpn, walks) in spilled {
+                    if let Some(r) = self.ssd.ftl_read_page(now, lpn) {
+                        let dma = self.ssd.pcie_transfer(r.end, page_bytes);
+                        done = done.max(dma.end);
+                    }
+                    self.ssd.ftl_mut().trim(lpn);
+                    self.pools[block as usize].walks.extend(walks);
+                }
+                breakdown.walk_io += done - now;
+                now = done;
+            }
+
+            // Asynchronously update every waiting walk until it leaves the
+            // cached block set or completes.
+            let mut work = std::mem::take(&mut self.pools[block as usize].walks);
+            let mut batch_hops: u64 = 0;
+            for mut w in work.drain(..) {
+                loop {
+                    let (ev, _ops) = self.wl.step(self.csr, w, &mut self.rng);
+                    batch_hops += 1;
+                    match ev {
+                        fw_walk::workload::WalkEvent::Completed(done) => {
+                            completed += 1;
+                            progress.add(now, 1.0);
+                            if let Some(log) = &mut self.walk_log {
+                                log.push(done);
+                            }
+                            break;
+                        }
+                        fw_walk::workload::WalkEvent::Moved(next) => {
+                            w = next;
+                            let b = self.block_of(w.cur);
+                            if self.cache.contains(&b) {
+                                // Keep updating inside cached blocks, but
+                                // account the walk to its block if we stop.
+                                continue;
+                            }
+                            self.pools[b as usize].walks.push(w);
+                            break;
+                        }
+                    }
+                }
+            }
+            hops += batch_hops;
+            let cpu = Duration::nanos(batch_hops * self.cfg.cpu_ns_per_hop);
+            breakdown.update_walks += cpu;
+            now += cpu;
+
+            // Spill oversized pools: smallest pools go to disk first
+            // (keeping hot pools resident suits state-aware scheduling).
+            // All spill pages of one round are written as one batched
+            // host command, so programs pipeline across planes the way a
+            // sequential buffered file write does.
+            let mut ram_walks: u64 = self.pools.iter().map(|p| p.walks.len() as u64).sum();
+            if ram_walks * WALK_BYTES > self.cfg.walk_buffer_bytes {
+                let mut batch_lpns: Vec<Lpn> = Vec::new();
+                let mut order: Vec<usize> = (0..self.pools.len())
+                    .filter(|&b| !self.pools[b].walks.is_empty())
+                    .collect();
+                order.sort_by_key(|&b| (self.pools[b].walks.len(), b));
+                for victim in order {
+                    if ram_walks * WALK_BYTES <= self.cfg.walk_buffer_bytes {
+                        break;
+                    }
+                    let walks = std::mem::take(&mut self.pools[victim].walks);
+                    ram_walks -= walks.len() as u64;
+                    walk_spills += 1;
+                    for chunk in walks.chunks(walks_per_page) {
+                        self.next_lpn += 1;
+                        let lpn = self.next_lpn;
+                        batch_lpns.push(lpn);
+                        self.pools[victim].spilled.push((lpn, chunk.to_vec()));
+                    }
+                }
+                if !batch_lpns.is_empty() {
+                    let end = self.ssd.host_write_lpns(now, &batch_lpns);
+                    breakdown.walk_io += end - now;
+                    now = end;
+                }
+            }
+        }
+
+        let s = *self.ssd.stats();
+        let cfgp = *self.ssd.config();
+        GwReport {
+            time: now - SimTime::ZERO,
+            walks: completed,
+            hops,
+            breakdown,
+            flash_read_bytes: s.array_read_bytes(&cfgp),
+            flash_write_bytes: s.array_write_bytes(&cfgp),
+            pcie_bytes: s.pcie_bytes,
+            read_bw: if now == SimTime::ZERO {
+                0.0
+            } else {
+                s.array_read_bytes(&cfgp) as f64 / now.as_secs_f64()
+            },
+            block_loads,
+            walk_spills,
+            progress: progress.windows().to_vec(),
+            trace_window_ns: self.trace_window_ns,
+            walk_log: self.walk_log.take().unwrap_or_default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fw_graph::rmat::{generate_csr, RmatParams};
+
+    fn graph(nv: u32, ne: u64) -> Csr {
+        generate_csr(RmatParams::graph500(), nv, ne, 21)
+    }
+
+    fn run(csr: &Csr, cfg: GwConfig, walks: u64) -> GwReport {
+        let wl = Workload::paper_default(walks);
+        GraphWalkerSim::new(csr, 4, cfg, SsdConfig::tiny(), wl, 5).run()
+    }
+
+    fn small_cfg(mem: u64) -> GwConfig {
+        GwConfig {
+            memory_bytes: mem,
+            block_bytes: 16 << 10,
+            cpu_ns_per_hop: 20,
+            walk_buffer_bytes: 64 << 10,
+        }
+    }
+
+    #[test]
+    fn completes_all_walks() {
+        let g = graph(2000, 20_000);
+        let r = run(&g, small_cfg(256 << 10), 3_000);
+        assert_eq!(r.walks, 3_000);
+        assert!(r.hops >= 3_000 && r.hops <= 18_000);
+        assert!(r.time > Duration::ZERO);
+        assert!(r.block_loads > 0);
+        assert!(r.flash_read_bytes > 0);
+    }
+
+    #[test]
+    fn graph_fitting_in_memory_loads_each_block_once() {
+        let g = graph(500, 4_000);
+        let r = run(&g, small_cfg(16 << 20), 1_000); // memory >> graph
+        let wl = Workload::paper_default(1);
+        let sim = GraphWalkerSim::new(&g, 4, small_cfg(16 << 20), SsdConfig::tiny(), wl, 5);
+        assert_eq!(r.block_loads, sim.num_blocks() as u64);
+    }
+
+    #[test]
+    fn small_memory_causes_reloads_and_more_io() {
+        let g = graph(3000, 40_000);
+        let big = run(&g, small_cfg(1 << 20), 4_000);
+        let small = run(&g, small_cfg(48 << 10), 4_000); // 3 blocks cached
+        assert!(
+            small.block_loads > big.block_loads,
+            "thrashing: {} vs {}",
+            small.block_loads,
+            big.block_loads
+        );
+        assert!(small.breakdown.load_graph > big.breakdown.load_graph);
+        assert!(small.time > big.time);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total_time() {
+        let g = graph(1000, 10_000);
+        let r = run(&g, small_cfg(64 << 10), 2_000);
+        // Serial model: components account for all advance of `now` except
+        // rounding in I/O gaps (I/O waits are included in their slices).
+        let sum = r.breakdown.total();
+        assert!(
+            sum.as_nanos() >= r.time.as_nanos() * 9 / 10,
+            "breakdown {sum} vs total {}",
+            r.time
+        );
+    }
+
+    #[test]
+    fn io_dominates_when_memory_starved() {
+        // The Figure 1 shape: graph loading dominates for out-of-core runs.
+        let g = graph(4000, 60_000);
+        let r = run(&g, small_cfg(32 << 10), 2_000); // 2 blocks of ~30
+        assert!(
+            r.breakdown.load_fraction() > 0.5,
+            "load fraction {:.2}",
+            r.breakdown.load_fraction()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = graph(800, 8_000);
+        let a = run(&g, small_cfg(64 << 10), 1_000);
+        let b = run(&g, small_cfg(64 << 10), 1_000);
+        assert_eq!(a.time, b.time);
+        assert_eq!(a.hops, b.hops);
+    }
+
+    #[test]
+    fn walk_log_conserves_sources() {
+        let g = graph(1500, 18_000);
+        let wl = Workload::paper_default(2_500);
+        let r = GraphWalkerSim::new(&g, 4, small_cfg(96 << 10), SsdConfig::tiny(), wl, 5)
+            .with_walk_log()
+            .run();
+        assert_eq!(r.walk_log.len(), 2_500);
+        let mut got: Vec<u32> = r.walk_log.iter().map(|w| w.src).collect();
+        let mut expect: Vec<u32> = wl.init_walks(&g, 0).iter().map(|w| w.src).collect();
+        got.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+        assert!(r.walk_log.iter().all(|w| w.is_done()));
+    }
+
+    #[test]
+    fn biased_workload_runs() {
+        let g = graph(800, 10_000).with_random_weights(7);
+        let wl = Workload::node2vec_biased(1_000, 6);
+        let r = GraphWalkerSim::new(&g, 4, small_cfg(96 << 10), SsdConfig::tiny(), wl, 5).run();
+        assert_eq!(r.walks, 1_000);
+    }
+
+    #[test]
+    fn progress_sums_to_walks() {
+        let g = graph(800, 8_000);
+        let r = run(&g, small_cfg(64 << 10), 1_500);
+        let total: f64 = r.progress.iter().sum();
+        assert!((total - 1_500.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,85 @@
+//! DeepWalk-style corpus sampling — the graph-embedding use case from the
+//! paper's introduction ("graph representation learning algorithms, such
+//! as DeepWalk and Node2Vector, use RW … to learn embeddings of nodes").
+//!
+//! This example does two things:
+//! 1. materializes an actual walk corpus host-side with the algorithmic
+//!    API (`Workload::step`), the sequences a skip-gram trainer would
+//!    consume, and
+//! 2. estimates how long generating that corpus takes in-storage with
+//!    FlashWalker versus out-of-core with GraphWalker.
+//!
+//! ```text
+//! cargo run --release --example deepwalk
+//! ```
+
+use flashwalker::{AccelConfig, FlashWalkerSim};
+use fw_graph::rmat::{generate_csr, RmatParams};
+use fw_graph::PartitionedGraph;
+use fw_graph::partition::PartitionConfig;
+use fw_nand::SsdConfig;
+use fw_sim::Xoshiro256pp;
+use fw_walk::workload::WalkEvent;
+use fw_walk::Workload;
+use graphwalker::{GraphWalkerSim, GwConfig};
+
+fn main() {
+    let csr = generate_csr(RmatParams::graph500(), 20_000, 400_000, 3);
+    let walk_len = 6u16;
+    let walks_per_vertex = 4u64;
+    let num_walks = csr.num_vertices() as u64 * walks_per_vertex;
+    let wl = Workload::deepwalk(num_walks, walk_len);
+
+    // --- 1. Materialize the corpus (host-side reference executor). ---
+    let mut rng = Xoshiro256pp::new(9);
+    let mut corpus: Vec<Vec<u32>> = Vec::with_capacity(num_walks as usize);
+    for start in wl.init_walks(&csr, 1) {
+        let mut seq = vec![start.cur];
+        let mut w = start;
+        while !w.is_done() {
+            match wl.step(&csr, w, &mut rng).0 {
+                WalkEvent::Moved(next) => {
+                    seq.push(next.cur);
+                    w = next;
+                }
+                WalkEvent::Completed(done) => {
+                    if done.cur != w.cur {
+                        seq.push(done.cur);
+                    }
+                    w = done;
+                }
+            }
+        }
+        corpus.push(seq);
+    }
+    let tokens: usize = corpus.iter().map(|s| s.len()).sum();
+    println!(
+        "corpus: {} walks, {} tokens (mean length {:.2})",
+        corpus.len(),
+        tokens,
+        tokens as f64 / corpus.len() as f64
+    );
+    // A couple of sample sentences for the skip-gram trainer:
+    for seq in corpus.iter().take(3) {
+        println!("  sample walk: {seq:?}");
+    }
+
+    // --- 2. System cost of generating it, both engines. ---
+    let accel = AccelConfig::scaled();
+    let pg = PartitionedGraph::build(
+        &csr,
+        PartitionConfig {
+            subgraph_bytes: 16 << 10,
+            id_bytes: 4,
+            subgraphs_per_partition: accel.mapping_table_entries(),
+        },
+    );
+    let fw = FlashWalkerSim::new(&csr, &pg, wl, accel, SsdConfig::scaled(), 42).run();
+    let gw = GraphWalkerSim::new(&csr, 4, GwConfig::scaled(), SsdConfig::scaled(), wl, 42).run();
+    println!("FlashWalker sampling time : {}", fw.time);
+    println!("GraphWalker sampling time : {}", gw.time);
+    println!(
+        "speedup                   : {:.2}x",
+        gw.time.as_nanos() as f64 / fw.time.as_nanos().max(1) as f64
+    );
+}

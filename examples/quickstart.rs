@@ -1,0 +1,82 @@
+//! Quickstart: build a graph, partition it into graph blocks, and run the
+//! same random-walk workload on both engines — FlashWalker (in-storage)
+//! and GraphWalker (host baseline) — over one simulated SSD.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use flashwalker::{AccelConfig, FlashWalkerSim};
+use fw_graph::partition::PartitionConfig;
+use fw_graph::rmat::{generate_csr, RmatParams};
+use fw_graph::PartitionedGraph;
+use fw_nand::SsdConfig;
+use fw_walk::Workload;
+use graphwalker::{GraphWalkerSim, GwConfig};
+
+fn main() {
+    // 1. A power-law graph: 50k vertices, 1M edges.
+    let csr = generate_csr(RmatParams::graph500(), 50_000, 1_000_000, 7);
+    println!(
+        "graph: |V|={} |E|={} max out-degree {}",
+        csr.num_vertices(),
+        csr.num_edges(),
+        csr.max_out_degree().1
+    );
+
+    // 2. Partition into 16 KB graph blocks (one subgraph per block).
+    let accel = AccelConfig::scaled();
+    let pg = PartitionedGraph::build(
+        &csr,
+        PartitionConfig {
+            subgraph_bytes: 16 << 10,
+            id_bytes: 4,
+            subgraphs_per_partition: accel.mapping_table_entries(),
+        },
+    );
+    println!(
+        "partitioned: {} subgraphs, {} dense vertices, {} partition(s)",
+        pg.num_subgraphs(),
+        pg.dense.len(),
+        pg.num_partitions()
+    );
+
+    // 3. The paper's workload: unbiased walks of length 6 from every
+    //    vertex (200k walks here).
+    let wl = Workload::paper_default(200_000);
+
+    // 4. FlashWalker: the three-level in-storage accelerator hierarchy.
+    let fw = FlashWalkerSim::new(&csr, &pg, wl, accel, SsdConfig::scaled(), 42).run();
+    println!(
+        "FlashWalker : {:>10}  ({} hops, {} subgraph loads, {:.1} GB/s flash read)",
+        format!("{}", fw.time),
+        fw.stats.hops,
+        fw.stats.sg_loads,
+        fw.read_bw / 1e9
+    );
+
+    // 5. GraphWalker: the host out-of-core baseline on the same SSD model.
+    let gw = GraphWalkerSim::new(&csr, 4, GwConfig::scaled(), SsdConfig::scaled(), wl, 42).run();
+    println!(
+        "GraphWalker : {:>10}  ({} hops, {} block loads, graph loading {:.0}% of time)",
+        format!("{}", gw.time),
+        gw.hops,
+        gw.block_loads,
+        gw.breakdown.load_fraction() * 100.0
+    );
+
+    println!(
+        "speedup     : {:.2}x",
+        gw.time.as_nanos() as f64 / fw.time.as_nanos().max(1) as f64
+    );
+
+    assert_eq!(fw.walks, 200_000);
+    assert_eq!(gw.walks, 200_000);
+
+    // 6. Silicon cost of the accelerator hierarchy (Table II model).
+    let area = flashwalker::area::AreaReport::for_config(&AccelConfig::paper());
+    println!(
+        "area (45nm) : chip {:.2} mm², channel {:.2} mm², board {:.2} mm²",
+        area.chip_mm2, area.channel_mm2, area.board_mm2
+    );
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! `fw-suite` — umbrella crate of the FlashWalker reproduction: it
+//! re-exports every workspace crate and hosts the cross-crate
+//! integration tests (`tests/`) and runnable examples (`examples/`).
+//!
+//! The fastest way to run something end to end:
+//!
+//! ```
+//! use fw_suite::flashwalker::{AccelConfig, FlashWalkerSim};
+//! use fw_suite::fw_graph::partition::PartitionConfig;
+//! use fw_suite::fw_graph::rmat::{generate_csr, RmatParams};
+//! use fw_suite::fw_graph::PartitionedGraph;
+//! use fw_suite::fw_nand::SsdConfig;
+//! use fw_suite::fw_walk::Workload;
+//!
+//! // A small power-law graph, partitioned into 4 KB graph blocks.
+//! let csr = generate_csr(RmatParams::graph500(), 500, 5_000, 1);
+//! let pg = PartitionedGraph::build(&csr, PartitionConfig {
+//!     subgraph_bytes: 4 << 10,
+//!     id_bytes: 4,
+//!     subgraphs_per_partition: 5_000,
+//! });
+//!
+//! // 1000 unbiased 6-hop walks through the in-storage hierarchy.
+//! let wl = Workload::paper_default(1_000);
+//! let report = FlashWalkerSim::new(
+//!     &csr, &pg, wl, AccelConfig::scaled(), SsdConfig::tiny(), 42,
+//! ).run();
+//! assert_eq!(report.walks, 1_000);
+//! assert!(report.time.as_nanos() > 0);
+//! ```
+
+pub use flashwalker;
+pub use fw_dram;
+pub use fw_graph;
+pub use fw_nand;
+pub use fw_sim;
+pub use fw_walk;
+pub use graphwalker;

@@ -1,0 +1,73 @@
+//! Property-based integration tests: for arbitrary graphs, workloads and
+//! seeds, the full FlashWalker system preserves the random-walk
+//! algorithm's invariants.
+
+use flashwalker::{AccelConfig, FlashWalkerSim};
+use fw_graph::partition::PartitionConfig;
+use fw_graph::rmat::{generate_csr, RmatParams};
+use fw_graph::PartitionedGraph;
+use fw_nand::SsdConfig;
+use fw_walk::Workload;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn prop_system_completes_and_conserves_walks(
+        seed in 0u64..1_000,
+        nv in 100u32..1_500,
+        ne in 500u64..10_000,
+        walks in 100u64..3_000,
+        len in 1u16..8,
+    ) {
+        let csr = generate_csr(RmatParams::graph500(), nv, ne, seed);
+        let pg = PartitionedGraph::build(
+            &csr,
+            PartitionConfig {
+                subgraph_bytes: 4 << 10,
+                id_bytes: 4,
+                subgraphs_per_partition: AccelConfig::scaled().mapping_table_entries(),
+            },
+        );
+        let wl = Workload::deepwalk(walks, len);
+        let r = FlashWalkerSim::new(&csr, &pg, wl, AccelConfig::scaled(), SsdConfig::tiny(), seed)
+            .with_walk_log()
+            .run();
+        prop_assert_eq!(r.walks, walks);
+        prop_assert_eq!(r.walk_log.len() as u64, walks);
+        // Hop budget respected for every walk.
+        prop_assert!(r.stats.hops <= walks * len as u64);
+        // Every logged walk is finished and has a valid endpoint.
+        for w in &r.walk_log {
+            prop_assert!(w.is_done());
+            prop_assert!(w.cur < nv);
+            prop_assert!(w.src < nv);
+        }
+        // Flash accounting is self-consistent: loads read at least one
+        // page each through the chip-private path.
+        prop_assert!(r.flash_read_bytes >= r.stats.sg_loads * 4096);
+    }
+
+    #[test]
+    fn prop_multi_partition_graphs_complete(
+        seed in 0u64..500,
+        spp in 2u32..12,
+    ) {
+        let csr = generate_csr(RmatParams::graph500(), 800, 8_000, seed);
+        let pg = PartitionedGraph::build(
+            &csr,
+            PartitionConfig {
+                subgraph_bytes: 4 << 10,
+                id_bytes: 4,
+                subgraphs_per_partition: spp,
+            },
+        );
+        prop_assume!(pg.num_partitions() >= 2);
+        let wl = Workload::paper_default(1_000);
+        let r = FlashWalkerSim::new(&csr, &pg, wl, AccelConfig::scaled(), SsdConfig::tiny(), seed)
+            .run();
+        prop_assert_eq!(r.walks, 1_000);
+        prop_assert!(r.stats.partition_switches > 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Invariants of the scaling scheme (DESIGN.md §5): the scaled experiment
+//! configuration must preserve every paper ratio that drives the
+//! evaluation's shape.
+
+use flashwalker::AccelConfig;
+use fw_graph::datasets::{DatasetId, GRAPH_SCALE, STRUCT_SCALE};
+use fw_nand::SsdConfig;
+
+#[test]
+fn bandwidth_hierarchy_is_preserved() {
+    // The ordering the whole paper rests on: PCIe < aggregate channels <
+    // aggregate array reads — at both scales (rates are never scaled).
+    for cfg in [SsdConfig::paper(), SsdConfig::scaled()] {
+        assert!(cfg.pcie_rate < cfg.aggregate_channel_bw());
+        assert!(cfg.aggregate_channel_bw() < cfg.aggregate_array_read_bw());
+    }
+}
+
+#[test]
+fn subgraphs_per_buffer_ratios_match_paper() {
+    let p = AccelConfig::paper();
+    let s = AccelConfig::scaled();
+    let paper_sg = 256u64 << 10;
+    let scaled_sg = paper_sg / STRUCT_SCALE;
+    assert_eq!(p.chip_slots(paper_sg), s.chip_slots(scaled_sg));
+    assert_eq!(p.chan_hot_slots(paper_sg), s.chan_hot_slots(scaled_sg));
+    assert_eq!(p.board_hot_slots(paper_sg), s.board_hot_slots(scaled_sg));
+    // Queue capacity relative to expected walks-per-subgraph is the
+    // quantity that decides queue pressure. Paper (TT): 4096-walk queues
+    // vs 4e8 walks over ~23.4k subgraphs; scaled: 256-walk queues vs
+    // 8e5 walks over ~810 subgraphs. The ratios must agree within 20%.
+    let paper_sgs = (41_600_000u64 + 1_460_000_000) * 4 / paper_sg;
+    let scaled_sgs = paper_sgs * STRUCT_SCALE / GRAPH_SCALE;
+    let paper_pressure = (400_000_000 / paper_sgs) as f64 / p.chip_queue_walks() as f64;
+    let scaled_pressure =
+        (400_000_000 / GRAPH_SCALE / scaled_sgs) as f64 / s.chip_queue_walks() as f64;
+    let rel = scaled_pressure / paper_pressure;
+    assert!((0.8..1.25).contains(&rel), "queue pressure drifted: {rel:.3}");
+}
+
+#[test]
+fn graph_to_memory_ratios_match_paper() {
+    // GraphWalker's 8 GB default vs each graph's CSR size: the scaled
+    // ratio must be within 10% of the paper ratio, because it decides
+    // which graphs fit in memory (TT) and which thrash (CW).
+    for id in DatasetId::ALL {
+        let (pv, pe) = id.paper_size();
+        let paper_csr = (pv + pe) * id.id_bytes() as u64;
+        let (sv, se) = id.scaled_size();
+        let scaled_csr = (sv as u64 + se) * id.id_bytes() as u64;
+        let paper_ratio = paper_csr as f64 / (8u64 << 30) as f64;
+        let scaled_ratio = scaled_csr as f64 / ((8u64 << 30) / GRAPH_SCALE) as f64;
+        let rel = scaled_ratio / paper_ratio;
+        assert!(
+            (0.9..1.1).contains(&rel),
+            "{id:?}: graph:memory ratio drifted by {rel:.3}"
+        );
+    }
+}
+
+#[test]
+fn walk_density_matches_paper() {
+    // Walks per vertex decides walk-buffer pressure; scaling walks and
+    // |V| by the same factor keeps it fixed.
+    for id in DatasetId::ALL {
+        let (pv, _) = id.paper_size();
+        let paper_walks = match id {
+            DatasetId::ClueWeb => 1_000_000_000u64,
+            _ => 400_000_000,
+        };
+        let (sv, _) = id.scaled_size();
+        let paper_density = paper_walks as f64 / pv as f64;
+        let scaled_density = id.default_walks() as f64 / sv as f64;
+        let rel = scaled_density / paper_density;
+        assert!(
+            (0.9..1.1).contains(&rel),
+            "{id:?}: walk density drifted by {rel:.3}"
+        );
+    }
+}
+
+#[test]
+fn dram_walk_capacity_ratio_matches() {
+    // Total walk bytes vs partition-walk-buffer DRAM decides overflow
+    // behaviour; both scale by GRAPH_SCALE so the ratio is invariant.
+    let paper_walks = 400_000_000u64 * 16;
+    let paper_dram = 4u64 << 30;
+    let scaled_walks = (400_000_000 / GRAPH_SCALE) * 16;
+    let scaled_dram = AccelConfig::scaled().dram_pwb_bytes;
+    let rel = (scaled_walks as f64 / scaled_dram as f64) / (paper_walks as f64 / paper_dram as f64);
+    assert!((0.9..1.1).contains(&rel), "PWB pressure drifted by {rel:.3}");
+}
+
+#[test]
+fn scaled_graphs_fit_the_scaled_ssd() {
+    let ssd = SsdConfig::scaled();
+    for id in DatasetId::ALL {
+        let (sv, se) = id.scaled_size();
+        let csr = (sv as u64 + se) * id.id_bytes() as u64;
+        assert!(
+            csr * 2 < ssd.usable_bytes(),
+            "{id:?} does not fit the scaled SSD with headroom"
+        );
+    }
+}
