@@ -83,8 +83,16 @@ mod tests {
     fn reproduces_table_ii_areas() {
         let r = AreaReport::for_config(&AccelConfig::paper());
         assert!((r.chip_mm2 - 1.30).abs() < 0.05, "chip {:.3}", r.chip_mm2);
-        assert!((r.channel_mm2 - 1.84).abs() < 0.08, "chan {:.3}", r.channel_mm2);
-        assert!((r.board_mm2 - 14.31).abs() < 0.6, "board {:.3}", r.board_mm2);
+        assert!(
+            (r.channel_mm2 - 1.84).abs() < 0.08,
+            "chan {:.3}",
+            r.channel_mm2
+        );
+        assert!(
+            (r.board_mm2 - 14.31).abs() < 0.6,
+            "board {:.3}",
+            r.board_mm2
+        );
     }
 
     #[test]

@@ -239,8 +239,14 @@ mod tests {
         assert_eq!(c.chip_cycle, Duration::nanos(16));
         assert_eq!(c.chan_cycle, Duration::nanos(8));
         assert_eq!(c.board_cycle, Duration::nanos(4));
-        assert_eq!((c.chip_updaters, c.chan_updaters, c.board_updaters), (1, 1, 4));
-        assert_eq!((c.chip_guiders, c.chan_guiders, c.board_guiders), (1, 4, 128));
+        assert_eq!(
+            (c.chip_updaters, c.chan_updaters, c.board_updaters),
+            (1, 1, 4)
+        );
+        assert_eq!(
+            (c.chip_guiders, c.chan_guiders, c.board_guiders),
+            (1, 4, 128)
+        );
         assert_eq!(c.chip_subgraph_buf, 1 << 20);
         assert_eq!(c.board_subgraph_buf, 16 << 20);
         // 256 KB subgraphs: 4 per chip buffer, 8 per channel, 64 on board.

@@ -90,7 +90,8 @@ pub fn flashwalker_energy(r: &FwReport) -> EnergyBreakdown {
         flash_program_uj: pages_written * FLASH_PROGRAM_UJ,
         channel_uj: r.channel_bytes as f64 * CHANNEL_PJ_PER_BYTE / 1e6,
         pcie_uj: 0.0, // in-storage: results stay on the device
-        dram_uj: (r.stats.pwb_spill_pages + r.stats.foreign_pages) as f64 * 4096.0
+        dram_uj: (r.stats.pwb_spill_pages + r.stats.foreign_pages) as f64
+            * 4096.0
             * DRAM_PJ_PER_BYTE
             / 1e6
             + r.stats.hops as f64 * 16.0 * DRAM_PJ_PER_BYTE / 1e6,

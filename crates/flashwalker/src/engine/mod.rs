@@ -2,6 +2,23 @@
 //! three-level accelerator hierarchy running a random-walk workload over
 //! a partitioned graph resident in the simulated SSD.
 //!
+//! ## Module map
+//!
+//! * [`state`] — walk-in-transit, chip/channel/board state, the PWB and
+//!   the Eq. 1 score.
+//! * [`step`] — single-hop sampling: regular subgraphs, dense slices,
+//!   pre-walking, local guiding.
+//! * `events` — the event enum, [`FwStats`] and [`FwReport`].
+//! * `sched` — the subgraph scheduler: Eq. 1 scoring and chip slot
+//!   filling.
+//! * `routing` — walk flow through the hierarchy: chip batches, channel
+//!   batches, board batches and destination resolution.
+//! * `partition` — the partition walk buffer, foreigner pages, partition
+//!   setup and switching.
+//!
+//! This file owns the simulator struct, construction (graph layout,
+//! tables, per-level state) and the top-level event loop.
+//!
 //! ## Model granularity
 //!
 //! Walk updating is simulated per *drain batch* (DESIGN.md §4): when an
@@ -37,146 +54,29 @@
 //! 6. When the current partition drains, the next partition with work is
 //!    set up and its foreigner pages are read back.
 
+mod events;
+mod partition;
+mod routing;
+mod sched;
 pub mod state;
 pub mod step;
+#[cfg(test)]
+mod tests;
 
-use fw_dram::{Dram, DramConfig, DramOp};
+pub use events::{FwReport, FwStats};
+
+use fw_dram::{Dram, DramConfig};
 use fw_graph::{Csr, PartitionedGraph, RangeTable, SubgraphMappingTable};
-use fw_nand::{GraphLayout, Lpn, Ssd, SsdConfig};
 use fw_nand::layout::GraphBlockPlacement;
-use fw_sim::{Duration, EventQueue, SimTime, TimeSeries, Xoshiro256pp};
-use fw_walk::{Workload, WALK_BYTES};
+use fw_nand::{GraphLayout, Lpn, Ssd, SsdConfig};
+use fw_sim::{EventQueue, SimTime, TimeSeries, Xoshiro256pp};
+use fw_walk::{RunReport, WalkEngine, Workload, WALK_BYTES};
 
 use crate::config::AccelConfig;
 use crate::tables::{DenseTable, WalkQueryCache};
-use state::{
-    eq1_score, ChannelState, ChipState, DeliveryBuckets, ForeignStore, Pwb, SgId, Slot, SpillPage,
-    TWalk,
-};
-use step::{guide_local, hop_dense_slice, hop_regular, prewalk_slice, HopResult};
-
-/// Simulation events.
-enum Ev {
-    /// A subgraph (and its walks) finished loading into a chip slot.
-    ChipLoaded { chip: u32, sg: SgId },
-    /// A chip update batch finished; roving walks leave for the channel.
-    ChipBatchDone { chip: u32, outbox: Vec<TWalk> },
-    /// Walks crossed the channel bus and arrived at an accelerator.
-    ChanArrive { ch: u32, walks: Vec<TWalk> },
-    /// A channel batch finished; walks continue to the board.
-    ChanBatchDone { ch: u32, to_board: Vec<TWalk> },
-    /// A board batch finished; deliveries fan out to chips.
-    BoardBatchDone {
-        deliveries: Vec<(u32, Vec<TWalk>)>,
-        dirty_chips: Vec<u32>,
-    },
-    /// Walks delivered from the board arrived at a chip.
-    ChipDeliver { chip: u32, walks: Vec<TWalk> },
-}
-
-/// Aggregated run statistics.
-#[derive(Debug, Clone, Default)]
-pub struct FwStats {
-    /// Total hops executed.
-    pub hops: u64,
-    /// Hops executed at chip level.
-    pub chip_hops: u64,
-    /// Hops executed at channel level (hot subgraphs).
-    pub chan_hops: u64,
-    /// Hops executed at board level (hot subgraphs).
-    pub board_hops: u64,
-    /// Subgraph loads into chip slots.
-    pub sg_loads: u64,
-    /// Walks that left a chip as roving walks.
-    pub roving: u64,
-    /// Partition-walk-buffer overflow pages written to flash.
-    pub pwb_spill_pages: u64,
-    /// Foreigner pages written to flash.
-    pub foreign_pages: u64,
-    /// Completed-walk pages written to flash.
-    pub completed_pages: u64,
-    /// Subgraph-mapping-table probes.
-    pub map_probes: u64,
-    /// Walk-query-cache hits.
-    pub cache_hits: u64,
-    /// Walk-query-cache misses.
-    pub cache_misses: u64,
-    /// Walks delivered directly to a loaded chip slot.
-    pub deliveries: u64,
-    /// Partition switches performed.
-    pub partition_switches: u64,
-    /// Pages spilled during (uncharged) initial walk distribution.
-    pub init_spill_pages: u64,
-    /// Hot-subgraph pages loaded at partition setup.
-    pub hot_load_pages: u64,
-    /// Accumulated chip-batch busy time (ns, summed over 128 chips).
-    pub chip_busy_ns: u64,
-    /// Accumulated channel-batch busy time (ns, summed over 32 channels).
-    pub chan_busy_ns: u64,
-    /// Accumulated board-batch busy time (ns).
-    pub board_busy_ns: u64,
-    /// Of the board busy time, ns attributable to PWB DRAM writes.
-    pub board_dram_ns: u64,
-    /// Of the board busy time, ns attributable to mapping-table ports.
-    pub board_map_ns: u64,
-    /// Chip update batches run.
-    pub chip_batches: u64,
-    /// Channel batches run.
-    pub chan_batches: u64,
-    /// Board batches run.
-    pub board_batches: u64,
-    /// maybe_fill calls that stopped for want of a free slot.
-    pub fill_no_slot: u64,
-    /// maybe_fill calls that stopped for want of a candidate subgraph.
-    pub fill_no_candidate: u64,
-    /// Total subgraph-load latency (ns), for mean-latency reporting.
-    pub load_latency_ns: u64,
-    /// Total walks fetched by subgraph loads.
-    pub load_walks: u64,
-    /// Load-latency share: graph-block array reads (ns).
-    pub load_array_ns: u64,
-    /// Load-latency share: walk fetch over DRAM + channel (ns).
-    pub load_fetch_ns: u64,
-    /// Load-latency share: spilled-page read-back (ns).
-    pub load_spill_ns: u64,
-}
-
-/// Result of a FlashWalker run.
-#[derive(Debug, Clone)]
-pub struct FwReport {
-    /// End-to-end execution time.
-    pub time: Duration,
-    /// Walks completed (== workload size).
-    pub walks: u64,
-    /// Engine statistics.
-    pub stats: FwStats,
-    /// Bytes read from flash arrays.
-    pub flash_read_bytes: u64,
-    /// Bytes programmed to flash arrays.
-    pub flash_write_bytes: u64,
-    /// Bytes moved over channel buses.
-    pub channel_bytes: u64,
-    /// Achieved flash read bandwidth, bytes/s.
-    pub read_bw: f64,
-    /// Mean channel-bus utilization over the run.
-    pub channel_util: f64,
-    /// Mean queueing delay per channel transfer (ns).
-    pub channel_wait_ns: u64,
-    /// Walks completed per trace window (Figure 8 progression curve).
-    pub progress: Vec<f64>,
-    /// Flash read bytes per trace window.
-    pub read_bytes_series: Vec<f64>,
-    /// Flash write bytes per trace window.
-    pub write_bytes_series: Vec<f64>,
-    /// Channel-bus bytes per trace window.
-    pub channel_bytes_series: Vec<f64>,
-    /// Trace window width in nanoseconds.
-    pub trace_window_ns: u64,
-    /// Completed walks (src, final vertex, 0 hops left), collected when
-    /// [`FlashWalkerSim::with_walk_log`] is enabled — the engine's actual
-    /// output for downstream tasks.
-    pub walk_log: Vec<fw_walk::Walk>,
-}
+use events::Ev;
+use state::{ChannelState, ChipState, ForeignStore, Pwb, SgId, Slot, TWalk};
+use step::prewalk_slice;
 
 /// The FlashWalker system simulator.
 pub struct FlashWalkerSim<'g> {
@@ -223,7 +123,8 @@ fn page_walks(ssd: &Ssd) -> u64 {
 
 impl<'g> FlashWalkerSim<'g> {
     /// Build a simulator over a partitioned graph. `static_blocks` of each
-    /// plane are reserved for the graph region.
+    /// plane are reserved for the graph region. The workload is supplied
+    /// at run time ([`Self::run_detailed`] / [`WalkEngine::run`]).
     ///
     /// # Panics
     /// Panics if the graph does not fit the static region, or if the
@@ -231,7 +132,6 @@ impl<'g> FlashWalkerSim<'g> {
     pub fn new(
         csr: &'g Csr,
         pg: &'g PartitionedGraph,
-        wl: Workload,
         cfg: AccelConfig,
         ssd_cfg: SsdConfig,
         seed: u64,
@@ -244,14 +144,12 @@ impl<'g> FlashWalkerSim<'g> {
         );
         // Lay the graph out in the static region, leaving the rest to the
         // FTL for walk spills.
-        let pages_per_sg =
-            (pg.config.subgraph_bytes / ssd_cfg.geometry.page_bytes).max(1) as u32;
+        let pages_per_sg = (pg.config.subgraph_bytes / ssd_cfg.geometry.page_bytes).max(1) as u32;
         let total_pages = pg.num_subgraphs() as u64 * pages_per_sg as u64;
         let per_plane_pages = total_pages.div_ceil(ssd_cfg.geometry.num_planes() as u64);
-        let static_blocks = (per_plane_pages.div_ceil(ssd_cfg.geometry.pages_per_block as u64)
-            as u32
-            + 1)
-            .min(ssd_cfg.geometry.blocks_per_plane - 4);
+        let static_blocks =
+            (per_plane_pages.div_ceil(ssd_cfg.geometry.pages_per_block as u64) as u32 + 1)
+                .min(ssd_cfg.geometry.blocks_per_plane - 4);
         let mut layout = GraphLayout::new(ssd_cfg.geometry, static_blocks);
         let placements: Vec<GraphBlockPlacement> = (0..pg.num_subgraphs())
             .map(|_| layout.place_block(pages_per_sg))
@@ -292,12 +190,11 @@ impl<'g> FlashWalkerSim<'g> {
             .map(|_| WalkQueryCache::new(cfg.query_cache_entries()))
             .collect();
 
-        let total_walks = wl.num_walks;
         FlashWalkerSim {
             cfg,
             csr,
             pg,
-            wl,
+            wl: Workload::paper_default(0),
             table,
             ranges,
             dense,
@@ -322,11 +219,11 @@ impl<'g> FlashWalkerSim<'g> {
             current_partition: 0,
             pending_loads: std::collections::HashMap::new(),
             relaxed_pick: false,
-            total_walks,
+            total_walks: 0,
             completed: 0,
             next_lpn: 0,
             stats: FwStats::default(),
-            progress: TimeSeries::new(1_000_000), // placeholder; set in run()
+            progress: TimeSeries::new(1_000_000), // placeholder; set in run
             trace_window_ns: 1_000_000,
             walk_log: None,
         }
@@ -387,800 +284,15 @@ impl<'g> FlashWalkerSim<'g> {
     }
 
     // ------------------------------------------------------------------
-    // Partition walk buffer
-    // ------------------------------------------------------------------
-
-    /// Insert a walk into the PWB (destination must be in the current
-    /// partition). Returns DRAM bytes written; spill pages are charged
-    /// immediately when `charge` is set.
-    fn pwb_insert(&mut self, tw: TWalk, now: SimTime, charge: bool) -> u64 {
-        let sg = tw.dest.expect("pwb_insert without destination");
-        let idx = self
-            .pwb
-            .index_of(sg)
-            .expect("pwb_insert outside current partition");
-        self.pwb.entries[idx].walks.push(tw);
-        self.pwb.inserts_since_refresh[idx] += 1;
-        // Lazy score refresh: "we access the topN list every M
-        // walk-insertions for a subgraph".
-        if self.pwb.inserts_since_refresh[idx] >= self.cfg.lazy_m {
-            self.pwb.inserts_since_refresh[idx] = 0;
-            self.refresh_score(idx);
-        }
-        if self.pwb.entries[idx].walks.len() as u64 > self.pwb.quota {
-            self.spill_entry(idx, now, charge);
-        }
-        WALK_BYTES
-    }
-
-    fn refresh_score(&mut self, idx: usize) {
-        let sg = self.pwb.first_sg + idx as u32;
-        let e = &self.pwb.entries[idx];
-        let fls: u64 = e.spilled.iter().map(|p| p.walks.len() as u64).sum();
-        let is_dense = self.pg.subgraphs[sg as usize].is_dense();
-        let (a, b) = if self.cfg.opts.subgraph_scheduling {
-            (self.cfg.alpha, self.cfg.beta)
-        } else {
-            (1.0, 1.0)
-        };
-        self.pwb.stale_score[idx] = eq1_score(e.walks.len() as u64, fls, is_dense, a, b);
-    }
-
-    /// Spill an overflowing PWB entry to flash walk pages.
-    fn spill_entry(&mut self, idx: usize, now: SimTime, charge: bool) {
-        let pw = page_walks(&self.ssd) as usize;
-        let walks = std::mem::take(&mut self.pwb.entries[idx].walks);
-        for chunk in walks.chunks(pw) {
-            let lpn = self.alloc_lpn();
-            if charge {
-                self.ssd.ftl_write_page(now, lpn);
-                self.stats.pwb_spill_pages += 1;
-            } else {
-                self.stats.init_spill_pages += 1;
-            }
-            self.pwb.entries[idx].spilled.push(SpillPage {
-                lpn,
-                walks: chunk.to_vec(),
-            });
-        }
-        self.refresh_score(idx);
-    }
-
-    // ------------------------------------------------------------------
-    // Scheduler
-    // ------------------------------------------------------------------
-
-    /// Fill every empty slot of `chip` with the best-scoring candidate
-    /// subgraph of this chip that still has walks.
-    fn maybe_fill_chip(&mut self, chip: u32, now: SimTime) {
-        loop {
-            let Some(slot) = self.chips[chip as usize].free_slot() else {
-                self.stats.fill_no_slot += 1;
-                return;
-            };
-            let Some(sg) = self.pick_subgraph(chip, self.relaxed_pick) else {
-                self.stats.fill_no_candidate += 1;
-                return;
-            };
-            self.chips[chip as usize].slots[slot] = Slot::Loading(sg);
-            self.issue_load(chip, sg, now);
-        }
-    }
-
-    /// Highest-stale-score subgraph of `chip` in the current partition
-    /// with walks waiting and not already resident. ("FlashWalker
-    /// restricts that subgraphs fetched by a chip-level accelerator must
-    /// be in the same chip's flash planes.")
-    fn pick_subgraph(&self, chip: u32, relaxed: bool) -> Option<SgId> {
-        let resident: Vec<SgId> = self.chips[chip as usize].resident().collect();
-        let threshold = if relaxed { 1 } else { self.cfg.min_load_walks };
-        let mut best: Option<(f64, SgId)> = None;
-        for (idx, entry) in self.pwb.entries.iter().enumerate() {
-            let sg = self.pwb.first_sg + idx as u32;
-            if self.chip_of_sg(sg) != chip || resident.contains(&sg) {
-                continue;
-            }
-            if entry.total_walks() < threshold {
-                continue;
-            }
-            let score = self.pwb.stale_score[idx].max(entry.total_walks() as f64 * 1e-9);
-            // Deterministic tie-break on the lower subgraph id.
-            if best.map(|(s, b)| score > s || (score == s && sg < b)).unwrap_or(true) {
-                best = Some((score, sg));
-            }
-        }
-        best.map(|(_, sg)| sg)
-    }
-
-    /// Issue a subgraph load: array-read the graph block from the chip's
-    /// planes, and fetch the subgraph's walks from DRAM (PWB) and spilled
-    /// walk pages. The slot opens when the block and its walk set are
-    /// resident (the paper's chip "reads the subgraph from flash planes in
-    /// this chip, and collects its walks from partition walk buffer in the
-    /// on-board DRAM and from the flash planes", §III-B).
-    fn issue_load(&mut self, chip: u32, sg: SgId, now: SimTime) {
-        self.stats.sg_loads += 1;
-        // Graph block pages: chip-private path, no channel traffic.
-        let pages = self.placements[sg as usize].pages.clone();
-        let mut array_done = now;
-        for ppa in pages {
-            array_done = array_done.max(self.ssd.array_read(now, ppa).end);
-        }
-        let mut done = array_done;
-        // Walks from the PWB: DRAM read + board→chip channel transfer.
-        let idx = self.pwb.index_of(sg).expect("loading outside partition");
-        let mut walks = std::mem::take(&mut self.pwb.entries[idx].walks);
-        let spilled = std::mem::take(&mut self.pwb.entries[idx].spilled);
-        let ch = self.channel_of_chip(chip);
-        let mut fetch_done = now;
-        if !walks.is_empty() {
-            let bytes = walks.len() as u64 * WALK_BYTES;
-            let addr = idx as u64 * self.pwb.quota * WALK_BYTES;
-            let d = self.dram.access(now, addr, bytes as u32, DramOp::Read);
-            let t = self.ssd.channel_transfer(d.done, ch, bytes);
-            fetch_done = fetch_done.max(t.end);
-        }
-        done = done.max(fetch_done);
-        // Spilled walk pages: flash read → controller → chip.
-        let mut spill_done = now;
-        for page in spilled {
-            if let Some(r) = self.ssd.ftl_read_page(now, page.lpn) {
-                let t = self
-                    .ssd
-                    .channel_transfer(r.end, ch, self.ssd.config().geometry.page_bytes);
-                spill_done = spill_done.max(t.end);
-            }
-            self.ssd.ftl_mut().trim(page.lpn);
-            walks.extend(page.walks);
-        }
-        done = done.max(spill_done);
-        self.refresh_score(idx);
-        self.stats.load_array_ns += (array_done - now).as_nanos();
-        self.stats.load_fetch_ns += (fetch_done - now).as_nanos();
-        self.stats.load_spill_ns += (spill_done - now).as_nanos();
-        self.stats.load_latency_ns += (done - now).as_nanos();
-        self.stats.load_walks += walks.len() as u64;
-        self.pending_loads.insert((chip, sg), walks);
-        self.events.schedule_at(done, Ev::ChipLoaded { chip, sg });
-    }
-
-    // ------------------------------------------------------------------
-    // Chip level
-    // ------------------------------------------------------------------
-
-    fn try_start_chip(&mut self, chip: u32, now: SimTime) {
-        let c = &mut self.chips[chip as usize];
-        if c.busy || c.queued_walks() == 0 {
-            return;
-        }
-        c.busy = true;
-        self.run_chip_batch(chip, now);
-    }
-
-    fn run_chip_batch(&mut self, chip: u32, now: SimTime) {
-        // Snapshot loaded subgraphs and drain their queues.
-        let mut work: Vec<TWalk> = Vec::new();
-        let mut loaded: Vec<SgId> = Vec::new();
-        let cap = self.cfg.chip_batch_cap;
-        for slot in &mut self.chips[chip as usize].slots {
-            if let Slot::Loaded { sg, queue, fresh } = slot {
-                loaded.push(*sg);
-                let take = queue.len().min(cap.saturating_sub(work.len()));
-                if take > 0 {
-                    work.extend(queue.drain(..take));
-                    // A slot stays `fresh` (eviction-exempt) until it has
-                    // actually contributed walks to a batch — its walk
-                    // stream may still be in flight.
-                    *fresh = false;
-                }
-            }
-        }
-        let mut upd_ops: u64 = 0;
-        let mut guid_ops: u64 = 0;
-        let mut outbox: Vec<TWalk> = Vec::new();
-        let mut completed_now: u64 = 0;
-
-        for mut tw in work {
-            loop {
-                let sg = tw.dest.expect("queued walk without destination");
-                let is_dense = self.pg.subgraphs[sg as usize].is_dense();
-                let (res, ops) = if is_dense {
-                    hop_dense_slice(&self.wl, self.csr, self.pg, sg, tw.walk, &mut self.rng)
-                } else {
-                    hop_regular(&self.wl, self.csr, tw.walk, &mut self.rng)
-                };
-                upd_ops += ops as u64;
-                self.stats.hops += 1;
-                self.stats.chip_hops += 1;
-                match res {
-                    HopResult::Completed(w) => {
-                        completed_now += 1;
-                        self.log_completed(w);
-                        break;
-                    }
-                    HopResult::Moved(w) => {
-                        let (local, gops) = guide_local(self.pg, &loaded, w.cur);
-                        guid_ops += gops as u64;
-                        tw.walk = w;
-                        match local {
-                            Some(next_sg) => {
-                                tw.dest = Some(next_sg);
-                                // Asynchronous updating: keep hopping.
-                            }
-                            None => {
-                                tw.dest = None;
-                                tw.range = None;
-                                outbox.push(tw);
-                                break;
-                            }
-                        }
-                    }
-                }
-            }
-        }
-
-        // Completed-walk buffer: flush page-sized groups chip-locally.
-        self.completed += completed_now;
-        let pw = page_walks(&self.ssd);
-        self.chips[chip as usize].completed_buf += completed_now;
-        while self.chips[chip as usize].completed_buf >= pw {
-            self.chips[chip as usize].completed_buf -= pw;
-            let lpn = self.alloc_lpn();
-            self.ssd.local_write_page(now, lpn);
-            self.stats.completed_pages += 1;
-        }
-        if completed_now > 0 {
-            self.progress.add(now, completed_now as f64);
-        }
-
-        let cyc = self.cfg.chip_cycle;
-        let upd_time = cyc * upd_ops.div_ceil(self.cfg.chip_updaters as u64);
-        let gui_time = cyc * guid_ops.div_ceil(self.cfg.chip_guiders as u64);
-        let busy = upd_time.max(gui_time).max(cyc);
-        self.stats.chip_busy_ns += busy.as_nanos();
-        self.stats.chip_batches += 1;
-        self.events
-            .schedule_at(now + busy, Ev::ChipBatchDone { chip, outbox });
-    }
-
-    fn on_chip_batch_done(&mut self, chip: u32, mut outbox: Vec<TWalk>, now: SimTime) {
-        self.chips[chip as usize].busy = false;
-        // "When a walk queue for a loaded subgraph becomes empty … the
-        // subgraph scheduler is informed to decide a subgraph." We also
-        // evict slots whose queue has dwindled below a small threshold:
-        // a trickle of in-flight deliveries would otherwise pin a slot
-        // forever and starve the chip's other subgraphs (convoying).
-        // Stragglers return through the normal roving path, paying the
-        // channel-bus cost of their trip back to the board.
-        for slot in &mut self.chips[chip as usize].slots {
-            if let Slot::Loaded { queue, fresh, .. } = slot {
-                if !*fresh && queue.len() < self.cfg.evict_below as usize {
-                    for mut tw in queue.drain(..) {
-                        tw.dest = None;
-                        tw.range = None;
-                        outbox.push(tw);
-                    }
-                    *slot = Slot::Empty;
-                }
-            }
-        }
-        // Roving walks (and evicted stragglers) cross the channel bus to
-        // the channel accelerator.
-        if !outbox.is_empty() {
-            self.stats.roving += outbox.len() as u64;
-            let ch = self.channel_of_chip(chip);
-            let res = self
-                .ssd
-                .channel_transfer(now, ch, outbox.len() as u64 * WALK_BYTES);
-            self.events
-                .schedule_at(res.end, Ev::ChanArrive { ch, walks: outbox });
-        }
-        self.maybe_fill_chip(chip, now);
-        self.try_start_chip(chip, now);
-    }
-
-    fn on_chip_loaded(&mut self, chip: u32, sg: SgId, now: SimTime) {
-        let walks = self.pending_loads.remove(&(chip, sg)).unwrap_or_default();
-        let c = &mut self.chips[chip as usize];
-        if let Some(slot) = c
-            .slots
-            .iter_mut()
-            .find(|s| matches!(s, Slot::Loading(x) if *x == sg))
-        {
-            *slot = Slot::Loaded {
-                sg,
-                queue: walks,
-                fresh: true,
-            };
-        }
-        self.try_start_chip(chip, now);
-    }
-
-    fn on_chip_deliver(&mut self, chip: u32, walks: Vec<TWalk>, now: SimTime) {
-        let mut retry: Vec<TWalk> = Vec::new();
-        for tw in walks {
-            let sg = tw.dest.expect("delivery without destination");
-            match self.chips[chip as usize].slot_of(sg) {
-                Some(i) => {
-                    if let Slot::Loaded { queue, .. } = &mut self.chips[chip as usize].slots[i] {
-                        queue.push(tw);
-                    }
-                }
-                None => {
-                    if self
-                        .chips[chip as usize]
-                        .resident()
-                        .any(|r| r == sg)
-                    {
-                        // Still loading: hold the walk briefly.
-                        retry.push(tw);
-                    } else {
-                        // Evicted while the walk was in flight: back to
-                        // the partition walk buffer.
-                        self.pwb_insert(tw, now, true);
-                    }
-                }
-            }
-        }
-        if !retry.is_empty() {
-            self.events.schedule_at(
-                now + Duration::micros(1),
-                Ev::ChipDeliver { chip, walks: retry },
-            );
-        }
-        self.maybe_fill_chip(chip, now);
-        self.try_start_chip(chip, now);
-    }
-
-    // ------------------------------------------------------------------
-    // Channel level
-    // ------------------------------------------------------------------
-
-    fn try_start_channel(&mut self, ch: u32, now: SimTime) {
-        let c = &mut self.channels[ch as usize];
-        if c.busy || c.inbox.is_empty() {
-            return;
-        }
-        c.busy = true;
-        self.run_channel_batch(ch, now);
-    }
-
-    fn run_channel_batch(&mut self, ch: u32, now: SimTime) {
-        let inbox_all = &mut self.channels[ch as usize].inbox;
-        let take = inbox_all.len().min(self.cfg.chan_batch_cap);
-        let inbox: Vec<TWalk> = inbox_all.drain(..take).collect();
-        let hot = self.channels[ch as usize].hot.clone();
-        let mut guid_ops: u64 = 0;
-        let mut upd_ops: u64 = 0;
-        let mut to_board: Vec<TWalk> = Vec::new();
-        let mut completed_now: u64 = 0;
-
-        for mut tw in inbox {
-            // Hot-subgraph updating at the channel (HS).
-            let mut done = false;
-            if self.cfg.opts.hot_subgraphs {
-                loop {
-                    let (hit, gops) = guide_local(self.pg, &hot, tw.walk.cur);
-                    guid_ops += gops as u64;
-                    let Some(_sg) = hit else { break };
-                    let (res, ops) =
-                        hop_regular(&self.wl, self.csr, tw.walk, &mut self.rng);
-                    upd_ops += ops as u64;
-                    self.stats.hops += 1;
-                    self.stats.chan_hops += 1;
-                    match res {
-                        HopResult::Completed(w) => {
-                            completed_now += 1;
-                            self.log_completed(w);
-                            done = true;
-                            break;
-                        }
-                        HopResult::Moved(w) => tw.walk = w,
-                    }
-                }
-            }
-            if done {
-                continue;
-            }
-            // Approximate walk search (WQ): tag the walk with its range.
-            if self.cfg.opts.walk_query {
-                let rl = self.ranges.lookup(tw.walk.cur);
-                guid_ops += rl.steps as u64;
-                tw.range = rl.range_id;
-            } else {
-                guid_ops += 1;
-            }
-            to_board.push(tw);
-        }
-
-        self.completed += completed_now;
-        self.board.completed_buf += completed_now;
-        if completed_now > 0 {
-            self.progress.add(now, completed_now as f64);
-        }
-
-        let cyc = self.cfg.chan_cycle;
-        let busy = (cyc * guid_ops.div_ceil(self.cfg.chan_guiders as u64))
-            .max(cyc * upd_ops.div_ceil(self.cfg.chan_updaters as u64))
-            .max(cyc);
-        self.stats.chan_busy_ns += busy.as_nanos();
-        self.stats.chan_batches += 1;
-        self.events
-            .schedule_at(now + busy, Ev::ChanBatchDone { ch, to_board });
-    }
-
-    fn on_chan_batch_done(&mut self, ch: u32, to_board: Vec<TWalk>, now: SimTime) {
-        self.channels[ch as usize].busy = false;
-        // Channel→board traffic is controller-internal (the board fetches
-        // roving walks from channel accelerators over the controller
-        // interconnect, not the ONFI bus).
-        if !to_board.is_empty() {
-            self.board.inbox.extend(to_board);
-            self.try_start_board(now);
-        }
-        self.try_start_channel(ch, now);
-    }
-
-    // ------------------------------------------------------------------
-    // Board level
-    // ------------------------------------------------------------------
-
-    fn try_start_board(&mut self, now: SimTime) {
-        if self.board.busy || self.board.inbox.is_empty() {
-            return;
-        }
-        self.board.busy = true;
-        self.run_board_batch(now);
-    }
-
-    /// Resolve a walk's destination with the timed structures. Returns
-    /// `(dest, guider_ops, map_probes)`; `None` dest means foreigner.
-    fn resolve_dest(&mut self, tw: &TWalk, cache_idx: usize) -> (Option<SgId>, u64, u64) {
-        let v = tw.walk.cur;
-        let mut gops: u64 = 1; // dense-table bloom probe
-        let mut probes: u64 = 0;
-        // Dense vertices mapping table first (§III-D).
-        if let Some(meta) = self.dense.lookup(v) {
-            let cap = self.pg.config.dense_slice_edges();
-            let (sg, ops) = prewalk_slice(&meta, cap, &mut self.rng);
-            gops += ops as u64;
-            let dest = (self.pg.partition_of(sg) == self.current_partition).then_some(sg);
-            return (dest, gops, probes);
-        }
-        let (pstart, pend) = self.part_windows[self.current_partition as usize];
-        if self.cfg.opts.walk_query {
-            // Walk query cache probe. A hit may name a subgraph of another
-            // partition (cached entries are graph-wide) — such walks are
-            // foreigners.
-            gops += 1;
-            if let Some(sg) = self.caches[cache_idx].probe(v) {
-                self.stats.cache_hits += 1;
-                let dest =
-                    (self.pg.partition_of(sg) == self.current_partition).then_some(sg);
-                return (dest, gops, probes);
-            }
-            self.stats.cache_misses += 1;
-            // Narrowed search: range window ∩ partition window.
-            let (s, e) = match tw.range {
-                Some(rid) => {
-                    let (rs, re) = self.ranges.entry_window(rid);
-                    (rs.max(pstart), re.min(pend))
-                }
-                None => (pstart, pend),
-            };
-            let l = self.table.lookup_in(v, s, e.max(s));
-            // "A binary search always touches common nodes in the upper
-            // level of the binary search tree, and therefore these nodes
-            // exhibit strong temporal locality" (§III-D): the top
-            // ~log2(cache entries) tree levels stay cached, so only the
-            // deeper probes hit the mapping-table SRAM.
-            let tree_levels =
-                (self.cfg.query_cache_entries() as u64 + 1).ilog2() as u64;
-            let charged = (l.steps as u64).saturating_sub(tree_levels).max(1);
-            gops += charged;
-            probes += charged;
-            if let Some(sg) = l.sg_id {
-                let entry = self.table.entries()[self
-                    .table
-                    .entry_index_of(sg)
-                    .expect("entry for hit")];
-                self.caches[cache_idx].install(entry.low, entry.high, sg);
-                return (Some(sg), gops, probes);
-            }
-            (None, gops, probes)
-        } else {
-            let l = self.table.lookup_in(v, pstart, pend);
-            gops += l.steps as u64;
-            probes += l.steps as u64;
-            (l.sg_id, gops, probes)
-        }
-    }
-
-    fn run_board_batch(&mut self, now: SimTime) {
-        let take = self.board.inbox.len().min(self.cfg.board_batch_cap);
-        let inbox: Vec<TWalk> = self.board.inbox.drain(..take).collect();
-        let hot = self.board.hot.clone();
-        let mut guid_ops: u64 = 0;
-        let mut upd_ops: u64 = 0;
-        let mut map_probes: u64 = 0;
-        let mut dram_write_bytes: u64 = 0;
-        let mut deliveries = DeliveryBuckets::default();
-        let mut dirty_chips: Vec<u32> = Vec::new();
-        let mut completed_now: u64 = 0;
-
-        for (walk_i, mut tw) in inbox.into_iter().enumerate() {
-            // Walk query caches are shared: each group of four guiders
-            // owns one; batches stripe walks across groups.
-            let cache_idx = walk_i % self.caches.len();
-            let route = loop {
-                let (dest, gops, probes) = self.resolve_dest(&tw, cache_idx);
-                guid_ops += gops;
-                map_probes += probes;
-                self.stats.map_probes += probes;
-                match dest {
-                    None => break None, // foreigner
-                    Some(sg) => {
-                        // Board-hot updating (HS).
-                        if self.cfg.opts.hot_subgraphs
-                            && hot.contains(&sg)
-                            && !self.pg.subgraphs[sg as usize].is_dense()
-                        {
-                            let (res, ops) =
-                                hop_regular(&self.wl, self.csr, tw.walk, &mut self.rng);
-                            upd_ops += ops as u64;
-                            self.stats.hops += 1;
-                            self.stats.board_hops += 1;
-                            match res {
-                                HopResult::Completed(w) => {
-                                    completed_now += 1;
-                                    self.log_completed(w);
-                                    break Some(None); // consumed
-                                }
-                                HopResult::Moved(w) => {
-                                    tw.walk = w;
-                                    tw.range = None;
-                                    continue; // re-resolve
-                                }
-                            }
-                        }
-                        break Some(Some(sg));
-                    }
-                }
-            };
-            match route {
-                Some(None) => {} // completed in board-hot loop
-                Some(Some(sg)) => {
-                    tw.dest = Some(sg);
-                    tw.range = None;
-                    let chip = self.chip_of_sg(sg);
-                    if self.chips[chip as usize].slot_of(sg).is_some() {
-                        // Deliver straight to the loaded slot.
-                        self.stats.deliveries += 1;
-                        deliveries.push(chip, tw);
-                    } else {
-                        dram_write_bytes += self.pwb_insert(tw, now, true);
-                        if !dirty_chips.contains(&chip) {
-                            dirty_chips.push(chip);
-                        }
-                    }
-                }
-                None => {
-                    // Foreigner: resolve the true destination for storage
-                    // (untimed — the walk is simply parked) and buffer it.
-                    let sg = self.true_dest(tw.walk.cur);
-                    tw.dest = Some(sg);
-                    self.board.foreigner_buf.push(tw);
-                }
-            }
-        }
-
-        // Flush foreigner pages if the buffer overflowed.
-        let pw = page_walks(&self.ssd) as usize;
-        while self.board.foreigner_buf.len() >= pw {
-            let rest = self.board.foreigner_buf.split_off(pw);
-            let page_walks_vec = std::mem::replace(&mut self.board.foreigner_buf, rest);
-            self.flush_foreign_page(page_walks_vec, now, true);
-        }
-        // Flush completed pages.
-        self.completed += completed_now;
-        if completed_now > 0 {
-            self.progress.add(now, completed_now as f64);
-        }
-        self.board.completed_buf += completed_now;
-        while self.board.completed_buf >= pw as u64 {
-            self.board.completed_buf -= pw as u64;
-            let lpn = self.alloc_lpn();
-            self.ssd.ftl_write_page(now, lpn);
-            self.stats.completed_pages += 1;
-        }
-
-        // Timing: guiders, updaters, mapping-table ports, DRAM.
-        let cyc = self.cfg.board_cycle;
-        let gui = cyc * guid_ops.div_ceil(self.cfg.board_guiders as u64);
-        let upd = cyc * upd_ops.div_ceil(self.cfg.board_updaters as u64);
-        let map = cyc * map_probes.div_ceil(self.cfg.mapping_table_ports as u64);
-        let dram = if dram_write_bytes > 0 {
-            let d = self
-                .dram
-                .access(now, 0, dram_write_bytes as u32, DramOp::Write);
-            d.done - now
-        } else {
-            Duration::ZERO
-        };
-        let busy = gui.max(upd).max(map).max(dram).max(cyc);
-        self.stats.board_busy_ns += busy.as_nanos();
-        self.stats.board_batches += 1;
-        self.stats.board_dram_ns += dram.as_nanos();
-        self.stats.board_map_ns += map.as_nanos();
-        self.events.schedule_at(
-            now + busy,
-            Ev::BoardBatchDone {
-                deliveries: deliveries.buckets,
-                dirty_chips,
-            },
-        );
-    }
-
-    fn flush_foreign_page(&mut self, walks: Vec<TWalk>, now: SimTime, charge: bool) {
-        debug_assert!(!walks.is_empty());
-        // Group by destination partition: one page per partition group.
-        let mut groups: std::collections::BTreeMap<u32, Vec<TWalk>> = Default::default();
-        for tw in walks {
-            let p = self.pg.partition_of(tw.dest.expect("foreigner without dest"));
-            groups.entry(p).or_default().push(tw);
-        }
-        for (p, g) in groups {
-            let lpn = self.alloc_lpn();
-            if charge {
-                self.ssd.ftl_write_page(now, lpn);
-                self.stats.foreign_pages += 1;
-            } else {
-                self.stats.init_spill_pages += 1;
-            }
-            self.foreign.pages.entry(p).or_default().push(SpillPage { lpn, walks: g });
-        }
-    }
-
-    fn on_board_batch_done(
-        &mut self,
-        deliveries: Vec<(u32, Vec<TWalk>)>,
-        dirty_chips: Vec<u32>,
-        now: SimTime,
-    ) {
-        self.board.busy = false;
-        for (chip, walks) in deliveries {
-            let ch = self.channel_of_chip(chip);
-            let res = self
-                .ssd
-                .channel_transfer(now, ch, walks.len() as u64 * WALK_BYTES);
-            self.events
-                .schedule_at(res.end, Ev::ChipDeliver { chip, walks });
-        }
-        for chip in dirty_chips {
-            self.maybe_fill_chip(chip, now);
-        }
-        self.try_start_board(now);
-    }
-
-    // ------------------------------------------------------------------
-    // Partition management
-    // ------------------------------------------------------------------
-
-    /// Set up partition `p`: fresh PWB, hot-subgraph selection, foreigner
-    /// read-back.
-    fn setup_partition(&mut self, p: u32, now: SimTime, charge: bool) {
-        self.current_partition = p;
-        self.relaxed_pick = false;
-        let range = self.pg.partition_range(p);
-        let len = range.len();
-        let quota = (self.cfg.dram_pwb_bytes / len.max(1) as u64) / WALK_BYTES;
-        self.pwb = Pwb::new(range.start, len, quota);
-
-        // Hot-subgraph selection: "K subgraphs whose in-degree are top K"
-        // per channel, and the global top set on the board. Dense slices
-        // are excluded (they need the dense table to route into).
-        if self.cfg.opts.hot_subgraphs {
-            let sgb = self.pg.config.subgraph_bytes;
-            let board_k = self.cfg.board_hot_slots(sgb) as usize;
-            let chan_k = self.cfg.chan_hot_slots(sgb) as usize;
-            let mut by_indeg: Vec<SgId> = range
-                .clone()
-                .filter(|&sg| !self.pg.subgraphs[sg as usize].is_dense())
-                .collect();
-            by_indeg.sort_by_key(|&sg| std::cmp::Reverse(self.pg.subgraphs[sg as usize].in_degree));
-            self.board.hot = by_indeg.iter().copied().take(board_k).collect();
-            for ch in 0..self.channels.len() as u32 {
-                let hot: Vec<SgId> = by_indeg
-                    .iter()
-                    .copied()
-                    .filter(|&sg| self.channel_of_chip(self.chip_of_sg(sg)) == ch)
-                    .take(chan_k)
-                    .collect();
-                self.channels[ch as usize].hot = hot;
-            }
-            // Charge the hot-subgraph loads: pages cross the channel bus
-            // to the channel accelerator / the controller.
-            if charge {
-                let mut hot_all: Vec<SgId> = self.board.hot.clone();
-                for c in &self.channels {
-                    hot_all.extend(&c.hot);
-                }
-                for sg in hot_all {
-                    let pages = self.placements[sg as usize].pages.clone();
-                    for ppa in pages {
-                        self.ssd.read_page_to_controller(now, ppa);
-                        self.stats.hot_load_pages += 1;
-                    }
-                }
-            }
-        } else {
-            self.board.hot.clear();
-            for c in &mut self.channels {
-                c.hot.clear();
-            }
-        }
-
-        // Read back this partition's foreigner pages and distribute.
-        if let Some(pages) = self.foreign.pages.remove(&p) {
-            for page in pages {
-                if charge {
-                    if let Some(_r) = self.ssd.ftl_read_page(now, page.lpn) {}
-                    self.ssd.ftl_mut().trim(page.lpn);
-                }
-                for tw in page.walks {
-                    self.pwb_insert(tw, now, charge);
-                }
-            }
-        }
-        for idx in 0..self.pwb.entries.len() {
-            self.refresh_score(idx);
-        }
-        for chip in 0..self.num_chips() {
-            self.maybe_fill_chip(chip, now);
-        }
-    }
-
-    /// The next partition (after the current) that still has work.
-    fn next_partition_with_work(&self) -> Option<u32> {
-        let n = self.pg.num_partitions();
-        (1..=n)
-            .map(|i| (self.current_partition + i) % n)
-            .find(|&p| self.foreign.walks_for(p) > 0)
-    }
-
-    // ------------------------------------------------------------------
     // Top level
     // ------------------------------------------------------------------
 
-    /// Distribute the initial walk population (uncharged, like the
-    /// paper's excluded preprocessing): current-partition walks into the
-    /// PWB, the rest into foreigner pages.
-    fn distribute_initial_walks(&mut self) {
-        let walks = self.wl.init_walks(self.csr, self.rng.next_u64());
-        let mut foreign_buf: Vec<TWalk> = Vec::new();
-        for w in walks {
-            let sg = self.true_dest(w.cur);
-            let tw = TWalk {
-                walk: w,
-                dest: Some(sg),
-                range: None,
-            };
-            if self.pg.partition_of(sg) == self.current_partition {
-                self.pwb_insert(tw, SimTime::ZERO, false);
-            } else {
-                foreign_buf.push(tw);
-            }
-        }
-        if !foreign_buf.is_empty() {
-            self.flush_foreign_page(foreign_buf, SimTime::ZERO, false);
-        }
-        for idx in 0..self.pwb.entries.len() {
-            self.refresh_score(idx);
-        }
-    }
-
-    /// Run the workload to completion and report.
-    pub fn run(mut self) -> FwReport {
+    /// Run `wl` to completion and return the engine-specific report with
+    /// the full per-level statistics. The unified view is
+    /// [`WalkEngine::run`].
+    pub fn run_detailed(mut self, wl: Workload) -> FwReport {
+        self.wl = wl;
+        self.total_walks = wl.num_walks;
         self.ssd.enable_trace(self.trace_window_ns);
         self.progress = TimeSeries::new(self.trace_window_ns);
         self.setup_partition(0, SimTime::ZERO, false);
@@ -1241,14 +353,12 @@ impl<'g> FlashWalkerSim<'g> {
                         );
                         continue;
                     }
-                    let next = self
-                        .next_partition_with_work()
-                        .unwrap_or_else(|| {
-                            panic!(
-                                "stuck: no partition has work but only {}/{} walks done",
-                                self.completed, self.total_walks
-                            )
-                        });
+                    let next = self.next_partition_with_work().unwrap_or_else(|| {
+                        panic!(
+                            "stuck: no partition has work but only {}/{} walks done",
+                            self.completed, self.total_walks
+                        )
+                    });
                     self.stats.partition_switches += 1;
                     self.setup_partition(next, now, true);
                 }
@@ -1289,186 +399,12 @@ impl<'g> FlashWalkerSim<'g> {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use fw_graph::partition::PartitionConfig;
-    use fw_graph::rmat::{generate_csr, RmatParams};
-
-    fn small_setup(
-        nv: u32,
-        ne: u64,
-        spp: u32,
-    ) -> (Csr, PartitionedGraph) {
-        let csr = generate_csr(RmatParams::graph500(), nv, ne, 11);
-        let pg = PartitionedGraph::build(
-            &csr,
-            PartitionConfig {
-                subgraph_bytes: 4 << 10, // 1 flash page per subgraph
-                id_bytes: 4,
-                subgraphs_per_partition: spp,
-            },
-        );
-        (csr, pg)
+impl WalkEngine for FlashWalkerSim<'_> {
+    fn name(&self) -> &'static str {
+        "flashwalker"
     }
 
-    fn run(csr: &Csr, pg: &PartitionedGraph, walks: u64, opts: crate::OptToggles) -> FwReport {
-        let mut cfg = AccelConfig::scaled();
-        cfg.opts = opts;
-        let wl = Workload::paper_default(walks);
-        FlashWalkerSim::new(csr, pg, wl, cfg, SsdConfig::tiny(), 99)
-            .with_trace_window(100_000)
-            .run()
-    }
-
-    #[test]
-    fn completes_all_walks_single_partition() {
-        let (csr, pg) = small_setup(2000, 20_000, 5_000);
-        assert_eq!(pg.num_partitions(), 1);
-        let r = run(&csr, &pg, 5_000, crate::OptToggles::all());
-        assert_eq!(r.walks, 5_000);
-        assert!(r.time > Duration::ZERO);
-        // Fixed length 6 with possible dead-ends: hops <= 6 per walk.
-        assert!(r.stats.hops <= 6 * 5_000);
-        assert!(r.stats.hops >= 5_000, "at least one hop per walk");
-        assert!(r.stats.sg_loads > 0);
-        assert!(r.flash_read_bytes > 0);
-    }
-
-    #[test]
-    fn completes_across_partitions_with_foreigners() {
-        let (csr, pg) = small_setup(2000, 20_000, 8);
-        assert!(pg.num_partitions() > 2);
-        let r = run(&csr, &pg, 2_000, crate::OptToggles::all());
-        assert_eq!(r.walks, 2_000);
-        assert!(r.stats.partition_switches > 0, "multiple partitions visited");
-    }
-
-    #[test]
-    fn opt_toggles_change_behaviour_not_correctness() {
-        let (csr, pg) = small_setup(1500, 15_000, 5_000);
-        let all = run(&csr, &pg, 3_000, crate::OptToggles::all());
-        let none = run(&csr, &pg, 3_000, crate::OptToggles::none());
-        assert_eq!(all.walks, 3_000);
-        assert_eq!(none.walks, 3_000);
-        // With WQ off there are no cache probes at all.
-        assert_eq!(none.stats.cache_hits + none.stats.cache_misses, 0);
-        assert!(all.stats.cache_hits + all.stats.cache_misses > 0);
-        // With HS off, no channel/board hops.
-        assert_eq!(none.stats.chan_hops + none.stats.board_hops, 0);
-    }
-
-    #[test]
-    fn deterministic_across_runs() {
-        let (csr, pg) = small_setup(1000, 8_000, 5_000);
-        let a = run(&csr, &pg, 1_000, crate::OptToggles::all());
-        let b = run(&csr, &pg, 1_000, crate::OptToggles::all());
-        assert_eq!(a.time, b.time);
-        assert_eq!(a.stats.hops, b.stats.hops);
-        assert_eq!(a.flash_read_bytes, b.flash_read_bytes);
-    }
-
-    #[test]
-    fn progress_series_sums_to_walks() {
-        let (csr, pg) = small_setup(1000, 8_000, 5_000);
-        let r = run(&csr, &pg, 1_000, crate::OptToggles::all());
-        let total: f64 = r.progress.iter().sum();
-        assert!((total - 1_000.0).abs() < 1e-6);
-    }
-
-    #[test]
-    fn sources_conserved_across_partitions() {
-        // Walks crossing partition boundaries park as foreigners, get
-        // written to flash, and are read back on the next partition —
-        // none may be lost or duplicated along the way.
-        let (csr, pg) = small_setup(2000, 20_000, 8);
-        assert!(pg.num_partitions() > 2);
-        let mut cfg = AccelConfig::scaled();
-        cfg.opts = crate::OptToggles::all();
-        let wl = Workload::paper_default(2_000);
-        let r = FlashWalkerSim::new(&csr, &pg, wl, cfg, SsdConfig::tiny(), 99)
-            .with_walk_log()
-            .run();
-        assert_eq!(r.walk_log.len(), 2_000);
-        let mut got: Vec<u32> = r.walk_log.iter().map(|w| w.src).collect();
-        let mut expect: Vec<u32> = wl.init_walks(&csr, 0).iter().map(|w| w.src).collect();
-        got.sort_unstable();
-        expect.sort_unstable();
-        assert_eq!(got, expect);
-    }
-
-    #[test]
-    fn stop_probability_workload_through_the_system() {
-        let (csr, pg) = small_setup(1000, 8_000, 5_000);
-        let mut cfg = AccelConfig::scaled();
-        cfg.opts = crate::OptToggles::all();
-        let wl = Workload::ppr(2_000, 3, 0.4, 32);
-        let r = FlashWalkerSim::new(&csr, &pg, wl, cfg, SsdConfig::tiny(), 7).run();
-        assert_eq!(r.walks, 2_000);
-        // Geometric(0.4) termination: mean hops ~1.5, far under the cap.
-        assert!(r.stats.hops < 2_000 * 8, "hops {}", r.stats.hops);
-    }
-
-    #[test]
-    fn biased_workload_with_dense_vertices() {
-        // The hardest sampling path: ITS inside dense-vertex slices.
-        let mut e = vec![];
-        for v in 1..2_000u32 {
-            e.push((0, v));
-            e.push((v, (v * 7) % 2_000));
-            e.push((v, 0));
-        }
-        let csr = Csr::from_edges(2_000, &e).with_random_weights(5);
-        let pg = PartitionedGraph::build(
-            &csr,
-            PartitionConfig {
-                subgraph_bytes: 4 << 10,
-                id_bytes: 4,
-                subgraphs_per_partition: 5_000,
-            },
-        );
-        assert!(!pg.dense.is_empty());
-        let wl = Workload::node2vec_biased(1_500, 6);
-        let mut cfg = AccelConfig::scaled();
-        cfg.opts = crate::OptToggles::all();
-        let r = FlashWalkerSim::new(&csr, &pg, wl, cfg, SsdConfig::tiny(), 3).run();
-        assert_eq!(r.walks, 1_500);
-    }
-
-    #[test]
-    fn flash_accounting_is_self_consistent() {
-        let (csr, pg) = small_setup(1500, 15_000, 5_000);
-        let r = run(&csr, &pg, 3_000, crate::OptToggles::all());
-        // Every load read the subgraph's pages through the private path.
-        assert!(r.flash_read_bytes >= r.stats.sg_loads * 4096);
-        // Spill pages are written once each (plus completed pages).
-        let min_writes =
-            (r.stats.pwb_spill_pages + r.stats.foreign_pages + r.stats.completed_pages) * 4096;
-        assert!(r.flash_write_bytes >= min_writes);
-        // Channel traffic at least covers roving walks once.
-        assert!(r.channel_bytes >= r.stats.roving * 16);
-    }
-
-    #[test]
-    fn dense_graph_with_hub_completes() {
-        // A hub vertex forces dense handling through pre-walking.
-        let mut e = vec![];
-        for v in 1..3000u32 {
-            e.push((0, v));
-            e.push((v, v % 100 + 1));
-            e.push((v, 0));
-        }
-        let csr = Csr::from_edges(3000, &e);
-        let pg = PartitionedGraph::build(
-            &csr,
-            PartitionConfig {
-                subgraph_bytes: 4 << 10,
-                id_bytes: 4,
-                subgraphs_per_partition: 5_000,
-            },
-        );
-        assert!(!pg.dense.is_empty(), "hub must be dense");
-        let r = run(&csr, &pg, 2_000, crate::OptToggles::all());
-        assert_eq!(r.walks, 2_000);
+    fn run(self, workload: Workload) -> RunReport {
+        self.run_detailed(workload).into()
     }
 }

@@ -1,0 +1,205 @@
+//! Partition-scoped walk storage and partition switching: the partition
+//! walk buffer (PWB) in on-board DRAM with its flash spill pages, the
+//! foreigner path for walks that leave the current partition, and the
+//! drain/switch sequence that moves the device to the next partition with
+//! work.
+
+use fw_sim::SimTime;
+use fw_walk::WALK_BYTES;
+
+use super::state::{SgId, SpillPage, TWalk};
+use super::{page_walks, FlashWalkerSim};
+
+impl FlashWalkerSim<'_> {
+    // ------------------------------------------------------------------
+    // Partition walk buffer
+    // ------------------------------------------------------------------
+
+    /// Insert a walk into the PWB (destination must be in the current
+    /// partition). Returns DRAM bytes written; spill pages are charged
+    /// immediately when `charge` is set.
+    pub(super) fn pwb_insert(&mut self, tw: TWalk, now: SimTime, charge: bool) -> u64 {
+        let sg = tw.dest.expect("pwb_insert without destination");
+        let idx = self
+            .pwb
+            .index_of(sg)
+            .expect("pwb_insert outside current partition");
+        self.pwb.entries[idx].walks.push(tw);
+        self.pwb.inserts_since_refresh[idx] += 1;
+        // Lazy score refresh: "we access the topN list every M
+        // walk-insertions for a subgraph".
+        if self.pwb.inserts_since_refresh[idx] >= self.cfg.lazy_m {
+            self.pwb.inserts_since_refresh[idx] = 0;
+            self.refresh_score(idx);
+        }
+        if self.pwb.entries[idx].walks.len() as u64 > self.pwb.quota {
+            self.spill_entry(idx, now, charge);
+        }
+        WALK_BYTES
+    }
+
+    /// Spill an overflowing PWB entry to flash walk pages.
+    pub(super) fn spill_entry(&mut self, idx: usize, now: SimTime, charge: bool) {
+        let pw = page_walks(&self.ssd) as usize;
+        let walks = std::mem::take(&mut self.pwb.entries[idx].walks);
+        for chunk in walks.chunks(pw) {
+            let lpn = self.alloc_lpn();
+            if charge {
+                self.ssd.ftl_write_page(now, lpn);
+                self.stats.pwb_spill_pages += 1;
+            } else {
+                self.stats.init_spill_pages += 1;
+            }
+            self.pwb.entries[idx].spilled.push(SpillPage {
+                lpn,
+                walks: chunk.to_vec(),
+            });
+        }
+        self.refresh_score(idx);
+    }
+
+    // ------------------------------------------------------------------
+    // Foreigner pages
+    // ------------------------------------------------------------------
+
+    /// Write buffered foreigner walks to flash, one page per destination
+    /// partition group.
+    pub(super) fn flush_foreign_page(&mut self, walks: Vec<TWalk>, now: SimTime, charge: bool) {
+        debug_assert!(!walks.is_empty());
+        // Group by destination partition: one page per partition group.
+        let mut groups: std::collections::BTreeMap<u32, Vec<TWalk>> = Default::default();
+        for tw in walks {
+            let p = self
+                .pg
+                .partition_of(tw.dest.expect("foreigner without dest"));
+            groups.entry(p).or_default().push(tw);
+        }
+        for (p, g) in groups {
+            let lpn = self.alloc_lpn();
+            if charge {
+                self.ssd.ftl_write_page(now, lpn);
+                self.stats.foreign_pages += 1;
+            } else {
+                self.stats.init_spill_pages += 1;
+            }
+            self.foreign
+                .pages
+                .entry(p)
+                .or_default()
+                .push(SpillPage { lpn, walks: g });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Partition management
+    // ------------------------------------------------------------------
+
+    /// Set up partition `p`: fresh PWB, hot-subgraph selection, foreigner
+    /// read-back.
+    pub(super) fn setup_partition(&mut self, p: u32, now: SimTime, charge: bool) {
+        self.current_partition = p;
+        self.relaxed_pick = false;
+        let range = self.pg.partition_range(p);
+        let len = range.len();
+        let quota = (self.cfg.dram_pwb_bytes / len.max(1) as u64) / WALK_BYTES;
+        self.pwb = super::state::Pwb::new(range.start, len, quota);
+
+        // Hot-subgraph selection: "K subgraphs whose in-degree are top K"
+        // per channel, and the global top set on the board. Dense slices
+        // are excluded (they need the dense table to route into).
+        if self.cfg.opts.hot_subgraphs {
+            let sgb = self.pg.config.subgraph_bytes;
+            let board_k = self.cfg.board_hot_slots(sgb) as usize;
+            let chan_k = self.cfg.chan_hot_slots(sgb) as usize;
+            let mut by_indeg: Vec<SgId> = range
+                .clone()
+                .filter(|&sg| !self.pg.subgraphs[sg as usize].is_dense())
+                .collect();
+            by_indeg.sort_by_key(|&sg| std::cmp::Reverse(self.pg.subgraphs[sg as usize].in_degree));
+            self.board.hot = by_indeg.iter().copied().take(board_k).collect();
+            for ch in 0..self.channels.len() as u32 {
+                let hot: Vec<SgId> = by_indeg
+                    .iter()
+                    .copied()
+                    .filter(|&sg| self.channel_of_chip(self.chip_of_sg(sg)) == ch)
+                    .take(chan_k)
+                    .collect();
+                self.channels[ch as usize].hot = hot;
+            }
+            // Charge the hot-subgraph loads: pages cross the channel bus
+            // to the channel accelerator / the controller.
+            if charge {
+                let mut hot_all: Vec<SgId> = self.board.hot.clone();
+                for c in &self.channels {
+                    hot_all.extend(&c.hot);
+                }
+                for sg in hot_all {
+                    let pages = self.placements[sg as usize].pages.clone();
+                    for ppa in pages {
+                        self.ssd.read_page_to_controller(now, ppa);
+                        self.stats.hot_load_pages += 1;
+                    }
+                }
+            }
+        } else {
+            self.board.hot.clear();
+            for c in &mut self.channels {
+                c.hot.clear();
+            }
+        }
+
+        // Read back this partition's foreigner pages and distribute.
+        if let Some(pages) = self.foreign.pages.remove(&p) {
+            for page in pages {
+                if charge {
+                    if let Some(_r) = self.ssd.ftl_read_page(now, page.lpn) {}
+                    self.ssd.ftl_mut().trim(page.lpn);
+                }
+                for tw in page.walks {
+                    self.pwb_insert(tw, now, charge);
+                }
+            }
+        }
+        for idx in 0..self.pwb.entries.len() {
+            self.refresh_score(idx);
+        }
+        for chip in 0..self.num_chips() {
+            self.maybe_fill_chip(chip, now);
+        }
+    }
+
+    /// The next partition (after the current) that still has work.
+    pub(super) fn next_partition_with_work(&self) -> Option<u32> {
+        let n = self.pg.num_partitions();
+        (1..=n)
+            .map(|i| (self.current_partition + i) % n)
+            .find(|&p| self.foreign.walks_for(p) > 0)
+    }
+
+    /// Distribute the initial walk population (uncharged, like the
+    /// paper's excluded preprocessing): current-partition walks into the
+    /// PWB, the rest into foreigner pages.
+    pub(super) fn distribute_initial_walks(&mut self) {
+        let walks = self.wl.init_walks(self.csr, self.rng.next_u64());
+        let mut foreign_buf: Vec<TWalk> = Vec::new();
+        for w in walks {
+            let sg = self.true_dest(w.cur);
+            let tw = TWalk {
+                walk: w,
+                dest: Some(sg),
+                range: None,
+            };
+            if self.pg.partition_of(sg) == self.current_partition {
+                self.pwb_insert(tw, SimTime::ZERO, false);
+            } else {
+                foreign_buf.push(tw);
+            }
+        }
+        if !foreign_buf.is_empty() {
+            self.flush_foreign_page(foreign_buf, SimTime::ZERO, false);
+        }
+        for idx in 0..self.pwb.entries.len() {
+            self.refresh_score(idx);
+        }
+    }
+}

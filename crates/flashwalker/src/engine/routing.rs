@@ -1,0 +1,608 @@
+//! Walk routing through the three-level hierarchy: chip update batches,
+//! channel batches (hot subgraphs + approximate walk search), board
+//! batches (destination resolution and delivery fan-out).
+
+use fw_dram::DramOp;
+use fw_sim::{Duration, SimTime};
+use fw_walk::WALK_BYTES;
+
+use super::events::Ev;
+use super::state::{DeliveryBuckets, SgId, Slot, TWalk};
+use super::step::{guide_local, hop_dense_slice, hop_regular, prewalk_slice, HopResult};
+use super::{page_walks, FlashWalkerSim};
+
+impl FlashWalkerSim<'_> {
+    // ------------------------------------------------------------------
+    // Chip level
+    // ------------------------------------------------------------------
+
+    pub(super) fn try_start_chip(&mut self, chip: u32, now: SimTime) {
+        let c = &mut self.chips[chip as usize];
+        if c.busy || c.queued_walks() == 0 {
+            return;
+        }
+        c.busy = true;
+        self.run_chip_batch(chip, now);
+    }
+
+    fn run_chip_batch(&mut self, chip: u32, now: SimTime) {
+        // Snapshot loaded subgraphs and drain their queues.
+        let mut work: Vec<TWalk> = Vec::new();
+        let mut loaded: Vec<SgId> = Vec::new();
+        let cap = self.cfg.chip_batch_cap;
+        for slot in &mut self.chips[chip as usize].slots {
+            if let Slot::Loaded { sg, queue, fresh } = slot {
+                loaded.push(*sg);
+                let take = queue.len().min(cap.saturating_sub(work.len()));
+                if take > 0 {
+                    work.extend(queue.drain(..take));
+                    // A slot stays `fresh` (eviction-exempt) until it has
+                    // actually contributed walks to a batch — its walk
+                    // stream may still be in flight.
+                    *fresh = false;
+                }
+            }
+        }
+        let mut upd_ops: u64 = 0;
+        let mut guid_ops: u64 = 0;
+        let mut outbox: Vec<TWalk> = Vec::new();
+        let mut completed_now: u64 = 0;
+
+        for mut tw in work {
+            loop {
+                let sg = tw.dest.expect("queued walk without destination");
+                let is_dense = self.pg.subgraphs[sg as usize].is_dense();
+                let (res, ops) = if is_dense {
+                    hop_dense_slice(&self.wl, self.csr, self.pg, sg, tw.walk, &mut self.rng)
+                } else {
+                    hop_regular(&self.wl, self.csr, tw.walk, &mut self.rng)
+                };
+                upd_ops += ops as u64;
+                self.stats.hops += 1;
+                self.stats.chip_hops += 1;
+                match res {
+                    HopResult::Completed(w) => {
+                        completed_now += 1;
+                        self.log_completed(w);
+                        break;
+                    }
+                    HopResult::Moved(w) => {
+                        let (local, gops) = guide_local(self.pg, &loaded, w.cur);
+                        guid_ops += gops as u64;
+                        tw.walk = w;
+                        match local {
+                            Some(next_sg) => {
+                                tw.dest = Some(next_sg);
+                                // Asynchronous updating: keep hopping.
+                            }
+                            None => {
+                                tw.dest = None;
+                                tw.range = None;
+                                outbox.push(tw);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Completed-walk buffer: flush page-sized groups chip-locally.
+        self.completed += completed_now;
+        let pw = page_walks(&self.ssd);
+        self.chips[chip as usize].completed_buf += completed_now;
+        while self.chips[chip as usize].completed_buf >= pw {
+            self.chips[chip as usize].completed_buf -= pw;
+            let lpn = self.alloc_lpn();
+            self.ssd.local_write_page(now, lpn);
+            self.stats.completed_pages += 1;
+        }
+        if completed_now > 0 {
+            self.progress.add(now, completed_now as f64);
+        }
+
+        let cyc = self.cfg.chip_cycle;
+        let upd_time = cyc * upd_ops.div_ceil(self.cfg.chip_updaters as u64);
+        let gui_time = cyc * guid_ops.div_ceil(self.cfg.chip_guiders as u64);
+        let busy = upd_time.max(gui_time).max(cyc);
+        self.stats.chip_busy_ns += busy.as_nanos();
+        self.stats.chip_batches += 1;
+        self.events
+            .schedule_at(now + busy, Ev::ChipBatchDone { chip, outbox });
+    }
+
+    pub(super) fn on_chip_batch_done(&mut self, chip: u32, mut outbox: Vec<TWalk>, now: SimTime) {
+        self.chips[chip as usize].busy = false;
+        // "When a walk queue for a loaded subgraph becomes empty … the
+        // subgraph scheduler is informed to decide a subgraph." We also
+        // evict slots whose queue has dwindled below a small threshold:
+        // a trickle of in-flight deliveries would otherwise pin a slot
+        // forever and starve the chip's other subgraphs (convoying).
+        // Stragglers return through the normal roving path, paying the
+        // channel-bus cost of their trip back to the board.
+        for slot in &mut self.chips[chip as usize].slots {
+            if let Slot::Loaded { queue, fresh, .. } = slot {
+                if !*fresh && queue.len() < self.cfg.evict_below as usize {
+                    for mut tw in queue.drain(..) {
+                        tw.dest = None;
+                        tw.range = None;
+                        outbox.push(tw);
+                    }
+                    *slot = Slot::Empty;
+                }
+            }
+        }
+        // Roving walks (and evicted stragglers) cross the channel bus to
+        // the channel accelerator.
+        if !outbox.is_empty() {
+            self.stats.roving += outbox.len() as u64;
+            let ch = self.channel_of_chip(chip);
+            let res = self
+                .ssd
+                .channel_transfer(now, ch, outbox.len() as u64 * WALK_BYTES);
+            self.events
+                .schedule_at(res.end, Ev::ChanArrive { ch, walks: outbox });
+        }
+        self.maybe_fill_chip(chip, now);
+        self.try_start_chip(chip, now);
+    }
+
+    pub(super) fn on_chip_loaded(&mut self, chip: u32, sg: SgId, now: SimTime) {
+        let walks = self.pending_loads.remove(&(chip, sg)).unwrap_or_default();
+        let c = &mut self.chips[chip as usize];
+        if let Some(slot) = c
+            .slots
+            .iter_mut()
+            .find(|s| matches!(s, Slot::Loading(x) if *x == sg))
+        {
+            *slot = Slot::Loaded {
+                sg,
+                queue: walks,
+                fresh: true,
+            };
+        }
+        self.try_start_chip(chip, now);
+    }
+
+    pub(super) fn on_chip_deliver(&mut self, chip: u32, walks: Vec<TWalk>, now: SimTime) {
+        let mut retry: Vec<TWalk> = Vec::new();
+        for tw in walks {
+            let sg = tw.dest.expect("delivery without destination");
+            match self.chips[chip as usize].slot_of(sg) {
+                Some(i) => {
+                    if let Slot::Loaded { queue, .. } = &mut self.chips[chip as usize].slots[i] {
+                        queue.push(tw);
+                    }
+                }
+                None => {
+                    if self.chips[chip as usize].resident().any(|r| r == sg) {
+                        // Still loading: hold the walk briefly.
+                        retry.push(tw);
+                    } else {
+                        // Evicted while the walk was in flight: back to
+                        // the partition walk buffer.
+                        self.pwb_insert(tw, now, true);
+                    }
+                }
+            }
+        }
+        if !retry.is_empty() {
+            self.events.schedule_at(
+                now + Duration::micros(1),
+                Ev::ChipDeliver { chip, walks: retry },
+            );
+        }
+        self.maybe_fill_chip(chip, now);
+        self.try_start_chip(chip, now);
+    }
+
+    // ------------------------------------------------------------------
+    // Channel level
+    // ------------------------------------------------------------------
+
+    pub(super) fn try_start_channel(&mut self, ch: u32, now: SimTime) {
+        let c = &mut self.channels[ch as usize];
+        if c.busy || c.inbox.is_empty() {
+            return;
+        }
+        c.busy = true;
+        self.run_channel_batch(ch, now);
+    }
+
+    fn run_channel_batch(&mut self, ch: u32, now: SimTime) {
+        let inbox_all = &mut self.channels[ch as usize].inbox;
+        let take = inbox_all.len().min(self.cfg.chan_batch_cap);
+        let inbox: Vec<TWalk> = inbox_all.drain(..take).collect();
+        let hot = self.channels[ch as usize].hot.clone();
+        let mut guid_ops: u64 = 0;
+        let mut upd_ops: u64 = 0;
+        let mut to_board: Vec<TWalk> = Vec::new();
+        let mut completed_now: u64 = 0;
+
+        for mut tw in inbox {
+            // Hot-subgraph updating at the channel (HS).
+            let mut done = false;
+            if self.cfg.opts.hot_subgraphs {
+                loop {
+                    let (hit, gops) = guide_local(self.pg, &hot, tw.walk.cur);
+                    guid_ops += gops as u64;
+                    let Some(_sg) = hit else { break };
+                    let (res, ops) = hop_regular(&self.wl, self.csr, tw.walk, &mut self.rng);
+                    upd_ops += ops as u64;
+                    self.stats.hops += 1;
+                    self.stats.chan_hops += 1;
+                    match res {
+                        HopResult::Completed(w) => {
+                            completed_now += 1;
+                            self.log_completed(w);
+                            done = true;
+                            break;
+                        }
+                        HopResult::Moved(w) => tw.walk = w,
+                    }
+                }
+            }
+            if done {
+                continue;
+            }
+            // Approximate walk search (WQ): tag the walk with its range.
+            if self.cfg.opts.walk_query {
+                let rl = self.ranges.lookup(tw.walk.cur);
+                guid_ops += rl.steps as u64;
+                tw.range = rl.range_id;
+            } else {
+                guid_ops += 1;
+            }
+            to_board.push(tw);
+        }
+
+        self.completed += completed_now;
+        self.board.completed_buf += completed_now;
+        if completed_now > 0 {
+            self.progress.add(now, completed_now as f64);
+        }
+
+        let cyc = self.cfg.chan_cycle;
+        let busy = (cyc * guid_ops.div_ceil(self.cfg.chan_guiders as u64))
+            .max(cyc * upd_ops.div_ceil(self.cfg.chan_updaters as u64))
+            .max(cyc);
+        self.stats.chan_busy_ns += busy.as_nanos();
+        self.stats.chan_batches += 1;
+        self.events
+            .schedule_at(now + busy, Ev::ChanBatchDone { ch, to_board });
+    }
+
+    pub(super) fn on_chan_batch_done(&mut self, ch: u32, to_board: Vec<TWalk>, now: SimTime) {
+        self.channels[ch as usize].busy = false;
+        // Channel→board traffic is controller-internal (the board fetches
+        // roving walks from channel accelerators over the controller
+        // interconnect, not the ONFI bus).
+        if !to_board.is_empty() {
+            self.board.inbox.extend(to_board);
+            self.try_start_board(now);
+        }
+        self.try_start_channel(ch, now);
+    }
+
+    // ------------------------------------------------------------------
+    // Board level
+    // ------------------------------------------------------------------
+
+    pub(super) fn try_start_board(&mut self, now: SimTime) {
+        if self.board.busy || self.board.inbox.is_empty() {
+            return;
+        }
+        self.board.busy = true;
+        self.run_board_batch(now);
+    }
+
+    /// Resolve a walk's destination with the timed structures. Returns
+    /// `(dest, guider_ops, map_probes)`; `None` dest means foreigner.
+    pub(super) fn resolve_dest(
+        &mut self,
+        tw: &TWalk,
+        cache_idx: usize,
+    ) -> (Option<SgId>, u64, u64) {
+        let v = tw.walk.cur;
+        let mut gops: u64 = 1; // dense-table bloom probe
+        let mut probes: u64 = 0;
+        // Dense vertices mapping table first (§III-D).
+        if let Some(meta) = self.dense.lookup(v) {
+            let cap = self.pg.config.dense_slice_edges();
+            let (sg, ops) = prewalk_slice(&meta, cap, &mut self.rng);
+            gops += ops as u64;
+            let dest = (self.pg.partition_of(sg) == self.current_partition).then_some(sg);
+            return (dest, gops, probes);
+        }
+        let (pstart, pend) = self.part_windows[self.current_partition as usize];
+        if self.cfg.opts.walk_query {
+            // Walk query cache probe. A hit may name a subgraph of another
+            // partition (cached entries are graph-wide) — such walks are
+            // foreigners.
+            gops += 1;
+            if let Some(sg) = self.caches[cache_idx].probe(v) {
+                self.stats.cache_hits += 1;
+                let dest = (self.pg.partition_of(sg) == self.current_partition).then_some(sg);
+                return (dest, gops, probes);
+            }
+            self.stats.cache_misses += 1;
+            // Narrowed search: range window ∩ partition window.
+            let (s, e) = match tw.range {
+                Some(rid) => {
+                    let (rs, re) = self.ranges.entry_window(rid);
+                    (rs.max(pstart), re.min(pend))
+                }
+                None => (pstart, pend),
+            };
+            let l = self.table.lookup_in(v, s, e.max(s));
+            // "A binary search always touches common nodes in the upper
+            // level of the binary search tree, and therefore these nodes
+            // exhibit strong temporal locality" (§III-D): the top
+            // ~log2(cache entries) tree levels stay cached, so only the
+            // deeper probes hit the mapping-table SRAM.
+            let tree_levels = (self.cfg.query_cache_entries() as u64 + 1).ilog2() as u64;
+            let charged = (l.steps as u64).saturating_sub(tree_levels).max(1);
+            gops += charged;
+            probes += charged;
+            if let Some(sg) = l.sg_id {
+                let entry =
+                    self.table.entries()[self.table.entry_index_of(sg).expect("entry for hit")];
+                self.caches[cache_idx].install(entry.low, entry.high, sg);
+                return (Some(sg), gops, probes);
+            }
+            (None, gops, probes)
+        } else {
+            let l = self.table.lookup_in(v, pstart, pend);
+            gops += l.steps as u64;
+            probes += l.steps as u64;
+            (l.sg_id, gops, probes)
+        }
+    }
+
+    fn run_board_batch(&mut self, now: SimTime) {
+        let take = self.board.inbox.len().min(self.cfg.board_batch_cap);
+        let inbox: Vec<TWalk> = self.board.inbox.drain(..take).collect();
+        let hot = self.board.hot.clone();
+        let mut guid_ops: u64 = 0;
+        let mut upd_ops: u64 = 0;
+        let mut map_probes: u64 = 0;
+        let mut dram_write_bytes: u64 = 0;
+        let mut deliveries = DeliveryBuckets::default();
+        let mut dirty_chips: Vec<u32> = Vec::new();
+        let mut completed_now: u64 = 0;
+
+        for (walk_i, mut tw) in inbox.into_iter().enumerate() {
+            // Walk query caches are shared: each group of four guiders
+            // owns one; batches stripe walks across groups.
+            let cache_idx = walk_i % self.caches.len();
+            let route = loop {
+                let (dest, gops, probes) = self.resolve_dest(&tw, cache_idx);
+                guid_ops += gops;
+                map_probes += probes;
+                self.stats.map_probes += probes;
+                match dest {
+                    None => break None, // foreigner
+                    Some(sg) => {
+                        // Board-hot updating (HS).
+                        if self.cfg.opts.hot_subgraphs
+                            && hot.contains(&sg)
+                            && !self.pg.subgraphs[sg as usize].is_dense()
+                        {
+                            let (res, ops) =
+                                hop_regular(&self.wl, self.csr, tw.walk, &mut self.rng);
+                            upd_ops += ops as u64;
+                            self.stats.hops += 1;
+                            self.stats.board_hops += 1;
+                            match res {
+                                HopResult::Completed(w) => {
+                                    completed_now += 1;
+                                    self.log_completed(w);
+                                    break Some(None); // consumed
+                                }
+                                HopResult::Moved(w) => {
+                                    tw.walk = w;
+                                    tw.range = None;
+                                    continue; // re-resolve
+                                }
+                            }
+                        }
+                        break Some(Some(sg));
+                    }
+                }
+            };
+            match route {
+                Some(None) => {} // completed in board-hot loop
+                Some(Some(sg)) => {
+                    tw.dest = Some(sg);
+                    tw.range = None;
+                    let chip = self.chip_of_sg(sg);
+                    if self.chips[chip as usize].slot_of(sg).is_some() {
+                        // Deliver straight to the loaded slot.
+                        self.stats.deliveries += 1;
+                        deliveries.push(chip, tw);
+                    } else {
+                        dram_write_bytes += self.pwb_insert(tw, now, true);
+                        if !dirty_chips.contains(&chip) {
+                            dirty_chips.push(chip);
+                        }
+                    }
+                }
+                None => {
+                    // Foreigner: resolve the true destination for storage
+                    // (untimed — the walk is simply parked) and buffer it.
+                    let sg = self.true_dest(tw.walk.cur);
+                    tw.dest = Some(sg);
+                    self.board.foreigner_buf.push(tw);
+                }
+            }
+        }
+
+        // Flush foreigner pages if the buffer overflowed.
+        let pw = page_walks(&self.ssd) as usize;
+        while self.board.foreigner_buf.len() >= pw {
+            let rest = self.board.foreigner_buf.split_off(pw);
+            let page_walks_vec = std::mem::replace(&mut self.board.foreigner_buf, rest);
+            self.flush_foreign_page(page_walks_vec, now, true);
+        }
+        // Flush completed pages.
+        self.completed += completed_now;
+        if completed_now > 0 {
+            self.progress.add(now, completed_now as f64);
+        }
+        self.board.completed_buf += completed_now;
+        while self.board.completed_buf >= pw as u64 {
+            self.board.completed_buf -= pw as u64;
+            let lpn = self.alloc_lpn();
+            self.ssd.ftl_write_page(now, lpn);
+            self.stats.completed_pages += 1;
+        }
+
+        // Timing: guiders, updaters, mapping-table ports, DRAM.
+        let cyc = self.cfg.board_cycle;
+        let gui = cyc * guid_ops.div_ceil(self.cfg.board_guiders as u64);
+        let upd = cyc * upd_ops.div_ceil(self.cfg.board_updaters as u64);
+        let map = cyc * map_probes.div_ceil(self.cfg.mapping_table_ports as u64);
+        let dram = if dram_write_bytes > 0 {
+            let d = self
+                .dram
+                .access(now, 0, dram_write_bytes as u32, DramOp::Write);
+            d.done - now
+        } else {
+            Duration::ZERO
+        };
+        let busy = gui.max(upd).max(map).max(dram).max(cyc);
+        self.stats.board_busy_ns += busy.as_nanos();
+        self.stats.board_batches += 1;
+        self.stats.board_dram_ns += dram.as_nanos();
+        self.stats.board_map_ns += map.as_nanos();
+        self.events.schedule_at(
+            now + busy,
+            Ev::BoardBatchDone {
+                deliveries: deliveries.buckets,
+                dirty_chips,
+            },
+        );
+    }
+
+    pub(super) fn on_board_batch_done(
+        &mut self,
+        deliveries: Vec<(u32, Vec<TWalk>)>,
+        dirty_chips: Vec<u32>,
+        now: SimTime,
+    ) {
+        self.board.busy = false;
+        for (chip, walks) in deliveries {
+            let ch = self.channel_of_chip(chip);
+            let res = self
+                .ssd
+                .channel_transfer(now, ch, walks.len() as u64 * WALK_BYTES);
+            self.events
+                .schedule_at(res.end, Ev::ChipDeliver { chip, walks });
+        }
+        for chip in dirty_chips {
+            self.maybe_fill_chip(chip, now);
+        }
+        self.try_start_board(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::state::TWalk;
+    use super::super::FlashWalkerSim;
+    use crate::config::AccelConfig;
+    use fw_graph::partition::PartitionConfig;
+    use fw_graph::rmat::{generate_csr, RmatParams};
+    use fw_graph::{Csr, PartitionedGraph};
+    use fw_nand::SsdConfig;
+    use fw_sim::SimTime;
+    use fw_walk::Walk;
+
+    fn multi_partition_setup() -> (Csr, PartitionedGraph) {
+        let csr = generate_csr(RmatParams::graph500(), 2000, 20_000, 11);
+        let pg = PartitionedGraph::build(
+            &csr,
+            PartitionConfig {
+                subgraph_bytes: 4 << 10,
+                id_bytes: 4,
+                subgraphs_per_partition: 8,
+            },
+        );
+        (csr, pg)
+    }
+
+    fn tw(v: u32) -> TWalk {
+        TWalk {
+            walk: Walk::new(v, 6),
+            dest: None,
+            range: None,
+        }
+    }
+
+    #[test]
+    fn resolve_dest_finds_current_partition_subgraph() {
+        let (csr, pg) = multi_partition_setup();
+        let mut sim = FlashWalkerSim::new(&csr, &pg, AccelConfig::scaled(), SsdConfig::tiny(), 1);
+        sim.setup_partition(0, SimTime::ZERO, false);
+        // A vertex owned by partition 0 and not dense resolves to Some.
+        let sg0 = pg.partition_range(0).next().unwrap();
+        let v = pg.subgraphs[sg0 as usize].low;
+        if pg.find_dense(v).is_none() {
+            let (dest, gops, _probes) = sim.resolve_dest(&tw(v), 0);
+            assert_eq!(dest, Some(pg.subgraph_of(v).unwrap()));
+            assert!(gops >= 2, "bloom probe + lookup work");
+        }
+    }
+
+    #[test]
+    fn resolve_dest_marks_other_partition_as_foreigner() {
+        let (csr, pg) = multi_partition_setup();
+        assert!(pg.num_partitions() > 1);
+        let mut sim = FlashWalkerSim::new(&csr, &pg, AccelConfig::scaled(), SsdConfig::tiny(), 1);
+        sim.setup_partition(0, SimTime::ZERO, false);
+        // A non-dense vertex owned by partition 1 must resolve to None.
+        let v = (0..csr.num_vertices()).find(|&v| {
+            pg.find_dense(v).is_none()
+                && pg
+                    .subgraph_of(v)
+                    .map(|sg| pg.partition_of(sg) == 1)
+                    .unwrap_or(false)
+        });
+        if let Some(v) = v {
+            let (dest, _gops, _probes) = sim.resolve_dest(&tw(v), 0);
+            assert_eq!(dest, None, "foreigner for vertex {v}");
+        }
+    }
+
+    #[test]
+    fn query_cache_hit_skips_map_probes() {
+        let (csr, pg) = multi_partition_setup();
+        let mut sim = FlashWalkerSim::new(&csr, &pg, AccelConfig::scaled(), SsdConfig::tiny(), 1);
+        sim.setup_partition(0, SimTime::ZERO, false);
+        let sg0 = pg.partition_range(0).next().unwrap();
+        let v = pg.subgraphs[sg0 as usize].low;
+        if pg.find_dense(v).is_none() {
+            let (_, _, probes_miss) = sim.resolve_dest(&tw(v), 0);
+            let misses = sim.stats.cache_misses;
+            let (dest, _, probes_hit) = sim.resolve_dest(&tw(v), 0);
+            assert_eq!(dest, Some(pg.subgraph_of(v).unwrap()));
+            assert_eq!(sim.stats.cache_misses, misses, "second probe hits");
+            assert!(sim.stats.cache_hits >= 1);
+            assert!(probes_hit < probes_miss.max(1), "hit avoids the search");
+        }
+    }
+
+    #[test]
+    fn chip_channel_mapping_is_consistent() {
+        let (csr, pg) = multi_partition_setup();
+        let sim = FlashWalkerSim::new(&csr, &pg, AccelConfig::scaled(), SsdConfig::tiny(), 1);
+        let per = sim.ssd.config().geometry.chips_per_channel;
+        for chip in 0..sim.num_chips() {
+            assert_eq!(sim.channel_of_chip(chip), chip / per);
+        }
+        // Every subgraph's chip is a valid chip id.
+        for sg in 0..pg.num_subgraphs() {
+            assert!(sim.chip_of_sg(sg) < sim.num_chips());
+        }
+    }
+}

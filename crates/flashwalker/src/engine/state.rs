@@ -86,7 +86,9 @@ impl ChipState {
 
     /// Index of the slot holding `sg`, if loaded.
     pub fn slot_of(&self, sg: SgId) -> Option<usize> {
-        self.slots.iter().position(|s| matches!(s, Slot::Loaded { sg: s2, .. } if *s2 == sg))
+        self.slots
+            .iter()
+            .position(|s| matches!(s, Slot::Loaded { sg: s2, .. } if *s2 == sg))
     }
 
     /// Index of a free slot, if any.
@@ -153,7 +155,12 @@ pub struct PwbEntry {
 impl PwbEntry {
     /// Walks in DRAM plus walks on flash for this subgraph.
     pub fn total_walks(&self) -> u64 {
-        self.walks.len() as u64 + self.spilled.iter().map(|p| p.walks.len() as u64).sum::<u64>()
+        self.walks.len() as u64
+            + self
+                .spilled
+                .iter()
+                .map(|p| p.walks.len() as u64)
+                .sum::<u64>()
     }
 }
 

@@ -85,7 +85,10 @@ pub fn hop_dense_slice(
                     lo = mid + 1;
                 }
             }
-            (lo.min(start + n - 1) - start, fw_walk::UNBIASED_UPDATER_OPS + probes)
+            (
+                lo.min(start + n - 1) - start,
+                fw_walk::UNBIASED_UPDATER_OPS + probes,
+            )
         }
     };
     let next = csr.neighbors(walk.cur)[start + pick];
@@ -115,11 +118,7 @@ pub fn prewalk_slice(
 /// this chip? Returns the matching subgraph and the comparison-op count
 /// (one per resident subgraph probed, as the guider "compar[es] w.cur with
 /// two end vertices of each loaded subgraph").
-pub fn guide_local(
-    pg: &PartitionedGraph,
-    loaded: &[SgId],
-    v: VertexId,
-) -> (Option<SgId>, u32) {
+pub fn guide_local(pg: &PartitionedGraph, loaded: &[SgId], v: VertexId) -> (Option<SgId>, u32) {
     let mut ops = 0;
     for &sg in loaded {
         ops += 1;

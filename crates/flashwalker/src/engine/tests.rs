@@ -1,0 +1,203 @@
+//! Whole-engine integration tests: walks complete, conserve sources,
+//! stay deterministic, and the flash/channel accounting is consistent.
+
+use super::*;
+use fw_graph::partition::PartitionConfig;
+use fw_graph::rmat::{generate_csr, RmatParams};
+use fw_sim::Duration;
+
+fn small_setup(nv: u32, ne: u64, spp: u32) -> (Csr, PartitionedGraph) {
+    let csr = generate_csr(RmatParams::graph500(), nv, ne, 11);
+    let pg = PartitionedGraph::build(
+        &csr,
+        PartitionConfig {
+            subgraph_bytes: 4 << 10, // 1 flash page per subgraph
+            id_bytes: 4,
+            subgraphs_per_partition: spp,
+        },
+    );
+    (csr, pg)
+}
+
+fn run(csr: &Csr, pg: &PartitionedGraph, walks: u64, opts: crate::OptToggles) -> FwReport {
+    let mut cfg = AccelConfig::scaled();
+    cfg.opts = opts;
+    let wl = Workload::paper_default(walks);
+    FlashWalkerSim::new(csr, pg, cfg, SsdConfig::tiny(), 99)
+        .with_trace_window(100_000)
+        .run_detailed(wl)
+}
+
+#[test]
+fn completes_all_walks_single_partition() {
+    let (csr, pg) = small_setup(2000, 20_000, 5_000);
+    assert_eq!(pg.num_partitions(), 1);
+    let r = run(&csr, &pg, 5_000, crate::OptToggles::all());
+    assert_eq!(r.walks, 5_000);
+    assert!(r.time > Duration::ZERO);
+    // Fixed length 6 with possible dead-ends: hops <= 6 per walk.
+    assert!(r.stats.hops <= 6 * 5_000);
+    assert!(r.stats.hops >= 5_000, "at least one hop per walk");
+    assert!(r.stats.sg_loads > 0);
+    assert!(r.flash_read_bytes > 0);
+}
+
+#[test]
+fn completes_across_partitions_with_foreigners() {
+    let (csr, pg) = small_setup(2000, 20_000, 8);
+    assert!(pg.num_partitions() > 2);
+    let r = run(&csr, &pg, 2_000, crate::OptToggles::all());
+    assert_eq!(r.walks, 2_000);
+    assert!(
+        r.stats.partition_switches > 0,
+        "multiple partitions visited"
+    );
+}
+
+#[test]
+fn opt_toggles_change_behaviour_not_correctness() {
+    let (csr, pg) = small_setup(1500, 15_000, 5_000);
+    let all = run(&csr, &pg, 3_000, crate::OptToggles::all());
+    let none = run(&csr, &pg, 3_000, crate::OptToggles::none());
+    assert_eq!(all.walks, 3_000);
+    assert_eq!(none.walks, 3_000);
+    // With WQ off there are no cache probes at all.
+    assert_eq!(none.stats.cache_hits + none.stats.cache_misses, 0);
+    assert!(all.stats.cache_hits + all.stats.cache_misses > 0);
+    // With HS off, no channel/board hops.
+    assert_eq!(none.stats.chan_hops + none.stats.board_hops, 0);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let (csr, pg) = small_setup(1000, 8_000, 5_000);
+    let a = run(&csr, &pg, 1_000, crate::OptToggles::all());
+    let b = run(&csr, &pg, 1_000, crate::OptToggles::all());
+    assert_eq!(a.time, b.time);
+    assert_eq!(a.stats.hops, b.stats.hops);
+    assert_eq!(a.flash_read_bytes, b.flash_read_bytes);
+}
+
+#[test]
+fn trait_run_matches_detailed_run() {
+    // WalkEngine::run is the same simulation as run_detailed, reported
+    // through the unified type.
+    let (csr, pg) = small_setup(1000, 8_000, 5_000);
+    let wl = Workload::paper_default(1_000);
+    let detailed = FlashWalkerSim::new(&csr, &pg, AccelConfig::scaled(), SsdConfig::tiny(), 99)
+        .run_detailed(wl);
+    let eng = FlashWalkerSim::new(&csr, &pg, AccelConfig::scaled(), SsdConfig::tiny(), 99);
+    assert_eq!(eng.name(), "flashwalker");
+    let unified = eng.run(wl);
+    assert_eq!(unified.engine, "flashwalker");
+    assert_eq!(unified.time, detailed.time);
+    assert_eq!(unified.walks, detailed.walks);
+    assert_eq!(unified.stats.hops, detailed.stats.hops);
+    assert_eq!(unified.stats.loads, detailed.stats.sg_loads);
+    assert_eq!(unified.traffic.flash_read_bytes, detailed.flash_read_bytes);
+    assert_eq!(unified.traffic.interconnect_bytes, detailed.channel_bytes);
+}
+
+#[test]
+fn progress_series_sums_to_walks() {
+    let (csr, pg) = small_setup(1000, 8_000, 5_000);
+    let r = run(&csr, &pg, 1_000, crate::OptToggles::all());
+    let total: f64 = r.progress.iter().sum();
+    assert!((total - 1_000.0).abs() < 1e-6);
+}
+
+#[test]
+fn sources_conserved_across_partitions() {
+    // Walks crossing partition boundaries park as foreigners, get
+    // written to flash, and are read back on the next partition —
+    // none may be lost or duplicated along the way.
+    let (csr, pg) = small_setup(2000, 20_000, 8);
+    assert!(pg.num_partitions() > 2);
+    let mut cfg = AccelConfig::scaled();
+    cfg.opts = crate::OptToggles::all();
+    let wl = Workload::paper_default(2_000);
+    let r = FlashWalkerSim::new(&csr, &pg, cfg, SsdConfig::tiny(), 99)
+        .with_walk_log()
+        .run_detailed(wl);
+    assert_eq!(r.walk_log.len(), 2_000);
+    let mut got: Vec<u32> = r.walk_log.iter().map(|w| w.src).collect();
+    let mut expect: Vec<u32> = wl.init_walks(&csr, 0).iter().map(|w| w.src).collect();
+    got.sort_unstable();
+    expect.sort_unstable();
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn stop_probability_workload_through_the_system() {
+    let (csr, pg) = small_setup(1000, 8_000, 5_000);
+    let mut cfg = AccelConfig::scaled();
+    cfg.opts = crate::OptToggles::all();
+    let wl = Workload::ppr(2_000, 3, 0.4, 32);
+    let r = FlashWalkerSim::new(&csr, &pg, cfg, SsdConfig::tiny(), 7).run_detailed(wl);
+    assert_eq!(r.walks, 2_000);
+    // Geometric(0.4) termination: mean hops ~1.5, far under the cap.
+    assert!(r.stats.hops < 2_000 * 8, "hops {}", r.stats.hops);
+}
+
+#[test]
+fn biased_workload_with_dense_vertices() {
+    // The hardest sampling path: ITS inside dense-vertex slices.
+    let mut e = vec![];
+    for v in 1..2_000u32 {
+        e.push((0, v));
+        e.push((v, (v * 7) % 2_000));
+        e.push((v, 0));
+    }
+    let csr = Csr::from_edges(2_000, &e).with_random_weights(5);
+    let pg = PartitionedGraph::build(
+        &csr,
+        PartitionConfig {
+            subgraph_bytes: 4 << 10,
+            id_bytes: 4,
+            subgraphs_per_partition: 5_000,
+        },
+    );
+    assert!(!pg.dense.is_empty());
+    let wl = Workload::node2vec_biased(1_500, 6);
+    let mut cfg = AccelConfig::scaled();
+    cfg.opts = crate::OptToggles::all();
+    let r = FlashWalkerSim::new(&csr, &pg, cfg, SsdConfig::tiny(), 3).run_detailed(wl);
+    assert_eq!(r.walks, 1_500);
+}
+
+#[test]
+fn flash_accounting_is_self_consistent() {
+    let (csr, pg) = small_setup(1500, 15_000, 5_000);
+    let r = run(&csr, &pg, 3_000, crate::OptToggles::all());
+    // Every load read the subgraph's pages through the private path.
+    assert!(r.flash_read_bytes >= r.stats.sg_loads * 4096);
+    // Spill pages are written once each (plus completed pages).
+    let min_writes =
+        (r.stats.pwb_spill_pages + r.stats.foreign_pages + r.stats.completed_pages) * 4096;
+    assert!(r.flash_write_bytes >= min_writes);
+    // Channel traffic at least covers roving walks once.
+    assert!(r.channel_bytes >= r.stats.roving * 16);
+}
+
+#[test]
+fn dense_graph_with_hub_completes() {
+    // A hub vertex forces dense handling through pre-walking.
+    let mut e = vec![];
+    for v in 1..3000u32 {
+        e.push((0, v));
+        e.push((v, v % 100 + 1));
+        e.push((v, 0));
+    }
+    let csr = Csr::from_edges(3000, &e);
+    let pg = PartitionedGraph::build(
+        &csr,
+        PartitionConfig {
+            subgraph_bytes: 4 << 10,
+            id_bytes: 4,
+            subgraphs_per_partition: 5_000,
+        },
+    );
+    assert!(!pg.dense.is_empty(), "hub must be dense");
+    let r = run(&csr, &pg, 2_000, crate::OptToggles::all());
+    assert_eq!(r.walks, 2_000);
+}

@@ -39,7 +39,11 @@ impl WalkQueryCache {
 
     /// Probe the cache for the subgraph containing `v`.
     pub fn probe(&mut self, v: VertexId) -> Option<u32> {
-        match self.entries.iter().position(|&(lo, hi, _)| lo <= v && v <= hi) {
+        match self
+            .entries
+            .iter()
+            .position(|&(lo, hi, _)| lo <= v && v <= hi)
+        {
             Some(i) => {
                 self.hits += 1;
                 let e = self.entries.remove(i);

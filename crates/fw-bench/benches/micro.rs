@@ -1,12 +1,15 @@
-//! Criterion microbenches for the hot structures of the reproduction:
-//! mapping-table binary search (full vs range-narrowed), the walk query
-//! cache, the dense-vertex bloom filter, unbiased vs ITS sampling, RMAT
-//! edge generation, the event queue, DRAM access timing, and FTL writes.
+//! Microbenches for the hot structures of the reproduction: mapping-table
+//! binary search (full vs range-narrowed), the walk query cache, the
+//! dense-vertex bloom filter, unbiased vs ITS sampling, RMAT edge
+//! generation, the event queue, DRAM access timing, and FTL writes.
 //!
 //! These are host-performance benches (how fast the *simulator* runs),
-//! complementing the `fig*` binaries that measure *simulated* time.
+//! complementing the `fig*` binaries that measure *simulated* time. The
+//! harness is a plain `std::time::Instant` loop (no external deps): each
+//! bench warms up briefly, then times a fixed batch and reports ns/op.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
 use flashwalker::tables::{BloomFilter, DenseTable, WalkQueryCache};
 use fw_dram::{Dram, DramConfig, DramOp};
@@ -16,6 +19,20 @@ use fw_graph::{PartitionedGraph, RangeTable, SubgraphMappingTable};
 use fw_nand::{Ftl, SsdConfig};
 use fw_sim::{EventQueue, SimTime, Xoshiro256pp};
 use fw_walk::{sample_biased, sample_unbiased};
+
+/// Time `f` over `iters` calls after a 1/10-size warmup; print ns/op.
+fn bench<R>(name: &str, iters: u64, mut f: impl FnMut() -> R) {
+    for _ in 0..iters / 10 {
+        black_box(f());
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let total = t0.elapsed();
+    let ns = total.as_nanos() as f64 / iters as f64;
+    println!("{name:<32} {ns:>12.1} ns/op   ({iters} iters)");
+}
 
 fn setup_tables() -> (PartitionedGraph, SubgraphMappingTable, RangeTable) {
     let csr = generate_csr(RmatParams::graph500(), 50_000, 1_000_000, 3);
@@ -32,57 +49,48 @@ fn setup_tables() -> (PartitionedGraph, SubgraphMappingTable, RangeTable) {
     (pg, table, ranges)
 }
 
-fn bench_mapping(c: &mut Criterion) {
+fn bench_mapping() {
     let (_pg, table, ranges) = setup_tables();
     let mut rng = Xoshiro256pp::new(1);
-    c.bench_function("mapping_table_full_lookup", |b| {
-        b.iter(|| {
-            let v = rng.next_below(50_000) as u32;
-            black_box(table.lookup(black_box(v)))
-        })
+    bench("mapping_table_full_lookup", 200_000, || {
+        let v = rng.next_below(50_000) as u32;
+        table.lookup(black_box(v))
     });
     let mut rng2 = Xoshiro256pp::new(2);
-    c.bench_function("mapping_table_range_narrowed", |b| {
-        b.iter(|| {
-            let v = rng2.next_below(50_000) as u32;
-            let r = ranges.lookup(v);
-            let out = match r.range_id {
-                Some(rid) => {
-                    let (s, e) = ranges.entry_window(rid);
-                    table.lookup_in(v, s, e)
-                }
-                None => table.lookup(v),
-            };
-            black_box(out)
-        })
+    bench("mapping_table_range_narrowed", 200_000, || {
+        let v = rng2.next_below(50_000) as u32;
+        let r = ranges.lookup(v);
+        match r.range_id {
+            Some(rid) => {
+                let (s, e) = ranges.entry_window(rid);
+                table.lookup_in(v, s, e)
+            }
+            None => table.lookup(v),
+        }
     });
 }
 
-fn bench_query_cache(c: &mut Criterion) {
+fn bench_query_cache() {
     let mut cache = WalkQueryCache::new(170);
     for i in 0..170u32 {
         cache.install(i * 10, i * 10 + 9, i);
     }
     let mut rng = Xoshiro256pp::new(3);
-    c.bench_function("walk_query_cache_probe", |b| {
-        b.iter(|| {
-            let v = rng.next_below(2_000) as u32;
-            black_box(cache.probe(black_box(v)))
-        })
+    bench("walk_query_cache_probe", 500_000, || {
+        let v = rng.next_below(2_000) as u32;
+        cache.probe(black_box(v))
     });
 }
 
-fn bench_bloom_and_dense(c: &mut Criterion) {
+fn bench_bloom_and_dense() {
     let mut bloom = BloomFilter::new(16 * 4096, 4);
     for v in (0..4096u32).map(|x| x * 97) {
         bloom.insert(v);
     }
     let mut rng = Xoshiro256pp::new(4);
-    c.bench_function("bloom_filter_probe", |b| {
-        b.iter(|| {
-            let v = rng.next_below(400_000) as u32;
-            black_box(bloom.contains(black_box(v)))
-        })
+    bench("bloom_filter_probe", 500_000, || {
+        let v = rng.next_below(400_000) as u32;
+        bloom.contains(black_box(v))
     });
 
     // Dense-table end-to-end probe on a star graph.
@@ -102,106 +110,79 @@ fn bench_bloom_and_dense(c: &mut Criterion) {
     );
     let mut dense = DenseTable::build(&pg);
     let mut rng2 = Xoshiro256pp::new(5);
-    c.bench_function("dense_table_lookup", |b| {
-        b.iter(|| {
-            let v = rng2.next_below(5_000) as u32;
-            black_box(dense.lookup(black_box(v)))
-        })
+    bench("dense_table_lookup", 500_000, || {
+        let v = rng2.next_below(5_000) as u32;
+        dense.lookup(black_box(v))
     });
 }
 
-fn bench_samplers(c: &mut Criterion) {
+fn bench_samplers() {
     let csr = generate_csr(RmatParams::graph500(), 10_000, 200_000, 6);
     let weighted = csr.clone().with_random_weights(7);
     let mut rng = Xoshiro256pp::new(8);
-    c.bench_function("sample_unbiased", |b| {
-        b.iter(|| {
-            let v = rng.next_below(10_000) as u32;
-            black_box(sample_unbiased(&csr, v, &mut rng))
-        })
+    bench("sample_unbiased", 500_000, || {
+        let v = rng.next_below(10_000) as u32;
+        sample_unbiased(&csr, v, &mut rng)
     });
     let mut rng2 = Xoshiro256pp::new(9);
-    c.bench_function("sample_biased_its", |b| {
-        b.iter(|| {
-            let v = rng2.next_below(10_000) as u32;
-            black_box(sample_biased(&weighted, v, &mut rng2))
-        })
+    bench("sample_biased_its", 500_000, || {
+        let v = rng2.next_below(10_000) as u32;
+        sample_biased(&weighted, v, &mut rng2)
     });
 }
 
-fn bench_rmat(c: &mut Criterion) {
-    c.bench_function("rmat_generate_10k_edges", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            black_box(fw_graph::rmat::generate_edges(
-                RmatParams::graph500(),
-                4_096,
-                10_000,
-                seed,
-            ))
-        })
+fn bench_rmat() {
+    let mut seed = 0u64;
+    bench("rmat_generate_10k_edges", 200, || {
+        seed += 1;
+        fw_graph::rmat::generate_edges(RmatParams::graph500(), 4_096, 10_000, seed)
     });
 }
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_1k", |b| {
-        let mut rng = Xoshiro256pp::new(10);
-        b.iter(|| {
-            let mut q: EventQueue<u64> = EventQueue::new();
-            for i in 0..1_000u64 {
-                q.schedule_at(SimTime(rng.next_below(1_000_000)), i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, e)) = q.pop() {
-                acc = acc.wrapping_add(e);
-            }
-            black_box(acc)
-        })
+fn bench_event_queue() {
+    let mut rng = Xoshiro256pp::new(10);
+    bench("event_queue_push_pop_1k", 2_000, || {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for i in 0..1_000u64 {
+            q.schedule_at(SimTime(rng.next_below(1_000_000)), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, e)) = q.pop() {
+            acc = acc.wrapping_add(e);
+        }
+        acc
     });
 }
 
-fn bench_dram(c: &mut Criterion) {
-    c.bench_function("dram_access_4k", |b| {
-        let mut dram = Dram::new(DramConfig::ddr4_1600());
-        let mut t = SimTime::ZERO;
-        let mut addr = 0u64;
-        b.iter(|| {
-            let a = dram.access(t, addr, 4096, DramOp::Read);
-            t = a.done;
-            addr = (addr + 4096) % (1 << 24);
-            black_box(a.done)
-        })
+fn bench_dram() {
+    let mut dram = Dram::new(DramConfig::ddr4_1600());
+    let mut t = SimTime::ZERO;
+    let mut addr = 0u64;
+    bench("dram_access_4k", 500_000, || {
+        let a = dram.access(t, addr, 4096, DramOp::Read);
+        t = a.done;
+        addr = (addr + 4096) % (1 << 24);
+        a.done
     });
 }
 
-fn bench_ftl(c: &mut Criterion) {
-    c.bench_function("ftl_overwrite", |b| {
-        let cfg = SsdConfig::tiny();
-        let mut ftl = Ftl::new(cfg.geometry, 0, cfg.gc_threshold_blocks);
-        let mut lpn = 0u64;
-        b.iter(|| {
-            lpn = (lpn + 1) % 200;
-            black_box(ftl.write(lpn).ppa)
-        })
+fn bench_ftl() {
+    let cfg = SsdConfig::tiny();
+    let mut ftl = Ftl::new(cfg.geometry, 0, cfg.gc_threshold_blocks);
+    let mut lpn = 0u64;
+    bench("ftl_overwrite", 500_000, || {
+        lpn = (lpn + 1) % 200;
+        ftl.write(lpn).ppa
     });
 }
 
-criterion_group! {
-    name = benches;
-    // Short measurement windows: these are stable nanosecond-scale
-    // operations and the full suite should finish in about a minute.
-    config = Criterion::default()
-        .warm_up_time(std::time::Duration::from_millis(300))
-        .measurement_time(std::time::Duration::from_millis(800))
-        .sample_size(30);
-    targets = bench_mapping,
-        bench_query_cache,
-        bench_bloom_and_dense,
-        bench_samplers,
-        bench_rmat,
-        bench_event_queue,
-        bench_dram,
-        bench_ftl
+fn main() {
+    bench_mapping();
+    bench_query_cache();
+    bench_bloom_and_dense();
+    bench_samplers();
+    bench_rmat();
+    bench_event_queue();
+    bench_dram();
+    bench_ftl();
 }
-criterion_main!(benches);

@@ -17,8 +17,14 @@ fn run_with(p: &fw_bench::Prepared, walks: u64, f: impl Fn(&mut AccelConfig)) ->
     let mut cfg = AccelConfig::scaled();
     f(&mut cfg);
     let wl = Workload::paper_default(walks);
-    let r = FlashWalkerSim::new(&p.dataset.csr, &p.pg, wl, cfg, SsdConfig::scaled(), DEFAULT_SEED)
-        .run();
+    let r = FlashWalkerSim::new(
+        &p.dataset.csr,
+        &p.pg,
+        cfg,
+        SsdConfig::scaled(),
+        DEFAULT_SEED,
+    )
+    .run_detailed(wl);
     (
         r.time.as_secs_f64() * 1e3,
         r.stats.sg_loads,

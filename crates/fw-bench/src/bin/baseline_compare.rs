@@ -8,61 +8,54 @@
 //! Expected ordering: (1) < (2) < (3), with (2)'s win over (1) coming
 //! from avoided walk write-backs and graph re-reads, and (3)'s win over
 //! (2) from keeping graph data off the PCIe link and channel buses.
+//!
+//! All three engines run through the shared [`WalkEngine`] harness
+//! (`run_engine`), so the comparison exercises exactly the unified
+//! reporting path.
 
-use flashwalker::OptToggles;
-use fw_bench::runner::{prepared, run_flashwalker, run_graphwalker, DEFAULT_SEED};
+use flashwalker::{AccelConfig, OptToggles};
+use fw_bench::runner::{
+    flashwalker_engine, graphwalker_engine, iterative_engine, parallel_map, prepared, run_engine,
+    DEFAULT_SEED,
+};
 use fw_graph::datasets::GRAPH_SCALE;
 use fw_graph::DatasetId;
-use fw_nand::SsdConfig;
-use fw_walk::Workload;
-use graphwalker::{GwConfig, IterativeSim};
 
 fn main() {
     let mem = (8u64 << 30) / GRAPH_SCALE;
-    println!("dataset\twalks\titerative\tgraphwalker\tflashwalker\tgw_vs_iter\tfw_vs_gw\tfw_vs_iter");
-    crossbeam::scope(|s| {
-        let handles: Vec<_> = DatasetId::ALL
-            .iter()
-            .map(|&id| {
-                s.spawn(move |_| {
-                    let p = prepared(id, DEFAULT_SEED);
-                    // Half the default walk count: the iterative engine
-                    // re-reads the whole graph every sweep and is slow.
-                    let walks = id.default_walks() / 2;
-                    eprintln!("[{}] {} walks …", id.abbrev(), walks);
-                    let wl = Workload::paper_default(walks);
-                    let iter = IterativeSim::new(
-                        &p.dataset.csr,
-                        p.id.id_bytes(),
-                        GwConfig::scaled().with_memory(mem),
-                        SsdConfig::scaled(),
-                        wl,
-                        DEFAULT_SEED,
-                    )
-                    .run();
-                    let gw = run_graphwalker(&p, walks, mem, DEFAULT_SEED);
-                    let fw = run_flashwalker(&p, walks, OptToggles::all(), DEFAULT_SEED);
-                    (id, walks, iter, gw, fw)
-                })
-            })
-            .collect();
-        for h in handles {
-            let (id, walks, iter, gw, fw) = h.join().expect("dataset thread");
-            let it = iter.time.as_nanos() as f64;
-            let gt = gw.time.as_nanos() as f64;
-            let ft = fw.time.as_nanos().max(1) as f64;
-            println!(
-                "{}\t{}\t{}\t{}\t{}\t{:.2}\t{:.2}\t{:.2}",
-                id.abbrev(),
-                walks,
-                iter.time,
-                gw.time,
-                fw.time,
-                it / gt,
-                gt / ft,
-                it / ft
-            );
-        }
-    })
-    .expect("scope");
+    println!(
+        "dataset\twalks\titerative\tgraphwalker\tflashwalker\tgw_vs_iter\tfw_vs_gw\tfw_vs_iter"
+    );
+    let rows = parallel_map(DatasetId::ALL.to_vec(), |id| {
+        let p = prepared(id, DEFAULT_SEED);
+        // Half the default walk count: the iterative engine re-reads the
+        // whole graph every sweep and is slow.
+        let walks = id.default_walks() / 2;
+        eprintln!("[{}] {} walks …", id.abbrev(), walks);
+        let iter = run_engine(iterative_engine(&p, mem, DEFAULT_SEED), walks);
+        let gw = run_engine(graphwalker_engine(&p, mem, DEFAULT_SEED), walks);
+        let fw = run_engine(
+            flashwalker_engine(
+                &p,
+                OptToggles::all(),
+                AccelConfig::scaled().alpha,
+                DEFAULT_SEED,
+            ),
+            walks,
+        );
+        (id, walks, iter, gw, fw)
+    });
+    for (id, walks, iter, gw, fw) in rows {
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{:.2}\t{:.2}\t{:.2}",
+            id.abbrev(),
+            walks,
+            iter.time,
+            gw.time,
+            fw.time,
+            gw.speedup_over(&iter),
+            fw.speedup_over(&gw),
+            fw.speedup_over(&iter)
+        );
+    }
 }

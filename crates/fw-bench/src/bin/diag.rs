@@ -33,13 +33,37 @@ fn main() {
 
     let configs: Vec<(&str, OptToggles)> = vec![
         ("base", OptToggles::none()),
-        ("WQ", OptToggles { walk_query: true, hot_subgraphs: false, subgraph_scheduling: false }),
-        ("HS", OptToggles { walk_query: false, hot_subgraphs: true, subgraph_scheduling: false }),
-        ("SS", OptToggles { walk_query: false, hot_subgraphs: false, subgraph_scheduling: true }),
+        (
+            "WQ",
+            OptToggles {
+                walk_query: true,
+                hot_subgraphs: false,
+                subgraph_scheduling: false,
+            },
+        ),
+        (
+            "HS",
+            OptToggles {
+                walk_query: false,
+                hot_subgraphs: true,
+                subgraph_scheduling: false,
+            },
+        ),
+        (
+            "SS",
+            OptToggles {
+                walk_query: false,
+                hot_subgraphs: false,
+                subgraph_scheduling: true,
+            },
+        ),
         ("all", OptToggles::all()),
     ];
     for (name, opts) in configs {
-        let alpha: f64 = std::env::var("FW_ALPHA").ok().and_then(|s| s.parse().ok()).unwrap_or(0.4);
+        let alpha: f64 = std::env::var("FW_ALPHA")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.4);
         let r = run_flashwalker_alpha(&p, walks, opts, alpha, DEFAULT_SEED);
         let s = &r.stats;
         println!(

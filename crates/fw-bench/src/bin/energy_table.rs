@@ -6,37 +6,33 @@
 
 use flashwalker::energy::{flashwalker_energy, graphwalker_energy, graphwalker_report::GwLike};
 use flashwalker::OptToggles;
-use fw_bench::runner::{prepared, run_flashwalker, run_graphwalker, walk_sweep, DEFAULT_SEED};
+use fw_bench::runner::{
+    parallel_map, prepared, run_flashwalker, run_graphwalker, walk_sweep, DEFAULT_SEED,
+};
 use fw_graph::datasets::GRAPH_SCALE;
 use fw_graph::DatasetId;
 
 fn main() {
     let mem = (8u64 << 30) / GRAPH_SCALE;
     println!("dataset\twalks\tfw_mJ\tgw_mJ\tenergy_ratio\tfw_mJ_per_kwalk\tgw_mJ_per_kwalk");
-    crossbeam::scope(|s| {
-        let handles: Vec<_> = DatasetId::ALL
-            .iter()
-            .map(|&id| {
-                s.spawn(move |_| {
-                    let p = prepared(id, DEFAULT_SEED);
-                    let walks = *walk_sweep(id).last().unwrap();
-                    eprintln!("[{}] {} walks …", id.abbrev(), walks);
-                    let fw = run_flashwalker(&p, walks, OptToggles::all(), DEFAULT_SEED);
-                    let gw = run_graphwalker(&p, walks, mem, DEFAULT_SEED);
-                    let ef = flashwalker_energy(&fw);
-                    let eg = graphwalker_energy(&GwLike {
-                        flash_read_bytes: gw.flash_read_bytes,
-                        flash_write_bytes: gw.flash_write_bytes,
-                        pcie_bytes: gw.pcie_bytes,
-                        hops: gw.hops,
-                        time_secs: gw.time.as_secs_f64(),
-                    });
-                    (id, walks, ef, eg)
-                })
-            })
-            .collect();
-        for h in handles {
-            let (id, walks, ef, eg) = h.join().expect("dataset thread");
+    let rows = parallel_map(DatasetId::ALL.to_vec(), |id| {
+        let p = prepared(id, DEFAULT_SEED);
+        let walks = *walk_sweep(id).last().unwrap();
+        eprintln!("[{}] {} walks …", id.abbrev(), walks);
+        let fw = run_flashwalker(&p, walks, OptToggles::all(), DEFAULT_SEED);
+        let gw = run_graphwalker(&p, walks, mem, DEFAULT_SEED);
+        let ef = flashwalker_energy(&fw);
+        let eg = graphwalker_energy(&GwLike {
+            flash_read_bytes: gw.flash_read_bytes,
+            flash_write_bytes: gw.flash_write_bytes,
+            pcie_bytes: gw.pcie_bytes,
+            hops: gw.hops,
+            time_secs: gw.time.as_secs_f64(),
+        });
+        (id, walks, ef, eg)
+    });
+    {
+        for (id, walks, ef, eg) in rows {
             println!(
                 "{}\t{}\t{:.2}\t{:.2}\t{:.2}\t{:.3}\t{:.3}",
                 id.abbrev(),
@@ -48,6 +44,5 @@ fn main() {
                 eg.total_mj() / (walks as f64 / 1e3),
             );
         }
-    })
-    .expect("scope");
+    }
 }

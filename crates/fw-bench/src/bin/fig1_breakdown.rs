@@ -15,7 +15,10 @@ fn main() {
     let p = prepared(id, DEFAULT_SEED);
     let walks = id.default_walks();
     let mem = (8u64 << 30) / GRAPH_SCALE; // the paper's 8 GB default
-    eprintln!("running GraphWalker: {walks} walks, {} MB memory …", mem >> 20);
+    eprintln!(
+        "running GraphWalker: {walks} walks, {} MB memory …",
+        mem >> 20
+    );
     let r = run_graphwalker(&p, walks, mem, DEFAULT_SEED);
 
     let b = r.breakdown;

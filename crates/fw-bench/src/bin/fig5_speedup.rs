@@ -9,7 +9,7 @@
 //! runs); `FW_SEEDS=N` repeats every cell over N seeds and reports
 //! mean and min–max spread.
 
-use fw_bench::runner::{compare, prepared, walk_sweep, ComparisonRow, DEFAULT_SEED};
+use fw_bench::runner::{compare, parallel_map, prepared, walk_sweep, ComparisonRow, DEFAULT_SEED};
 
 use fw_graph::datasets::GRAPH_SCALE;
 use fw_graph::DatasetId;
@@ -27,42 +27,32 @@ fn selected_datasets() -> Vec<DatasetId> {
 fn main() {
     let mem = (8u64 << 30) / GRAPH_SCALE;
     let datasets = selected_datasets();
-    let mut all_rows: Vec<(ComparisonRow, Vec<f64>)> = Vec::new();
-
-    crossbeam::scope(|s| {
-        let handles: Vec<_> = datasets
-            .iter()
-            .map(|&id| {
-                s.spawn(move |_| {
-                    eprintln!("[{}] generating …", id.abbrev());
-                    let seeds: u64 = std::env::var("FW_SEEDS")
-                        .ok()
-                        .and_then(|x| x.parse().ok())
-                        .unwrap_or(1);
-                    let p = prepared(id, DEFAULT_SEED);
-                    let mut rows = Vec::new();
-                    for walks in walk_sweep(id) {
-                        eprintln!("[{}] {} walks …", id.abbrev(), walks);
-                        // Seed 0 is the canonical row; extra seeds fold
-                        // their speedups into the spread columns.
-                        let mut all: Vec<ComparisonRow> = (0..seeds)
-                            .map(|si| compare(&p, walks, mem, DEFAULT_SEED + si))
-                            .collect();
-                        let spread: Vec<f64> = all.iter().map(|r| r.speedup).collect();
-                        let mut row = all.swap_remove(0);
-                        let mean = spread.iter().sum::<f64>() / spread.len() as f64;
-                        row.speedup = mean;
-                        rows.push((row, spread));
-                    }
-                    rows
-                })
-            })
-            .collect();
-        for h in handles {
-            all_rows.extend(h.join().expect("dataset thread"));
+    let seeds: u64 = std::env::var("FW_SEEDS")
+        .ok()
+        .and_then(|x| x.parse().ok())
+        .unwrap_or(1);
+    let all_rows: Vec<(ComparisonRow, Vec<f64>)> = parallel_map(datasets, |id| {
+        eprintln!("[{}] generating …", id.abbrev());
+        let p = prepared(id, DEFAULT_SEED);
+        let mut rows = Vec::new();
+        for walks in walk_sweep(id) {
+            eprintln!("[{}] {} walks …", id.abbrev(), walks);
+            // Seed 0 is the canonical row; extra seeds fold their
+            // speedups into the spread columns.
+            let mut all: Vec<ComparisonRow> = (0..seeds)
+                .map(|si| compare(&p, walks, mem, DEFAULT_SEED + si))
+                .collect();
+            let spread: Vec<f64> = all.iter().map(|r| r.speedup).collect();
+            let mut row = all.swap_remove(0);
+            let mean = spread.iter().sum::<f64>() / spread.len() as f64;
+            row.speedup = mean;
+            rows.push((row, spread));
         }
+        rows
     })
-    .expect("scope");
+    .into_iter()
+    .flatten()
+    .collect();
 
     println!("dataset\twalks\tfw_time\tgw_time\tspeedup\tmin\tmax");
     let mut speedups = Vec::new();

@@ -7,7 +7,7 @@
 //! yet still wins on bandwidth; CW reads much less (finer subgraph
 //! granularity + GraphWalker thrashing).
 
-use fw_bench::runner::{compare, prepared, walk_sweep, DEFAULT_SEED};
+use fw_bench::runner::{compare, parallel_map, prepared, walk_sweep, DEFAULT_SEED};
 use fw_graph::datasets::GRAPH_SCALE;
 use fw_graph::DatasetId;
 
@@ -17,20 +17,14 @@ fn main() {
     let mut traffic = Vec::new();
     let mut bw = Vec::new();
 
-    crossbeam::scope(|s| {
-        let handles: Vec<_> = DatasetId::ALL
-            .iter()
-            .map(|&id| {
-                s.spawn(move |_| {
-                    let p = prepared(id, DEFAULT_SEED);
-                    let walks = *walk_sweep(id).last().unwrap();
-                    eprintln!("[{}] {} walks …", id.abbrev(), walks);
-                    compare(&p, walks, mem, DEFAULT_SEED)
-                })
-            })
-            .collect();
-        for h in handles {
-            let r = h.join().expect("dataset thread");
+    let rows = parallel_map(DatasetId::ALL.to_vec(), |id| {
+        let p = prepared(id, DEFAULT_SEED);
+        let walks = *walk_sweep(id).last().unwrap();
+        eprintln!("[{}] {} walks …", id.abbrev(), walks);
+        compare(&p, walks, mem, DEFAULT_SEED)
+    });
+    {
+        for r in rows {
             let t_red = r.gw_read_bytes as f64 / r.fw_read_bytes.max(1) as f64;
             let bw_imp = r.fw_read_bw / r.gw_read_bw.max(1.0);
             println!(
@@ -47,8 +41,7 @@ fn main() {
             traffic.push(t_red);
             bw.push(bw_imp);
         }
-    })
-    .expect("scope");
+    }
 
     let gmean = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();
     println!(

@@ -6,7 +6,7 @@
 //! already fits at 8 GB; for CW even 16 GB is far below the graph size so
 //! the speedup stays high.
 
-use fw_bench::runner::{compare, prepared, walk_sweep, DEFAULT_SEED};
+use fw_bench::runner::{compare, parallel_map, prepared, walk_sweep, DEFAULT_SEED};
 use fw_graph::datasets::GRAPH_SCALE;
 use fw_graph::DatasetId;
 
@@ -18,31 +18,23 @@ fn main() {
     ];
     println!("dataset\twalks\tmem\tfw_time\tgw_time\tspeedup");
 
-    crossbeam::scope(|s| {
-        let mems = &mems;
-        let handles: Vec<_> = DatasetId::ALL
-            .iter()
-            .map(|&id| {
-                s.spawn(move |_| {
-                    let p = prepared(id, DEFAULT_SEED);
-                    let walks = *walk_sweep(id).last().unwrap();
-                    mems.iter()
-                        .map(|&(m, label)| {
-                            eprintln!("[{}] mem {} …", id.abbrev(), label);
-                            (label, compare(&p, walks, m, DEFAULT_SEED))
-                        })
-                        .collect::<Vec<_>>()
-                })
+    let mems = &mems;
+    let rows = parallel_map(DatasetId::ALL.to_vec(), |id| {
+        let p = prepared(id, DEFAULT_SEED);
+        let walks = *walk_sweep(id).last().unwrap();
+        mems.iter()
+            .map(|&(m, label)| {
+                eprintln!("[{}] mem {} …", id.abbrev(), label);
+                (label, compare(&p, walks, m, DEFAULT_SEED))
             })
-            .collect();
-        for h in handles {
-            for (label, r) in h.join().expect("dataset thread") {
-                println!(
-                    "{}\t{}\t{}\t{}\t{}\t{:.2}",
-                    r.dataset, r.walks, label, r.fw_time, r.gw_time, r.speedup
-                );
-            }
+            .collect::<Vec<_>>()
+    });
+    for per_dataset in rows {
+        for (label, r) in per_dataset {
+            println!(
+                "{}\t{}\t{}\t{}\t{}\t{:.2}",
+                r.dataset, r.walks, label, r.fw_time, r.gw_time, r.speedup
+            );
         }
-    })
-    .expect("scope");
+    }
 }

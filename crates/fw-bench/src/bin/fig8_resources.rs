@@ -9,7 +9,7 @@
 
 use flashwalker::OptToggles;
 use fw_bench::chart::chart_row;
-use fw_bench::runner::{prepared, run_flashwalker, walk_sweep, DEFAULT_SEED};
+use fw_bench::runner::{parallel_map, prepared, run_flashwalker, walk_sweep, DEFAULT_SEED};
 use fw_graph::DatasetId;
 use fw_nand::SsdConfig;
 
@@ -18,20 +18,18 @@ fn main() {
     println!("# channel-bus aggregate ceiling: {ceiling:.2} GB/s");
     println!("dataset\twindow_ms\tread_GBs\twrite_GBs\tchannel_GBs\tdone_pct");
 
-    crossbeam::scope(|s| {
-        let handles: Vec<_> = DatasetId::ALL
-            .iter()
-            .map(|&id| {
-                s.spawn(move |_| {
-                    let p = prepared(id, DEFAULT_SEED);
-                    let walks = *walk_sweep(id).last().unwrap();
-                    eprintln!("[{}] {} walks …", id.abbrev(), walks);
-                    (id, walks, run_flashwalker(&p, walks, OptToggles::all(), DEFAULT_SEED))
-                })
-            })
-            .collect();
-        for h in handles {
-            let (id, walks, r) = h.join().expect("dataset thread");
+    let rows = parallel_map(DatasetId::ALL.to_vec(), |id| {
+        let p = prepared(id, DEFAULT_SEED);
+        let walks = *walk_sweep(id).last().unwrap();
+        eprintln!("[{}] {} walks …", id.abbrev(), walks);
+        (
+            id,
+            walks,
+            run_flashwalker(&p, walks, OptToggles::all(), DEFAULT_SEED),
+        )
+    });
+    {
+        for (id, walks, r) in rows {
             let w_s = r.trace_window_ns as f64 / 1e9;
             let n = r
                 .read_bytes_series
@@ -60,9 +58,18 @@ fn main() {
             let chan = gbs(&r.channel_bytes_series);
             let read_max = read.iter().cloned().fold(0.0, f64::max);
             eprintln!("\n[{}] {} walks, {}:", id.abbrev(), walks, r.time);
-            eprintln!("  {}", chart_row("flash read", &read, read_max, 60, " GB/s"));
-            eprintln!("  {}", chart_row("flash write", &write, read_max, 60, " GB/s"));
-            eprintln!("  {}", chart_row("channel bus", &chan, ceiling, 60, " GB/s"));
+            eprintln!(
+                "  {}",
+                chart_row("flash read", &read, read_max, 60, " GB/s")
+            );
+            eprintln!(
+                "  {}",
+                chart_row("flash write", &write, read_max, 60, " GB/s")
+            );
+            eprintln!(
+                "  {}",
+                chart_row("channel bus", &chan, ceiling, 60, " GB/s")
+            );
             let cum: Vec<f64> = r
                 .progress
                 .iter()
@@ -73,6 +80,5 @@ fn main() {
                 .collect();
             eprintln!("  {}", chart_row("done", &cum, walks as f64, 60, " walks"));
         }
-    })
-    .expect("scope");
+    }
 }

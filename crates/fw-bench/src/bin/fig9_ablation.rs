@@ -9,7 +9,7 @@
 //! reads).
 
 use flashwalker::OptToggles;
-use fw_bench::runner::{prepared, run_flashwalker_alpha, walk_sweep, DEFAULT_SEED};
+use fw_bench::runner::{parallel_map, prepared, run_flashwalker_alpha, walk_sweep, DEFAULT_SEED};
 use fw_graph::DatasetId;
 
 fn main() {
@@ -45,27 +45,24 @@ fn main() {
         .unwrap_or(1.2);
 
     println!("dataset\tconfig\ttime\tspeedup_vs_base");
-    crossbeam::scope(|s| {
-        let configs = &configs;
-        let handles: Vec<_> = DatasetId::ALL
+    let configs = &configs;
+    let all = parallel_map(DatasetId::ALL.to_vec(), |id| {
+        let p = prepared(id, DEFAULT_SEED);
+        let walks = *walk_sweep(id).last().unwrap();
+        let rows = configs
             .iter()
-            .map(|&id| {
-                s.spawn(move |_| {
-                    let p = prepared(id, DEFAULT_SEED);
-                    let walks = *walk_sweep(id).last().unwrap();
-                    let rows = configs
-                        .iter()
-                        .map(|&(name, opts)| {
-                            eprintln!("[{}] {} …", id.abbrev(), name);
-                            (name, run_flashwalker_alpha(&p, walks, opts, alpha, DEFAULT_SEED))
-                        })
-                        .collect::<Vec<_>>();
-                    (id, rows)
-                })
+            .map(|&(name, opts)| {
+                eprintln!("[{}] {} …", id.abbrev(), name);
+                (
+                    name,
+                    run_flashwalker_alpha(&p, walks, opts, alpha, DEFAULT_SEED),
+                )
             })
-            .collect();
-        for h in handles {
-            let (id, results) = h.join().expect("dataset thread");
+            .collect::<Vec<_>>();
+        (id, rows)
+    });
+    {
+        for (id, results) in all {
             let base = results[0].1.time.as_nanos() as f64;
             for (name, r) in &results {
                 println!(
@@ -77,6 +74,5 @@ fn main() {
                 );
             }
         }
-    })
-    .expect("scope");
+    }
 }

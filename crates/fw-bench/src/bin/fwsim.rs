@@ -49,8 +49,14 @@ fn load_graph(arg: &str, seed: u64) -> (Csr, u32) {
     }
     if let Some(spec) = arg.strip_prefix("rmat:") {
         let mut it = spec.split(':');
-        let v: u32 = it.next().and_then(|x| x.parse().ok()).unwrap_or_else(|| usage());
-        let e: u64 = it.next().and_then(|x| x.parse().ok()).unwrap_or_else(|| usage());
+        let v: u32 = it
+            .next()
+            .and_then(|x| x.parse().ok())
+            .unwrap_or_else(|| usage());
+        let e: u64 = it
+            .next()
+            .and_then(|x| x.parse().ok())
+            .unwrap_or_else(|| usage());
         return (generate_csr(RmatParams::graph500(), v, e, seed), 4);
     }
     eprintln!("loading edge list {arg} …");
@@ -101,7 +107,10 @@ fn main() {
             let max_in = indeg.iter().max().copied().unwrap_or(0);
             println!("vertices      {}", g.num_vertices());
             println!("edges         {}", g.num_edges());
-            println!("avg degree    {:.2}", g.num_edges() as f64 / g.num_vertices() as f64);
+            println!(
+                "avg degree    {:.2}",
+                g.num_edges() as f64 / g.num_vertices() as f64
+            );
             println!("max out-deg   {deg} (vertex {hub})");
             println!("max in-deg    {max_in}");
             println!("csr bytes     {}", g.modeled_bytes(id_bytes));
@@ -148,7 +157,7 @@ fn main() {
             );
 
             let fw = (engine != "gw").then(|| {
-                FlashWalkerSim::new(&g, &pg, wl, accel, SsdConfig::scaled(), seed).run()
+                FlashWalkerSim::new(&g, &pg, accel, SsdConfig::scaled(), seed).run_detailed(wl)
             });
             let gw = (engine != "fw").then(|| {
                 GraphWalkerSim::new(
@@ -156,10 +165,9 @@ fn main() {
                     id_bytes,
                     GwConfig::scaled().with_memory(gw_mem),
                     SsdConfig::scaled(),
-                    wl,
                     seed,
                 )
-                .run()
+                .run_detailed(wl)
             });
 
             if cmd == "run" {

@@ -15,7 +15,10 @@ fn main() {
     println!("chips/channel\t{}", g.chips_per_channel);
     println!("dies/chip\t{}", g.dies_per_chip);
     println!("planes/die\t{}", g.planes_per_die);
-    println!("blocks/plane\t{} (scaled {})", g.blocks_per_plane, ssd_s.geometry.blocks_per_plane);
+    println!(
+        "blocks/plane\t{} (scaled {})",
+        g.blocks_per_plane, ssd_s.geometry.blocks_per_plane
+    );
     println!("pages/block\t{}", g.pages_per_block);
     println!("page\t{} B", g.page_bytes);
     println!("read latency\t{}", ssd.read_latency);
@@ -38,7 +41,10 @@ fn main() {
     println!("capacity\t{} GB", d.capacity >> 30);
     println!("bus width\t{} bit", d.bus_width_bits);
     println!("BL\t{}", d.burst_length);
-    println!("tCL/tRCD/tRP/tRAS\t{}/{}/{}/{}", d.tcl, d.trcd, d.trp, d.tras);
+    println!(
+        "tCL/tRCD/tRP/tRAS\t{}/{}/{}/{}",
+        d.tcl, d.trcd, d.trp, d.tras
+    );
     println!("peak BW\t{:.1} GB/s", d.peak_bandwidth() as f64 / 1e9);
 
     let a = AccelConfig::paper();
@@ -47,8 +53,14 @@ fn main() {
     println!("chip cycle\t{}", a.chip_cycle);
     println!("chan cycle\t{}", a.chan_cycle);
     println!("board cycle\t{}", a.board_cycle);
-    println!("updaters (chip/chan/board)\t{}/{}/{}", a.chip_updaters, a.chan_updaters, a.board_updaters);
-    println!("guiders (chip/chan/board)\t{}/{}/{}", a.chip_guiders, a.chan_guiders, a.board_guiders);
+    println!(
+        "updaters (chip/chan/board)\t{}/{}/{}",
+        a.chip_updaters, a.chan_updaters, a.board_updaters
+    );
+    println!(
+        "guiders (chip/chan/board)\t{}/{}/{}",
+        a.chip_guiders, a.chan_guiders, a.board_guiders
+    );
     println!(
         "chip subgraph buf\t{} KB -> {} KB",
         a.chip_subgraph_buf >> 10,
@@ -71,6 +83,9 @@ fn main() {
         s.mapping_table_entries()
     );
     println!("range size\t{} -> {}", a.range_size, s.range_size);
-    println!("query caches\t{} x {} B", s.query_caches, s.query_cache_bytes);
+    println!(
+        "query caches\t{} x {} B",
+        s.query_caches, s.query_cache_bytes
+    );
     println!("alpha/beta\t{}/{}", a.alpha, a.beta);
 }

@@ -9,7 +9,8 @@ pub mod chart;
 pub mod runner;
 
 pub use runner::{
-    prepared, run_flashwalker, run_graphwalker, ComparisonRow, Prepared, DEFAULT_SEED,
+    flashwalker_engine, graphwalker_engine, iterative_engine, parallel_map, prepared, run_engine,
+    run_flashwalker, run_graphwalker, ComparisonRow, Prepared, DEFAULT_SEED,
 };
 
 /// Format a bytes/s figure as GB/s with 2 decimals.

@@ -1,11 +1,24 @@
-//! Shared experiment plumbing: dataset preparation and engine runners.
+//! Shared experiment plumbing: dataset preparation, engine builders, the
+//! generic [`WalkEngine`] harness and a std-thread parallel sweep runner.
+//!
+//! Experiments compose three layers:
+//!
+//! 1. [`prepared`] generates and partitions a dataset once,
+//! 2. an engine builder ([`flashwalker_engine`], [`graphwalker_engine`],
+//!    [`iterative_engine`]) configures a not-yet-run simulator,
+//! 3. [`run_engine`] drives any [`WalkEngine`] through the paper-default
+//!    workload and returns the unified [`RunReport`].
+//!
+//! Binaries that need engine-specific counters (per-window traces, PWB
+//! stats) use the detailed wrappers [`run_flashwalker`] /
+//! [`run_graphwalker`] instead, which return the engine-native reports.
 
 use flashwalker::{AccelConfig, FlashWalkerSim, FwReport, OptToggles};
 use fw_graph::{Dataset, DatasetId, PartitionedGraph};
 use fw_nand::SsdConfig;
 use fw_sim::Duration;
-use fw_walk::Workload;
-use graphwalker::{GraphWalkerSim, GwConfig, GwReport};
+use fw_walk::{RunReport, WalkEngine, Workload};
+use graphwalker::{GraphWalkerSim, GwConfig, GwReport, IterativeSim};
 
 /// The seed every experiment uses unless it sweeps seeds.
 pub const DEFAULT_SEED: u64 = 42;
@@ -30,7 +43,88 @@ pub fn prepared(id: DatasetId, seed: u64) -> Prepared {
     Prepared { id, dataset, pg }
 }
 
-/// Run FlashWalker on a prepared dataset.
+// ----------------------------------------------------------------------
+// Engine builders: configured simulators, workload supplied at run time.
+// ----------------------------------------------------------------------
+
+/// A configured FlashWalker over a prepared dataset (1 ms trace windows).
+pub fn flashwalker_engine<'a>(
+    p: &'a Prepared,
+    opts: OptToggles,
+    alpha: f64,
+    seed: u64,
+) -> FlashWalkerSim<'a> {
+    let mut cfg = AccelConfig::scaled();
+    cfg.opts = opts;
+    cfg.alpha = alpha;
+    FlashWalkerSim::new(&p.dataset.csr, &p.pg, cfg, SsdConfig::scaled(), seed)
+        .with_trace_window(1_000_000)
+}
+
+/// A configured GraphWalker baseline with a given host memory capacity.
+pub fn graphwalker_engine<'a>(p: &'a Prepared, memory_bytes: u64, seed: u64) -> GraphWalkerSim<'a> {
+    let cfg = GwConfig::scaled().with_memory(memory_bytes);
+    GraphWalkerSim::new(
+        &p.dataset.csr,
+        p.id.id_bytes(),
+        cfg,
+        SsdConfig::scaled(),
+        seed,
+    )
+    .with_trace_window(1_000_000)
+}
+
+/// A configured iteration-synchronous baseline (GraphChi/DrunkardMob
+/// style) with a given host memory capacity.
+pub fn iterative_engine<'a>(p: &'a Prepared, memory_bytes: u64, seed: u64) -> IterativeSim<'a> {
+    let cfg = GwConfig::scaled().with_memory(memory_bytes);
+    IterativeSim::new(
+        &p.dataset.csr,
+        p.id.id_bytes(),
+        cfg,
+        SsdConfig::scaled(),
+        seed,
+    )
+}
+
+// ----------------------------------------------------------------------
+// The generic harness.
+// ----------------------------------------------------------------------
+
+/// Run any [`WalkEngine`] through the paper-default DeepWalk workload and
+/// return the unified report. This is the single code path every
+/// trait-based experiment shares.
+pub fn run_engine<E: WalkEngine>(engine: E, walks: u64) -> RunReport {
+    engine.run(Workload::paper_default(walks))
+}
+
+/// Map `f` over `items` with one OS thread per item (engines are
+/// single-threaded and CPU-bound, datasets are few). Preserves input
+/// order. Uses `std::thread::scope` so `f` may borrow from the caller.
+pub fn parallel_map<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .into_iter()
+            .map(|item| s.spawn(move || f(item)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+// ----------------------------------------------------------------------
+// Detailed wrappers (engine-native reports, for trace/stat consumers).
+// ----------------------------------------------------------------------
+
+/// Run FlashWalker on a prepared dataset (detailed report).
 pub fn run_flashwalker(p: &Prepared, walks: u64, opts: OptToggles, seed: u64) -> FwReport {
     run_flashwalker_alpha(p, walks, opts, AccelConfig::scaled().alpha, seed)
 }
@@ -44,32 +138,21 @@ pub fn run_flashwalker_alpha(
     alpha: f64,
     seed: u64,
 ) -> FwReport {
-    let mut cfg = AccelConfig::scaled();
-    cfg.opts = opts;
-    cfg.alpha = alpha;
-    let wl = Workload::paper_default(walks);
-    FlashWalkerSim::new(&p.dataset.csr, &p.pg, wl, cfg, SsdConfig::scaled(), seed)
-        .with_trace_window(1_000_000) // 1 ms windows
-        .run()
+    flashwalker_engine(p, opts, alpha, seed).run_detailed(Workload::paper_default(walks))
 }
 
-/// Run the GraphWalker baseline with a given host memory capacity.
+/// Run the GraphWalker baseline with a given host memory capacity
+/// (detailed report).
 pub fn run_graphwalker(p: &Prepared, walks: u64, memory_bytes: u64, seed: u64) -> GwReport {
-    let cfg = GwConfig::scaled().with_memory(memory_bytes);
-    let wl = Workload::paper_default(walks);
-    GraphWalkerSim::new(
-        &p.dataset.csr,
-        p.id.id_bytes(),
-        cfg,
-        SsdConfig::scaled(),
-        wl,
-        seed,
-    )
-    .with_trace_window(1_000_000)
-    .run()
+    graphwalker_engine(p, memory_bytes, seed).run_detailed(Workload::paper_default(walks))
 }
 
-/// One dataset × walk-count comparison.
+// ----------------------------------------------------------------------
+// Comparison rows.
+// ----------------------------------------------------------------------
+
+/// One dataset × walk-count comparison, distilled from two unified
+/// [`RunReport`]s.
 #[derive(Debug, Clone)]
 pub struct ComparisonRow {
     /// Dataset abbreviation.
@@ -92,18 +175,22 @@ pub struct ComparisonRow {
     pub gw_read_bw: f64,
 }
 
-/// Run both engines and produce a comparison row.
+/// Run both engines through the generic harness and produce a comparison
+/// row.
 pub fn compare(p: &Prepared, walks: u64, gw_memory: u64, seed: u64) -> ComparisonRow {
-    let fw = run_flashwalker(p, walks, OptToggles::all(), seed);
-    let gw = run_graphwalker(p, walks, gw_memory, seed);
+    let fw = run_engine(
+        flashwalker_engine(p, OptToggles::all(), AccelConfig::scaled().alpha, seed),
+        walks,
+    );
+    let gw = run_engine(graphwalker_engine(p, gw_memory, seed), walks);
     ComparisonRow {
         dataset: p.id.abbrev(),
         walks,
         fw_time: fw.time,
         gw_time: gw.time,
-        speedup: gw.time.as_nanos() as f64 / fw.time.as_nanos().max(1) as f64,
-        fw_read_bytes: fw.flash_read_bytes,
-        gw_read_bytes: gw.flash_read_bytes,
+        speedup: fw.speedup_over(&gw),
+        fw_read_bytes: fw.traffic.flash_read_bytes,
+        gw_read_bytes: gw.traffic.flash_read_bytes,
         fw_read_bw: fw.read_bw,
         gw_read_bw: gw.read_bw,
     }
@@ -128,5 +215,28 @@ mod tests {
         assert!(s.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(*s.last().unwrap(), 800_000);
         assert_eq!(*walk_sweep(DatasetId::ClueWeb).last().unwrap(), 2_000_000);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_borrows() {
+        let base = [10u64, 20, 30, 40];
+        let out = parallel_map((0..base.len()).collect(), |i| base[i] * 2);
+        assert_eq!(out, vec![20, 40, 60, 80]);
+    }
+
+    #[test]
+    fn generic_harness_runs_both_engines() {
+        let p = prepared(DatasetId::Twitter, DEFAULT_SEED);
+        let fw = run_engine(
+            flashwalker_engine(&p, OptToggles::all(), AccelConfig::scaled().alpha, 7),
+            500,
+        );
+        let gw = run_engine(graphwalker_engine(&p, 8 << 20, 7), 500);
+        assert_eq!(fw.engine, "flashwalker");
+        assert_eq!(gw.engine, "graphwalker");
+        assert_eq!(fw.walks, 500);
+        assert_eq!(gw.walks, 500);
+        assert!(fw.traffic.flash_read_bytes > 0);
+        assert!(gw.traffic.flash_read_bytes > 0);
     }
 }

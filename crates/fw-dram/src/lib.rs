@@ -261,7 +261,10 @@ mod tests {
         let conf_start = b.done;
         let c = d.access(conf_start, same_bank_other_row, 64, DramOp::Read); // conflict
         let conf_lat = c.done - conf_start;
-        assert!(conf_lat > hit_lat, "conflict {conf_lat:?} <= hit {hit_lat:?}");
+        assert!(
+            conf_lat > hit_lat,
+            "conflict {conf_lat:?} <= hit {hit_lat:?}"
+        );
     }
 
     #[test]
@@ -287,7 +290,10 @@ mod tests {
         let achieved = total as f64 / t.as_secs_f64();
         let peak = d.config().peak_bandwidth() as f64;
         // Sequential streaming with row hits should land within 2x of peak.
-        assert!(achieved > peak * 0.5, "achieved {achieved:.2e} vs peak {peak:.2e}");
+        assert!(
+            achieved > peak * 0.5,
+            "achieved {achieved:.2e} vs peak {peak:.2e}"
+        );
     }
 
     #[test]

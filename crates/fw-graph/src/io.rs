@@ -18,10 +18,7 @@ const MAGIC: &[u8; 8] = b"FWCSR\x01\0\0";
 /// Parse a whitespace-separated edge list from a reader. Vertex IDs may
 /// be any `u32`; the vertex count is `max id + 1` unless `num_vertices`
 /// forces a larger space.
-pub fn read_edge_list<R: BufRead>(
-    reader: R,
-    num_vertices: Option<u32>,
-) -> io::Result<Csr> {
+pub fn read_edge_list<R: BufRead>(reader: R, num_vertices: Option<u32>) -> io::Result<Csr> {
     let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
     let mut max_v: u32 = 0;
     for (lineno, line) in reader.lines().enumerate() {
@@ -62,7 +59,12 @@ pub fn load_edge_list<P: AsRef<Path>>(path: P, num_vertices: Option<u32>) -> io:
 /// Write a graph as an edge-list text file (one `src dst` pair per line).
 pub fn save_edge_list<P: AsRef<Path>>(csr: &Csr, path: P) -> io::Result<()> {
     let mut w = BufWriter::new(File::create(path)?);
-    writeln!(w, "# {} vertices, {} edges", csr.num_vertices(), csr.num_edges())?;
+    writeln!(
+        w,
+        "# {} vertices, {} edges",
+        csr.num_vertices(),
+        csr.num_edges()
+    )?;
     for u in 0..csr.num_vertices() {
         for &v in csr.neighbors(u) {
             writeln!(w, "{u} {v}")?;
@@ -97,7 +99,10 @@ pub fn read_csr<R: Read>(mut r: R) -> io::Result<Csr> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a FWCSR file"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a FWCSR file",
+        ));
     }
     let mut b4 = [0u8; 4];
     let mut b8 = [0u8; 8];

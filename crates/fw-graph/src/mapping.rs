@@ -237,7 +237,7 @@ mod tests {
     use crate::csr::Csr;
     use crate::partition::PartitionConfig;
     use crate::rmat::{generate_csr, RmatParams};
-    use proptest::prelude::*;
+    use fw_sim::Xoshiro256pp;
 
     fn pg(nv: u32, ne: u64, seed: u64) -> PartitionedGraph {
         let g = generate_csr(RmatParams::graph500(), nv, ne, seed);
@@ -324,7 +324,11 @@ mod tests {
             },
         );
         let t = SubgraphMappingTable::build(&p);
-        let zero_entries = t.entries().iter().filter(|en| en.low == 0 && en.high == 0).count();
+        let zero_entries = t
+            .entries()
+            .iter()
+            .filter(|en| en.low == 0 && en.high == 0)
+            .count();
         assert_eq!(zero_entries, 1, "dense vertex appears once in the table");
         // And it resolves to the first slice.
         let meta = p.find_dense(0).unwrap();
@@ -347,12 +351,16 @@ mod tests {
         assert_eq!(t.lookup(1000).sg_id, None);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-        #[test]
-        fn prop_range_then_narrow_equals_full(
-            seed in 0u64..500, nv in 20u32..400, ne in 10u64..4000, rs in 1u32..12
-        ) {
+    // Deterministic generator sweep standing in for the former proptest
+    // property (24 cases, seeded, so failures replay).
+    #[test]
+    fn prop_range_then_narrow_equals_full() {
+        let mut rng = Xoshiro256pp::new(0x3a99);
+        for _ in 0..24 {
+            let seed = rng.next_below(500);
+            let nv = 20 + rng.next_below(380) as u32;
+            let ne = 10 + rng.next_below(3990);
+            let rs = 1 + rng.next_below(11) as u32;
             let p = pg(nv, ne, seed);
             let t = SubgraphMappingTable::build(&p);
             let rt = RangeTable::build(&t, rs);
@@ -362,9 +370,9 @@ mod tests {
                 match r.range_id {
                     Some(rid) => {
                         let (s, e) = rt.entry_window(rid);
-                        prop_assert_eq!(t.lookup_in(v, s, e).sg_id, full.sg_id);
+                        assert_eq!(t.lookup_in(v, s, e).sg_id, full.sg_id);
                     }
-                    None => prop_assert_eq!(full.sg_id, None),
+                    None => assert_eq!(full.sg_id, None),
                 }
             }
         }

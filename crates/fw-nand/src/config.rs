@@ -100,8 +100,9 @@ impl SsdConfig {
     /// Aggregate array read bandwidth (bytes/s) given the per-chip port
     /// limit — the ~57 GB/s "maximal aggregated chip read throughput".
     pub fn aggregate_array_read_bw(&self) -> u64 {
-        let concurrent =
-            self.geometry.channels as u64 * self.geometry.chips_per_channel as u64 * self.array_ports_per_chip as u64;
+        let concurrent = self.geometry.channels as u64
+            * self.geometry.chips_per_channel as u64
+            * self.array_ports_per_chip as u64;
         let per_op = self.geometry.page_bytes as f64 / self.read_latency.as_secs_f64();
         (concurrent as f64 * per_op) as u64
     }

@@ -117,7 +117,9 @@ impl Ftl {
 
     /// Translate a logical page, if mapped.
     pub fn translate(&self, lpn: Lpn) -> Option<Ppa> {
-        self.map.get(&lpn).map(|&ppn| Ppa::from_linear(&self.geometry, ppn))
+        self.map
+            .get(&lpn)
+            .map(|&ppn| Ppa::from_linear(&self.geometry, ppn))
     }
 
     /// Write (or overwrite) a logical page. Returns the physical placement
@@ -433,7 +435,10 @@ mod tests {
         let mut found = 0;
         for lpn in 0..space {
             if let Some(ppa) = f.translate(lpn) {
-                assert!(seen.insert(ppa.to_linear(&g)), "duplicate ppa for lpn {lpn}");
+                assert!(
+                    seen.insert(ppa.to_linear(&g)),
+                    "duplicate ppa for lpn {lpn}"
+                );
                 found += 1;
             }
         }
@@ -446,7 +451,11 @@ mod tests {
         let mut f = Ftl::new(cfg.geometry, 4, cfg.gc_threshold_blocks);
         for lpn in 0..64 {
             let out = f.write(lpn);
-            assert!(out.ppa.block >= 4, "allocated into static region: {:?}", out.ppa);
+            assert!(
+                out.ppa.block >= 4,
+                "allocated into static region: {:?}",
+                out.ppa
+            );
             for op in out.gc {
                 if let GcOp::Erase { block } = op {
                     assert!(block.block >= 4);

@@ -147,7 +147,11 @@ mod tests {
         let mut l = GraphLayout::new(g, 4);
         let p = l.place_block(64);
         let planes: HashSet<usize> = p.pages.iter().map(|ppa| ppa.plane_index(&g)).collect();
-        assert_eq!(planes.len(), g.planes_per_chip() as usize, "all 8 planes used");
+        assert_eq!(
+            planes.len(),
+            g.planes_per_chip() as usize,
+            "all 8 planes used"
+        );
         // All pages on the same chip.
         let chips: HashSet<usize> = p.pages.iter().map(|ppa| ppa.chip_index(&g)).collect();
         assert_eq!(chips.len(), 1);

@@ -77,7 +77,10 @@ impl Ssd {
         Ssd {
             cfg,
             planes: vec![Timeline::new(); g.num_planes() as usize],
-            chip_ports: vec![ServerBank::new(cfg.array_ports_per_chip as usize); g.num_chips() as usize],
+            chip_ports: vec![
+                ServerBank::new(cfg.array_ports_per_chip as usize);
+                g.num_chips() as usize
+            ],
             channels: vec![BandwidthLink::new(cfg.channel_rate); g.channels as usize],
             pcie: BandwidthLink::new(cfg.pcie_rate),
             ftl,
@@ -133,8 +136,8 @@ impl Ssd {
     /// earlier than `at`. Used for register→controller page transfers,
     /// accelerator command/walk traffic, and controller→register writes.
     pub fn channel_transfer(&mut self, at: SimTime, channel: u32, bytes: u64) -> Reservation {
-        let res = self.channels[channel as usize]
-            .transfer(at + self.cfg.channel_cmd_overhead, bytes);
+        let res =
+            self.channels[channel as usize].transfer(at + self.cfg.channel_cmd_overhead, bytes);
         self.stats.channel_bytes += bytes;
         self.stats.channel_transfers += 1;
         self.stats.channel_wait_ns += res
@@ -269,7 +272,13 @@ impl Ssd {
         self.pcie.utilization(horizon)
     }
 
-    fn array_op(&mut self, at: SimTime, ppa: Ppa, latency: Duration, kind: ArrayOpKind) -> Reservation {
+    fn array_op(
+        &mut self,
+        at: SimTime,
+        ppa: Ppa,
+        latency: Duration,
+        kind: ArrayOpKind,
+    ) -> Reservation {
         let g = self.cfg.geometry;
         let plane = ppa.plane_index(&g);
         let chip = ppa.chip_index(&g);
@@ -366,7 +375,10 @@ mod tests {
         let a = s.read_page_to_controller(SimTime::ZERO, ppa(0, 0, 0, 0, 0, 0));
         let b = s.read_page_to_controller(SimTime::ZERO, ppa(0, 1, 0, 0, 0, 0));
         let xfer = Duration::for_bytes(4096, 333_000_000);
-        assert!(b.end >= a.end + xfer || a.end >= b.end + xfer, "bus serialization");
+        assert!(
+            b.end >= a.end + xfer || a.end >= b.end + xfer,
+            "bus serialization"
+        );
         // Different channel: no interference.
         let c = s.read_page_to_controller(SimTime::ZERO, ppa(1, 0, 0, 0, 0, 0));
         assert!(c.end < a.end.max(b.end));

@@ -111,10 +111,18 @@ impl<E> EventQueue<E> {
     /// In debug builds, panics if `at` is in the past: delivering an event
     /// before `now` would make the simulation non-causal.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Entry { time: at, seq, event }));
+        self.heap.push(Reverse(Entry {
+            time: at,
+            seq,
+            event,
+        }));
     }
 
     /// Schedule `event` `delay` after the current time.

@@ -102,7 +102,11 @@ impl Histogram {
 
     /// Record one value.
     pub fn record(&mut self, v: u64) {
-        let b = if v <= 1 { 0 } else { 63 - v.leading_zeros() as usize };
+        let b = if v <= 1 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        };
         self.buckets[b] += 1;
         self.count += 1;
         self.sum += v;

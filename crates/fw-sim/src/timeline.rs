@@ -300,8 +300,20 @@ mod tests {
         let mut t = Timeline::new();
         let a = t.reserve(SimTime(0), Duration(100));
         let b = t.reserve(SimTime(0), Duration(50));
-        assert_eq!(a, Reservation { start: SimTime(0), end: SimTime(100) });
-        assert_eq!(b, Reservation { start: SimTime(100), end: SimTime(150) });
+        assert_eq!(
+            a,
+            Reservation {
+                start: SimTime(0),
+                end: SimTime(100)
+            }
+        );
+        assert_eq!(
+            b,
+            Reservation {
+                start: SimTime(100),
+                end: SimTime(150)
+            }
+        );
         assert_eq!(b.wait_since(SimTime(0)), Duration(100));
     }
 

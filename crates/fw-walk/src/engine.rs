@@ -1,0 +1,154 @@
+//! The engine abstraction: every walk system in this workspace —
+//! FlashWalker's in-storage hierarchy, the GraphWalker host baseline, the
+//! iteration-synchronous baseline — runs a [`Workload`] to completion and
+//! reports through the same [`RunReport`] shape, so benches, figures and
+//! conformance tests can be written once against [`WalkEngine`].
+//!
+//! Engine-specific detail (FlashWalker's per-level hop counts, the
+//! GraphWalker cache behaviour, …) stays on the engines' own `run_detailed`
+//! methods and report types; this module is the lowest common denominator.
+
+use fw_sim::Duration;
+
+use crate::walk::Walk;
+use crate::workload::Workload;
+
+/// Counters every engine can meaningfully report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Total walk hops executed (each is one neighbor sample).
+    pub hops: u64,
+    /// Graph loads: subgraph loads into chip slots (FlashWalker) or
+    /// graph-block faults into host memory (baselines), re-loads included.
+    pub loads: u64,
+    /// Walk pages written to flash because a walk buffer overflowed
+    /// (PWB spills + foreigner pages for FlashWalker, walk-pool spill
+    /// pages for the baselines).
+    pub walk_spill_pages: u64,
+}
+
+/// Byte traffic over the storage paths the engines share.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Traffic {
+    /// Bytes read from flash arrays.
+    pub flash_read_bytes: u64,
+    /// Bytes programmed to flash arrays.
+    pub flash_write_bytes: u64,
+    /// Bytes over the engine's interconnect: channel buses for
+    /// FlashWalker (in-storage data movement), PCIe for the host
+    /// baselines (host data movement).
+    pub interconnect_bytes: u64,
+}
+
+/// Coarse time attribution in nanoseconds.
+///
+/// For the serial host baselines the four slices partition wall-clock
+/// time (this is Figure 1's breakdown). For FlashWalker, whose levels
+/// overlap in time, the slices are *busy-time attributions* — they can sum
+/// to more than [`RunReport::time`] and are meaningful as ratios, not as a
+/// partition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineBreakdown {
+    /// Loading graph data from flash.
+    pub load_ns: u64,
+    /// Updating walks (sampling compute).
+    pub update_ns: u64,
+    /// Walk I/O: spilling walk state to flash and reading it back.
+    pub walk_io_ns: u64,
+    /// Everything else (scheduling overheads).
+    pub other_ns: u64,
+}
+
+impl EngineBreakdown {
+    /// Sum of all slices.
+    pub fn total_ns(&self) -> u64 {
+        self.load_ns + self.update_ns + self.walk_io_ns + self.other_ns
+    }
+
+    /// Fraction of the breakdown spent loading graph data.
+    pub fn load_fraction(&self) -> f64 {
+        let t = self.total_ns();
+        if t == 0 {
+            0.0
+        } else {
+            self.load_ns as f64 / t as f64
+        }
+    }
+}
+
+/// The unified result of one engine run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Engine identifier ([`WalkEngine::name`]).
+    pub engine: &'static str,
+    /// End-to-end simulated execution time.
+    pub time: Duration,
+    /// Walks completed (equals the workload size on success).
+    pub walks: u64,
+    /// Common counters.
+    pub stats: RunStats,
+    /// Byte traffic.
+    pub traffic: Traffic,
+    /// Coarse time attribution (see [`EngineBreakdown`] for semantics).
+    pub breakdown: EngineBreakdown,
+    /// Achieved flash read bandwidth over the run, bytes/s.
+    pub read_bw: f64,
+    /// Walks completed per trace window (empty when the engine does not
+    /// trace).
+    pub progress: Vec<f64>,
+    /// Trace window width in nanoseconds (0 when untraced).
+    pub trace_window_ns: u64,
+    /// Completed walks, when walk logging was enabled on the engine.
+    pub walk_log: Vec<Walk>,
+}
+
+impl RunReport {
+    /// Completed walks per simulated second.
+    pub fn walks_per_sec(&self) -> f64 {
+        let s = self.time.as_secs_f64();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.walks as f64 / s
+        }
+    }
+
+    /// How many times faster this run is than `other` (simulated time
+    /// ratio `other / self`).
+    pub fn speedup_over(&self, other: &RunReport) -> f64 {
+        if self.time.as_nanos() == 0 {
+            return 0.0;
+        }
+        other.time.as_nanos() as f64 / self.time.as_nanos() as f64
+    }
+}
+
+/// A walk system that runs a [`Workload`] to completion.
+///
+/// # Contract
+///
+/// * **Consumes self.** `run` takes the engine by value: an engine is a
+///   one-shot configured simulation. Construct, optionally toggle
+///   builders (trace window, walk log), then run.
+/// * **Determinism.** Two engines built with identical inputs (graph,
+///   configuration, seed) and run with the same workload must produce
+///   identical reports — the same `time`, `stats`, `traffic` and
+///   `walk_log`. All randomness must flow from the construction seed.
+/// * **Completion.** On return, `report.walks == workload.num_walks`;
+///   engines panic rather than silently dropping walks.
+/// * **Stats semantics.** `stats.hops` counts every neighbor sample
+///   (including the final hop that completes a walk); `stats.loads`
+///   counts every transfer of graph data into compute-visible memory,
+///   re-loads included; `traffic` counts *charged* simulated bytes only —
+///   untimed preprocessing (initial walk distribution) is excluded.
+/// * **Walk log.** When the engine's walk logging is enabled, `walk_log`
+///   holds every completed walk exactly once, each with `is_done()` true
+///   and the multiset of `src` vertices equal to the workload's initial
+///   distribution. Order is engine-specific.
+pub trait WalkEngine {
+    /// Stable identifier for reports and figure labels.
+    fn name(&self) -> &'static str;
+
+    /// Run `workload` to completion and report.
+    fn run(self, workload: Workload) -> RunReport;
+}

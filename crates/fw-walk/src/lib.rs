@@ -19,12 +19,14 @@
 //! process a walk" in the unbiased case, and biased walks cost extra
 //! cycles for the binary search (§III-B).
 
+pub mod engine;
 pub mod sampler;
 pub mod visits;
 pub mod walk;
 pub mod workload;
 
+pub use engine::{EngineBreakdown, RunReport, RunStats, Traffic, WalkEngine};
 pub use sampler::{sample_biased, sample_unbiased, StepOutcome, UNBIASED_UPDATER_OPS};
-pub use walk::{Walk, WALK_BYTES};
 pub use visits::VisitCounts;
+pub use walk::{Walk, WALK_BYTES};
 pub use workload::{Bias, StartDist, Termination, Workload};

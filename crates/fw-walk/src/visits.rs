@@ -81,7 +81,11 @@ impl VisitCounts {
     /// vertex space — the metric the integration tests use to compare
     /// engines' endpoint distributions.
     pub fn total_variation(&self, other: &VisitCounts) -> f64 {
-        assert_eq!(self.counts.len(), other.counts.len(), "vertex spaces differ");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "vertex spaces differ"
+        );
         if self.total == 0 || other.total == 0 {
             return if self.total == other.total { 0.0 } else { 1.0 };
         }
@@ -144,7 +148,10 @@ mod tests {
         for _ in 0..10 {
             d.visit(3);
         }
-        assert!((a.total_variation(&d) - 1.0).abs() < 1e-12, "disjoint dists");
+        assert!(
+            (a.total_variation(&d) - 1.0).abs() < 1e-12,
+            "disjoint dists"
+        );
         // Symmetry.
         assert_eq!(a.total_variation(&d), d.total_variation(&a));
     }

@@ -232,10 +232,13 @@ mod tests {
             ..Workload::paper_default(4_000)
         };
         let walks = wl.init_walks(&g, 3);
-        let distinct: std::collections::HashSet<u32> =
-            walks.iter().map(|w| w.cur).collect();
+        let distinct: std::collections::HashSet<u32> = walks.iter().map(|w| w.cur).collect();
         // 4000 uniform draws over 256 vertices hit nearly all of them.
-        assert!(distinct.len() > 240, "only {} distinct starts", distinct.len());
+        assert!(
+            distinct.len() > 240,
+            "only {} distinct starts",
+            distinct.len()
+        );
         assert!(walks.iter().all(|w| w.cur < g.num_vertices()));
     }
 

@@ -1,0 +1,86 @@
+//! Block residency: vertex→block mapping (with host-side dense-vertex
+//! pre-walk), state-aware block picking, the LRU host block cache and the
+//! read-back of spilled walk pages.
+
+use fw_graph::VertexId;
+use fw_nand::Ppa;
+
+use super::{GraphWalkerSim, GwRun};
+
+impl GraphWalkerSim<'_> {
+    /// The graph block owning vertex `v`. Dense vertices pick a slice
+    /// proportionally (same pre-walk arithmetic as FlashWalker,
+    /// host-side).
+    pub(super) fn block_of(&mut self, v: VertexId) -> u32 {
+        match self.blocks.find_dense(v) {
+            Some(meta) => {
+                // Dense vertices are rare at 2 MB blocks; walks at one pick
+                // a slice proportionally.
+                let meta = *meta;
+                let cap = self.blocks.config.dense_slice_edges();
+                let rnd = self.rng.next_below(meta.total_degree);
+                let idx = ((rnd / cap) as u32).min(meta.num_blocks - 1);
+                meta.first_subgraph + idx
+            }
+            None => self
+                .blocks
+                .subgraph_of(v)
+                .expect("vertex outside all blocks"),
+        }
+    }
+
+    /// Pick the block with the most waiting walks (state-aware
+    /// scheduling). Ties break to the lower id.
+    pub(super) fn pick_block(&self) -> Option<u32> {
+        (0..self.pools.len())
+            .filter(|&b| self.pools[b].total() > 0)
+            .max_by(|&a, &b| {
+                self.pools[a]
+                    .total()
+                    .cmp(&self.pools[b].total())
+                    .then(b.cmp(&a))
+            })
+            .map(|b| b as u32)
+    }
+
+    /// Fault `block` into the cache if absent, advancing `run.now` past
+    /// any required I/O. Reads go through the full host path (array →
+    /// channel → PCIe).
+    pub(super) fn ensure_cached(&mut self, block: u32, run: &mut GwRun) {
+        if let Some(pos) = self.cache.iter().position(|&b| b == block) {
+            self.cache.remove(pos);
+            self.cache.insert(0, block);
+            return;
+        }
+        if self.cache.len() >= self.cfg.cache_blocks() {
+            self.cache.pop(); // evict LRU (clean data, no writeback)
+        }
+        self.cache.insert(0, block);
+        run.block_loads += 1;
+        let pages: Vec<Ppa> = self.placements[block as usize].pages.clone();
+        let done = self.ssd.host_read_pages(run.now, &pages);
+        run.breakdown.load_graph += done - run.now;
+        run.now = done;
+    }
+
+    /// Read back spilled walk pages for `block` (walk I/O). Pages are
+    /// issued together and pipeline across planes.
+    pub(super) fn read_spilled(&mut self, block: u32, run: &mut GwRun) {
+        let spilled = std::mem::take(&mut self.pools[block as usize].spilled);
+        if spilled.is_empty() {
+            return;
+        }
+        let page_bytes = self.ssd.config().geometry.page_bytes;
+        let mut done = run.now;
+        for (lpn, walks) in spilled {
+            if let Some(r) = self.ssd.ftl_read_page(run.now, lpn) {
+                let dma = self.ssd.pcie_transfer(r.end, page_bytes);
+                done = done.max(dma.end);
+            }
+            self.ssd.ftl_mut().trim(lpn);
+            self.pools[block as usize].walks.extend(walks);
+        }
+        run.breakdown.walk_io += done - run.now;
+        run.now = done;
+    }
+}

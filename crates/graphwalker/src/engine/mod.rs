@@ -7,13 +7,26 @@
 //! Walks that leave go to the destination block's pool; pools beyond the
 //! walk buffer spill to disk and are read back when their block is next
 //! scheduled.
+//!
+//! ## Module map
+//!
+//! * `cache` — block residency: vertex→block mapping, state-aware block
+//!   picking, the LRU host cache and spilled-walk read-back.
+//! * `update` — walk progress: the asynchronous update batch and the
+//!   walk-buffer spill policy.
+//!
+//! This file owns the simulator struct, construction (blocking + SSD
+//! layout) and the top-level scheduler loop.
 
-use fw_graph::{Csr, PartitionedGraph, VertexId};
+mod cache;
+mod update;
+
 use fw_graph::partition::PartitionConfig;
+use fw_graph::{Csr, PartitionedGraph};
 use fw_nand::layout::GraphBlockPlacement;
-use fw_nand::{GraphLayout, Lpn, Ppa, Ssd, SsdConfig};
+use fw_nand::{GraphLayout, Lpn, Ssd, SsdConfig};
 use fw_sim::{Duration, SimTime, TimeSeries, Xoshiro256pp};
-use fw_walk::{Walk, Workload, WALK_BYTES};
+use fw_walk::{EngineBreakdown, RunReport, RunStats, Traffic, Walk, WalkEngine, Workload};
 
 use crate::breakdown::TimeBreakdown;
 use crate::config::GwConfig;
@@ -50,15 +63,61 @@ pub struct GwReport {
     pub walk_log: Vec<Walk>,
 }
 
-struct BlockPool {
-    walks: Vec<Walk>,
-    spilled: Vec<(Lpn, Vec<Walk>)>,
+impl From<GwReport> for RunReport {
+    fn from(r: GwReport) -> RunReport {
+        RunReport {
+            engine: "graphwalker",
+            time: r.time,
+            walks: r.walks,
+            stats: RunStats {
+                hops: r.hops,
+                loads: r.block_loads,
+                walk_spill_pages: r.walk_spills,
+            },
+            traffic: Traffic {
+                flash_read_bytes: r.flash_read_bytes,
+                flash_write_bytes: r.flash_write_bytes,
+                interconnect_bytes: r.pcie_bytes,
+            },
+            breakdown: EngineBreakdown {
+                load_ns: r.breakdown.load_graph.as_nanos(),
+                update_ns: r.breakdown.update_walks.as_nanos(),
+                walk_io_ns: r.breakdown.walk_io.as_nanos(),
+                other_ns: r.breakdown.other.as_nanos(),
+            },
+            read_bw: r.read_bw,
+            progress: r.progress,
+            trace_window_ns: r.trace_window_ns,
+            walk_log: r.walk_log,
+        }
+    }
+}
+
+pub(super) struct BlockPool {
+    pub(super) walks: Vec<Walk>,
+    pub(super) spilled: Vec<(Lpn, Vec<Walk>)>,
 }
 
 impl BlockPool {
-    fn total(&self) -> u64 {
-        self.walks.len() as u64 + self.spilled.iter().map(|(_, w)| w.len() as u64).sum::<u64>()
+    pub(super) fn total(&self) -> u64 {
+        self.walks.len() as u64
+            + self
+                .spilled
+                .iter()
+                .map(|(_, w)| w.len() as u64)
+                .sum::<u64>()
     }
+}
+
+/// Mutable per-run accumulator threaded through the loop phases.
+pub(super) struct GwRun {
+    pub(super) now: SimTime,
+    pub(super) breakdown: TimeBreakdown,
+    pub(super) completed: u64,
+    pub(super) hops: u64,
+    pub(super) block_loads: u64,
+    pub(super) walk_spills: u64,
+    pub(super) progress: TimeSeries,
 }
 
 /// The GraphWalker simulator.
@@ -80,8 +139,9 @@ pub struct GraphWalkerSim<'g> {
 
 impl<'g> GraphWalkerSim<'g> {
     /// Build the engine: partition the graph into GraphWalker-size blocks
-    /// and lay them out on the shared SSD model.
-    pub fn new(csr: &'g Csr, id_bytes: u32, cfg: GwConfig, ssd_cfg: SsdConfig, wl: Workload, seed: u64) -> Self {
+    /// and lay them out on the shared SSD model. The workload is supplied
+    /// at run time ([`Self::run_detailed`] / [`WalkEngine::run`]).
+    pub fn new(csr: &'g Csr, id_bytes: u32, cfg: GwConfig, ssd_cfg: SsdConfig, seed: u64) -> Self {
         let blocks = PartitionedGraph::build(
             csr,
             PartitionConfig {
@@ -90,13 +150,12 @@ impl<'g> GraphWalkerSim<'g> {
                 subgraphs_per_partition: u32::MAX,
             },
         );
-        let pages_per_block =
-            (cfg.block_bytes / ssd_cfg.geometry.page_bytes).max(1) as u32;
+        let pages_per_block = (cfg.block_bytes / ssd_cfg.geometry.page_bytes).max(1) as u32;
         let total_pages = blocks.num_subgraphs() as u64 * pages_per_block as u64;
         let per_plane = total_pages.div_ceil(ssd_cfg.geometry.num_planes() as u64);
         let static_blocks = (per_plane.div_ceil(ssd_cfg.geometry.pages_per_block as u64) as u32
             + 1)
-            .min(ssd_cfg.geometry.blocks_per_plane - 4);
+        .min(ssd_cfg.geometry.blocks_per_plane - 4);
         let mut layout = GraphLayout::new(ssd_cfg.geometry, static_blocks);
         // GraphWalker block pages: sized by the block's actual bytes so a
         // small final block doesn't read a full-size extent. Unlike
@@ -127,7 +186,7 @@ impl<'g> GraphWalkerSim<'g> {
             blocks,
             placements,
             cfg,
-            wl,
+            wl: Workload::paper_default(0),
             ssd: Ssd::new(ssd_cfg, static_blocks),
             rng: Xoshiro256pp::new(seed),
             cache: Vec::new(),
@@ -155,74 +214,19 @@ impl<'g> GraphWalkerSim<'g> {
         self.blocks.num_subgraphs()
     }
 
-    fn block_of(&mut self, v: VertexId) -> u32 {
-        match self.blocks.find_dense(v) {
-            Some(meta) => {
-                // Dense vertices are rare at 2 MB blocks; walks at one pick
-                // a slice proportionally (same pre-walk arithmetic as
-                // FlashWalker, host-side).
-                let meta = *meta;
-                let cap = self.blocks.config.dense_slice_edges();
-                let rnd = self.rng.next_below(meta.total_degree);
-                let idx = ((rnd / cap) as u32).min(meta.num_blocks - 1);
-                meta.first_subgraph + idx
-            }
-            None => self
-                .blocks
-                .subgraph_of(v)
-                .expect("vertex outside all blocks"),
-        }
-    }
-
-    /// Pick the block with the most waiting walks (state-aware
-    /// scheduling). Ties break to the lower id.
-    fn pick_block(&self) -> Option<u32> {
-        (0..self.pools.len())
-            .filter(|&b| self.pools[b].total() > 0)
-            .max_by(|&a, &b| {
-                self.pools[a]
-                    .total()
-                    .cmp(&self.pools[b].total())
-                    .then(b.cmp(&a))
-            })
-            .map(|b| b as u32)
-    }
-
-    /// Fault `block` into the cache if absent; returns the time after any
-    /// required I/O. Reads go through the full host path (array → channel
-    /// → PCIe).
-    fn ensure_cached(
-        &mut self,
-        block: u32,
-        now: SimTime,
-        breakdown: &mut TimeBreakdown,
-        loads: &mut u64,
-    ) -> SimTime {
-        if let Some(pos) = self.cache.iter().position(|&b| b == block) {
-            self.cache.remove(pos);
-            self.cache.insert(0, block);
-            return now;
-        }
-        if self.cache.len() >= self.cfg.cache_blocks() {
-            self.cache.pop(); // evict LRU (clean data, no writeback)
-        }
-        self.cache.insert(0, block);
-        *loads += 1;
-        let pages: Vec<Ppa> = self.placements[block as usize].pages.clone();
-        let done = self.ssd.host_read_pages(now, &pages);
-        breakdown.load_graph += done - now;
-        done
-    }
-
-    /// Run to completion.
-    pub fn run(mut self) -> GwReport {
-        let mut breakdown = TimeBreakdown::default();
-        let mut progress = TimeSeries::new(self.trace_window_ns);
-        let mut now = SimTime::ZERO;
-        let mut completed: u64 = 0;
-        let mut hops: u64 = 0;
-        let mut block_loads: u64 = 0;
-        let mut walk_spills: u64 = 0;
+    /// Run `wl` to completion and return the engine-specific report. The
+    /// unified view is [`WalkEngine::run`].
+    pub fn run_detailed(mut self, wl: Workload) -> GwReport {
+        self.wl = wl;
+        let mut run = GwRun {
+            now: SimTime::ZERO,
+            breakdown: TimeBreakdown::default(),
+            completed: 0,
+            hops: 0,
+            block_loads: 0,
+            walk_spills: 0,
+            progress: TimeSeries::new(self.trace_window_ns),
+        };
         let total = self.wl.num_walks;
 
         // Initial distribution (uncharged, like FlashWalker's).
@@ -231,126 +235,50 @@ impl<'g> GraphWalkerSim<'g> {
             self.pools[b as usize].walks.push(w);
         }
 
-        let page_bytes = self.ssd.config().geometry.page_bytes;
-        let walks_per_page = (page_bytes / WALK_BYTES) as usize;
-
-        while completed < total {
+        while run.completed < total {
             let block = self.pick_block().expect("walks remain but no pool has any");
             // Scheduling overhead: a scan of per-block walk counts.
             let sched = Duration::nanos(self.pools.len() as u64 * 2);
-            breakdown.other += sched;
-            now += sched;
+            run.breakdown.other += sched;
+            run.now += sched;
 
-            now = self.ensure_cached(block, now, &mut breakdown, &mut block_loads);
-
-            // Read back spilled walks for this block (walk I/O). Pages
-            // are issued together and pipeline across planes.
-            let spilled = std::mem::take(&mut self.pools[block as usize].spilled);
-            if !spilled.is_empty() {
-                let mut done = now;
-                for (lpn, walks) in spilled {
-                    if let Some(r) = self.ssd.ftl_read_page(now, lpn) {
-                        let dma = self.ssd.pcie_transfer(r.end, page_bytes);
-                        done = done.max(dma.end);
-                    }
-                    self.ssd.ftl_mut().trim(lpn);
-                    self.pools[block as usize].walks.extend(walks);
-                }
-                breakdown.walk_io += done - now;
-                now = done;
-            }
-
-            // Asynchronously update every waiting walk until it leaves the
-            // cached block set or completes.
-            let mut work = std::mem::take(&mut self.pools[block as usize].walks);
-            let mut batch_hops: u64 = 0;
-            for mut w in work.drain(..) {
-                loop {
-                    let (ev, _ops) = self.wl.step(self.csr, w, &mut self.rng);
-                    batch_hops += 1;
-                    match ev {
-                        fw_walk::workload::WalkEvent::Completed(done) => {
-                            completed += 1;
-                            progress.add(now, 1.0);
-                            if let Some(log) = &mut self.walk_log {
-                                log.push(done);
-                            }
-                            break;
-                        }
-                        fw_walk::workload::WalkEvent::Moved(next) => {
-                            w = next;
-                            let b = self.block_of(w.cur);
-                            if self.cache.contains(&b) {
-                                // Keep updating inside cached blocks, but
-                                // account the walk to its block if we stop.
-                                continue;
-                            }
-                            self.pools[b as usize].walks.push(w);
-                            break;
-                        }
-                    }
-                }
-            }
-            hops += batch_hops;
-            let cpu = Duration::nanos(batch_hops * self.cfg.cpu_ns_per_hop);
-            breakdown.update_walks += cpu;
-            now += cpu;
-
-            // Spill oversized pools: smallest pools go to disk first
-            // (keeping hot pools resident suits state-aware scheduling).
-            // All spill pages of one round are written as one batched
-            // host command, so programs pipeline across planes the way a
-            // sequential buffered file write does.
-            let mut ram_walks: u64 = self.pools.iter().map(|p| p.walks.len() as u64).sum();
-            if ram_walks * WALK_BYTES > self.cfg.walk_buffer_bytes {
-                let mut batch_lpns: Vec<Lpn> = Vec::new();
-                let mut order: Vec<usize> = (0..self.pools.len())
-                    .filter(|&b| !self.pools[b].walks.is_empty())
-                    .collect();
-                order.sort_by_key(|&b| (self.pools[b].walks.len(), b));
-                for victim in order {
-                    if ram_walks * WALK_BYTES <= self.cfg.walk_buffer_bytes {
-                        break;
-                    }
-                    let walks = std::mem::take(&mut self.pools[victim].walks);
-                    ram_walks -= walks.len() as u64;
-                    walk_spills += 1;
-                    for chunk in walks.chunks(walks_per_page) {
-                        self.next_lpn += 1;
-                        let lpn = self.next_lpn;
-                        batch_lpns.push(lpn);
-                        self.pools[victim].spilled.push((lpn, chunk.to_vec()));
-                    }
-                }
-                if !batch_lpns.is_empty() {
-                    let end = self.ssd.host_write_lpns(now, &batch_lpns);
-                    breakdown.walk_io += end - now;
-                    now = end;
-                }
-            }
+            self.ensure_cached(block, &mut run);
+            self.read_spilled(block, &mut run);
+            self.update_block(block, &mut run);
+            self.spill_overflow(&mut run);
         }
 
         let s = *self.ssd.stats();
         let cfgp = *self.ssd.config();
         GwReport {
-            time: now - SimTime::ZERO,
-            walks: completed,
-            hops,
-            breakdown,
+            time: run.now - SimTime::ZERO,
+            walks: run.completed,
+            hops: run.hops,
+            breakdown: run.breakdown,
             flash_read_bytes: s.array_read_bytes(&cfgp),
             flash_write_bytes: s.array_write_bytes(&cfgp),
             pcie_bytes: s.pcie_bytes,
-            read_bw: if now == SimTime::ZERO {
+            read_bw: if run.now == SimTime::ZERO {
                 0.0
             } else {
-                s.array_read_bytes(&cfgp) as f64 / now.as_secs_f64()
+                s.array_read_bytes(&cfgp) as f64 / run.now.as_secs_f64()
             },
-            block_loads,
-            walk_spills,
-            progress: progress.windows().to_vec(),
+            block_loads: run.block_loads,
+            walk_spills: run.walk_spills,
+            progress: run.progress.windows().to_vec(),
             trace_window_ns: self.trace_window_ns,
             walk_log: self.walk_log.take().unwrap_or_default(),
         }
+    }
+}
+
+impl WalkEngine for GraphWalkerSim<'_> {
+    fn name(&self) -> &'static str {
+        "graphwalker"
+    }
+
+    fn run(self, workload: Workload) -> RunReport {
+        self.run_detailed(workload).into()
     }
 }
 
@@ -365,7 +293,7 @@ mod tests {
 
     fn run(csr: &Csr, cfg: GwConfig, walks: u64) -> GwReport {
         let wl = Workload::paper_default(walks);
-        GraphWalkerSim::new(csr, 4, cfg, SsdConfig::tiny(), wl, 5).run()
+        GraphWalkerSim::new(csr, 4, cfg, SsdConfig::tiny(), 5).run_detailed(wl)
     }
 
     fn small_cfg(mem: u64) -> GwConfig {
@@ -392,8 +320,7 @@ mod tests {
     fn graph_fitting_in_memory_loads_each_block_once() {
         let g = graph(500, 4_000);
         let r = run(&g, small_cfg(16 << 20), 1_000); // memory >> graph
-        let wl = Workload::paper_default(1);
-        let sim = GraphWalkerSim::new(&g, 4, small_cfg(16 << 20), SsdConfig::tiny(), wl, 5);
+        let sim = GraphWalkerSim::new(&g, 4, small_cfg(16 << 20), SsdConfig::tiny(), 5);
         assert_eq!(r.block_loads, sim.num_blocks() as u64);
     }
 
@@ -448,12 +375,31 @@ mod tests {
     }
 
     #[test]
+    fn trait_run_matches_detailed_run() {
+        let g = graph(800, 8_000);
+        let wl = Workload::paper_default(1_000);
+        let detailed =
+            GraphWalkerSim::new(&g, 4, small_cfg(64 << 10), SsdConfig::tiny(), 5).run_detailed(wl);
+        let eng = GraphWalkerSim::new(&g, 4, small_cfg(64 << 10), SsdConfig::tiny(), 5);
+        assert_eq!(eng.name(), "graphwalker");
+        let unified = eng.run(wl);
+        assert_eq!(unified.engine, "graphwalker");
+        assert_eq!(unified.time, detailed.time);
+        assert_eq!(unified.stats.hops, detailed.hops);
+        assert_eq!(unified.stats.loads, detailed.block_loads);
+        assert_eq!(
+            unified.breakdown.load_ns,
+            detailed.breakdown.load_graph.as_nanos()
+        );
+    }
+
+    #[test]
     fn walk_log_conserves_sources() {
         let g = graph(1500, 18_000);
         let wl = Workload::paper_default(2_500);
-        let r = GraphWalkerSim::new(&g, 4, small_cfg(96 << 10), SsdConfig::tiny(), wl, 5)
+        let r = GraphWalkerSim::new(&g, 4, small_cfg(96 << 10), SsdConfig::tiny(), 5)
             .with_walk_log()
-            .run();
+            .run_detailed(wl);
         assert_eq!(r.walk_log.len(), 2_500);
         let mut got: Vec<u32> = r.walk_log.iter().map(|w| w.src).collect();
         let mut expect: Vec<u32> = wl.init_walks(&g, 0).iter().map(|w| w.src).collect();
@@ -467,7 +413,8 @@ mod tests {
     fn biased_workload_runs() {
         let g = graph(800, 10_000).with_random_weights(7);
         let wl = Workload::node2vec_biased(1_000, 6);
-        let r = GraphWalkerSim::new(&g, 4, small_cfg(96 << 10), SsdConfig::tiny(), wl, 5).run();
+        let r =
+            GraphWalkerSim::new(&g, 4, small_cfg(96 << 10), SsdConfig::tiny(), 5).run_detailed(wl);
         assert_eq!(r.walks, 1_000);
     }
 

@@ -1,0 +1,88 @@
+//! Walk progress: the asynchronous update batch over a scheduled block's
+//! pool, and the walk-buffer spill policy that bounds host memory.
+
+use fw_nand::Lpn;
+use fw_sim::Duration;
+use fw_walk::workload::WalkEvent;
+use fw_walk::WALK_BYTES;
+
+use super::{GraphWalkerSim, GwRun};
+
+impl GraphWalkerSim<'_> {
+    /// Asynchronously update every waiting walk of `block` until it
+    /// leaves the cached block set or completes (GraphWalker's key idea:
+    /// "keeps updating them until they leave these blocks or have reached
+    /// the termination conditions").
+    pub(super) fn update_block(&mut self, block: u32, run: &mut GwRun) {
+        let mut work = std::mem::take(&mut self.pools[block as usize].walks);
+        let mut batch_hops: u64 = 0;
+        for mut w in work.drain(..) {
+            loop {
+                let (ev, _ops) = self.wl.step(self.csr, w, &mut self.rng);
+                batch_hops += 1;
+                match ev {
+                    WalkEvent::Completed(done) => {
+                        run.completed += 1;
+                        run.progress.add(run.now, 1.0);
+                        if let Some(log) = &mut self.walk_log {
+                            log.push(done);
+                        }
+                        break;
+                    }
+                    WalkEvent::Moved(next) => {
+                        w = next;
+                        let b = self.block_of(w.cur);
+                        if self.cache.contains(&b) {
+                            // Keep updating inside cached blocks, but
+                            // account the walk to its block if we stop.
+                            continue;
+                        }
+                        self.pools[b as usize].walks.push(w);
+                        break;
+                    }
+                }
+            }
+        }
+        run.hops += batch_hops;
+        let cpu = Duration::nanos(batch_hops * self.cfg.cpu_ns_per_hop);
+        run.breakdown.update_walks += cpu;
+        run.now += cpu;
+    }
+
+    /// Spill oversized pools: smallest pools go to disk first (keeping
+    /// hot pools resident suits state-aware scheduling). All spill pages
+    /// of one round are written as one batched host command, so programs
+    /// pipeline across planes the way a sequential buffered file write
+    /// does.
+    pub(super) fn spill_overflow(&mut self, run: &mut GwRun) {
+        let walks_per_page = (self.ssd.config().geometry.page_bytes / WALK_BYTES) as usize;
+        let mut ram_walks: u64 = self.pools.iter().map(|p| p.walks.len() as u64).sum();
+        if ram_walks * WALK_BYTES <= self.cfg.walk_buffer_bytes {
+            return;
+        }
+        let mut batch_lpns: Vec<Lpn> = Vec::new();
+        let mut order: Vec<usize> = (0..self.pools.len())
+            .filter(|&b| !self.pools[b].walks.is_empty())
+            .collect();
+        order.sort_by_key(|&b| (self.pools[b].walks.len(), b));
+        for victim in order {
+            if ram_walks * WALK_BYTES <= self.cfg.walk_buffer_bytes {
+                break;
+            }
+            let walks = std::mem::take(&mut self.pools[victim].walks);
+            ram_walks -= walks.len() as u64;
+            run.walk_spills += 1;
+            for chunk in walks.chunks(walks_per_page) {
+                self.next_lpn += 1;
+                let lpn = self.next_lpn;
+                batch_lpns.push(lpn);
+                self.pools[victim].spilled.push((lpn, chunk.to_vec()));
+            }
+        }
+        if !batch_lpns.is_empty() {
+            let end = self.ssd.host_write_lpns(run.now, &batch_lpns);
+            run.breakdown.walk_io += end - run.now;
+            run.now = end;
+        }
+    }
+}

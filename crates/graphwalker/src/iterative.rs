@@ -23,7 +23,9 @@ use fw_graph::{Csr, PartitionedGraph, VertexId};
 use fw_nand::layout::GraphBlockPlacement;
 use fw_nand::{GraphLayout, Lpn, Ssd, SsdConfig};
 use fw_sim::{Duration, SimTime, Xoshiro256pp};
-use fw_walk::{Walk, Workload, WALK_BYTES};
+use fw_walk::{
+    EngineBreakdown, RunReport, RunStats, Traffic, Walk, WalkEngine, Workload, WALK_BYTES,
+};
 
 use crate::breakdown::TimeBreakdown;
 use crate::config::GwConfig;
@@ -45,6 +47,42 @@ pub struct IterReport {
     pub breakdown: TimeBreakdown,
     /// Bytes read from flash.
     pub flash_read_bytes: u64,
+    /// Bytes written to flash (iteration walk write-back).
+    pub flash_write_bytes: u64,
+    /// Bytes over PCIe.
+    pub pcie_bytes: u64,
+    /// Achieved flash read bandwidth over the run, bytes/s.
+    pub read_bw: f64,
+}
+
+impl From<IterReport> for RunReport {
+    fn from(r: IterReport) -> RunReport {
+        RunReport {
+            engine: "iterative",
+            time: r.time,
+            walks: r.walks,
+            stats: RunStats {
+                hops: r.hops,
+                loads: r.block_loads,
+                walk_spill_pages: 0, // every surviving walk is written back each iteration
+            },
+            traffic: Traffic {
+                flash_read_bytes: r.flash_read_bytes,
+                flash_write_bytes: r.flash_write_bytes,
+                interconnect_bytes: r.pcie_bytes,
+            },
+            breakdown: EngineBreakdown {
+                load_ns: r.breakdown.load_graph.as_nanos(),
+                update_ns: r.breakdown.update_walks.as_nanos(),
+                walk_io_ns: r.breakdown.walk_io.as_nanos(),
+                other_ns: r.breakdown.other.as_nanos(),
+            },
+            read_bw: r.read_bw,
+            progress: Vec::new(), // untraced engine
+            trace_window_ns: 0,
+            walk_log: Vec::new(), // no walk logging
+        }
+    }
 }
 
 /// The iteration-synchronous engine.
@@ -60,14 +98,9 @@ pub struct IterativeSim<'g> {
 
 impl<'g> IterativeSim<'g> {
     /// Build the engine over the same block structure GraphWalker uses.
-    pub fn new(
-        csr: &'g Csr,
-        id_bytes: u32,
-        cfg: GwConfig,
-        ssd_cfg: SsdConfig,
-        wl: Workload,
-        seed: u64,
-    ) -> Self {
+    /// The workload is supplied at run time ([`Self::run_detailed`] /
+    /// [`WalkEngine::run`]).
+    pub fn new(csr: &'g Csr, id_bytes: u32, cfg: GwConfig, ssd_cfg: SsdConfig, seed: u64) -> Self {
         let blocks = PartitionedGraph::build(
             csr,
             PartitionConfig {
@@ -79,8 +112,9 @@ impl<'g> IterativeSim<'g> {
         let pages_per_block = (cfg.block_bytes / ssd_cfg.geometry.page_bytes).max(1) as u32;
         let total_pages = blocks.num_subgraphs() as u64 * pages_per_block as u64;
         let per_plane = total_pages.div_ceil(ssd_cfg.geometry.num_planes() as u64);
-        let static_blocks = (per_plane.div_ceil(ssd_cfg.geometry.pages_per_block as u64) as u32 + 1)
-            .min(ssd_cfg.geometry.blocks_per_plane - 4);
+        let static_blocks = (per_plane.div_ceil(ssd_cfg.geometry.pages_per_block as u64) as u32
+            + 1)
+        .min(ssd_cfg.geometry.blocks_per_plane - 4);
         let mut layout = GraphLayout::new(ssd_cfg.geometry, static_blocks);
         let placements = blocks
             .subgraphs
@@ -100,7 +134,7 @@ impl<'g> IterativeSim<'g> {
             blocks,
             placements,
             cfg,
-            wl,
+            wl: Workload::paper_default(0),
             ssd: Ssd::new(ssd_cfg, static_blocks),
             rng: Xoshiro256pp::new(seed),
         }
@@ -119,8 +153,10 @@ impl<'g> IterativeSim<'g> {
         }
     }
 
-    /// Run to completion.
-    pub fn run(mut self) -> IterReport {
+    /// Run `wl` to completion and return the engine-specific report. The
+    /// unified view is [`WalkEngine::run`].
+    pub fn run_detailed(mut self, wl: Workload) -> IterReport {
+        self.wl = wl;
         let mut breakdown = TimeBreakdown::default();
         let mut now = SimTime::ZERO;
         let mut completed = 0u64;
@@ -217,7 +253,24 @@ impl<'g> IterativeSim<'g> {
             block_loads,
             breakdown,
             flash_read_bytes: s.array_read_bytes(&cfgp),
+            flash_write_bytes: s.array_write_bytes(&cfgp),
+            pcie_bytes: s.pcie_bytes,
+            read_bw: if now == SimTime::ZERO {
+                0.0
+            } else {
+                s.array_read_bytes(&cfgp) as f64 / now.as_secs_f64()
+            },
         }
+    }
+}
+
+impl WalkEngine for IterativeSim<'_> {
+    fn name(&self) -> &'static str {
+        "iterative"
+    }
+
+    fn run(self, workload: Workload) -> RunReport {
+        self.run_detailed(workload).into()
     }
 }
 
@@ -240,7 +293,7 @@ mod tests {
     fn completes_in_walk_length_iterations() {
         let g = generate_csr(RmatParams::graph500(), 1_000, 12_000, 3);
         let wl = Workload::paper_default(2_000);
-        let r = IterativeSim::new(&g, 4, cfg(), SsdConfig::tiny(), wl, 5).run();
+        let r = IterativeSim::new(&g, 4, cfg(), SsdConfig::tiny(), 5).run_detailed(wl);
         assert_eq!(r.walks, 2_000);
         // Fixed 6-hop walks need at most 6 sweeps (dead ends can finish
         // earlier, never later).
@@ -254,8 +307,8 @@ mod tests {
         // model — GraphWalker's asynchronous updating must win.
         let g = generate_csr(RmatParams::graph500(), 2_000, 30_000, 7);
         let wl = Workload::paper_default(4_000);
-        let iter = IterativeSim::new(&g, 4, cfg(), SsdConfig::tiny(), wl, 5).run();
-        let gw = GraphWalkerSim::new(&g, 4, cfg(), SsdConfig::tiny(), wl, 5).run();
+        let iter = IterativeSim::new(&g, 4, cfg(), SsdConfig::tiny(), 5).run_detailed(wl);
+        let gw = GraphWalkerSim::new(&g, 4, cfg(), SsdConfig::tiny(), 5).run_detailed(wl);
         assert_eq!(iter.walks, gw.walks);
         assert!(
             gw.time < iter.time,
@@ -271,7 +324,7 @@ mod tests {
     fn iterative_writes_walks_every_iteration() {
         let g = generate_csr(RmatParams::graph500(), 1_000, 12_000, 3);
         let wl = Workload::paper_default(2_000);
-        let r = IterativeSim::new(&g, 4, cfg(), SsdConfig::tiny(), wl, 5).run();
+        let r = IterativeSim::new(&g, 4, cfg(), SsdConfig::tiny(), 5).run_detailed(wl);
         // Synchronization forces walk write-back: walk I/O is nonzero.
         assert!(r.breakdown.walk_io > Duration::ZERO);
     }

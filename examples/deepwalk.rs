@@ -14,9 +14,9 @@
 //! ```
 
 use flashwalker::{AccelConfig, FlashWalkerSim};
+use fw_graph::partition::PartitionConfig;
 use fw_graph::rmat::{generate_csr, RmatParams};
 use fw_graph::PartitionedGraph;
-use fw_graph::partition::PartitionConfig;
 use fw_nand::SsdConfig;
 use fw_sim::Xoshiro256pp;
 use fw_walk::workload::WalkEvent;
@@ -74,8 +74,9 @@ fn main() {
             subgraphs_per_partition: accel.mapping_table_entries(),
         },
     );
-    let fw = FlashWalkerSim::new(&csr, &pg, wl, accel, SsdConfig::scaled(), 42).run();
-    let gw = GraphWalkerSim::new(&csr, 4, GwConfig::scaled(), SsdConfig::scaled(), wl, 42).run();
+    let fw = FlashWalkerSim::new(&csr, &pg, accel, SsdConfig::scaled(), 42).run_detailed(wl);
+    let gw =
+        GraphWalkerSim::new(&csr, 4, GwConfig::scaled(), SsdConfig::scaled(), 42).run_detailed(wl);
     println!("FlashWalker sampling time : {}", fw.time);
     println!("GraphWalker sampling time : {}", gw.time);
     println!(

@@ -36,16 +36,25 @@ fn main() {
     // Unbiased: the updater's fixed 5 operations per hop.
     let pg_u = partition(&plain);
     let wl_u = Workload::deepwalk(num_walks, 6);
-    let unbiased = FlashWalkerSim::new(&plain, &pg_u, wl_u, accel, SsdConfig::scaled(), 42).run();
+    let unbiased =
+        FlashWalkerSim::new(&plain, &pg_u, accel, SsdConfig::scaled(), 42).run_detailed(wl_u);
 
     // Biased: ITS adds a binary search over the cumulative list per hop.
     let pg_w = partition(&weighted);
     let wl_w = Workload::node2vec_biased(num_walks, 6);
-    let biased = FlashWalkerSim::new(&weighted, &pg_w, wl_w, accel, SsdConfig::scaled(), 42).run();
+    let biased =
+        FlashWalkerSim::new(&weighted, &pg_w, accel, SsdConfig::scaled(), 42).run_detailed(wl_w);
 
     println!("workload              unbiased    biased(ITS)");
-    println!("time                  {:>9}    {:>9}", format!("{}", unbiased.time), format!("{}", biased.time));
-    println!("hops                  {:>9}    {:>9}", unbiased.stats.hops, biased.stats.hops);
+    println!(
+        "time                  {:>9}    {:>9}",
+        format!("{}", unbiased.time),
+        format!("{}", biased.time)
+    );
+    println!(
+        "hops                  {:>9}    {:>9}",
+        unbiased.stats.hops, biased.stats.hops
+    );
     println!(
         "chip updater busy     {:>8}ms   {:>8}ms",
         unbiased.stats.chip_busy_ns / 1_000_000,
@@ -57,5 +66,7 @@ fn main() {
         biased.stats.chip_busy_ns > unbiased.stats.chip_busy_ns,
         "ITS binary search must cost extra updater cycles"
     );
-    println!("\nbiased walks pay for the ITS binary search in updater cycles, as §III-B describes.");
+    println!(
+        "\nbiased walks pay for the ITS binary search in updater cycles, as §III-B describes."
+    );
 }

@@ -57,7 +57,7 @@ fn main() {
             subgraphs_per_partition: accel.mapping_table_entries(),
         },
     );
-    let fw = FlashWalkerSim::new(&csr, &pg, wl, accel, SsdConfig::scaled(), 42).run();
+    let fw = FlashWalkerSim::new(&csr, &pg, accel, SsdConfig::scaled(), 42).run_detailed(wl);
     println!(
         "\nFlashWalker runs the {} PPR walks in {} ({} hops, stop-probability termination)",
         num_walks, fw.time, fw.stats.hops

@@ -46,7 +46,7 @@ fn main() {
     let wl = Workload::paper_default(200_000);
 
     // 4. FlashWalker: the three-level in-storage accelerator hierarchy.
-    let fw = FlashWalkerSim::new(&csr, &pg, wl, accel, SsdConfig::scaled(), 42).run();
+    let fw = FlashWalkerSim::new(&csr, &pg, accel, SsdConfig::scaled(), 42).run_detailed(wl);
     println!(
         "FlashWalker : {:>10}  ({} hops, {} subgraph loads, {:.1} GB/s flash read)",
         format!("{}", fw.time),
@@ -56,7 +56,8 @@ fn main() {
     );
 
     // 5. GraphWalker: the host out-of-core baseline on the same SSD model.
-    let gw = GraphWalkerSim::new(&csr, 4, GwConfig::scaled(), SsdConfig::scaled(), wl, 42).run();
+    let gw =
+        GraphWalkerSim::new(&csr, 4, GwConfig::scaled(), SsdConfig::scaled(), 42).run_detailed(wl);
     println!(
         "GraphWalker : {:>10}  ({} hops, {} block loads, graph loading {:.0}% of time)",
         format!("{}", gw.time),

@@ -89,7 +89,7 @@ fn main() {
         },
     );
     let wl = Workload::deepwalk(SAMPLES * 2 * pairs.len() as u64, DEPTH);
-    let fw = FlashWalkerSim::new(&rev, &pg, wl, accel, SsdConfig::scaled(), 42).run();
+    let fw = FlashWalkerSim::new(&rev, &pg, accel, SsdConfig::scaled(), 42).run_detailed(wl);
     println!(
         "\nFlashWalker runs the {} reverse pair-walks in {} ({} hops)",
         wl.num_walks, fw.time, fw.stats.hops

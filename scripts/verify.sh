@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full local verification — exactly what CI runs. No network needed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace --all-targets
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "All checks passed."

@@ -12,7 +12,7 @@
 //! use fw_suite::fw_graph::rmat::{generate_csr, RmatParams};
 //! use fw_suite::fw_graph::PartitionedGraph;
 //! use fw_suite::fw_nand::SsdConfig;
-//! use fw_suite::fw_walk::Workload;
+//! use fw_suite::fw_walk::{WalkEngine, Workload};
 //!
 //! // A small power-law graph, partitioned into 4 KB graph blocks.
 //! let csr = generate_csr(RmatParams::graph500(), 500, 5_000, 1);
@@ -22,11 +22,11 @@
 //!     subgraphs_per_partition: 5_000,
 //! });
 //!
-//! // 1000 unbiased 6-hop walks through the in-storage hierarchy.
-//! let wl = Workload::paper_default(1_000);
-//! let report = FlashWalkerSim::new(
-//!     &csr, &pg, wl, AccelConfig::scaled(), SsdConfig::tiny(), 42,
-//! ).run();
+//! // 1000 unbiased 6-hop walks through the in-storage hierarchy,
+//! // driven through the engine-agnostic `WalkEngine` trait.
+//! let engine = FlashWalkerSim::new(&csr, &pg, AccelConfig::scaled(), SsdConfig::tiny(), 42);
+//! let report = engine.run(Workload::paper_default(1_000));
+//! assert_eq!(report.engine, "flashwalker");
 //! assert_eq!(report.walks, 1_000);
 //! assert!(report.time.as_nanos() > 0);
 //! ```

@@ -1,0 +1,140 @@
+//! Cross-engine conformance: FlashWalker, GraphWalker and the iterative
+//! baseline are three simulators of the *same* walk semantics, so on a
+//! dead-end-free graph every engine-independent quantity must agree
+//! exactly — hop totals, completed-walk counts and the multiset of walk
+//! sources — even though each engine samples neighbors with its own RNG
+//! stream. Each engine must also be bit-identical across repeated runs.
+
+use fw_suite::flashwalker::{AccelConfig, FlashWalkerSim};
+use fw_suite::fw_graph::partition::PartitionConfig;
+use fw_suite::fw_graph::rmat::{generate_csr, RmatParams};
+use fw_suite::fw_graph::{Csr, PartitionedGraph};
+use fw_suite::fw_nand::SsdConfig;
+use fw_suite::fw_walk::{RunReport, WalkEngine, Workload};
+use fw_suite::graphwalker::{GraphWalkerSim, GwConfig, IterativeSim};
+
+const WALKS: u64 = 2_000;
+const LEN: u16 = 8;
+
+/// A small RMAT graph with a ring edge `v -> (v+1) % nv` added so no
+/// vertex is a dead end: every fixed-length walk then takes exactly
+/// `LEN` hops on every engine.
+fn dead_end_free_graph(nv: u32, ne: u64) -> Csr {
+    let rmat = generate_csr(RmatParams::graph500(), nv, ne, 17);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for v in 0..nv {
+        for &n in rmat.neighbors(v) {
+            edges.push((v, n));
+        }
+        edges.push((v, (v + 1) % nv));
+    }
+    Csr::from_edges(nv, &edges)
+}
+
+fn partitioned(csr: &Csr, spp: u32) -> PartitionedGraph {
+    PartitionedGraph::build(
+        csr,
+        PartitionConfig {
+            subgraph_bytes: 4 << 10,
+            id_bytes: 4,
+            subgraphs_per_partition: spp,
+        },
+    )
+}
+
+fn run_flashwalker(csr: &Csr, pg: &PartitionedGraph, seed: u64) -> RunReport {
+    FlashWalkerSim::new(csr, pg, AccelConfig::scaled(), SsdConfig::tiny(), seed)
+        .with_walk_log()
+        .run(Workload::deepwalk(WALKS, LEN))
+}
+
+fn run_graphwalker(csr: &Csr, seed: u64) -> RunReport {
+    GraphWalkerSim::new(csr, 4, GwConfig::scaled(), SsdConfig::tiny(), seed)
+        .with_walk_log()
+        .run(Workload::deepwalk(WALKS, LEN))
+}
+
+fn run_iterative(csr: &Csr, seed: u64) -> RunReport {
+    IterativeSim::new(csr, 4, GwConfig::scaled(), SsdConfig::tiny(), seed)
+        .run(Workload::deepwalk(WALKS, LEN))
+}
+
+fn sorted_sources(r: &RunReport) -> Vec<u32> {
+    let mut v: Vec<u32> = r.walk_log.iter().map(|w| w.src).collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn engines_agree_on_hops_walks_and_sources() {
+    let csr = dead_end_free_graph(1_500, 12_000);
+    let pg = partitioned(&csr, 8); // multi-partition FlashWalker run
+    assert!(pg.num_partitions() > 1);
+
+    let fw = run_flashwalker(&csr, &pg, 42);
+    let gw = run_graphwalker(&csr, 42);
+    let it = run_iterative(&csr, 42);
+
+    // Every engine completes every walk.
+    assert_eq!(fw.walks, WALKS);
+    assert_eq!(gw.walks, WALKS);
+    assert_eq!(it.walks, WALKS);
+
+    // With no dead ends, a fixed-length walk takes exactly LEN hops, so
+    // hop totals agree across engines despite distinct RNG streams.
+    assert_eq!(fw.stats.hops, WALKS * LEN as u64);
+    assert_eq!(gw.stats.hops, WALKS * LEN as u64);
+    assert_eq!(it.stats.hops, WALKS * LEN as u64);
+
+    // The workload's initial walk distribution is part of the trait
+    // contract: both log-capable engines must complete the same sources.
+    let fw_src = sorted_sources(&fw);
+    let gw_src = sorted_sources(&gw);
+    assert_eq!(fw_src.len(), WALKS as usize);
+    assert_eq!(fw_src, gw_src);
+
+    // Every logged walk really finished.
+    assert!(fw.walk_log.iter().all(|w| w.is_done()));
+    assert!(gw.walk_log.iter().all(|w| w.is_done()));
+}
+
+#[test]
+fn every_engine_is_deterministic_across_runs() {
+    let csr = dead_end_free_graph(1_000, 8_000);
+    let pg = partitioned(&csr, 8);
+
+    let (a, b) = (run_flashwalker(&csr, &pg, 7), run_flashwalker(&csr, &pg, 7));
+    assert_eq!(a.time, b.time);
+    assert_eq!(a.stats.hops, b.stats.hops);
+    assert_eq!(a.traffic.flash_read_bytes, b.traffic.flash_read_bytes);
+    assert_eq!(a.walk_log, b.walk_log);
+
+    let (a, b) = (run_graphwalker(&csr, 7), run_graphwalker(&csr, 7));
+    assert_eq!(a.time, b.time);
+    assert_eq!(a.stats.hops, b.stats.hops);
+    assert_eq!(a.traffic.flash_read_bytes, b.traffic.flash_read_bytes);
+    assert_eq!(a.walk_log, b.walk_log);
+
+    let (a, b) = (run_iterative(&csr, 7), run_iterative(&csr, 7));
+    assert_eq!(a.time, b.time);
+    assert_eq!(a.stats.hops, b.stats.hops);
+    assert_eq!(a.traffic.flash_read_bytes, b.traffic.flash_read_bytes);
+}
+
+#[test]
+fn unified_reports_expose_consistent_traffic() {
+    // Sanity on the unified accounting: both engines charge at least one
+    // 4 KB page per recorded load, and walks/sec is finite and positive.
+    let csr = dead_end_free_graph(1_000, 8_000);
+    let pg = partitioned(&csr, 5_000);
+    for r in [run_flashwalker(&csr, &pg, 3), run_graphwalker(&csr, 3)] {
+        assert!(r.stats.loads > 0, "{} recorded no loads", r.engine);
+        assert!(
+            r.traffic.flash_read_bytes >= r.stats.loads * 4096,
+            "{} read less than a page per load",
+            r.engine
+        );
+        assert!(r.walks_per_sec() > 0.0);
+        assert!(r.breakdown.total_ns() > 0);
+    }
+}

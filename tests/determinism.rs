@@ -39,9 +39,9 @@ fn flashwalker_replays_bit_identically() {
     let pg = partition(&csr);
     let wl = Workload::paper_default(5_000);
     let run = |seed| {
-        FlashWalkerSim::new(&csr, &pg, wl, AccelConfig::scaled(), SsdConfig::tiny(), seed)
+        FlashWalkerSim::new(&csr, &pg, AccelConfig::scaled(), SsdConfig::tiny(), seed)
             .with_walk_log()
-            .run()
+            .run_detailed(wl)
     };
     let a = run(11);
     let b = run(11);
@@ -62,9 +62,9 @@ fn graphwalker_replays_bit_identically() {
     let csr = graph();
     let wl = Workload::paper_default(5_000);
     let run = |seed| {
-        GraphWalkerSim::new(&csr, 4, gw_cfg(), SsdConfig::tiny(), wl, seed)
+        GraphWalkerSim::new(&csr, 4, gw_cfg(), SsdConfig::tiny(), seed)
             .with_walk_log()
-            .run()
+            .run_detailed(wl)
     };
     let a = run(21);
     let b = run(21);
@@ -78,7 +78,7 @@ fn graphwalker_replays_bit_identically() {
 fn iterative_baseline_replays_bit_identically() {
     let csr = graph();
     let wl = Workload::paper_default(3_000);
-    let run = |seed| IterativeSim::new(&csr, 4, gw_cfg(), SsdConfig::tiny(), wl, seed).run();
+    let run = |seed| IterativeSim::new(&csr, 4, gw_cfg(), SsdConfig::tiny(), seed).run_detailed(wl);
     let a = run(31);
     let b = run(31);
     assert_eq!(a.time, b.time);

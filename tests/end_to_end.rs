@@ -39,8 +39,9 @@ fn both_engines_complete_identical_workloads() {
     let csr = graph();
     let pg = partition(&csr);
     let wl = Workload::paper_default(10_000);
-    let fw = FlashWalkerSim::new(&csr, &pg, wl, AccelConfig::scaled(), SsdConfig::tiny(), 5).run();
-    let gw = GraphWalkerSim::new(&csr, 4, gw_cfg(), SsdConfig::tiny(), wl, 5).run();
+    let fw = FlashWalkerSim::new(&csr, &pg, AccelConfig::scaled(), SsdConfig::tiny(), 5)
+        .run_detailed(wl);
+    let gw = GraphWalkerSim::new(&csr, 4, gw_cfg(), SsdConfig::tiny(), 5).run_detailed(wl);
     assert_eq!(fw.walks, 10_000);
     assert_eq!(gw.walks, 10_000);
     // Fixed-length-6 workload: identical hop bounds on both engines.
@@ -53,8 +54,9 @@ fn flashwalker_beats_graphwalker_when_out_of_core() {
     let csr = graph();
     let pg = partition(&csr);
     let wl = Workload::paper_default(20_000);
-    let fw = FlashWalkerSim::new(&csr, &pg, wl, AccelConfig::scaled(), SsdConfig::tiny(), 5).run();
-    let gw = GraphWalkerSim::new(&csr, 4, gw_cfg(), SsdConfig::tiny(), wl, 5).run();
+    let fw = FlashWalkerSim::new(&csr, &pg, AccelConfig::scaled(), SsdConfig::tiny(), 5)
+        .run_detailed(wl);
+    let gw = GraphWalkerSim::new(&csr, 4, gw_cfg(), SsdConfig::tiny(), 5).run_detailed(wl);
     let speedup = gw.time.as_nanos() as f64 / fw.time.as_nanos().max(1) as f64;
     assert!(
         speedup > 1.0,
@@ -72,9 +74,9 @@ fn walk_sources_are_conserved() {
     let csr = graph();
     let pg = partition(&csr);
     let wl = Workload::paper_default(8_000);
-    let fw = FlashWalkerSim::new(&csr, &pg, wl, AccelConfig::scaled(), SsdConfig::tiny(), 5)
+    let fw = FlashWalkerSim::new(&csr, &pg, AccelConfig::scaled(), SsdConfig::tiny(), 5)
         .with_walk_log()
-        .run();
+        .run_detailed(wl);
     assert_eq!(fw.walk_log.len(), 8_000);
     let mut got: Vec<u32> = fw.walk_log.iter().map(|w| w.src).collect();
     let mut expect: Vec<u32> = wl.init_walks(&csr, 0).iter().map(|w| w.src).collect();
@@ -93,12 +95,12 @@ fn engines_agree_on_endpoint_distribution() {
     let csr = graph();
     let pg = partition(&csr);
     let wl = Workload::paper_default(30_000);
-    let fw = FlashWalkerSim::new(&csr, &pg, wl, AccelConfig::scaled(), SsdConfig::tiny(), 5)
+    let fw = FlashWalkerSim::new(&csr, &pg, AccelConfig::scaled(), SsdConfig::tiny(), 5)
         .with_walk_log()
-        .run();
-    let gw = GraphWalkerSim::new(&csr, 4, gw_cfg(), SsdConfig::tiny(), wl, 6)
+        .run_detailed(wl);
+    let gw = GraphWalkerSim::new(&csr, 4, gw_cfg(), SsdConfig::tiny(), 6)
         .with_walk_log()
-        .run();
+        .run_detailed(wl);
     let hist = |log: &[fw_walk::Walk]| {
         let mut h = vec![0f64; csr.num_vertices() as usize];
         for w in log {
@@ -108,12 +110,7 @@ fn engines_agree_on_endpoint_distribution() {
     };
     let hf = hist(&fw.walk_log);
     let hg = hist(&gw.walk_log);
-    let tv: f64 = hf
-        .iter()
-        .zip(&hg)
-        .map(|(a, b)| (a - b).abs())
-        .sum::<f64>()
-        / 2.0;
+    let tv: f64 = hf.iter().zip(&hg).map(|(a, b)| (a - b).abs()).sum::<f64>() / 2.0;
     assert!(tv < 0.12, "endpoint distributions diverge: TV = {tv:.4}");
 }
 
@@ -125,9 +122,9 @@ fn optimization_toggles_do_not_change_results() {
     let run = |opts| {
         let mut cfg = AccelConfig::scaled();
         cfg.opts = opts;
-        FlashWalkerSim::new(&csr, &pg, wl, cfg, SsdConfig::tiny(), 5)
+        FlashWalkerSim::new(&csr, &pg, cfg, SsdConfig::tiny(), 5)
             .with_walk_log()
-            .run()
+            .run_detailed(wl)
     };
     let all = run(OptToggles::all());
     let none = run(OptToggles::none());
@@ -146,8 +143,9 @@ fn biased_workload_runs_on_both_engines() {
     let csr = graph().with_random_weights(3);
     let pg = partition(&csr);
     let wl = Workload::node2vec_biased(5_000, 6);
-    let fw = FlashWalkerSim::new(&csr, &pg, wl, AccelConfig::scaled(), SsdConfig::tiny(), 5).run();
-    let gw = GraphWalkerSim::new(&csr, 4, gw_cfg(), SsdConfig::tiny(), wl, 5).run();
+    let fw = FlashWalkerSim::new(&csr, &pg, AccelConfig::scaled(), SsdConfig::tiny(), 5)
+        .run_detailed(wl);
+    let gw = GraphWalkerSim::new(&csr, 4, gw_cfg(), SsdConfig::tiny(), 5).run_detailed(wl);
     assert_eq!(fw.walks, 5_000);
     assert_eq!(gw.walks, 5_000);
 }
@@ -157,7 +155,8 @@ fn ppr_workload_terminates_early() {
     let csr = graph();
     let pg = partition(&csr);
     let wl = Workload::ppr(5_000, 1, 0.3, 32);
-    let fw = FlashWalkerSim::new(&csr, &pg, wl, AccelConfig::scaled(), SsdConfig::tiny(), 5).run();
+    let fw = FlashWalkerSim::new(&csr, &pg, AccelConfig::scaled(), SsdConfig::tiny(), 5)
+        .run_detailed(wl);
     assert_eq!(fw.walks, 5_000);
     // Stop probability 0.3 ⇒ expected ~2.3 hops per walk, far below cap.
     assert!(
@@ -180,7 +179,8 @@ fn file_loaded_graph_runs_through_the_engine() {
     assert_eq!(loaded.num_edges(), csr.num_edges());
     let pg = partition(&loaded);
     let wl = Workload::paper_default(4_000);
-    let r = FlashWalkerSim::new(&loaded, &pg, wl, AccelConfig::scaled(), SsdConfig::tiny(), 5).run();
+    let r = FlashWalkerSim::new(&loaded, &pg, AccelConfig::scaled(), SsdConfig::tiny(), 5)
+        .run_detailed(wl);
     assert_eq!(r.walks, 4_000);
 }
 
@@ -192,9 +192,9 @@ fn visit_counts_agree_with_engine_walk_log() {
     let pg = partition(&csr);
     let src = csr.max_out_degree().0;
     let wl = Workload::ppr(20_000, src, 0.2, 32);
-    let r = FlashWalkerSim::new(&csr, &pg, wl, AccelConfig::scaled(), SsdConfig::tiny(), 5)
+    let r = FlashWalkerSim::new(&csr, &pg, AccelConfig::scaled(), SsdConfig::tiny(), 5)
         .with_walk_log()
-        .run();
+        .run_detailed(wl);
     let mut engine_counts = fw_walk::VisitCounts::new(csr.num_vertices());
     engine_counts.record_endpoints(&r.walk_log);
 
@@ -209,7 +209,10 @@ fn visit_counts_agree_with_engine_walk_log() {
     // 0.18 even when the distributions are identical; 0.25 flags real
     // divergence while tolerating sampling noise.
     let tv = engine_counts.total_variation(&host_counts);
-    assert!(tv < 0.25, "PPR endpoint distributions diverge: TV = {tv:.4}");
+    assert!(
+        tv < 0.25,
+        "PPR endpoint distributions diverge: TV = {tv:.4}"
+    );
     // The personalization source dominates both rankings.
     assert_eq!(engine_counts.top_k(1)[0].0, src);
     assert_eq!(host_counts.top_k(1)[0].0, src);

@@ -35,7 +35,10 @@ fn subgraphs_per_buffer_ratios_match_paper() {
     let scaled_pressure =
         (400_000_000 / GRAPH_SCALE / scaled_sgs) as f64 / s.chip_queue_walks() as f64;
     let rel = scaled_pressure / paper_pressure;
-    assert!((0.8..1.25).contains(&rel), "queue pressure drifted: {rel:.3}");
+    assert!(
+        (0.8..1.25).contains(&rel),
+        "queue pressure drifted: {rel:.3}"
+    );
 }
 
 #[test]
@@ -88,7 +91,10 @@ fn dram_walk_capacity_ratio_matches() {
     let scaled_walks = (400_000_000 / GRAPH_SCALE) * 16;
     let scaled_dram = AccelConfig::scaled().dram_pwb_bytes;
     let rel = (scaled_walks as f64 / scaled_dram as f64) / (paper_walks as f64 / paper_dram as f64);
-    assert!((0.9..1.1).contains(&rel), "PWB pressure drifted by {rel:.3}");
+    assert!(
+        (0.9..1.1).contains(&rel),
+        "PWB pressure drifted by {rel:.3}"
+    );
 }
 
 #[test]
