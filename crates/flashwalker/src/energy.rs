@@ -166,6 +166,7 @@ mod tests {
             channel_bytes_series: vec![],
             trace_window_ns: 1,
             walk_log: vec![],
+            trace: None,
         }
     }
 

@@ -125,6 +125,9 @@ pub struct FwReport {
     /// [`super::FlashWalkerSim::with_walk_log`] is enabled — the engine's
     /// actual output for downstream tasks.
     pub walk_log: Vec<fw_walk::Walk>,
+    /// Span-trace derived views, when
+    /// [`super::FlashWalkerSim::with_span_trace`] was enabled.
+    pub trace: Option<fw_sim::TraceReport>,
 }
 
 impl From<FwReport> for RunReport {
@@ -156,6 +159,7 @@ impl From<FwReport> for RunReport {
             progress: r.progress,
             trace_window_ns: r.trace_window_ns,
             walk_log: r.walk_log,
+            trace: r.trace,
         }
     }
 }

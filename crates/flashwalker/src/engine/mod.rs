@@ -69,7 +69,7 @@ use fw_dram::{Dram, DramConfig};
 use fw_graph::{Csr, PartitionedGraph, RangeTable, SubgraphMappingTable};
 use fw_nand::layout::GraphBlockPlacement;
 use fw_nand::{GraphLayout, Lpn, Ssd, SsdConfig};
-use fw_sim::{EventQueue, SimTime, TimeSeries, Xoshiro256pp};
+use fw_sim::{EventQueue, SimTime, TimeSeries, TraceConfig, Tracer, Xoshiro256pp};
 use fw_walk::{RunReport, WalkEngine, Workload, WALK_BYTES};
 
 use crate::config::AccelConfig;
@@ -114,6 +114,7 @@ pub struct FlashWalkerSim<'g> {
     progress: TimeSeries,
     trace_window_ns: u64,
     walk_log: Option<Vec<fw_walk::Walk>>,
+    pub(super) tracer: Tracer,
 }
 
 /// Walks per flash page (4 KB / 16 B).
@@ -226,7 +227,20 @@ impl<'g> FlashWalkerSim<'g> {
             progress: TimeSeries::new(1_000_000), // placeholder; set in run
             trace_window_ns: 1_000_000,
             walk_log: None,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Enable span-based tracing of the whole hierarchy: flash / channel /
+    /// PCIe spans from the SSD, DRAM spans, and the accelerator batch
+    /// spans (`chip.batch`, `chan.batch`, `board.batch`, `sg.load`), plus
+    /// queue-depth gauges and walk-step latency. The derived
+    /// [`fw_sim::TraceReport`] lands in [`FwReport::trace`].
+    pub fn with_span_trace(mut self, cfg: TraceConfig) -> Self {
+        self.tracer = Tracer::enabled(cfg);
+        self.ssd.enable_span_trace(cfg);
+        self.dram.enable_span_trace(cfg);
+        self
     }
 
     /// Set the Figure 8 trace window (default 1 ms).
@@ -374,6 +388,11 @@ impl<'g> FlashWalkerSim<'g> {
         let horizon = SimTime::ZERO.max(end);
         let cfgp = *self.ssd.config();
         let s = *self.ssd.stats();
+        let ssd_tracer = self.ssd.take_tracer();
+        let dram_tracer = self.dram.take_tracer();
+        self.tracer.merge(&ssd_tracer);
+        self.tracer.merge(&dram_tracer);
+        let span_trace = self.tracer.finish(horizon);
         let trace = self.ssd.trace().expect("trace enabled");
         FwReport {
             time: end - SimTime::ZERO,
@@ -395,6 +414,7 @@ impl<'g> FlashWalkerSim<'g> {
             channel_bytes_series: trace.channel.windows().to_vec(),
             trace_window_ns: self.trace_window_ns,
             walk_log: self.walk_log.unwrap_or_default(),
+            trace: span_trace,
         }
     }
 }

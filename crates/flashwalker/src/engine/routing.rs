@@ -26,6 +26,9 @@ impl FlashWalkerSim<'_> {
     }
 
     fn run_chip_batch(&mut self, chip: u32, now: SimTime) {
+        let hops_before = self.stats.chip_hops;
+        self.tracer
+            .gauge("chip.queue", now, self.chips[chip as usize].queued_walks());
         // Snapshot loaded subgraphs and drain their queues.
         let mut work: Vec<TWalk> = Vec::new();
         let mut loaded: Vec<SgId> = Vec::new();
@@ -107,6 +110,11 @@ impl FlashWalkerSim<'_> {
         let busy = upd_time.max(gui_time).max(cyc);
         self.stats.chip_busy_ns += busy.as_nanos();
         self.stats.chip_batches += 1;
+        self.tracer.span("chip.batch", chip, now, now + busy);
+        let batch_hops = self.stats.chip_hops - hops_before;
+        if let Some(per_hop) = busy.as_nanos().checked_div(batch_hops) {
+            self.tracer.record("walk.step_ns", per_hop);
+        }
         self.events
             .schedule_at(now + busy, Ev::ChipBatchDone { chip, outbox });
     }
@@ -210,6 +218,11 @@ impl FlashWalkerSim<'_> {
     }
 
     fn run_channel_batch(&mut self, ch: u32, now: SimTime) {
+        self.tracer.gauge(
+            "chan.queue",
+            now,
+            self.channels[ch as usize].inbox.len() as u64,
+        );
         let inbox_all = &mut self.channels[ch as usize].inbox;
         let take = inbox_all.len().min(self.cfg.chan_batch_cap);
         let inbox: Vec<TWalk> = inbox_all.drain(..take).collect();
@@ -268,6 +281,7 @@ impl FlashWalkerSim<'_> {
             .max(cyc);
         self.stats.chan_busy_ns += busy.as_nanos();
         self.stats.chan_batches += 1;
+        self.tracer.span("chan.batch", ch, now, now + busy);
         self.events
             .schedule_at(now + busy, Ev::ChanBatchDone { ch, to_board });
     }
@@ -360,6 +374,8 @@ impl FlashWalkerSim<'_> {
     }
 
     fn run_board_batch(&mut self, now: SimTime) {
+        self.tracer
+            .gauge("board.queue", now, self.board.inbox.len() as u64);
         let take = self.board.inbox.len().min(self.cfg.board_batch_cap);
         let inbox: Vec<TWalk> = self.board.inbox.drain(..take).collect();
         let hot = self.board.hot.clone();
@@ -473,6 +489,7 @@ impl FlashWalkerSim<'_> {
         let busy = gui.max(upd).max(map).max(dram).max(cyc);
         self.stats.board_busy_ns += busy.as_nanos();
         self.stats.board_batches += 1;
+        self.tracer.span("board.batch", 0, now, now + busy);
         self.stats.board_dram_ns += dram.as_nanos();
         self.stats.board_map_ns += map.as_nanos();
         self.events.schedule_at(

@@ -112,6 +112,7 @@ impl FlashWalkerSim<'_> {
         }
         done = done.max(spill_done);
         self.refresh_score(idx);
+        self.tracer.span("sg.load", chip, now, done);
         self.stats.load_array_ns += (array_done - now).as_nanos();
         self.stats.load_fetch_ns += (fetch_done - now).as_nanos();
         self.stats.load_spill_ns += (spill_done - now).as_nanos();

@@ -1,13 +1,47 @@
 //! Diagnostic: run FlashWalker on one dataset under each ablation config
-//! and dump the full engine statistics, to attribute where time goes.
+//! and dump the full engine statistics, to attribute where time goes;
+//! then run all three engines once with span tracing enabled and print
+//! their component utilizations and queue depths side by side.
 //!
 //! ```text
 //! cargo run --release -p fw-bench --bin diag [TT|FS|CW|R2B|R8B] [walks]
 //! ```
 
 use flashwalker::OptToggles;
-use fw_bench::runner::{prepared, run_flashwalker_alpha, DEFAULT_SEED};
+use fw_bench::runner::{
+    prepared, run_flashwalker_alpha, run_flashwalker_traced, run_graphwalker_traced,
+    run_iterative_traced, DEFAULT_SEED,
+};
 use fw_graph::DatasetId;
+use fw_sim::{TraceConfig, TraceReport};
+
+/// Print one engine's per-component-group utilization and queue-depth
+/// rows, prefixed with the engine tag so the three blocks read side by
+/// side under a shared header.
+fn print_trace_rows(tag: &str, t: &TraceReport) {
+    let mut groups: Vec<&str> = t.components.iter().map(|c| c.name.as_str()).collect();
+    groups.dedup(); // components are sorted by (name, lane)
+    for name in groups {
+        println!(
+            "{tag}\t{name}\tutil={:5.1}%\tbusy={}ms\tbytes={}MiB\tops={}",
+            t.mean_util_for(name) * 100.0,
+            t.busy_ns_for(name) / 1_000_000,
+            t.bytes_for(name) >> 20,
+            t.utils_for(name).iter().map(|c| c.count).sum::<u64>(),
+        );
+    }
+    for q in &t.queue_depths {
+        println!(
+            "{tag}\t{}\tmean_depth={:.1}\tpeak_depth={:.1}",
+            q.name,
+            q.overall_mean(),
+            q.peak()
+        );
+    }
+    if let Some((name, util)) = t.bottleneck() {
+        println!("{tag}\tbottleneck\t{name}\t{:.1}%", util * 100.0);
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -100,4 +134,16 @@ fn main() {
             r.channel_wait_ns / 1000,
         );
     }
+
+    // Span-traced three-engine comparison: component utilization and
+    // queue depths from the fw-trace layer, side by side.
+    let tcfg = TraceConfig::default();
+    let mem = 8 << 20;
+    println!("\nengine\tcomponent\tutilization / queue depth");
+    let fw = run_flashwalker_traced(&p, walks, tcfg, DEFAULT_SEED);
+    print_trace_rows("fw", fw.trace.as_ref().expect("tracing enabled"));
+    let gw = run_graphwalker_traced(&p, walks, mem, tcfg, DEFAULT_SEED);
+    print_trace_rows("gw", gw.trace.as_ref().expect("tracing enabled"));
+    let iter = run_iterative_traced(&p, walks, mem, tcfg, DEFAULT_SEED);
+    print_trace_rows("iter", iter.trace.as_ref().expect("tracing enabled"));
 }

@@ -1,0 +1,76 @@
+//! Span-trace diagnostic: run one engine with the `fw-trace` layer
+//! enabled, print the derived utilization / latency / queue-depth views,
+//! and export a Chrome `trace_event` JSON file loadable in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//!
+//! ```text
+//! cargo run --release -p fw-bench --bin fwtrace \
+//!     [fw|gw|iter] [TT|FS|CW|R2B|R8B] [walks] [out.json]
+//! ```
+//!
+//! Defaults: `fw TT <default_walks/8> fwtrace.json`. A `.csv` sibling
+//! with the per-component utilization table is written next to the JSON.
+
+use fw_bench::runner::{
+    prepared, run_flashwalker_traced, run_graphwalker_traced, run_iterative_traced, DEFAULT_SEED,
+};
+use fw_graph::DatasetId;
+use fw_sim::{chrome_trace_json, export, TraceConfig, TraceReport};
+
+/// Host memory for the baseline engines (the scaled mid-range sweep
+/// point the comparison binaries use).
+const BASELINE_MEMORY: u64 = 8 << 20;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let engine = args.get(1).map(|s| s.as_str()).unwrap_or("fw").to_string();
+    let id = match args.get(2).map(|s| s.as_str()) {
+        Some("FS") => DatasetId::Friendster,
+        Some("CW") => DatasetId::ClueWeb,
+        Some("R2B") => DatasetId::Rmat2B,
+        Some("R8B") => DatasetId::Rmat8B,
+        _ => DatasetId::Twitter,
+    };
+    let walks: u64 = args
+        .get(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| id.default_walks() / 8);
+    let out = args
+        .get(4)
+        .cloned()
+        .unwrap_or_else(|| "fwtrace.json".to_string());
+
+    let p = prepared(id, DEFAULT_SEED);
+    let cfg = TraceConfig::default();
+    eprintln!(
+        "fwtrace: engine={engine} dataset={} walks={walks}",
+        id.abbrev()
+    );
+
+    let trace: Option<TraceReport> = match engine.as_str() {
+        "gw" => run_graphwalker_traced(&p, walks, BASELINE_MEMORY, cfg, DEFAULT_SEED).trace,
+        "iter" => run_iterative_traced(&p, walks, BASELINE_MEMORY, cfg, DEFAULT_SEED).trace,
+        _ => run_flashwalker_traced(&p, walks, cfg, DEFAULT_SEED).trace,
+    };
+    let trace = trace.expect("span tracing was enabled");
+
+    println!("{trace}");
+    if let Some((name, util)) = trace.bottleneck() {
+        println!(
+            "bottleneck: {name} at {:.1}% mean utilization",
+            util * 100.0
+        );
+    }
+
+    let json = chrome_trace_json(&trace);
+    std::fs::write(&out, &json).expect("write chrome trace json");
+    let csv_path = format!("{}.csv", out.trim_end_matches(".json"));
+    std::fs::write(&csv_path, export::utilization_csv(&trace)).expect("write utilization csv");
+    eprintln!(
+        "fwtrace: wrote {} ({} spans, {} dropped) and {}",
+        out,
+        trace.spans.len(),
+        trace.dropped_spans,
+        csv_path
+    );
+}

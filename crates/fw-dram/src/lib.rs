@@ -25,7 +25,7 @@ pub mod config;
 
 pub use config::DramConfig;
 
-use fw_sim::{BandwidthLink, Duration, SimTime, Timeline};
+use fw_sim::{BandwidthLink, Duration, SimTime, Timeline, TraceConfig, Tracer};
 
 /// Read or write — writes additionally hold the bank to model write
 /// recovery; reads dominate in every FlashWalker workload.
@@ -71,6 +71,7 @@ pub struct Dram {
     hits: u64,
     misses: u64,
     refreshes: u64,
+    tracer: Tracer,
 }
 
 impl Dram {
@@ -89,12 +90,26 @@ impl Dram {
             hits: 0,
             misses: 0,
             refreshes: 0,
+            tracer: Tracer::disabled(),
         }
     }
 
     /// The configuration this channel was built with.
     pub fn config(&self) -> &DramConfig {
         &self.cfg
+    }
+
+    /// Enable span-based tracing. Span names: `dram.access` (lane = 0,
+    /// request issue to last data beat, with bytes) and `dram.bank`
+    /// (aggregate-only per-bank occupancy, lane = bank).
+    pub fn enable_span_trace(&mut self, cfg: TraceConfig) {
+        self.tracer = Tracer::enabled(cfg);
+    }
+
+    /// Take the DRAM's tracer (leaving a disabled one behind) so the
+    /// engine can fold it into its own tracer at end of run.
+    pub fn take_tracer(&mut self) -> Tracer {
+        std::mem::replace(&mut self.tracer, Tracer::disabled())
     }
 
     /// Perform an access of `bytes` at `addr`, starting no earlier than
@@ -165,6 +180,8 @@ impl Dram {
                 bank.open_row = Some(row);
                 bank.precharge_ok = bank_res.end + self.cfg.t_ras();
             }
+            self.tracer
+                .busy("dram.bank", bank_idx as u32, bank_res.start, bank_res.end);
 
             // Data crosses the shared bus tCL after the column command.
             let bus_res = self.bus.transfer(bank_res.end + self.cfg.t_cl(), chunk);
@@ -173,6 +190,9 @@ impl Dram {
             cursor += chunk;
             remaining -= chunk;
         }
+
+        self.tracer
+            .span_bytes("dram.access", 0, at, done.max(at), bytes as u64);
 
         DramAccess {
             done,
@@ -307,6 +327,23 @@ mod tests {
         let b = d.access(late, 0, 64, DramOp::Read);
         assert_eq!(b.row_misses, 1, "refresh closed the open row");
         assert!(d.refreshes() >= 1);
+    }
+
+    #[test]
+    fn span_trace_accounts_bytes_and_banks() {
+        let mut d = dram();
+        d.enable_span_trace(TraceConfig::default());
+        d.access(SimTime::ZERO, 0, 4096, DramOp::Read);
+        d.access(SimTime(10_000), 4096, 256, DramOp::Write);
+        let tr = d.take_tracer();
+        assert_eq!(
+            tr.bytes_for("dram.access"),
+            d.read_bytes() + d.write_bytes()
+        );
+        assert!(tr.busy_ns_for("dram.bank") > 0);
+        // Disabled after take: further accesses record nothing.
+        d.access(SimTime(20_000), 0, 64, DramOp::Read);
+        assert_eq!(d.take_tracer().bytes_for("dram.access"), 0);
     }
 
     #[test]

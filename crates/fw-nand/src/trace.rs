@@ -1,4 +1,10 @@
 //! Optional time-series instrumentation for the Figure 8 curves.
+//!
+//! This is the windowed-bytes specialization kept for the Figure 8
+//! harness; the general observability layer — per-lane spans, gauges,
+//! derived utilizations and exporters — is `fw_trace` (re-exported
+//! through `fw_sim`), enabled on the SSD via
+//! [`crate::Ssd::enable_span_trace`].
 
 use fw_sim::{SimTime, TimeSeries};
 

@@ -14,7 +14,9 @@
 //! * [`rng`] — self-contained deterministic PRNGs (SplitMix64 and
 //!   xoshiro256++) so whole experiments replay from a single `u64` seed,
 //! * [`stats`] — counters, histograms and the windowed time-series sampler
-//!   that produces the Figure 8 resource-consumption curves.
+//!   that produces the Figure 8 resource-consumption curves (re-exported
+//!   from [`fw_trace`], the observability crate, together with the
+//!   span-based [`Tracer`] and the [`MetricsRegistry`]).
 //!
 //! Everything here is engine-agnostic: both the FlashWalker in-storage
 //! hierarchy and the GraphWalker host baseline are built on it, which keeps
@@ -22,12 +24,15 @@
 
 pub mod event;
 pub mod rng;
-pub mod stats;
-pub mod time;
 pub mod timeline;
 
+pub use fw_trace::{export, metrics, report, span, stats, time};
+
 pub use event::EventQueue;
+pub use fw_trace::{
+    chrome_trace_json, spans_csv, ComponentUtil, Counter, Duration, Histogram, LatencySummary,
+    MetricsRegistry, QueueDepthSeries, SimTime, SpanRecord, StatSet, TimeSeries, TraceConfig,
+    TraceReport, Tracer,
+};
 pub use rng::{SplitMix64, Xoshiro256pp};
-pub use stats::{Counter, Histogram, StatSet, TimeSeries};
-pub use time::{Duration, SimTime};
 pub use timeline::{BandwidthLink, ServerBank, Timeline};

@@ -1,0 +1,182 @@
+//! Trace exporters: Chrome `trace_event` JSON (loadable in
+//! `chrome://tracing` / [Perfetto](https://ui.perfetto.dev)) and CSV.
+//!
+//! The workspace builds offline with no serde, so the JSON is emitted by
+//! hand. Output is byte-deterministic: names are interned in first-seen
+//! order, spans are emitted in recording order, and the microsecond
+//! timestamps Chrome requires are formatted with integer math (never
+//! `f64` printing, whose shortest-round-trip digits could differ across
+//! platforms).
+
+use std::fmt::Write as _;
+
+use crate::report::TraceReport;
+
+/// Nanoseconds rendered as Chrome's microsecond timestamps ("12.345").
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// Minimal JSON string escape; span names are ASCII identifiers but the
+/// exporter must not emit malformed JSON for any input.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a [`TraceReport`]'s retained spans as Chrome `trace_event` JSON.
+///
+/// Each span name becomes a Perfetto *process* (via `process_name`
+/// metadata) and each lane a *thread* within it, so channels, chips and
+/// banks show up as parallel rows. Spans are "X" (complete) events with
+/// `ts`/`dur` in microseconds and byte payloads in `args`.
+pub fn chrome_trace_json(report: &TraceReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, ev: String| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push('\n');
+        out.push_str(&ev);
+    };
+    for (pid, name) in report.names.iter().enumerate() {
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                esc(name)
+            ),
+        );
+    }
+    for s in &report.spans {
+        let dur = s.end.as_nanos().saturating_sub(s.start.as_nanos());
+        let args = if s.bytes > 0 {
+            format!("{{\"bytes\":{}}}", s.bytes)
+        } else {
+            "{}".to_string()
+        };
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"name\":\"{}\",\
+                 \"ts\":{},\"dur\":{},\"args\":{}}}",
+                s.name,
+                s.lane,
+                esc(&report.names[s.name as usize]),
+                us(s.start.as_nanos()),
+                us(dur),
+                args
+            ),
+        );
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Render the retained spans as CSV: `name,lane,start_ns,end_ns,bytes`.
+pub fn spans_csv(report: &TraceReport) -> String {
+    let mut out = String::from("name,lane,start_ns,end_ns,bytes\n");
+    for s in &report.spans {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
+            report.names[s.name as usize],
+            s.lane,
+            s.start.as_nanos(),
+            s.end.as_nanos(),
+            s.bytes
+        );
+    }
+    out
+}
+
+/// Render the per-component utilization rows as CSV:
+/// `name,lane,busy_ns,count,bytes,utilization`.
+pub fn utilization_csv(report: &TraceReport) -> String {
+    let mut out = String::from("name,lane,busy_ns,count,bytes,utilization\n");
+    for c in &report.components {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{:.6}",
+            c.name, c.lane, c.busy_ns, c.count, c.bytes, c.utilization
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{TraceConfig, Tracer};
+    use crate::time::SimTime;
+
+    fn report() -> TraceReport {
+        let mut tr = Tracer::enabled(TraceConfig::default());
+        tr.span_bytes("channel.bus", 2, SimTime(1_500), SimTime(13_845), 4096);
+        tr.span("flash.read", 0, SimTime(0), SimTime(40_000));
+        tr.finish(SimTime(50_000)).unwrap()
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let json = chrome_trace_json(&report());
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("]}"));
+        // Metadata names both processes.
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"name\":\"channel.bus\""));
+        // Microsecond timestamps via integer math: 1500 ns -> "1.500".
+        assert!(json.contains("\"ts\":1.500"), "{json}");
+        assert!(json.contains("\"dur\":12.345"), "{json}");
+        assert!(json.contains("\"bytes\":4096"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn chrome_json_is_deterministic() {
+        let a = chrome_trace_json(&report());
+        let b = chrome_trace_json(&report());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn csv_exports() {
+        let rep = report();
+        let csv = spans_csv(&rep);
+        assert!(csv.starts_with("name,lane,start_ns,end_ns,bytes\n"));
+        assert!(csv.contains("channel.bus,2,1500,13845,4096\n"));
+        let util = utilization_csv(&rep);
+        assert!(util.contains("flash.read,0,40000,1,0,0.800000\n"));
+    }
+
+    #[test]
+    fn escaping_never_emits_raw_quotes() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("plain.name"), "plain.name");
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! `fw-trace` — the sim-time observability layer shared by every engine in
+//! the FlashWalker reproduction.
+//!
+//! The paper's evaluation hinges on seeing *inside* the simulated SSD: the
+//! Figure 1 time breakdown, the Figure 6 traffic split and the Figure 8
+//! resource-consumption curves are all observability artifacts. This crate
+//! provides the primitives those artifacts (and every future perf PR) are
+//! built on:
+//!
+//! * [`time`] — nanosecond-resolution simulated time ([`SimTime`] /
+//!   [`Duration`]), the clock domain every span lives in,
+//! * [`stats`] — counters, power-of-two histograms and the windowed
+//!   [`TimeSeries`] sampler,
+//! * [`metrics`] — a [`MetricsRegistry`] of dynamically named counters,
+//!   gauges and histograms (for per-channel / per-chip names such as
+//!   `channel.bus.3.busy_ns` that a `&'static str`-keyed bag cannot hold),
+//! * [`span`] — the [`Tracer`]: span-based busy-interval recording for
+//!   channels, chips, planes, DRAM banks and the accelerator PEs, with
+//!   exact per-track aggregates and bounded-memory deterministic sampling
+//!   of the retained span list,
+//! * [`report`] — derived views ([`TraceReport`]): per-component
+//!   utilization, p50/p95/p99 latency summaries and queue-depth time
+//!   series,
+//! * [`export`] — Chrome `trace_event` JSON (loadable in
+//!   `chrome://tracing` / Perfetto), CSV, and a human-readable text report.
+//!
+//! Tracing is **zero-cost when disabled**: a disabled [`Tracer`] is a
+//! no-op sink behind a single branch, so Tier-1 benchmark numbers are
+//! unaffected. It is also **deterministic**: sampling is modular counting
+//! (never wall-clock or randomness), so two runs with the same seed emit
+//! byte-identical traces.
+//!
+//! `fw-sim` re-exports this entire crate, so downstream code may use
+//! either `fw_trace::Tracer` or `fw_sim::Tracer`.
+
+pub mod export;
+pub mod metrics;
+pub mod report;
+pub mod span;
+pub mod stats;
+pub mod time;
+
+pub use export::{chrome_trace_json, spans_csv};
+pub use metrics::MetricsRegistry;
+pub use report::{ComponentUtil, LatencySummary, QueueDepthSeries, TraceReport};
+pub use span::{SpanRecord, TraceConfig, Tracer};
+pub use stats::{Counter, Histogram, StatSet, TimeSeries};
+pub use time::{Duration, SimTime};

@@ -1,0 +1,193 @@
+//! A registry of dynamically named counters, gauges and histograms.
+//!
+//! [`crate::stats::StatSet`] keys counters by `&'static str`, which is
+//! fine for a fixed vocabulary but cannot express per-instance names like
+//! `channel.bus.3.busy_ns` or `chip.17.util` — exactly the names the
+//! paper's per-device evaluation needs. [`MetricsRegistry`] stores all
+//! three metric kinds under owned `String` keys in sorted maps, so
+//! iteration (and therefore every report built from it) is deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::stats::Histogram;
+
+/// Dynamically named counters, gauges and histograms.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to the named counter, creating it at zero if absent.
+    pub fn add(&mut self, name: impl Into<String>, n: u64) {
+        *self.counters.entry(name.into()).or_insert(0) += n;
+    }
+
+    /// Add one to the named counter.
+    pub fn inc(&mut self, name: impl Into<String>) {
+        self.add(name, 1);
+    }
+
+    /// Set the named counter to an absolute value.
+    pub fn set(&mut self, name: impl Into<String>, v: u64) {
+        self.counters.insert(name.into(), v);
+    }
+
+    /// Read a counter (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set the named gauge.
+    pub fn set_gauge(&mut self, name: impl Into<String>, v: f64) {
+        self.gauges.insert(name.into(), v);
+    }
+
+    /// Read a gauge (`None` if never set).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Record one value into the named histogram, creating it if absent.
+    pub fn record(&mut self, name: impl Into<String>, v: u64) {
+        self.histograms.entry(name.into()).or_default().record(v);
+    }
+
+    /// Read a histogram (`None` if never recorded).
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterate counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterate gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterate histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Total number of named metrics of all kinds.
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// True if no metric has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Fold another registry into this one: counters add, gauges take the
+    /// other's value (last-writer-wins), histograms merge samples.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+}
+
+impl fmt::Display for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in self.counters() {
+            writeln!(f, "{k}: {v}")?;
+        }
+        for (k, v) in self.gauges() {
+            writeln!(f, "{k}: {v:.4}")?;
+        }
+        for (k, h) in self.histograms() {
+            writeln!(
+                f,
+                "{k}: n={} mean={:.1} p50={} p95={} p99={} max={}",
+                h.count(),
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99(),
+                h.max()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_names_accumulate() {
+        let mut m = MetricsRegistry::new();
+        for ch in 0..4 {
+            m.add(format!("channel.bus.{ch}.busy_ns"), 100 * (ch as u64 + 1));
+        }
+        m.add("channel.bus.3.busy_ns", 1);
+        assert_eq!(m.counter("channel.bus.3.busy_ns"), 401);
+        assert_eq!(m.counter("channel.bus.0.busy_ns"), 100);
+        assert_eq!(m.counter("missing"), 0);
+        let names: Vec<_> = m.counters().map(|(k, _)| k.to_string()).collect();
+        assert!(names.windows(2).all(|w| w[0] < w[1]), "sorted iteration");
+    }
+
+    #[test]
+    fn gauges_and_histograms() {
+        let mut m = MetricsRegistry::new();
+        m.set_gauge("chip.7.util", 0.83);
+        assert_eq!(m.gauge("chip.7.util"), Some(0.83));
+        assert_eq!(m.gauge("missing"), None);
+        for v in [10u64, 20, 4000] {
+            m.record("flash.read.ns", v);
+        }
+        let h = m.histogram("flash.read.ns").unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), 4000);
+        assert!(!m.is_empty());
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn merge_folds_all_kinds() {
+        let mut a = MetricsRegistry::new();
+        a.add("c", 1);
+        a.set_gauge("g", 1.0);
+        a.record("h", 8);
+        let mut b = MetricsRegistry::new();
+        b.add("c", 2);
+        b.set_gauge("g", 2.0);
+        b.record("h", 16);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.gauge("g"), Some(2.0));
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn display_is_deterministic() {
+        let mut m = MetricsRegistry::new();
+        m.add("z", 1);
+        m.add("a", 2);
+        m.set_gauge("mid", 0.5);
+        let s = format!("{m}");
+        assert_eq!(format!("{m}"), s);
+        assert!(s.starts_with("a: 2\n"));
+    }
+}

@@ -32,6 +32,10 @@ impl Counter {
 
 /// A named bag of counters, used by the harness to dump engine statistics
 /// without each engine exposing dozens of accessor methods.
+///
+/// Keys are `&'static str`, which rules out per-instance names like
+/// `channel.bus.3.busy_ns`; call sites that need dynamically composed
+/// names should use [`crate::MetricsRegistry`] instead.
 #[derive(Debug, Clone, Default)]
 pub struct StatSet {
     counters: BTreeMap<&'static str, u64>,
@@ -132,7 +136,10 @@ impl Histogram {
         self.max
     }
 
-    /// Approximate quantile (bucket upper bound containing quantile `q`).
+    /// Approximate quantile: the upper bound of the bucket containing
+    /// quantile `q`, clamped to [`Histogram::max`] so the estimate never
+    /// exceeds any recorded value (an un-clamped power-of-two bound can
+    /// overshoot `max()` by up to 2x).
     pub fn quantile(&self, q: f64) -> u64 {
         assert!((0.0..=1.0).contains(&q), "quantile out of range");
         if self.count == 0 {
@@ -143,10 +150,36 @@ impl Histogram {
         for (i, &b) in self.buckets.iter().enumerate() {
             seen += b;
             if seen >= target {
-                return 1u64 << (i + 1).min(63);
+                return (1u64 << (i + 1).min(63)).min(self.max);
             }
         }
         self.max
+    }
+
+    /// Median estimate (`quantile(0.5)`).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    /// 95th-percentile estimate (`quantile(0.95)`).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate (`quantile(0.99)`).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Fold `other`'s samples into this histogram (used when merging
+    /// per-component tracer aggregates into a per-name summary).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, &v) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += v;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
     }
 }
 
@@ -189,7 +222,20 @@ impl TimeSeries {
     /// Spread `value` uniformly over `[start, end)` across the windows it
     /// overlaps — used for transfers that span window boundaries so the
     /// bandwidth curve doesn't show spurious spikes.
+    ///
+    /// # Contract
+    ///
+    /// * The span is half-open: a span ending exactly on a window edge
+    ///   contributes nothing to the window starting at `end`.
+    /// * A degenerate span with `end == start` (a zero-duration event,
+    ///   e.g. a zero-byte transfer completing instantly at a window
+    ///   boundary) is attributed entirely to the window containing
+    ///   `start` — never split, never shifted into the next window.
+    /// * Reversed spans (`end < start`) are a caller bug: they would
+    ///   silently mis-attribute the value to `start`'s window while the
+    ///   event actually spans other windows. Debug builds panic.
     pub fn add_spread(&mut self, start: SimTime, end: SimTime, value: f64) {
+        debug_assert!(end >= start, "reversed span: [{start:?}, {end:?})");
         if end <= start {
             self.add(start, value);
             return;
@@ -232,6 +278,23 @@ impl TimeSeries {
     /// Total of all samples.
     pub fn total(&self) -> f64 {
         self.windows.iter().sum()
+    }
+
+    /// Fold another series into this one, window by window.
+    ///
+    /// # Panics
+    /// Panics if the window widths differ.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        assert_eq!(
+            self.window_ns, other.window_ns,
+            "merging series with different window widths"
+        );
+        if other.windows.len() > self.windows.len() {
+            self.windows.resize(other.windows.len(), 0.0);
+        }
+        for (w, &v) in self.windows.iter_mut().zip(other.windows.iter()) {
+            *w += v;
+        }
     }
 }
 
@@ -278,6 +341,54 @@ mod tests {
         let h = Histogram::new();
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.p50(), 0);
+    }
+
+    #[test]
+    fn histogram_quantile_never_exceeds_max() {
+        // Regression: the raw bucket upper bound 1 << (i+1) overshoots the
+        // largest recorded value — e.g. a single sample of 1000 lives in
+        // bucket [512, 1024) whose bound is 1024 > 1000.
+        let mut h = Histogram::new();
+        h.record(1000);
+        assert_eq!(h.quantile(1.0), 1000);
+        assert_eq!(h.p99(), 1000);
+        // Every quantile of any distribution is bounded by max().
+        let mut h2 = Histogram::new();
+        for v in [3u64, 7, 100, 129, 5000] {
+            h2.record(v);
+        }
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert!(h2.quantile(q) <= h2.max(), "q={q}");
+        }
+    }
+
+    #[test]
+    fn histogram_percentile_conveniences_are_ordered() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert!(h.p50() <= h.p95());
+        assert!(h.p95() <= h.p99());
+        assert!(h.p99() <= h.max());
+        assert_eq!(h.p50(), h.quantile(0.5));
+    }
+
+    #[test]
+    fn histogram_merge_combines_samples() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1u64, 4, 16] {
+            a.record(v);
+        }
+        for v in [64u64, 256] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.max(), 256);
+        assert!((a.mean() - (1.0 + 4.0 + 16.0 + 64.0 + 256.0) / 5.0).abs() < 1e-9);
     }
 
     #[test]
@@ -314,5 +425,31 @@ mod tests {
         let mut ts2 = TimeSeries::new(100);
         ts2.add_spread(SimTime(40), SimTime(40), 7.0);
         assert_eq!(ts2.windows(), &[7.0]);
+    }
+
+    #[test]
+    fn timeseries_spread_span_ending_on_window_edge() {
+        // Regression: a span ending exactly on a window boundary must not
+        // leak mass into the following window (the span is half-open).
+        let mut ts = TimeSeries::new(100);
+        ts.add_spread(SimTime(50), SimTime(100), 10.0);
+        assert_eq!(ts.windows(), &[10.0], "no spill into window 1");
+        // A span covering exactly one full window stays in that window.
+        let mut ts2 = TimeSeries::new(100);
+        ts2.add_spread(SimTime(100), SimTime(200), 4.0);
+        assert_eq!(ts2.windows(), &[0.0, 4.0]);
+        // A zero-duration event *at* a window boundary belongs to the
+        // window it starts (== the boundary's own window).
+        let mut ts3 = TimeSeries::new(100);
+        ts3.add_spread(SimTime(100), SimTime(100), 1.0);
+        assert_eq!(ts3.windows(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reversed span")]
+    #[cfg(debug_assertions)]
+    fn timeseries_spread_rejects_reversed_span() {
+        let mut ts = TimeSeries::new(100);
+        ts.add_spread(SimTime(200), SimTime(100), 1.0);
     }
 }

@@ -8,7 +8,7 @@
 //! GraphWalker cache behaviour, …) stays on the engines' own `run_detailed`
 //! methods and report types; this module is the lowest common denominator.
 
-use fw_sim::Duration;
+use fw_sim::{Duration, TraceReport};
 
 use crate::walk::Walk;
 use crate::workload::Workload;
@@ -100,6 +100,9 @@ pub struct RunReport {
     pub trace_window_ns: u64,
     /// Completed walks, when walk logging was enabled on the engine.
     pub walk_log: Vec<Walk>,
+    /// Span-trace derived views (utilization, latency percentiles,
+    /// queue depths), when span tracing was enabled on the engine.
+    pub trace: Option<TraceReport>,
 }
 
 impl RunReport {

@@ -59,6 +59,13 @@ impl GraphWalkerSim<'_> {
         run.block_loads += 1;
         let pages: Vec<Ppa> = self.placements[block as usize].pages.clone();
         let done = self.ssd.host_read_pages(run.now, &pages);
+        self.tracer.span_bytes(
+            "gw.load",
+            block,
+            run.now,
+            done,
+            pages.len() as u64 * self.ssd.config().geometry.page_bytes,
+        );
         run.breakdown.load_graph += done - run.now;
         run.now = done;
     }
@@ -80,6 +87,7 @@ impl GraphWalkerSim<'_> {
             self.ssd.ftl_mut().trim(lpn);
             self.pools[block as usize].walks.extend(walks);
         }
+        self.tracer.span("gw.walk_io", block, run.now, done);
         run.breakdown.walk_io += done - run.now;
         run.now = done;
     }

@@ -25,7 +25,7 @@ use fw_graph::partition::PartitionConfig;
 use fw_graph::{Csr, PartitionedGraph};
 use fw_nand::layout::GraphBlockPlacement;
 use fw_nand::{GraphLayout, Lpn, Ssd, SsdConfig};
-use fw_sim::{Duration, SimTime, TimeSeries, Xoshiro256pp};
+use fw_sim::{Duration, SimTime, TimeSeries, TraceConfig, TraceReport, Tracer, Xoshiro256pp};
 use fw_walk::{EngineBreakdown, RunReport, RunStats, Traffic, Walk, WalkEngine, Workload};
 
 use crate::breakdown::TimeBreakdown;
@@ -61,6 +61,9 @@ pub struct GwReport {
     /// Completed walks, collected when
     /// [`GraphWalkerSim::with_walk_log`] is enabled.
     pub walk_log: Vec<Walk>,
+    /// Span-trace derived views, when
+    /// [`GraphWalkerSim::with_span_trace`] was enabled.
+    pub trace: Option<TraceReport>,
 }
 
 impl From<GwReport> for RunReport {
@@ -89,6 +92,7 @@ impl From<GwReport> for RunReport {
             progress: r.progress,
             trace_window_ns: r.trace_window_ns,
             walk_log: r.walk_log,
+            trace: r.trace,
         }
     }
 }
@@ -135,6 +139,7 @@ pub struct GraphWalkerSim<'g> {
     next_lpn: Lpn,
     trace_window_ns: u64,
     walk_log: Option<Vec<Walk>>,
+    pub(super) tracer: Tracer,
 }
 
 impl<'g> GraphWalkerSim<'g> {
@@ -194,6 +199,7 @@ impl<'g> GraphWalkerSim<'g> {
             next_lpn: 0,
             trace_window_ns: 1_000_000,
             walk_log: None,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -206,6 +212,14 @@ impl<'g> GraphWalkerSim<'g> {
     /// Collect every completed walk into [`GwReport::walk_log`].
     pub fn with_walk_log(mut self) -> Self {
         self.walk_log = Some(Vec::new());
+        self
+    }
+
+    /// Enable span tracing on the host loop and the underlying SSD;
+    /// derived views land in [`GwReport::trace`].
+    pub fn with_span_trace(mut self, cfg: TraceConfig) -> Self {
+        self.tracer = Tracer::enabled(cfg);
+        self.ssd.enable_span_trace(cfg);
         self
     }
 
@@ -237,6 +251,10 @@ impl<'g> GraphWalkerSim<'g> {
 
         while run.completed < total {
             let block = self.pick_block().expect("walks remain but no pool has any");
+            if self.tracer.is_enabled() {
+                let waiting: u64 = self.pools.iter().map(|p| p.total()).sum();
+                self.tracer.gauge("gw.queue", run.now, waiting);
+            }
             // Scheduling overhead: a scan of per-block walk counts.
             let sched = Duration::nanos(self.pools.len() as u64 * 2);
             run.breakdown.other += sched;
@@ -247,6 +265,10 @@ impl<'g> GraphWalkerSim<'g> {
             self.update_block(block, &mut run);
             self.spill_overflow(&mut run);
         }
+
+        let ssd_tracer = self.ssd.take_tracer();
+        self.tracer.merge(&ssd_tracer);
+        let span_trace = self.tracer.finish(run.now);
 
         let s = *self.ssd.stats();
         let cfgp = *self.ssd.config();
@@ -268,6 +290,7 @@ impl<'g> GraphWalkerSim<'g> {
             progress: run.progress.windows().to_vec(),
             trace_window_ns: self.trace_window_ns,
             walk_log: self.walk_log.take().unwrap_or_default(),
+            trace: span_trace,
         }
     }
 }

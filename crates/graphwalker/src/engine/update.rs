@@ -45,6 +45,10 @@ impl GraphWalkerSim<'_> {
         }
         run.hops += batch_hops;
         let cpu = Duration::nanos(batch_hops * self.cfg.cpu_ns_per_hop);
+        self.tracer.span("gw.update", block, run.now, run.now + cpu);
+        if let Some(per_hop) = cpu.as_nanos().checked_div(batch_hops) {
+            self.tracer.record("walk.step_ns", per_hop);
+        }
         run.breakdown.update_walks += cpu;
         run.now += cpu;
     }
@@ -81,6 +85,13 @@ impl GraphWalkerSim<'_> {
         }
         if !batch_lpns.is_empty() {
             let end = self.ssd.host_write_lpns(run.now, &batch_lpns);
+            self.tracer.span_bytes(
+                "gw.walk_io",
+                u32::MAX, // spills are not block-directed; one shared lane
+                run.now,
+                end,
+                batch_lpns.len() as u64 * self.ssd.config().geometry.page_bytes,
+            );
             run.breakdown.walk_io += end - run.now;
             run.now = end;
         }

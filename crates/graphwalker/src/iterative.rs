@@ -22,7 +22,7 @@ use fw_graph::partition::PartitionConfig;
 use fw_graph::{Csr, PartitionedGraph, VertexId};
 use fw_nand::layout::GraphBlockPlacement;
 use fw_nand::{GraphLayout, Lpn, Ssd, SsdConfig};
-use fw_sim::{Duration, SimTime, Xoshiro256pp};
+use fw_sim::{Duration, SimTime, TraceConfig, TraceReport, Tracer, Xoshiro256pp};
 use fw_walk::{
     EngineBreakdown, RunReport, RunStats, Traffic, Walk, WalkEngine, Workload, WALK_BYTES,
 };
@@ -53,6 +53,9 @@ pub struct IterReport {
     pub pcie_bytes: u64,
     /// Achieved flash read bandwidth over the run, bytes/s.
     pub read_bw: f64,
+    /// Span-trace derived views, when
+    /// [`IterativeSim::with_span_trace`] was enabled.
+    pub trace: Option<TraceReport>,
 }
 
 impl From<IterReport> for RunReport {
@@ -81,6 +84,7 @@ impl From<IterReport> for RunReport {
             progress: Vec::new(), // untraced engine
             trace_window_ns: 0,
             walk_log: Vec::new(), // no walk logging
+            trace: r.trace,
         }
     }
 }
@@ -94,6 +98,7 @@ pub struct IterativeSim<'g> {
     wl: Workload,
     ssd: Ssd,
     rng: Xoshiro256pp,
+    tracer: Tracer,
 }
 
 impl<'g> IterativeSim<'g> {
@@ -137,7 +142,16 @@ impl<'g> IterativeSim<'g> {
             wl: Workload::paper_default(0),
             ssd: Ssd::new(ssd_cfg, static_blocks),
             rng: Xoshiro256pp::new(seed),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Enable span tracing on the iteration loop and the underlying SSD;
+    /// derived views land in [`IterReport::trace`].
+    pub fn with_span_trace(mut self, cfg: TraceConfig) -> Self {
+        self.tracer = Tracer::enabled(cfg);
+        self.ssd.enable_span_trace(cfg);
+        self
     }
 
     fn block_of(&mut self, v: VertexId) -> u32 {
@@ -198,6 +212,13 @@ impl<'g> IterativeSim<'g> {
                 block_loads += 1;
                 let pages = self.placements[b].pages.clone();
                 let done = self.ssd.host_read_pages(now, &pages);
+                self.tracer.span_bytes(
+                    "iter.load",
+                    b as u32,
+                    now,
+                    done,
+                    pages.len() as u64 * page_bytes,
+                );
                 breakdown.load_graph += done - now;
                 now = done;
 
@@ -217,6 +238,7 @@ impl<'g> IterativeSim<'g> {
                 }
                 hops += batch_hops;
                 let cpu = Duration::nanos(batch_hops * self.cfg.cpu_ns_per_hop);
+                self.tracer.span("iter.update", b as u32, now, now + cpu);
                 breakdown.update_walks += cpu;
                 now += cpu;
             }
@@ -234,6 +256,13 @@ impl<'g> IterativeSim<'g> {
             }
             if !batch_lpns.is_empty() {
                 let end = self.ssd.host_write_lpns(now, &batch_lpns);
+                self.tracer.span_bytes(
+                    "iter.walk_io",
+                    iterations,
+                    now,
+                    end,
+                    batch_lpns.len() as u64 * page_bytes,
+                );
                 breakdown.walk_io += end - now;
                 now = end;
             }
@@ -242,6 +271,10 @@ impl<'g> IterativeSim<'g> {
                 "iterative engine failed to converge"
             );
         }
+
+        let ssd_tracer = self.ssd.take_tracer();
+        self.tracer.merge(&ssd_tracer);
+        let span_trace = self.tracer.finish(now);
 
         let s = *self.ssd.stats();
         let cfgp = *self.ssd.config();
@@ -260,6 +293,7 @@ impl<'g> IterativeSim<'g> {
             } else {
                 s.array_read_bytes(&cfgp) as f64 / now.as_secs_f64()
             },
+            trace: span_trace,
         }
     }
 }
