@@ -1,0 +1,953 @@
+//! The `BENCH_*.json` format: a schema-versioned, byte-deterministic,
+//! hand-rolled JSON record of one benchmark-suite run, plus the in-crate
+//! parser that reads records back for regression comparison.
+//!
+//! The workspace builds offline with no serde, so both directions are
+//! written by hand. Determinism rules (same as `fw-trace`'s exporters):
+//! object keys are emitted in fixed order, floats are rendered with fixed
+//! precision, and number literals survive a parse→render round trip
+//! verbatim, so `BenchReport::parse(s).render() == s` for any string this
+//! module produced.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Schema tag written at the top of every record. Bump on incompatible
+/// layout changes; `compare` refuses to diff mismatched schemas.
+pub const SCHEMA: &str = "fwbench/v1";
+
+// ----------------------------------------------------------------------
+// Generic JSON tree.
+// ----------------------------------------------------------------------
+
+/// A parsed or under-construction JSON value. Numbers keep their source
+/// literal (`Num("1.2340")`) so re-rendering a parsed tree is
+/// byte-identical; objects preserve insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, stored as its literal text.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An unsigned integer literal.
+    pub fn u(v: u64) -> Json {
+        Json::Num(v.to_string())
+    }
+
+    /// A float literal with fixed decimal places (the only way floats
+    /// enter a record — fixed precision keeps round trips canonical).
+    /// Non-finite values render as 0 at the same precision.
+    pub fn f(v: f64, decimals: usize) -> Json {
+        let v = if v.is_finite() { v } else { 0.0 };
+        Json::Num(format!("{v:.decimals$}"))
+    }
+
+    /// A string value.
+    pub fn s(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+
+    /// An object from `(key, value)` pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Object field lookup (None on non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as f64 (None for non-numbers or bad literals).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as u64 (None for non-numbers / non-integers).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// String value (None for non-strings).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array elements (None for non-arrays).
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Parse a JSON document. Errors carry a byte offset and message.
+    pub fn parse(src: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Render the tree as pretty JSON (2-space indent, `\n` line ends).
+    /// Purely a function of the tree — byte-deterministic.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn is_scalar(&self) -> bool {
+        !matches!(self, Json::Arr(_) | Json::Obj(_))
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(s) => out.push_str(s),
+            Json::Str(s) => {
+                out.push('"');
+                out.push_str(&esc(s));
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                } else if items.iter().all(Json::is_scalar) {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        item.write(out, indent);
+                    }
+                    out.push(']');
+                } else {
+                    out.push_str("[\n");
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(",\n");
+                        }
+                        pad(out, indent + 1);
+                        item.write(out, indent + 1);
+                    }
+                    out.push('\n');
+                    pad(out, indent);
+                    out.push(']');
+                }
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    pad(out, indent + 1);
+                    out.push('"');
+                    out.push_str(&esc(k));
+                    out.push_str("\": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Minimal JSON string escape (mirrors `fw-trace`'s exporter rules).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits = |p: &mut Self| {
+            let s = p.pos;
+            while p.peek().is_some_and(|b| b.is_ascii_digit()) {
+                p.pos += 1;
+            }
+            p.pos > s
+        };
+        if !digits(self) {
+            return Err(format!("bad number at byte {start}"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !digits(self) {
+                return Err(format!("bad fraction at byte {start}"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            if !digits(self) {
+                return Err(format!("bad exponent at byte {start}"));
+            }
+        }
+        let lit = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number literal is ASCII")
+            .to_string();
+        Ok(Json::Num(lit))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let e = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos - 1)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let k = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            pairs.push((k, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Statistics over seed repetitions.
+// ----------------------------------------------------------------------
+
+/// mean/min/max over per-seed integer observations (nanoseconds, bytes).
+/// The mean is rounded to the nearest integer with integer math so the
+/// record stays platform-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatU {
+    /// Rounded mean.
+    pub mean: u64,
+    /// Smallest observation.
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+}
+
+impl StatU {
+    /// Summarize a non-empty slice.
+    pub fn of(xs: &[u64]) -> StatU {
+        assert!(!xs.is_empty(), "StatU::of on empty slice");
+        let n = xs.len() as u128;
+        let sum: u128 = xs.iter().map(|&x| x as u128).sum();
+        StatU {
+            mean: ((sum + n / 2) / n) as u64,
+            min: *xs.iter().min().unwrap(),
+            max: *xs.iter().max().unwrap(),
+        }
+    }
+
+    /// `(max - min) / mean` — the seed-derived relative noise band
+    /// (0 when the mean is 0).
+    pub fn rel_spread(&self) -> f64 {
+        if self.mean == 0 {
+            0.0
+        } else {
+            (self.max - self.min) as f64 / self.mean as f64
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("mean", Json::u(self.mean)),
+            ("min", Json::u(self.min)),
+            ("max", Json::u(self.max)),
+        ])
+    }
+
+    fn from_json(v: &Json, what: &str) -> Result<StatU, String> {
+        let field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{what}: missing integer field '{k}'"))
+        };
+        Ok(StatU {
+            mean: field("mean")?,
+            min: field("min")?,
+            max: field("max")?,
+        })
+    }
+}
+
+/// mean/min/max over per-seed float observations (speedups, wall-clock
+/// milliseconds). Rendered at fixed 4-decimal precision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatF {
+    /// Mean.
+    pub mean: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl StatF {
+    /// Summarize a non-empty slice.
+    pub fn of(xs: &[f64]) -> StatF {
+        assert!(!xs.is_empty(), "StatF::of on empty slice");
+        StatF {
+            mean: xs.iter().sum::<f64>() / xs.len() as f64,
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// The all-zero stat (used when wall-clock capture is disabled).
+    pub fn zero() -> StatF {
+        StatF {
+            mean: 0.0,
+            min: 0.0,
+            max: 0.0,
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("mean", Json::f(self.mean, 4)),
+            ("min", Json::f(self.min, 4)),
+            ("max", Json::f(self.max, 4)),
+        ])
+    }
+
+    fn from_json(v: &Json, what: &str) -> Result<StatF, String> {
+        let field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{what}: missing number field '{k}'"))
+        };
+        Ok(StatF {
+            mean: field("mean")?,
+            min: field("min")?,
+            max: field("max")?,
+        })
+    }
+}
+
+// ----------------------------------------------------------------------
+// The benchmark record.
+// ----------------------------------------------------------------------
+
+/// Where and how a record was produced — enough to tell whether two
+/// records are comparable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvFingerprint {
+    /// `git rev-parse --short HEAD` at run time ("unknown" outside git).
+    pub git_rev: String,
+    /// Configuration family (always "scaled" today; DESIGN.md §5).
+    pub config: String,
+    /// Graph scale divisor (walk counts, memory).
+    pub graph_scale: u64,
+    /// Structure scale divisor (per-structure capacities).
+    pub struct_scale: u64,
+    /// Suite name the record was produced from.
+    pub suite: String,
+    /// The exact seed list every scenario repeated over.
+    pub seeds: Vec<u64>,
+}
+
+impl EnvFingerprint {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("git_rev", Json::s(&self.git_rev)),
+            ("config", Json::s(&self.config)),
+            ("graph_scale", Json::u(self.graph_scale)),
+            ("struct_scale", Json::u(self.struct_scale)),
+            ("suite", Json::s(&self.suite)),
+            (
+                "seeds",
+                Json::Arr(self.seeds.iter().map(|&s| Json::u(s)).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<EnvFingerprint, String> {
+        let s = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("env: missing string field '{k}'"))
+        };
+        let u = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("env: missing integer field '{k}'"))
+        };
+        let seeds = v
+            .get("seeds")
+            .and_then(Json::as_arr)
+            .ok_or("env: missing 'seeds' array")?
+            .iter()
+            .map(|x| x.as_u64().ok_or("env: non-integer seed"))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(EnvFingerprint {
+            git_rev: s("git_rev")?,
+            config: s("config")?,
+            graph_scale: u("graph_scale")?,
+            struct_scale: u("struct_scale")?,
+            suite: s("suite")?,
+            seeds,
+        })
+    }
+}
+
+/// One scenario's measured row: engine × dataset × walk count, repeated
+/// over the env's seed list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRecord {
+    /// Stable scenario name, `{tag}/{dataset}/w{walks}[{variant}]`.
+    pub name: String,
+    /// Short engine-config tag ("fw", "fw-base", "gw", "iter").
+    pub tag: String,
+    /// Engine identifier (`WalkEngine::name`).
+    pub engine: String,
+    /// Dataset abbreviation.
+    pub dataset: String,
+    /// Walks per run.
+    pub walks: u64,
+    /// Seeds this scenario repeated over.
+    pub num_seeds: u64,
+    /// Simulated end-to-end time per seed, nanoseconds.
+    pub sim_time_ns: StatU,
+    /// Host wall-clock per seed, milliseconds (all-zero when the run was
+    /// in deterministic mode — wall time is never byte-stable).
+    pub wall_time_ms: StatF,
+    /// Per-seed speedup over the paired GraphWalker scenario, when the
+    /// suite contains one at the same dataset/walks/variant.
+    pub speedup_over_graphwalker: Option<StatF>,
+    /// The seed-0 run's `RunReport::summary_json` (fw-walk), parsed:
+    /// stats, traffic, breakdown, read bandwidth.
+    pub report: Json,
+    /// The seed-0 run's `trace_summary_json` (fw-trace), parsed:
+    /// utilization, latencies, queues, bottleneck. None when tracing was
+    /// off.
+    pub trace: Option<Json>,
+}
+
+impl ScenarioRecord {
+    /// Seed-0 flash read bytes (0 if the report is malformed).
+    pub fn flash_read_bytes(&self) -> u64 {
+        self.report
+            .get("traffic")
+            .and_then(|t| t.get("flash_read_bytes"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+    }
+
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("name", Json::s(&self.name)),
+            ("tag", Json::s(&self.tag)),
+            ("engine", Json::s(&self.engine)),
+            ("dataset", Json::s(&self.dataset)),
+            ("walks", Json::u(self.walks)),
+            ("num_seeds", Json::u(self.num_seeds)),
+            ("sim_time_ns", self.sim_time_ns.to_json()),
+            ("wall_time_ms", self.wall_time_ms.to_json()),
+        ];
+        pairs.push((
+            "speedup_over_graphwalker",
+            match self.speedup_over_graphwalker {
+                Some(s) => s.to_json(),
+                None => Json::Null,
+            },
+        ));
+        pairs.push(("report", self.report.clone()));
+        pairs.push((
+            "trace",
+            match &self.trace {
+                Some(t) => t.clone(),
+                None => Json::Null,
+            },
+        ));
+        Json::obj(pairs)
+    }
+
+    fn from_json(v: &Json) -> Result<ScenarioRecord, String> {
+        let s = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("scenario: missing string field '{k}'"))
+        };
+        let name = s("name")?;
+        let speedup = match v.get("speedup_over_graphwalker") {
+            None | Some(Json::Null) => None,
+            Some(x) => Some(StatF::from_json(x, &name)?),
+        };
+        let trace = match v.get("trace") {
+            None | Some(Json::Null) => None,
+            Some(t) => Some(t.clone()),
+        };
+        Ok(ScenarioRecord {
+            tag: s("tag")?,
+            engine: s("engine")?,
+            dataset: s("dataset")?,
+            walks: v
+                .get("walks")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{name}: missing 'walks'"))?,
+            num_seeds: v
+                .get("num_seeds")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{name}: missing 'num_seeds'"))?,
+            sim_time_ns: StatU::from_json(
+                v.get("sim_time_ns")
+                    .ok_or_else(|| format!("{name}: missing 'sim_time_ns'"))?,
+                &name,
+            )?,
+            wall_time_ms: StatF::from_json(
+                v.get("wall_time_ms")
+                    .ok_or_else(|| format!("{name}: missing 'wall_time_ms'"))?,
+                &name,
+            )?,
+            speedup_over_graphwalker: speedup,
+            report: v
+                .get("report")
+                .cloned()
+                .ok_or_else(|| format!("{name}: missing 'report'"))?,
+            trace,
+            name,
+        })
+    }
+}
+
+/// One complete `BENCH_*.json` record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Always [`SCHEMA`] for records this crate writes.
+    pub schema: String,
+    /// Record label (the `<label>` in `BENCH_<label>.json`).
+    pub label: String,
+    /// Environment fingerprint.
+    pub env: EnvFingerprint,
+    /// Per-scenario rows, in suite order.
+    pub scenarios: Vec<ScenarioRecord>,
+}
+
+impl BenchReport {
+    /// Build the JSON tree for this record.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::s(&self.schema)),
+            ("label", Json::s(&self.label)),
+            ("env", self.env.to_json()),
+            (
+                "scenarios",
+                Json::Arr(self.scenarios.iter().map(ScenarioRecord::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Render the record as the canonical `BENCH_*.json` text.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Reconstruct a record from a parsed tree.
+    pub fn from_json(v: &Json) -> Result<BenchReport, String> {
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing 'schema'")?
+            .to_string();
+        if schema != SCHEMA {
+            return Err(format!(
+                "unsupported schema '{schema}' (this build reads '{SCHEMA}')"
+            ));
+        }
+        Ok(BenchReport {
+            schema,
+            label: v
+                .get("label")
+                .and_then(Json::as_str)
+                .ok_or("missing 'label'")?
+                .to_string(),
+            env: EnvFingerprint::from_json(v.get("env").ok_or("missing 'env'")?)?,
+            scenarios: v
+                .get("scenarios")
+                .and_then(Json::as_arr)
+                .ok_or("missing 'scenarios' array")?
+                .iter()
+                .map(ScenarioRecord::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        })
+    }
+
+    /// Parse a `BENCH_*.json` document.
+    pub fn parse(src: &str) -> Result<BenchReport, String> {
+        BenchReport::from_json(&Json::parse(src)?)
+    }
+
+    /// Load and parse a record from disk.
+    pub fn load(path: &Path) -> Result<BenchReport, String> {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        BenchReport::parse(&src).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Find a scenario row by name.
+    pub fn scenario(&self, name: &str) -> Option<&ScenarioRecord> {
+        self.scenarios.iter().find(|s| s.name == name)
+    }
+}
+
+/// The newest `BENCH_*.json` in `dir` (by modification time, ties broken
+/// by name), excluding any paths in `exclude`. This is how
+/// `fwbench compare` picks its implicit baseline.
+pub fn newest_bench_file(dir: &Path, exclude: &[&Path]) -> Option<PathBuf> {
+    let mut candidates: Vec<(std::time::SystemTime, PathBuf)> = std::fs::read_dir(dir)
+        .ok()?
+        .flatten()
+        .filter_map(|e| {
+            let path = e.path();
+            let name = path.file_name()?.to_str()?;
+            if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+                return None;
+            }
+            if exclude.iter().any(|x| {
+                x.file_name() == path.file_name()
+                    || x.canonicalize().ok() == path.canonicalize().ok()
+            }) {
+                return None;
+            }
+            let mtime = e.metadata().ok()?.modified().ok()?;
+            Some((mtime, path))
+        })
+        .collect();
+    candidates.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    candidates.pop().map(|(_, p)| p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_render_round_trips_all_value_kinds() {
+        let tree = Json::obj(vec![
+            ("null", Json::Null),
+            ("flag", Json::Bool(true)),
+            ("int", Json::u(18_446_744_073_709_551_615)),
+            ("float", Json::f(1.5, 4)),
+            ("neg", Json::Num("-2.5e3".into())),
+            ("text", Json::s("a\"b\\c\nd")),
+            ("inline", Json::Arr(vec![Json::u(1), Json::u(2)])),
+            (
+                "nested",
+                Json::Arr(vec![Json::obj(vec![("k", Json::s("v"))])]),
+            ),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+        ]);
+        let text = tree.render();
+        let back = Json::parse(&text).expect("parse own output");
+        assert_eq!(back, tree);
+        assert_eq!(back.render(), text, "round trip must be byte-identical");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "1 2",
+            "\"unterminated",
+            "nul",
+            "{\"a\":1,}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn number_literals_survive_verbatim() {
+        let v = Json::parse("[1.2300, 42, -7.5e2]").unwrap();
+        let arr = v.as_arr().unwrap();
+        assert_eq!(arr[0], Json::Num("1.2300".into()));
+        assert_eq!(arr[0].as_f64(), Some(1.23));
+        assert_eq!(arr[1].as_u64(), Some(42));
+        assert_eq!(v.render().trim(), "[1.2300, 42, -7.5e2]");
+    }
+
+    #[test]
+    fn stat_u_rounds_mean_with_integer_math() {
+        let s = StatU::of(&[1, 2]);
+        assert_eq!(
+            s,
+            StatU {
+                mean: 2,
+                min: 1,
+                max: 2
+            }
+        ); // (3 + 1)/2
+        let s = StatU::of(&[10, 10, 10]);
+        assert_eq!(s.rel_spread(), 0.0);
+        let s = StatU::of(&[90, 110]);
+        assert!((s.rel_spread() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_zero() {
+        assert_eq!(Json::f(f64::NAN, 4), Json::Num("0.0000".into()));
+        assert_eq!(Json::f(f64::INFINITY, 2), Json::Num("0.00".into()));
+    }
+
+    fn tiny_report() -> BenchReport {
+        BenchReport {
+            schema: SCHEMA.to_string(),
+            label: "t".into(),
+            env: EnvFingerprint {
+                git_rev: "abc1234".into(),
+                config: "scaled".into(),
+                graph_scale: 500,
+                struct_scale: 16,
+                suite: "ci".into(),
+                seeds: vec![42, 43],
+            },
+            scenarios: vec![ScenarioRecord {
+                name: "fw/TT/w100".into(),
+                tag: "fw".into(),
+                engine: "flashwalker".into(),
+                dataset: "TT".into(),
+                walks: 100,
+                num_seeds: 2,
+                sim_time_ns: StatU {
+                    mean: 1000,
+                    min: 990,
+                    max: 1010,
+                },
+                wall_time_ms: StatF::zero(),
+                speedup_over_graphwalker: Some(StatF {
+                    mean: 5.0,
+                    min: 4.5,
+                    max: 5.5,
+                }),
+                report: Json::parse("{\"traffic\":{\"flash_read_bytes\":4096}}").unwrap(),
+                trace: None,
+            }],
+        }
+    }
+
+    #[test]
+    fn bench_report_round_trips_byte_identically() {
+        let rep = tiny_report();
+        let text = rep.render();
+        let back = BenchReport::parse(&text).expect("parse own output");
+        assert_eq!(back, rep);
+        assert_eq!(back.render(), text);
+        assert_eq!(
+            back.scenario("fw/TT/w100").unwrap().flash_read_bytes(),
+            4096
+        );
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let mut rep = tiny_report();
+        rep.schema = "fwbench/v0".into();
+        let text = rep.render();
+        let err = BenchReport::parse(&text).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+    }
+}

@@ -9,53 +9,36 @@
 //! from avoided walk write-backs and graph re-reads, and (3)'s win over
 //! (2) from keeping graph data off the PCIe link and channel buses.
 //!
-//! All three engines run through the shared [`WalkEngine`] harness
-//! (`run_engine`), so the comparison exercises exactly the unified
-//! reporting path.
+//! A thin wrapper over the shared suite runner (`Suite::three_way`), so
+//! all three engines go through exactly the unified reporting path.
+//! `FW_SEEDS` / `FW_DATASETS` work as in the figure binaries.
 
-use flashwalker::{AccelConfig, OptToggles};
-use fw_bench::runner::{
-    flashwalker_engine, graphwalker_engine, iterative_engine, parallel_map, prepared, run_engine,
-    DEFAULT_SEED,
-};
-use fw_graph::datasets::GRAPH_SCALE;
-use fw_graph::DatasetId;
+use fw_bench::suite::{env_seeds, run_suite, selected_datasets, Suite};
 
 fn main() {
-    let mem = (8u64 << 30) / GRAPH_SCALE;
+    let suite = Suite::three_way(env_seeds());
+    let res = run_suite(&suite);
+
     println!(
         "dataset\twalks\titerative\tgraphwalker\tflashwalker\tgw_vs_iter\tfw_vs_gw\tfw_vs_iter"
     );
-    let rows = parallel_map(DatasetId::ALL.to_vec(), |id| {
-        let p = prepared(id, DEFAULT_SEED);
-        // Half the default walk count: the iterative engine re-reads the
-        // whole graph every sweep and is slow.
+    for id in selected_datasets() {
         let walks = id.default_walks() / 2;
-        eprintln!("[{}] {} walks …", id.abbrev(), walks);
-        let iter = run_engine(iterative_engine(&p, mem, DEFAULT_SEED), walks);
-        let gw = run_engine(graphwalker_engine(&p, mem, DEFAULT_SEED), walks);
-        let fw = run_engine(
-            flashwalker_engine(
-                &p,
-                OptToggles::all(),
-                AccelConfig::scaled().alpha,
-                DEFAULT_SEED,
-            ),
-            walks,
+        let (iter, gw, fw) = (
+            res.find("iter", id, walks).expect("iter cell"),
+            res.find("gw", id, walks).expect("gw cell"),
+            res.find("fw", id, walks).expect("fw cell"),
         );
-        (id, walks, iter, gw, fw)
-    });
-    for (id, walks, iter, gw, fw) in rows {
         println!(
             "{}\t{}\t{}\t{}\t{}\t{:.2}\t{:.2}\t{:.2}",
             id.abbrev(),
             walks,
-            iter.time,
-            gw.time,
-            fw.time,
-            gw.speedup_over(&iter),
-            fw.speedup_over(&gw),
-            fw.speedup_over(&iter)
+            iter.seed0().time,
+            gw.seed0().time,
+            fw.seed0().time,
+            gw.seed0().speedup_over(iter.seed0()),
+            fw.seed0().speedup_over(gw.seed0()),
+            fw.seed0().speedup_over(iter.seed0())
         );
     }
 }

@@ -4,15 +4,22 @@
 //! their component utilizations and queue depths side by side.
 //!
 //! ```text
-//! cargo run --release -p fw-bench --bin diag [TT|FS|CW|R2B|R8B] [walks]
+//! cargo run --release -p fw-bench --bin diag [TT|FS|CW|R2B|R8B] [walks] [--json]
 //! ```
+//!
+//! With `--json` the ablation text dump is skipped and the three-engine
+//! utilization/queue-depth comparison is emitted as one machine-readable
+//! JSON document on stdout (the `bench_json` writer wrapping
+//! `fw-trace`'s `trace_summary_json`).
 
 use flashwalker::OptToggles;
+use fw_bench::bench_json::Json;
 use fw_bench::runner::{
     prepared, run_flashwalker_alpha, run_flashwalker_traced, run_graphwalker_traced,
     run_iterative_traced, DEFAULT_SEED,
 };
 use fw_graph::DatasetId;
+use fw_sim::export::trace_summary_json;
 use fw_sim::{TraceConfig, TraceReport};
 
 /// Print one engine's per-component-group utilization and queue-depth
@@ -44,7 +51,9 @@ fn print_trace_rows(tag: &str, t: &TraceReport) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    let json_out = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
     let id = match args.get(1).map(|s| s.as_str()) {
         Some("FS") => DatasetId::Friendster,
         Some("CW") => DatasetId::ClueWeb,
@@ -64,6 +73,39 @@ fn main() {
         p.pg.dense.len(),
         p.pg.num_partitions()
     );
+
+    if json_out {
+        // Machine-readable three-engine comparison only.
+        let tcfg = TraceConfig::default();
+        let mem = 8 << 20;
+        let fw = run_flashwalker_traced(&p, walks, tcfg, DEFAULT_SEED);
+        let gw = run_graphwalker_traced(&p, walks, mem, tcfg, DEFAULT_SEED);
+        let iter = run_iterative_traced(&p, walks, mem, tcfg, DEFAULT_SEED);
+        let engine_obj = |tag: &str, t: &TraceReport| {
+            Json::obj(vec![
+                ("engine", Json::s(tag)),
+                (
+                    "trace",
+                    Json::parse(&trace_summary_json(t)).expect("trace summary is well-formed"),
+                ),
+            ])
+        };
+        let doc = Json::obj(vec![
+            ("schema", Json::s("fwdiag/v1")),
+            ("dataset", Json::s(id.abbrev())),
+            ("walks", Json::u(walks)),
+            (
+                "engines",
+                Json::Arr(vec![
+                    engine_obj("fw", fw.trace.as_ref().expect("tracing enabled")),
+                    engine_obj("gw", gw.trace.as_ref().expect("tracing enabled")),
+                    engine_obj("iter", iter.trace.as_ref().expect("tracing enabled")),
+                ]),
+            ),
+        ]);
+        print!("{}", doc.render());
+        return;
+    }
 
     let configs: Vec<(&str, OptToggles)> = vec![
         ("base", OptToggles::none()),

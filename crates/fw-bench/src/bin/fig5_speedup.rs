@@ -7,63 +7,49 @@
 //!
 //! `FW_DATASETS=TT,FS` restricts the dataset set (useful for quick
 //! runs); `FW_SEEDS=N` repeats every cell over N seeds and reports
-//! mean and min–max spread.
+//! mean and min–max spread. Both knobs, and the grid execution itself,
+//! come from the shared suite runner (`fw_bench::suite`).
 
-use fw_bench::runner::{compare, parallel_map, prepared, walk_sweep, ComparisonRow, DEFAULT_SEED};
-
-use fw_graph::datasets::GRAPH_SCALE;
-use fw_graph::DatasetId;
-
-fn selected_datasets() -> Vec<DatasetId> {
-    match std::env::var("FW_DATASETS") {
-        Ok(s) => DatasetId::ALL
-            .into_iter()
-            .filter(|d| s.split(',').any(|x| x.trim() == d.abbrev()))
-            .collect(),
-        Err(_) => DatasetId::ALL.to_vec(),
-    }
-}
+use fw_bench::runner::walk_sweep;
+use fw_bench::suite::{
+    default_gw_memory, env_seeds, run_suite, selected_datasets, Scenario, Suite,
+};
 
 fn main() {
-    let mem = (8u64 << 30) / GRAPH_SCALE;
-    let datasets = selected_datasets();
-    let seeds: u64 = std::env::var("FW_SEEDS")
-        .ok()
-        .and_then(|x| x.parse().ok())
-        .unwrap_or(1);
-    let all_rows: Vec<(ComparisonRow, Vec<f64>)> = parallel_map(datasets, |id| {
-        eprintln!("[{}] generating …", id.abbrev());
-        let p = prepared(id, DEFAULT_SEED);
-        let mut rows = Vec::new();
+    let mem = default_gw_memory();
+    let mut scenarios = Vec::new();
+    for id in selected_datasets() {
         for walks in walk_sweep(id) {
-            eprintln!("[{}] {} walks …", id.abbrev(), walks);
-            // Seed 0 is the canonical row; extra seeds fold their
-            // speedups into the spread columns.
-            let mut all: Vec<ComparisonRow> = (0..seeds)
-                .map(|si| compare(&p, walks, mem, DEFAULT_SEED + si))
-                .collect();
-            let spread: Vec<f64> = all.iter().map(|r| r.speedup).collect();
-            let mut row = all.swap_remove(0);
-            let mean = spread.iter().sum::<f64>() / spread.len() as f64;
-            row.speedup = mean;
-            rows.push((row, spread));
+            scenarios.push(Scenario::gw(id, walks, mem));
+            scenarios.push(Scenario::fw(id, walks));
         }
-        rows
-    })
-    .into_iter()
-    .flatten()
-    .collect();
+    }
+    let suite = Suite {
+        name: "fig5".into(),
+        seeds: env_seeds(),
+        scenarios,
+        trace: false,
+    };
+    let res = run_suite(&suite);
 
     println!("dataset\twalks\tfw_time\tgw_time\tspeedup\tmin\tmax");
     let mut speedups = Vec::new();
-    for (r, spread) in &all_rows {
-        let min = spread.iter().cloned().fold(f64::MAX, f64::min);
-        let max = spread.iter().cloned().fold(0.0, f64::max);
+    for r in res.results.iter().filter(|r| r.scenario.tag == "fw") {
+        let gw = res
+            .find("gw", r.scenario.dataset, r.scenario.walks)
+            .expect("every fw cell has a paired gw cell");
+        let s = r.speedup_stat().expect("paired speedups");
         println!(
             "{}\t{}\t{}\t{}\t{:.2}\t{:.2}\t{:.2}",
-            r.dataset, r.walks, r.fw_time, r.gw_time, r.speedup, min, max
+            r.scenario.dataset.abbrev(),
+            r.scenario.walks,
+            r.seed0().time,
+            gw.seed0().time,
+            s.mean,
+            s.min,
+            s.max
         );
-        speedups.push(r.speedup);
+        speedups.push(s.mean);
     }
     let min = speedups.iter().cloned().fold(f64::MAX, f64::min);
     let max = speedups.iter().cloned().fold(0.0, f64::max);

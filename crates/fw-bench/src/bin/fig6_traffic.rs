@@ -6,41 +6,67 @@
 //! total data than GraphWalker** (parallelism overload on a small graph)
 //! yet still wins on bandwidth; CW reads much less (finer subgraph
 //! granularity + GraphWalker thrashing).
+//!
+//! `FW_SEEDS=N` repeats every cell over N seeds; the bandwidth
+//! improvement column then reports mean and min–max spread.
 
-use fw_bench::runner::{compare, parallel_map, prepared, walk_sweep, DEFAULT_SEED};
-use fw_graph::datasets::GRAPH_SCALE;
-use fw_graph::DatasetId;
+use fw_bench::runner::walk_sweep;
+use fw_bench::suite::{
+    default_gw_memory, env_seeds, run_suite, selected_datasets, Scenario, Suite,
+};
 
 fn main() {
-    let mem = (8u64 << 30) / GRAPH_SCALE;
-    println!("dataset\twalks\tfw_read_MB\tgw_read_MB\ttraffic_reduction\tfw_bw_GBs\tgw_bw_GBs\tbw_improvement");
+    let mem = default_gw_memory();
+    let mut scenarios = Vec::new();
+    for id in selected_datasets() {
+        let walks = *walk_sweep(id).last().unwrap();
+        scenarios.push(Scenario::gw(id, walks, mem));
+        scenarios.push(Scenario::fw(id, walks));
+    }
+    let suite = Suite {
+        name: "fig6".into(),
+        seeds: env_seeds(),
+        scenarios,
+        trace: false,
+    };
+    let res = run_suite(&suite);
+
+    println!("dataset\twalks\tfw_read_MB\tgw_read_MB\ttraffic_reduction\tfw_bw_GBs\tgw_bw_GBs\tbw_improvement\tbw_min\tbw_max");
     let mut traffic = Vec::new();
     let mut bw = Vec::new();
-
-    let rows = parallel_map(DatasetId::ALL.to_vec(), |id| {
-        let p = prepared(id, DEFAULT_SEED);
-        let walks = *walk_sweep(id).last().unwrap();
-        eprintln!("[{}] {} walks …", id.abbrev(), walks);
-        compare(&p, walks, mem, DEFAULT_SEED)
-    });
-    {
-        for r in rows {
-            let t_red = r.gw_read_bytes as f64 / r.fw_read_bytes.max(1) as f64;
-            let bw_imp = r.fw_read_bw / r.gw_read_bw.max(1.0);
-            println!(
-                "{}\t{}\t{}\t{}\t{:.2}\t{:.2}\t{:.2}\t{:.2}",
-                r.dataset,
-                r.walks,
-                r.fw_read_bytes >> 20,
-                r.gw_read_bytes >> 20,
-                t_red,
-                r.fw_read_bw / 1e9,
-                r.gw_read_bw / 1e9,
-                bw_imp
-            );
-            traffic.push(t_red);
-            bw.push(bw_imp);
-        }
+    for r in res.results.iter().filter(|r| r.scenario.tag == "fw") {
+        let gw = res
+            .find("gw", r.scenario.dataset, r.scenario.walks)
+            .expect("paired gw cell");
+        // Per-seed ratios (engines at the same seed), summarized.
+        let bw_imps: Vec<f64> = r
+            .runs
+            .iter()
+            .zip(&gw.runs)
+            .map(|(f, g)| f.report.read_bw / g.report.read_bw.max(1.0))
+            .collect();
+        let bw_mean = bw_imps.iter().sum::<f64>() / bw_imps.len() as f64;
+        let bw_min = bw_imps.iter().cloned().fold(f64::MAX, f64::min);
+        let bw_max = bw_imps.iter().cloned().fold(0.0, f64::max);
+        let fwr = r.seed0();
+        let gwr = gw.seed0();
+        let t_red =
+            gwr.traffic.flash_read_bytes as f64 / fwr.traffic.flash_read_bytes.max(1) as f64;
+        println!(
+            "{}\t{}\t{}\t{}\t{:.2}\t{:.2}\t{:.2}\t{:.2}\t{:.2}\t{:.2}",
+            r.scenario.dataset.abbrev(),
+            r.scenario.walks,
+            fwr.traffic.flash_read_bytes >> 20,
+            gwr.traffic.flash_read_bytes >> 20,
+            t_red,
+            fwr.read_bw / 1e9,
+            gwr.read_bw / 1e9,
+            bw_mean,
+            bw_min,
+            bw_max
+        );
+        traffic.push(t_red);
+        bw.push(bw_mean);
     }
 
     let gmean = |v: &[f64]| (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp();

@@ -5,10 +5,13 @@
 //! emulates a larger graph); TT barely changes at 16 GB because the graph
 //! already fits at 8 GB; for CW even 16 GB is far below the graph size so
 //! the speedup stays high.
+//!
+//! `FW_SEEDS=N` repeats every cell over N seeds and adds min–max spread
+//! columns; `FW_DATASETS` restricts the dataset grid.
 
-use fw_bench::runner::{compare, parallel_map, prepared, walk_sweep, DEFAULT_SEED};
+use fw_bench::runner::walk_sweep;
+use fw_bench::suite::{env_seeds, run_suite, selected_datasets, Scenario, Suite};
 use fw_graph::datasets::GRAPH_SCALE;
-use fw_graph::DatasetId;
 
 fn main() {
     let mems: Vec<(u64, &str)> = vec![
@@ -16,25 +19,45 @@ fn main() {
         ((8u64 << 30) / GRAPH_SCALE, "8GB"),
         ((16u64 << 30) / GRAPH_SCALE, "16GB"),
     ];
-    println!("dataset\twalks\tmem\tfw_time\tgw_time\tspeedup");
-
-    let mems = &mems;
-    let rows = parallel_map(DatasetId::ALL.to_vec(), |id| {
-        let p = prepared(id, DEFAULT_SEED);
+    let mut scenarios = Vec::new();
+    for id in selected_datasets() {
         let walks = *walk_sweep(id).last().unwrap();
-        mems.iter()
-            .map(|&(m, label)| {
-                eprintln!("[{}] mem {} …", id.abbrev(), label);
-                (label, compare(&p, walks, m, DEFAULT_SEED))
-            })
-            .collect::<Vec<_>>()
-    });
-    for per_dataset in rows {
-        for (label, r) in per_dataset {
-            println!(
-                "{}\t{}\t{}\t{}\t{}\t{:.2}",
-                r.dataset, r.walks, label, r.fw_time, r.gw_time, r.speedup
-            );
+        for &(m, label) in &mems {
+            let variant = format!("/m{label}");
+            scenarios.push(Scenario::gw(id, walks, m).with_variant(&variant));
+            scenarios.push(Scenario::fw(id, walks).with_variant(&variant));
         }
+    }
+    let suite = Suite {
+        name: "fig7".into(),
+        seeds: env_seeds(),
+        scenarios,
+        trace: false,
+    };
+    let res = run_suite(&suite);
+
+    // Results keep suite order: dataset outer, memory sweep inner.
+    println!("dataset\twalks\tmem\tfw_time\tgw_time\tspeedup\tmin\tmax");
+    for r in res.results.iter().filter(|r| r.scenario.tag == "fw") {
+        let gw = res
+            .find_name(&format!(
+                "gw/{}/w{}{}",
+                r.scenario.dataset.abbrev(),
+                r.scenario.walks,
+                r.scenario.variant
+            ))
+            .expect("paired gw cell");
+        let s = r.speedup_stat().expect("paired speedups");
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{:.2}\t{:.2}\t{:.2}",
+            r.scenario.dataset.abbrev(),
+            r.scenario.walks,
+            r.scenario.variant.trim_start_matches("/m"),
+            r.seed0().time,
+            gw.seed0().time,
+            s.mean,
+            s.min,
+            s.max
+        );
     }
 }

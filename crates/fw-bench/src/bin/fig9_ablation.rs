@@ -7,10 +7,13 @@
 //! update-bound, not query-bound); HS mainly helps TT; SS adds up to
 //! ~21% cumulative; CW barely moves (straggler-bound on slow flash
 //! reads).
+//!
+//! `FW_SEEDS=N` repeats every configuration over N seeds and adds
+//! min–max spread columns on the gain; `FW_DATASETS` restricts the grid.
 
 use flashwalker::OptToggles;
-use fw_bench::runner::{parallel_map, prepared, run_flashwalker_alpha, walk_sweep, DEFAULT_SEED};
-use fw_graph::DatasetId;
+use fw_bench::runner::walk_sweep;
+use fw_bench::suite::{env_seeds, run_suite, selected_datasets, Scenario, Suite};
 
 fn main() {
     // Incremental configurations, as in §IV-E.
@@ -44,35 +47,47 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(1.2);
 
-    println!("dataset\tconfig\ttime\tspeedup_vs_base");
-    let configs = &configs;
-    let all = parallel_map(DatasetId::ALL.to_vec(), |id| {
-        let p = prepared(id, DEFAULT_SEED);
+    let mut scenarios = Vec::new();
+    for id in selected_datasets() {
         let walks = *walk_sweep(id).last().unwrap();
-        let rows = configs
-            .iter()
-            .map(|&(name, opts)| {
-                eprintln!("[{}] {} …", id.abbrev(), name);
-                (
-                    name,
-                    run_flashwalker_alpha(&p, walks, opts, alpha, DEFAULT_SEED),
-                )
-            })
-            .collect::<Vec<_>>();
-        (id, rows)
-    });
-    {
-        for (id, results) in all {
-            let base = results[0].1.time.as_nanos() as f64;
-            for (name, r) in &results {
-                println!(
-                    "{}\t{}\t{}\t{:+.2}%",
-                    id.abbrev(),
-                    name,
-                    r.time,
-                    (base / r.time.as_nanos() as f64 - 1.0) * 100.0
-                );
-            }
+        for &(name, opts) in &configs {
+            scenarios.push(Scenario::fw_opts(name, id, walks, opts, alpha));
         }
+    }
+    let suite = Suite {
+        name: "fig9".into(),
+        seeds: env_seeds(),
+        scenarios,
+        trace: false,
+    };
+    let res = run_suite(&suite);
+
+    println!("dataset\tconfig\ttime\tspeedup_vs_base\tmin\tmax");
+    for r in &res.results {
+        let base = res
+            .find("base", r.scenario.dataset, r.scenario.walks)
+            .expect("base configuration present");
+        // Per-seed gains over the no-optimization baseline at the same
+        // seed, summarized as mean and min–max spread.
+        let gains: Vec<f64> = r
+            .runs
+            .iter()
+            .zip(&base.runs)
+            .map(|(c, b)| {
+                b.report.time.as_nanos() as f64 / c.report.time.as_nanos().max(1) as f64 - 1.0
+            })
+            .collect();
+        let mean = gains.iter().sum::<f64>() / gains.len() as f64;
+        let min = gains.iter().cloned().fold(f64::MAX, f64::min);
+        let max = gains.iter().cloned().fold(f64::MIN, f64::max);
+        println!(
+            "{}\t{}\t{}\t{:+.2}%\t{:+.2}%\t{:+.2}%",
+            r.scenario.dataset.abbrev(),
+            r.scenario.tag,
+            r.seed0().time,
+            mean * 100.0,
+            min * 100.0,
+            max * 100.0
+        );
     }
 }

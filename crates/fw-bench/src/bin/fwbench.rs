@@ -1,0 +1,201 @@
+//! `fwbench` — the structured benchmark driver: run a declarative suite
+//! into a schema-versioned `BENCH_<label>.json` record, and gate
+//! regressions against a prior record with seed-noise-aware bounds and
+//! paper-fidelity verdicts.
+//!
+//! ```text
+//! fwbench run [--suite ci|paper] [--seeds N] [--label L] [--out PATH]
+//!             [--wall] [--no-trace]
+//! fwbench compare [BASELINE] [CURRENT] [--noise-floor F]
+//! ```
+//!
+//! `run` defaults: the `ci` suite, 3 seeds (or `FW_SEEDS`), label = suite
+//! name, output `BENCH_<label>.json` in the working directory. Output is
+//! byte-identical across same-seed runs; `--wall` adds host wall-clock
+//! columns (informational, not byte-stable, never gated).
+//!
+//! `compare` with one path compares it against the newest *other*
+//! `BENCH_*.json` in its directory; with two paths the first is the
+//! baseline. Exits 1 when the regression gate or a fidelity verdict
+//! fails, so CI can gate on it.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use fw_bench::bench_json::{newest_bench_file, BenchReport};
+use fw_bench::compare::{compare_reports, CompareConfig};
+use fw_bench::runner::DEFAULT_SEED;
+use fw_bench::suite::{build_bench_report, env_seeds, run_suite, Suite};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  fwbench run [--suite ci|paper] [--seeds N] [--label L] [--out PATH] [--wall] [--no-trace]\n  fwbench compare [BASELINE] [CURRENT] [--noise-floor F]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let suite_name = flag_value(args, "--suite").unwrap_or("ci");
+    let seeds = match flag_value(args, "--seeds") {
+        Some(n) => {
+            let n: u64 = match n.parse() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    eprintln!("--seeds wants a positive integer");
+                    return ExitCode::from(2);
+                }
+            };
+            (0..n).map(|i| DEFAULT_SEED + i).collect()
+        }
+        // FW_SEEDS is the figure binaries' knob; honor it here too, but
+        // default to 3 so the record always carries a noise band.
+        None if std::env::var("FW_SEEDS").is_ok() => env_seeds(),
+        None => (0..3).map(|i| DEFAULT_SEED + i).collect(),
+    };
+    let mut suite = match suite_name {
+        "ci" => Suite::ci_small(seeds),
+        "paper" => Suite::paper(seeds),
+        other => {
+            eprintln!("unknown suite '{other}' (known: ci, paper)");
+            return ExitCode::from(2);
+        }
+    };
+    if args.iter().any(|a| a == "--no-trace") {
+        suite.trace = false;
+    }
+    let include_wall = args.iter().any(|a| a == "--wall");
+    let label = flag_value(args, "--label")
+        .unwrap_or(&suite.name)
+        .to_string();
+    let out: PathBuf = flag_value(args, "--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(format!("BENCH_{label}.json")));
+
+    eprintln!(
+        "fwbench: suite={} scenarios={} seeds={:?}",
+        suite.name,
+        suite.scenarios.len(),
+        suite.seeds
+    );
+    let result = run_suite(&suite);
+    let report = build_bench_report(&label, &result, include_wall);
+    if let Err(e) = std::fs::write(&out, report.render()) {
+        eprintln!("fwbench: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "{:<28} {:>12} {:>10} {:>9}",
+        "scenario", "sim_ms(mean)", "spread", "speedup"
+    );
+    for s in &report.scenarios {
+        println!(
+            "{:<28} {:>12.3} {:>9.2}% {:>9}",
+            s.name,
+            s.sim_time_ns.mean as f64 / 1e6,
+            s.sim_time_ns.rel_spread() * 100.0,
+            match s.speedup_over_graphwalker {
+                Some(sp) => format!("{:.2}x", sp.mean),
+                None => "-".to_string(),
+            }
+        );
+    }
+    eprintln!("fwbench: wrote {}", out.display());
+    ExitCode::SUCCESS
+}
+
+fn cmd_compare(args: &[String]) -> ExitCode {
+    let mut cfg = CompareConfig::default();
+    if let Some(f) = flag_value(args, "--noise-floor") {
+        match f.parse() {
+            Ok(v) => cfg.noise_floor = v,
+            Err(_) => {
+                eprintln!("--noise-floor wants a number (e.g. 0.02)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let paths: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--")
+                && !matches!(args.get(i.wrapping_sub(1)), Some(prev) if prev == "--noise-floor")
+        })
+        .map(|(_, a)| a)
+        .collect();
+
+    let (base_path, cur_path): (PathBuf, PathBuf) = match paths.as_slice() {
+        [base, cur] => ((*base).into(), (*cur).into()),
+        [cur] => {
+            let cur_path = PathBuf::from(cur);
+            let dir = cur_path.parent().filter(|p| !p.as_os_str().is_empty());
+            let dir = dir.unwrap_or(Path::new("."));
+            match newest_bench_file(dir, &[cur_path.as_path()]) {
+                Some(b) => (b, cur_path),
+                None => {
+                    eprintln!(
+                        "fwbench compare: no prior BENCH_*.json found in {}",
+                        dir.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        _ => return usage(),
+    };
+
+    let base = match BenchReport::load(&base_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fwbench compare: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cur = match BenchReport::load(&cur_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fwbench compare: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "fwbench compare: baseline {} (label '{}', rev {}) vs current {} (label '{}', rev {})",
+        base_path.display(),
+        base.label,
+        base.env.git_rev,
+        cur_path.display(),
+        cur.label,
+        cur.env.git_rev
+    );
+    match compare_reports(&base, &cur, &cfg) {
+        Ok(res) => {
+            print!("{}", res.render());
+            if res.failed() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("fwbench compare: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

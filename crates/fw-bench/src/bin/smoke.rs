@@ -1,10 +1,14 @@
-//! Quick end-to-end sanity: one dataset, one walk count, both engines.
+//! Quick end-to-end sanity: one dataset, one walk count, both engines —
+//! a thin wrapper over the shared suite runner (`Suite::single`).
 //!
 //! ```text
 //! cargo run --release -p fw-bench --bin smoke [TT|FS|CW|R2B|R8B] [walks]
 //! ```
+//!
+//! `FW_SEEDS=N` repeats the cell over N seeds and reports the speedup
+//! spread.
 
-use fw_bench::runner::{compare, prepared, DEFAULT_SEED};
+use fw_bench::suite::{default_gw_memory, env_seeds, run_suite, Suite};
 use fw_graph::DatasetId;
 
 fn main() {
@@ -21,27 +25,27 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| id.default_walks() / 4);
 
-    eprintln!("generating {} …", id.abbrev());
-    let p = prepared(id, DEFAULT_SEED);
-    eprintln!(
-        "|V|={} |E|={} subgraphs={} dense={} partitions={}",
-        p.dataset.csr.num_vertices(),
-        p.dataset.csr.num_edges(),
-        p.pg.num_subgraphs(),
-        p.pg.dense.len(),
-        p.pg.num_partitions()
-    );
-    let gw_mem = (8u64 << 30) / fw_graph::datasets::GRAPH_SCALE;
-    let row = compare(&p, walks, gw_mem, DEFAULT_SEED);
+    let suite = Suite::single(id, walks, default_gw_memory(), env_seeds());
+    let res = run_suite(&suite);
+    let fw = res.find("fw", id, walks).expect("fw cell");
+    let gw = res.find("gw", id, walks).expect("gw cell");
+    let s = fw.speedup_stat().expect("paired speedup");
+
     println!(
-        "dataset={} walks={} fw_time={} gw_time={} speedup={:.2}x",
-        row.dataset, row.walks, row.fw_time, row.gw_time, row.speedup
+        "dataset={} walks={} fw_time={} gw_time={} speedup={:.2}x (min {:.2} max {:.2})",
+        id.abbrev(),
+        walks,
+        fw.seed0().time,
+        gw.seed0().time,
+        s.mean,
+        s.min,
+        s.max
     );
     println!(
         "fw_read={}MB gw_read={}MB fw_bw={:.2}GB/s gw_bw={:.2}GB/s",
-        row.fw_read_bytes >> 20,
-        row.gw_read_bytes >> 20,
-        row.fw_read_bw / 1e9,
-        row.gw_read_bw / 1e9
+        fw.seed0().traffic.flash_read_bytes >> 20,
+        gw.seed0().traffic.flash_read_bytes >> 20,
+        fw.seed0().read_bw / 1e9,
+        gw.seed0().read_bw / 1e9
     );
 }

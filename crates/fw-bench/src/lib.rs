@@ -4,9 +4,24 @@
 //!
 //! All binaries print TSV to stdout so results can be diffed and plotted;
 //! EXPERIMENTS.md records paper-vs-measured numbers from these runs.
+//!
+//! On top of the per-figure binaries sits the structured benchmark
+//! subsystem (EXPERIMENTS.md "Continuous benchmarking"):
+//!
+//! * [`suite`] — declarative scenario grids (engine × dataset ×
+//!   walk-count × seeds) and the shared suite runner,
+//! * [`bench_json`] — the schema-versioned, byte-deterministic
+//!   `BENCH_*.json` record format with its in-crate parser,
+//! * [`compare`] — noise-aware regression gating between two records
+//!   plus paper-fidelity verdicts,
+//!
+//! all driven by the `fwbench` binary (`fwbench run` / `fwbench compare`).
 
+pub mod bench_json;
 pub mod chart;
+pub mod compare;
 pub mod runner;
+pub mod suite;
 
 pub use runner::{
     flashwalker_engine, graphwalker_engine, iterative_engine, parallel_map, prepared, run_engine,

@@ -1,0 +1,569 @@
+//! Declarative benchmark suites: a [`Scenario`] is one engine × dataset ×
+//! walk-count cell, a [`Suite`] is a list of scenarios repeated over a
+//! seed list, and [`run_suite`] executes the whole grid through the
+//! shared [`WalkEngine`] harness — datasets in parallel, seeds in order,
+//! speedups paired against the suite's own GraphWalker cells.
+//!
+//! This is the one code path behind the `fwbench` binary, the figure
+//! binaries' seed repetition, and `smoke`/`baseline_compare`; the result
+//! feeds [`build_bench_report`] to produce the `BENCH_*.json` record
+//! (see [`crate::bench_json`]).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use flashwalker::{AccelConfig, OptToggles};
+use fw_graph::datasets::{GRAPH_SCALE, STRUCT_SCALE};
+use fw_graph::DatasetId;
+use fw_sim::export::trace_summary_json;
+use fw_sim::TraceConfig;
+use fw_walk::{RunReport, WalkEngine, Workload};
+
+use crate::bench_json::{BenchReport, EnvFingerprint, Json, ScenarioRecord, StatF, StatU, SCHEMA};
+use crate::runner::{
+    flashwalker_engine, graphwalker_engine, iterative_engine, parallel_map, prepared, DEFAULT_SEED,
+};
+
+/// The host memory capacity every baseline uses unless a suite sweeps it
+/// (the paper's 8 GB, graph-scaled).
+pub fn default_gw_memory() -> u64 {
+    (8u64 << 30) / GRAPH_SCALE
+}
+
+/// `FW_SEEDS=N` → `[DEFAULT_SEED, …, DEFAULT_SEED+N-1]`; default one
+/// seed. Shared by every figure binary (it used to live in
+/// `fig5_speedup` only).
+pub fn env_seeds() -> Vec<u64> {
+    let n: u64 = std::env::var("FW_SEEDS")
+        .ok()
+        .and_then(|x| x.parse().ok())
+        .unwrap_or(1)
+        .max(1);
+    (0..n).map(|i| DEFAULT_SEED + i).collect()
+}
+
+/// `FW_DATASETS=TT,FS` restricts the dataset grid; default all five.
+pub fn selected_datasets() -> Vec<DatasetId> {
+    match std::env::var("FW_DATASETS") {
+        Ok(s) => DatasetId::ALL
+            .into_iter()
+            .filter(|d| s.split(',').any(|x| x.trim() == d.abbrev()))
+            .collect(),
+        Err(_) => DatasetId::ALL.to_vec(),
+    }
+}
+
+/// Which simulator a scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The in-storage accelerator.
+    Flashwalker,
+    /// The asynchronous host baseline.
+    Graphwalker,
+    /// The iteration-synchronous host baseline.
+    Iterative,
+}
+
+impl EngineKind {
+    /// The engine's `WalkEngine::name`.
+    pub fn engine_name(self) -> &'static str {
+        match self {
+            EngineKind::Flashwalker => "flashwalker",
+            EngineKind::Graphwalker => "graphwalker",
+            EngineKind::Iterative => "iterative",
+        }
+    }
+}
+
+/// One cell of a suite: an engine configuration on a dataset at a walk
+/// count. Scenario names are stable across runs, which is what lets
+/// `fwbench compare` match rows between records.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Short display/config tag ("fw", "fw-base", "gw", "iter", …).
+    pub tag: String,
+    /// Which simulator to run.
+    pub engine: EngineKind,
+    /// Dataset to run on.
+    pub dataset: DatasetId,
+    /// Number of walks.
+    pub walks: u64,
+    /// Host memory for the baseline engines (ignored by FlashWalker).
+    pub gw_memory: u64,
+    /// FlashWalker optimization toggles (ignored by the baselines).
+    pub opts: OptToggles,
+    /// FlashWalker Eq. 1 α (ignored by the baselines).
+    pub alpha: f64,
+    /// Extra name suffix distinguishing same-cell variants (e.g. a
+    /// memory sweep point: "/m4GB"). Speedups pair scenarios with equal
+    /// (dataset, walks, variant).
+    pub variant: String,
+}
+
+impl Scenario {
+    /// FlashWalker with all optimizations at paper-default α.
+    pub fn fw(dataset: DatasetId, walks: u64) -> Scenario {
+        Scenario {
+            tag: "fw".into(),
+            engine: EngineKind::Flashwalker,
+            dataset,
+            walks,
+            gw_memory: default_gw_memory(),
+            opts: OptToggles::all(),
+            alpha: AccelConfig::scaled().alpha,
+            variant: String::new(),
+        }
+    }
+
+    /// FlashWalker with explicit toggles/α under a custom tag (ablation
+    /// cells; `fwbench`'s "fw-base" fidelity anchor).
+    pub fn fw_opts(
+        tag: &str,
+        dataset: DatasetId,
+        walks: u64,
+        opts: OptToggles,
+        alpha: f64,
+    ) -> Scenario {
+        Scenario {
+            tag: tag.into(),
+            opts,
+            alpha,
+            ..Scenario::fw(dataset, walks)
+        }
+    }
+
+    /// The GraphWalker baseline at a host memory capacity.
+    pub fn gw(dataset: DatasetId, walks: u64, gw_memory: u64) -> Scenario {
+        Scenario {
+            tag: "gw".into(),
+            engine: EngineKind::Graphwalker,
+            gw_memory,
+            ..Scenario::fw(dataset, walks)
+        }
+    }
+
+    /// The iteration-synchronous baseline at a host memory capacity.
+    pub fn iter(dataset: DatasetId, walks: u64, gw_memory: u64) -> Scenario {
+        Scenario {
+            tag: "iter".into(),
+            engine: EngineKind::Iterative,
+            gw_memory,
+            ..Scenario::fw(dataset, walks)
+        }
+    }
+
+    /// Attach a variant suffix (returns self for chaining).
+    pub fn with_variant(mut self, v: &str) -> Scenario {
+        self.variant = v.to_string();
+        self
+    }
+
+    /// Stable scenario name: `{tag}/{dataset}/w{walks}{variant}`.
+    pub fn name(&self) -> String {
+        format!(
+            "{}/{}/w{}{}",
+            self.tag,
+            self.dataset.abbrev(),
+            self.walks,
+            self.variant
+        )
+    }
+}
+
+/// A named scenario grid repeated over a seed list.
+#[derive(Debug, Clone)]
+pub struct Suite {
+    /// Suite name (recorded in the env fingerprint).
+    pub name: String,
+    /// Seeds every scenario repeats over. Seed index 0 is the canonical
+    /// run whose full report (traffic, stats, trace) lands in the JSON.
+    pub seeds: Vec<u64>,
+    /// The scenario grid.
+    pub scenarios: Vec<Scenario>,
+    /// Enable span tracing on each scenario's seed-0 run (adds
+    /// `TraceReport`-derived summaries to the record; does not perturb
+    /// simulated time).
+    pub trace: bool,
+}
+
+impl Suite {
+    /// The CI suite: small cells on TT and the 2-billion-edge RMAT
+    /// stand-in — fast enough to gate every PR, rich enough to exercise
+    /// the speedup, ablation and fidelity paths.
+    pub fn ci_small(seeds: Vec<u64>) -> Suite {
+        let mem = default_gw_memory();
+        let mut scenarios = Vec::new();
+        for id in [DatasetId::Twitter, DatasetId::Rmat2B] {
+            let walks = id.default_walks() / 16;
+            scenarios.push(Scenario::gw(id, walks, mem));
+            scenarios.push(Scenario::fw(id, walks));
+        }
+        let r2b_walks = DatasetId::Rmat2B.default_walks() / 16;
+        scenarios.push(Scenario::fw_opts(
+            "fw-base",
+            DatasetId::Rmat2B,
+            r2b_walks,
+            OptToggles::none(),
+            AccelConfig::scaled().alpha,
+        ));
+        Suite {
+            name: "ci".into(),
+            seeds,
+            scenarios,
+            trace: true,
+        }
+    }
+
+    /// The full paper grid: every (selected) Table IV dataset at its
+    /// maximum Figure 5 walk count, FlashWalker + GraphWalker + the
+    /// no-optimization FlashWalker baseline. Slow — minutes per seed.
+    pub fn paper(seeds: Vec<u64>) -> Suite {
+        let mem = default_gw_memory();
+        let mut scenarios = Vec::new();
+        for id in selected_datasets() {
+            let walks = id.default_walks();
+            scenarios.push(Scenario::gw(id, walks, mem));
+            scenarios.push(Scenario::fw(id, walks));
+            scenarios.push(Scenario::fw_opts(
+                "fw-base",
+                id,
+                walks,
+                OptToggles::none(),
+                AccelConfig::scaled().alpha,
+            ));
+        }
+        Suite {
+            name: "paper".into(),
+            seeds,
+            scenarios,
+            trace: true,
+        }
+    }
+
+    /// One dataset, one walk count, FlashWalker vs GraphWalker (the
+    /// `smoke` binary's cell).
+    pub fn single(dataset: DatasetId, walks: u64, gw_memory: u64, seeds: Vec<u64>) -> Suite {
+        Suite {
+            name: "smoke".into(),
+            seeds,
+            scenarios: vec![
+                Scenario::gw(dataset, walks, gw_memory),
+                Scenario::fw(dataset, walks),
+            ],
+            trace: false,
+        }
+    }
+
+    /// The §II three-way hierarchy (iterative < GraphWalker <
+    /// FlashWalker) on every selected dataset at half the default walk
+    /// count (the `baseline_compare` binary's grid).
+    pub fn three_way(seeds: Vec<u64>) -> Suite {
+        let mem = default_gw_memory();
+        let mut scenarios = Vec::new();
+        for id in selected_datasets() {
+            let walks = id.default_walks() / 2;
+            scenarios.push(Scenario::iter(id, walks, mem));
+            scenarios.push(Scenario::gw(id, walks, mem));
+            scenarios.push(Scenario::fw(id, walks));
+        }
+        Suite {
+            name: "three-way".into(),
+            seeds,
+            scenarios,
+            trace: false,
+        }
+    }
+}
+
+/// One seed's run of one scenario.
+#[derive(Debug, Clone)]
+pub struct SeedRun {
+    /// Engine seed.
+    pub seed: u64,
+    /// Host wall-clock for the run, milliseconds.
+    pub wall_ms: f64,
+    /// Speedup over the paired GraphWalker run at the same seed (None
+    /// when the suite has no GraphWalker cell at this dataset/walks/
+    /// variant, and on the GraphWalker scenarios themselves).
+    pub speedup: Option<f64>,
+    /// The full unified report.
+    pub report: RunReport,
+}
+
+/// All seed runs of one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// One entry per suite seed, in seed order.
+    pub runs: Vec<SeedRun>,
+}
+
+impl ScenarioResult {
+    /// The canonical (seed-0) report.
+    pub fn seed0(&self) -> &RunReport {
+        &self.runs[0].report
+    }
+
+    /// Simulated times across seeds, nanoseconds.
+    pub fn sim_ns(&self) -> Vec<u64> {
+        self.runs.iter().map(|r| r.report.time.as_nanos()).collect()
+    }
+
+    /// mean/min/max simulated time.
+    pub fn sim_stat(&self) -> StatU {
+        StatU::of(&self.sim_ns())
+    }
+
+    /// mean/min/max wall-clock milliseconds.
+    pub fn wall_stat(&self) -> StatF {
+        StatF::of(&self.runs.iter().map(|r| r.wall_ms).collect::<Vec<_>>())
+    }
+
+    /// mean/min/max speedup over GraphWalker, when every seed has one.
+    pub fn speedup_stat(&self) -> Option<StatF> {
+        let xs: Vec<f64> = self.runs.iter().filter_map(|r| r.speedup).collect();
+        if xs.len() == self.runs.len() && !xs.is_empty() {
+            Some(StatF::of(&xs))
+        } else {
+            None
+        }
+    }
+}
+
+/// The executed suite.
+#[derive(Debug, Clone)]
+pub struct SuiteResult {
+    /// Suite name.
+    pub name: String,
+    /// The seed list that ran.
+    pub seeds: Vec<u64>,
+    /// Per-scenario results, in suite order.
+    pub results: Vec<ScenarioResult>,
+}
+
+impl SuiteResult {
+    /// Find a scenario's result by tag, dataset and walk count (first
+    /// variant match).
+    pub fn find(&self, tag: &str, dataset: DatasetId, walks: u64) -> Option<&ScenarioResult> {
+        self.results.iter().find(|r| {
+            r.scenario.tag == tag && r.scenario.dataset == dataset && r.scenario.walks == walks
+        })
+    }
+
+    /// Find by full scenario name.
+    pub fn find_name(&self, name: &str) -> Option<&ScenarioResult> {
+        self.results.iter().find(|r| r.scenario.name() == name)
+    }
+}
+
+fn run_one(p: &crate::runner::Prepared, sc: &Scenario, seed: u64, trace: bool) -> RunReport {
+    let wl = Workload::paper_default(sc.walks);
+    let tcfg = TraceConfig::default();
+    match sc.engine {
+        EngineKind::Flashwalker => {
+            let mut e = flashwalker_engine(p, sc.opts, sc.alpha, seed);
+            if trace {
+                e = e.with_span_trace(tcfg);
+            }
+            e.run(wl)
+        }
+        EngineKind::Graphwalker => {
+            let mut e = graphwalker_engine(p, sc.gw_memory, seed);
+            if trace {
+                e = e.with_span_trace(tcfg);
+            }
+            e.run(wl)
+        }
+        EngineKind::Iterative => {
+            let mut e = iterative_engine(p, sc.gw_memory, seed);
+            if trace {
+                e = e.with_span_trace(tcfg);
+            }
+            e.run(wl)
+        }
+    }
+}
+
+/// Execute every scenario × seed of a suite. Datasets run in parallel
+/// (one OS thread each, like the figure binaries); scenarios and seeds
+/// run in declaration order within a dataset. GraphWalker cells run
+/// first so sibling cells can report per-seed speedups against them.
+pub fn run_suite(suite: &Suite) -> SuiteResult {
+    assert!(!suite.seeds.is_empty(), "suite needs at least one seed");
+    // Group scenario indices by dataset, preserving first appearance.
+    let mut order: Vec<DatasetId> = Vec::new();
+    for sc in &suite.scenarios {
+        if !order.contains(&sc.dataset) {
+            order.push(sc.dataset);
+        }
+    }
+    let grouped: Vec<(DatasetId, Vec<usize>)> = order
+        .into_iter()
+        .map(|d| {
+            let idxs = suite
+                .scenarios
+                .iter()
+                .enumerate()
+                .filter(|(_, sc)| sc.dataset == d)
+                .map(|(i, _)| i)
+                .collect();
+            (d, idxs)
+        })
+        .collect();
+
+    let chunks = parallel_map(grouped, |(id, idxs)| {
+        eprintln!("[{}] generating …", id.abbrev());
+        let p = prepared(id, DEFAULT_SEED);
+        // GraphWalker sim times per (walks, variant, seed), for pairing.
+        let mut gw_ns: HashMap<(u64, String, u64), u64> = HashMap::new();
+        let mut out: Vec<(usize, ScenarioResult)> = Vec::new();
+        let pass = |gw_pass: bool,
+                    out: &mut Vec<(usize, ScenarioResult)>,
+                    gw_ns: &mut HashMap<(u64, String, u64), u64>| {
+            for &i in &idxs {
+                let sc = &suite.scenarios[i];
+                if (sc.engine == EngineKind::Graphwalker) != gw_pass {
+                    continue;
+                }
+                let mut runs = Vec::new();
+                for (si, &seed) in suite.seeds.iter().enumerate() {
+                    eprintln!("[{}] {} seed {} …", id.abbrev(), sc.name(), seed);
+                    let t0 = Instant::now();
+                    let report = run_one(&p, sc, seed, suite.trace && si == 0);
+                    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                    let own_ns = report.time.as_nanos();
+                    let speedup = if sc.engine == EngineKind::Graphwalker {
+                        gw_ns.insert((sc.walks, sc.variant.clone(), seed), own_ns);
+                        None
+                    } else {
+                        gw_ns
+                            .get(&(sc.walks, sc.variant.clone(), seed))
+                            .map(|&g| g as f64 / own_ns.max(1) as f64)
+                    };
+                    runs.push(SeedRun {
+                        seed,
+                        wall_ms,
+                        speedup,
+                        report,
+                    });
+                }
+                out.push((
+                    i,
+                    ScenarioResult {
+                        scenario: sc.clone(),
+                        runs,
+                    },
+                ));
+            }
+        };
+        pass(true, &mut out, &mut gw_ns);
+        pass(false, &mut out, &mut gw_ns);
+        out
+    });
+
+    let mut flat: Vec<(usize, ScenarioResult)> = chunks.into_iter().flatten().collect();
+    flat.sort_by_key(|(i, _)| *i);
+    SuiteResult {
+        name: suite.name.clone(),
+        seeds: suite.seeds.clone(),
+        results: flat.into_iter().map(|(_, r)| r).collect(),
+    }
+}
+
+/// `git rev-parse --short HEAD`, or "unknown" outside a git checkout.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Distill an executed suite into the `BENCH_*.json` record. With
+/// `include_wall` false (the default `fwbench` mode) wall-clock columns
+/// are zeroed so same-seed runs serialize byte-identically; sim-time,
+/// traffic and trace numbers are deterministic either way.
+pub fn build_bench_report(label: &str, res: &SuiteResult, include_wall: bool) -> BenchReport {
+    let scenarios = res
+        .results
+        .iter()
+        .map(|r| {
+            let sc = &r.scenario;
+            let seed0 = r.seed0();
+            let report =
+                Json::parse(&seed0.summary_json()).expect("fw-walk summary_json is well-formed");
+            let trace = seed0.trace.as_ref().map(|t| {
+                Json::parse(&trace_summary_json(t)).expect("fw-trace summary is well-formed")
+            });
+            ScenarioRecord {
+                name: sc.name(),
+                tag: sc.tag.clone(),
+                engine: sc.engine.engine_name().to_string(),
+                dataset: sc.dataset.abbrev().to_string(),
+                walks: sc.walks,
+                num_seeds: r.runs.len() as u64,
+                sim_time_ns: r.sim_stat(),
+                wall_time_ms: if include_wall {
+                    r.wall_stat()
+                } else {
+                    StatF::zero()
+                },
+                speedup_over_graphwalker: r.speedup_stat(),
+                report,
+                trace,
+            }
+        })
+        .collect();
+    BenchReport {
+        schema: SCHEMA.to_string(),
+        label: label.to_string(),
+        env: EnvFingerprint {
+            git_rev: git_rev(),
+            config: "scaled".to_string(),
+            graph_scale: GRAPH_SCALE,
+            struct_scale: STRUCT_SCALE,
+            suite: res.name.clone(),
+            seeds: res.seeds.clone(),
+        },
+        scenarios,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_names_are_stable_and_variant_aware() {
+        let sc = Scenario::fw(DatasetId::Twitter, 1000);
+        assert_eq!(sc.name(), "fw/TT/w1000");
+        let sc = Scenario::gw(DatasetId::Rmat2B, 500, 1 << 20).with_variant("/m4GB");
+        assert_eq!(sc.name(), "gw/R2B/w500/m4GB");
+        assert_eq!(sc.engine.engine_name(), "graphwalker");
+    }
+
+    #[test]
+    fn ci_suite_contains_the_fidelity_anchors() {
+        let s = Suite::ci_small(vec![42]);
+        let names: Vec<String> = s.scenarios.iter().map(Scenario::name).collect();
+        assert!(names.iter().any(|n| n.starts_with("fw/TT/")));
+        assert!(names.iter().any(|n| n.starts_with("fw/R2B/")));
+        assert!(names.iter().any(|n| n.starts_with("fw-base/R2B/")));
+        assert!(names.iter().any(|n| n.starts_with("gw/TT/")));
+        assert!(s.trace);
+    }
+
+    #[test]
+    fn env_seed_list_defaults_to_one_canonical_seed() {
+        // Do not set FW_SEEDS here (tests run in parallel; the env is
+        // process-global) — just check the default path's shape.
+        let seeds = env_seeds();
+        assert!(!seeds.is_empty());
+        assert_eq!(seeds[0], DEFAULT_SEED);
+    }
+}

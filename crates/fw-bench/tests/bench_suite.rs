@@ -1,0 +1,142 @@
+//! Integration tests for the fwbench observability subsystem: the
+//! declarative suite runner, the hand-rolled `BENCH_*.json` writer, and
+//! the noise-aware compare gate (ISSUE 3 acceptance tests).
+//!
+//! Tests run in the debug profile, so the suite under test is tiny: one
+//! dataset (Twitter) at a few hundred walks over two seeds. The suite is
+//! executed once in a `OnceLock` and shared across tests.
+
+use std::sync::OnceLock;
+
+use fw_bench::bench_json::{BenchReport, Json, StatU};
+use fw_bench::compare::{compare_reports, fidelity_checks, CompareConfig, Verdict};
+use fw_bench::suite::{build_bench_report, default_gw_memory, run_suite, Suite, SuiteResult};
+use fw_graph::DatasetId;
+
+const WALKS: u64 = 500;
+
+fn tiny_suite() -> Suite {
+    let mut s = Suite::single(DatasetId::Twitter, WALKS, default_gw_memory(), vec![42, 43]);
+    s.trace = true;
+    s
+}
+
+fn shared_result() -> &'static SuiteResult {
+    static RESULT: OnceLock<SuiteResult> = OnceLock::new();
+    RESULT.get_or_init(|| run_suite(&tiny_suite()))
+}
+
+fn shared_report() -> BenchReport {
+    build_bench_report("test", shared_result(), false)
+}
+
+/// Two runs of the same suite with the same seeds must render to
+/// byte-identical JSON (the determinism contract the compare gate and
+/// the committed baseline rely on).
+#[test]
+fn same_seed_runs_emit_byte_identical_json() {
+    let a = build_bench_report("test", shared_result(), false).render();
+    let b = build_bench_report("test", &run_suite(&tiny_suite()), false).render();
+    assert_eq!(a, b, "same-seed fwbench runs must be byte-identical");
+    assert!(a.ends_with('\n'), "rendered report ends with a newline");
+}
+
+/// A report compared against itself reports zero regressions: every row
+/// passes with an exact 0% delta, and no scenarios are missing or added.
+#[test]
+fn compare_against_self_reports_zero_regressions() {
+    let rep = shared_report();
+    let res = compare_reports(&rep, &rep, &CompareConfig::default()).expect("compatible");
+    assert!(!res.rows.is_empty());
+    for row in &res.rows {
+        assert_eq!(row.verdict, Verdict::Pass, "row {} not pass", row.name);
+        assert_eq!(row.delta, 0.0, "row {} delta nonzero", row.name);
+    }
+    assert!(res.missing.is_empty() && res.added.is_empty());
+    assert!(
+        !res.failed(),
+        "self-compare must gate clean:\n{}",
+        res.render()
+    );
+}
+
+/// Synthetically slowing one scenario far beyond the noise band must
+/// trip the fail verdict and the non-zero gate.
+#[test]
+fn synthetic_slowdown_trips_fail_verdict() {
+    let base = shared_report();
+    let mut cur = base.clone();
+    let slow = &mut cur.scenarios[0];
+    let m = slow.sim_time_ns.mean * 3;
+    slow.sim_time_ns = StatU {
+        mean: m,
+        min: m,
+        max: m,
+    };
+    let res = compare_reports(&base, &cur, &CompareConfig::default()).expect("compatible");
+    assert_eq!(res.rows[0].verdict, Verdict::Fail);
+    assert!(res.failed(), "3x slowdown must fail the gate");
+    // The other direction — a speedup — must not fail.
+    let res = compare_reports(&cur, &base, &CompareConfig::default()).expect("compatible");
+    assert!(!res.rows.iter().any(|r| r.verdict == Verdict::Fail));
+}
+
+/// A rendered report must round-trip through the in-crate parser:
+/// parse → re-render is byte-identical, and the typed loader recovers
+/// the same scenario statistics.
+#[test]
+fn bench_json_round_trips_through_in_crate_parser() {
+    let rep = shared_report();
+    let text = rep.render();
+    let parsed = Json::parse(&text).expect("rendered report parses");
+    assert_eq!(parsed.render(), text, "parse → render is byte-identical");
+
+    let back = BenchReport::parse(&text).expect("typed round-trip");
+    assert_eq!(back.schema, rep.schema);
+    assert_eq!(back.env.seeds, vec![42, 43]);
+    assert_eq!(back.scenarios.len(), rep.scenarios.len());
+    for (a, b) in back.scenarios.iter().zip(&rep.scenarios) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.sim_time_ns, b.sim_time_ns);
+        assert_eq!(
+            a.speedup_over_graphwalker.is_some(),
+            b.speedup_over_graphwalker.is_some()
+        );
+    }
+}
+
+/// The suite runner's report carries everything the schema promises:
+/// engine summaries with traffic, a trace summary on traced scenarios,
+/// paired speedups on FlashWalker cells, and a sane fingerprint.
+#[test]
+fn suite_report_carries_traffic_trace_and_speedup() {
+    let rep = shared_report();
+    assert_eq!(rep.schema, "fwbench/v1");
+    assert_eq!(rep.env.seeds, vec![42, 43]);
+    let fw = rep
+        .scenarios
+        .iter()
+        .find(|s| s.tag == "fw")
+        .expect("fw cell");
+    let sp = fw
+        .speedup_over_graphwalker
+        .as_ref()
+        .expect("paired speedup");
+    assert!(sp.min <= sp.mean && sp.mean <= sp.max);
+    assert!(fw.flash_read_bytes() > 0, "traffic captured");
+    assert!(fw.trace.is_some(), "trace summary captured on traced suite");
+    let gw = rep
+        .scenarios
+        .iter()
+        .find(|s| s.tag == "gw")
+        .expect("gw cell");
+    assert!(gw.speedup_over_graphwalker.is_none());
+    // Deterministic mode zeroes wall-clock stats.
+    assert_eq!(fw.wall_time_ms.mean, 0.0);
+
+    // Fidelity checks on a single-dataset report: nothing fails, and
+    // the cross-dataset claims are skipped rather than guessed.
+    let checks = fidelity_checks(&rep, &CompareConfig::default());
+    assert!(checks.iter().all(|c| c.verdict != Verdict::Fail));
+    assert!(checks.iter().any(|c| c.verdict == Verdict::Skip));
+}

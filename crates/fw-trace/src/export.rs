@@ -92,6 +92,93 @@ pub fn chrome_trace_json(report: &TraceReport) -> String {
     out
 }
 
+/// Render a [`TraceReport`]'s derived summaries — per-group utilization,
+/// latency percentiles, queue depths and the bottleneck pick — as one
+/// hand-rolled JSON object (no serde; the workspace builds offline).
+///
+/// This is the machine-readable companion of the `Display` text report,
+/// meant for embedding in benchmark records (`fwbench`'s `BENCH_*.json`).
+/// Groups, queues and latencies are emitted in their already-sorted
+/// report order and floats use fixed precision, so identical reports
+/// serialize byte-identically.
+pub fn trace_summary_json(report: &TraceReport) -> String {
+    use std::collections::BTreeMap;
+
+    let mut out = String::from("{");
+    let _ = write!(out, "\"horizon_ns\":{}", report.horizon_ns);
+
+    // Per-group utilization: mean over lanes, plus exact busy/byte totals.
+    let mut groups: BTreeMap<&str, Vec<&crate::report::ComponentUtil>> = BTreeMap::new();
+    for c in &report.components {
+        groups.entry(c.name.as_str()).or_default().push(c);
+    }
+    out.push_str(",\"utilization\":[");
+    for (i, (name, rows)) in groups.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mean = rows.iter().map(|c| c.utilization).sum::<f64>() / rows.len() as f64;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"lanes\":{},\"mean_util\":{:.4},\"busy_ns\":{},\"bytes\":{}}}",
+            esc(name),
+            rows.len(),
+            mean,
+            report.busy_ns_for(name),
+            report.bytes_for(name)
+        );
+    }
+    out.push(']');
+
+    out.push_str(",\"latencies\":[");
+    for (i, l) in report.latencies.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"count\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+            esc(&l.name),
+            l.count,
+            l.mean,
+            l.p50,
+            l.p95,
+            l.p99,
+            l.max
+        );
+    }
+    out.push(']');
+
+    out.push_str(",\"queues\":[");
+    for (i, q) in report.queue_depths.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"mean_depth\":{:.3},\"peak_depth\":{:.3}}}",
+            esc(&q.name),
+            q.overall_mean(),
+            q.peak()
+        );
+    }
+    out.push(']');
+
+    match report.bottleneck() {
+        Some((name, util)) => {
+            let _ = write!(
+                out,
+                ",\"bottleneck\":{{\"name\":\"{}\",\"mean_util\":{:.4}}}",
+                esc(&name),
+                util
+            );
+        }
+        None => out.push_str(",\"bottleneck\":null"),
+    }
+    out.push('}');
+    out
+}
+
 /// Render the retained spans as CSV: `name,lane,start_ns,end_ns,bytes`.
 pub fn spans_csv(report: &TraceReport) -> String {
     let mut out = String::from("name,lane,start_ns,end_ns,bytes\n");
@@ -172,6 +259,20 @@ mod tests {
         assert!(csv.contains("channel.bus,2,1500,13845,4096\n"));
         let util = utilization_csv(&rep);
         assert!(util.contains("flash.read,0,40000,1,0,0.800000\n"));
+    }
+
+    #[test]
+    fn trace_summary_json_covers_all_sections() {
+        let rep = report();
+        let json = trace_summary_json(&rep);
+        assert_eq!(json, trace_summary_json(&rep), "must be deterministic");
+        assert!(json.contains("\"horizon_ns\":50000"));
+        assert!(json.contains("\"name\":\"channel.bus\""));
+        assert!(json.contains("\"bottleneck\":{\"name\":\"flash.read\",\"mean_util\":0.8000}"));
+        assert!(json.contains("\"latencies\":["));
+        assert!(json.contains("\"queues\":["));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

@@ -59,10 +59,39 @@ pub struct EngineBreakdown {
     pub other_ns: u64,
 }
 
+impl RunStats {
+    /// Hand-rolled JSON object (the workspace builds offline, no serde).
+    /// Key order is fixed; output is byte-deterministic.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"hops\":{},\"loads\":{},\"walk_spill_pages\":{}}}",
+            self.hops, self.loads, self.walk_spill_pages
+        )
+    }
+}
+
+impl Traffic {
+    /// Hand-rolled JSON object; key order fixed, byte-deterministic.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"flash_read_bytes\":{},\"flash_write_bytes\":{},\"interconnect_bytes\":{}}}",
+            self.flash_read_bytes, self.flash_write_bytes, self.interconnect_bytes
+        )
+    }
+}
+
 impl EngineBreakdown {
     /// Sum of all slices.
     pub fn total_ns(&self) -> u64 {
         self.load_ns + self.update_ns + self.walk_io_ns + self.other_ns
+    }
+
+    /// Hand-rolled JSON object; key order fixed, byte-deterministic.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"load_ns\":{},\"update_ns\":{},\"walk_io_ns\":{},\"other_ns\":{}}}",
+            self.load_ns, self.update_ns, self.walk_io_ns, self.other_ns
+        )
     }
 
     /// Fraction of the breakdown spent loading graph data.
@@ -124,6 +153,27 @@ impl RunReport {
         }
         other.time.as_nanos() as f64 / self.time.as_nanos() as f64
     }
+
+    /// Machine-readable one-run summary as a hand-rolled JSON object
+    /// (the workspace builds offline, no serde). Covers the scalar core
+    /// of the report — engine, simulated time, walks, [`RunStats`],
+    /// [`Traffic`], [`EngineBreakdown`] and achieved read bandwidth —
+    /// and deliberately excludes the bulky per-run vectors (`progress`,
+    /// `walk_log`) and the optional trace, which have their own
+    /// exporters. Key order is fixed and floats use fixed precision, so
+    /// identical runs serialize byte-identically.
+    pub fn summary_json(&self) -> String {
+        format!(
+            "{{\"engine\":\"{}\",\"time_ns\":{},\"walks\":{},\"stats\":{},\"traffic\":{},\"breakdown\":{},\"read_bw\":{:.3}}}",
+            self.engine,
+            self.time.as_nanos(),
+            self.walks,
+            self.stats.to_json(),
+            self.traffic.to_json(),
+            self.breakdown.to_json(),
+            self.read_bw
+        )
+    }
 }
 
 /// A walk system that runs a [`Workload`] to completion.
@@ -154,4 +204,48 @@ pub trait WalkEngine {
 
     /// Run `workload` to completion and report.
     fn run(self, workload: Workload) -> RunReport;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_json_is_deterministic_and_complete() {
+        let r = RunReport {
+            engine: "flashwalker",
+            time: Duration(1_234_567),
+            walks: 42,
+            stats: RunStats {
+                hops: 252,
+                loads: 7,
+                walk_spill_pages: 1,
+            },
+            traffic: Traffic {
+                flash_read_bytes: 4096,
+                flash_write_bytes: 512,
+                interconnect_bytes: 2048,
+            },
+            breakdown: EngineBreakdown {
+                load_ns: 100,
+                update_ns: 200,
+                walk_io_ns: 50,
+                other_ns: 0,
+            },
+            read_bw: 12.3456,
+            progress: vec![1.0],
+            trace_window_ns: 0,
+            walk_log: Vec::new(),
+            trace: None,
+        };
+        let json = r.summary_json();
+        assert_eq!(json, r.summary_json());
+        assert!(json.contains("\"engine\":\"flashwalker\""));
+        assert!(json.contains("\"time_ns\":1234567"));
+        assert!(json.contains("\"flash_read_bytes\":4096"));
+        assert!(json.contains("\"read_bw\":12.346"));
+        // Cheap well-formedness: balanced braces, no trailing commas.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains(",}"));
+    }
 }
