@@ -160,6 +160,7 @@ mod tests {
             read_bw: 0.0,
             channel_util: 0.0,
             channel_wait_ns: 0,
+            events: 0,
             progress: vec![],
             read_bytes_series: vec![],
             write_bytes_series: vec![],

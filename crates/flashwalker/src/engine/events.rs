@@ -111,6 +111,9 @@ pub struct FwReport {
     pub channel_util: f64,
     /// Mean queueing delay per channel transfer (ns).
     pub channel_wait_ns: u64,
+    /// Simulator events delivered over the run (host-performance metric;
+    /// see [`RunReport::host_events`]).
+    pub events: u64,
     /// Walks completed per trace window (Figure 8 progression curve).
     pub progress: Vec<f64>,
     /// Flash read bytes per trace window.
@@ -156,6 +159,7 @@ impl From<FwReport> for RunReport {
                 other_ns: 0,
             },
             read_bw: r.read_bw,
+            host_events: r.events,
             progress: r.progress,
             trace_window_ns: r.trace_window_ns,
             walk_log: r.walk_log,

@@ -60,6 +60,7 @@ mod routing;
 mod sched;
 pub mod state;
 pub mod step;
+
 #[cfg(test)]
 mod tests;
 
@@ -75,7 +76,7 @@ use fw_walk::{RunReport, WalkEngine, Workload, WALK_BYTES};
 use crate::config::AccelConfig;
 use crate::tables::{DenseTable, WalkQueryCache};
 use events::Ev;
-use state::{ChannelState, ChipState, ForeignStore, Pwb, SgId, Slot, TWalk};
+use state::{ChannelState, ChipState, ForeignStore, Pools, Pwb, SgId, Slot, TWalk};
 use step::prewalk_slice;
 
 /// The FlashWalker system simulator.
@@ -101,11 +102,24 @@ pub struct FlashWalkerSim<'g> {
     caches: Vec<WalkQueryCache>,
 
     pwb: Pwb,
+    /// Per-chip PWB entry indices (ascending), rebuilt at each partition
+    /// setup: the scheduler's candidate scan only walks the entries that
+    /// can actually be placed on the chip instead of the whole partition.
+    chip_pwb: Vec<Vec<u32>>,
     foreign: ForeignStore,
     current_partition: u32,
     pending_loads: std::collections::HashMap<(u32, SgId), Vec<TWalk>>,
     /// Quiesce mode: the scheduler may load pools below the threshold.
     relaxed_pick: bool,
+
+    /// Reusable batch buffer: the chip/channel/board batch bodies run
+    /// serially (they only *schedule* further work), so one scratch
+    /// vector serves all three drain loops without allocating.
+    scratch: Vec<TWalk>,
+    /// Reusable loaded-subgraph snapshot for chip batches.
+    loaded_scratch: Vec<SgId>,
+    /// Free lists for event-payload vectors (see [`state::Pools`]).
+    pool: Pools,
 
     total_walks: u64,
     completed: u64,
@@ -216,10 +230,14 @@ impl<'g> FlashWalkerSim<'g> {
             },
             caches,
             pwb: Pwb::new(0, 1, 4),
+            chip_pwb: Vec::new(),
             foreign: ForeignStore::default(),
             current_partition: 0,
             pending_loads: std::collections::HashMap::new(),
             relaxed_pick: false,
+            scratch: Vec::new(),
+            loaded_scratch: Vec::new(),
+            pool: Pools::default(),
             total_walks: 0,
             completed: 0,
             next_lpn: 0,
@@ -323,8 +341,9 @@ impl<'g> FlashWalkerSim<'g> {
                     Ev::ChipBatchDone { chip, outbox } => {
                         self.on_chip_batch_done(chip, outbox, now)
                     }
-                    Ev::ChanArrive { ch, walks } => {
-                        self.channels[ch as usize].inbox.extend(walks);
+                    Ev::ChanArrive { ch, mut walks } => {
+                        self.channels[ch as usize].inbox.append(&mut walks);
+                        self.pool.put_walks(walks);
                         self.try_start_channel(ch, now);
                     }
                     Ev::ChanBatchDone { ch, to_board } => {
@@ -408,6 +427,7 @@ impl<'g> FlashWalkerSim<'g> {
             },
             channel_util: self.ssd.channel_utilization(horizon),
             channel_wait_ns: s.channel_wait_ns / s.channel_transfers.max(1),
+            events: self.events.events_processed(),
             progress: self.progress.windows().to_vec(),
             read_bytes_series: trace.array_read.windows().to_vec(),
             write_bytes_series: trace.array_write.windows().to_vec(),

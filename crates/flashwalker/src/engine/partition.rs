@@ -103,6 +103,14 @@ impl FlashWalkerSim<'_> {
         let len = range.len();
         let quota = (self.cfg.dram_pwb_bytes / len.max(1) as u64) / WALK_BYTES;
         self.pwb = super::state::Pwb::new(range.start, len, quota);
+        // Group this partition's PWB entries by their (static) chip so
+        // the scheduler scans only a chip's own candidates. Ascending
+        // index order matches the old full scan, so picks are identical.
+        self.chip_pwb = vec![Vec::new(); self.num_chips() as usize];
+        for idx in 0..len {
+            let chip = self.chip_of_sg(range.start + idx as u32);
+            self.chip_pwb[chip as usize].push(idx as u32);
+        }
 
         // Hot-subgraph selection: "K subgraphs whose in-degree are top K"
         // per channel, and the global top set on the board. Dense slices

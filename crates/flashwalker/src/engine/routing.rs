@@ -29,9 +29,12 @@ impl FlashWalkerSim<'_> {
         let hops_before = self.stats.chip_hops;
         self.tracer
             .gauge("chip.queue", now, self.chips[chip as usize].queued_walks());
-        // Snapshot loaded subgraphs and drain their queues.
-        let mut work: Vec<TWalk> = Vec::new();
-        let mut loaded: Vec<SgId> = Vec::new();
+        // Snapshot loaded subgraphs and drain their queues into the
+        // reusable scratch buffers (batch bodies never nest, so taking
+        // them is safe; both go back before this function returns).
+        let mut work = std::mem::take(&mut self.scratch);
+        let mut loaded = std::mem::take(&mut self.loaded_scratch);
+        debug_assert!(work.is_empty() && loaded.is_empty());
         let cap = self.cfg.chip_batch_cap;
         for slot in &mut self.chips[chip as usize].slots {
             if let Slot::Loaded { sg, queue, fresh } = slot {
@@ -48,10 +51,10 @@ impl FlashWalkerSim<'_> {
         }
         let mut upd_ops: u64 = 0;
         let mut guid_ops: u64 = 0;
-        let mut outbox: Vec<TWalk> = Vec::new();
+        let mut outbox = self.pool.take_walks();
         let mut completed_now: u64 = 0;
 
-        for mut tw in work {
+        for mut tw in work.drain(..) {
             loop {
                 let sg = tw.dest.expect("queued walk without destination");
                 let is_dense = self.pg.subgraphs[sg as usize].is_dense();
@@ -89,6 +92,10 @@ impl FlashWalkerSim<'_> {
                 }
             }
         }
+
+        self.scratch = work;
+        loaded.clear();
+        self.loaded_scratch = loaded;
 
         // Completed-walk buffer: flush page-sized groups chip-locally.
         self.completed += completed_now;
@@ -136,7 +143,9 @@ impl FlashWalkerSim<'_> {
                         tw.range = None;
                         outbox.push(tw);
                     }
-                    *slot = Slot::Empty;
+                    if let Slot::Loaded { queue, .. } = std::mem::replace(slot, Slot::Empty) {
+                        self.pool.put_walks(queue);
+                    }
                 }
             }
         }
@@ -150,6 +159,8 @@ impl FlashWalkerSim<'_> {
                 .channel_transfer(now, ch, outbox.len() as u64 * WALK_BYTES);
             self.events
                 .schedule_at(res.end, Ev::ChanArrive { ch, walks: outbox });
+        } else {
+            self.pool.put_walks(outbox);
         }
         self.maybe_fill_chip(chip, now);
         self.try_start_chip(chip, now);
@@ -172,9 +183,9 @@ impl FlashWalkerSim<'_> {
         self.try_start_chip(chip, now);
     }
 
-    pub(super) fn on_chip_deliver(&mut self, chip: u32, walks: Vec<TWalk>, now: SimTime) {
-        let mut retry: Vec<TWalk> = Vec::new();
-        for tw in walks {
+    pub(super) fn on_chip_deliver(&mut self, chip: u32, mut walks: Vec<TWalk>, now: SimTime) {
+        let mut retry = self.pool.take_walks();
+        for tw in walks.drain(..) {
             let sg = tw.dest.expect("delivery without destination");
             match self.chips[chip as usize].slot_of(sg) {
                 Some(i) => {
@@ -194,11 +205,14 @@ impl FlashWalkerSim<'_> {
                 }
             }
         }
+        self.pool.put_walks(walks);
         if !retry.is_empty() {
             self.events.schedule_at(
                 now + Duration::micros(1),
                 Ev::ChipDeliver { chip, walks: retry },
             );
+        } else {
+            self.pool.put_walks(retry);
         }
         self.maybe_fill_chip(chip, now);
         self.try_start_chip(chip, now);
@@ -223,16 +237,21 @@ impl FlashWalkerSim<'_> {
             now,
             self.channels[ch as usize].inbox.len() as u64,
         );
+        let mut inbox = std::mem::take(&mut self.scratch);
+        debug_assert!(inbox.is_empty());
         let inbox_all = &mut self.channels[ch as usize].inbox;
         let take = inbox_all.len().min(self.cfg.chan_batch_cap);
-        let inbox: Vec<TWalk> = inbox_all.drain(..take).collect();
-        let hot = self.channels[ch as usize].hot.clone();
+        inbox.extend(inbox_all.drain(..take));
+        // Borrow the hot list by moving it out for the batch; restored
+        // below (nothing mutates it mid-batch — hot sets only change at
+        // partition setup).
+        let hot = std::mem::take(&mut self.channels[ch as usize].hot);
         let mut guid_ops: u64 = 0;
         let mut upd_ops: u64 = 0;
-        let mut to_board: Vec<TWalk> = Vec::new();
+        let mut to_board = self.pool.take_walks();
         let mut completed_now: u64 = 0;
 
-        for mut tw in inbox {
+        for mut tw in inbox.drain(..) {
             // Hot-subgraph updating at the channel (HS).
             let mut done = false;
             if self.cfg.opts.hot_subgraphs {
@@ -268,6 +287,8 @@ impl FlashWalkerSim<'_> {
             }
             to_board.push(tw);
         }
+        self.scratch = inbox;
+        self.channels[ch as usize].hot = hot;
 
         self.completed += completed_now;
         self.board.completed_buf += completed_now;
@@ -286,13 +307,15 @@ impl FlashWalkerSim<'_> {
             .schedule_at(now + busy, Ev::ChanBatchDone { ch, to_board });
     }
 
-    pub(super) fn on_chan_batch_done(&mut self, ch: u32, to_board: Vec<TWalk>, now: SimTime) {
+    pub(super) fn on_chan_batch_done(&mut self, ch: u32, mut to_board: Vec<TWalk>, now: SimTime) {
         self.channels[ch as usize].busy = false;
         // Channel→board traffic is controller-internal (the board fetches
         // roving walks from channel accelerators over the controller
         // interconnect, not the ONFI bus).
-        if !to_board.is_empty() {
-            self.board.inbox.extend(to_board);
+        let any = !to_board.is_empty();
+        self.board.inbox.append(&mut to_board);
+        self.pool.put_walks(to_board);
+        if any {
             self.try_start_board(now);
         }
         self.try_start_channel(ch, now);
@@ -359,8 +382,7 @@ impl FlashWalkerSim<'_> {
             gops += charged;
             probes += charged;
             if let Some(sg) = l.sg_id {
-                let entry =
-                    self.table.entries()[self.table.entry_index_of(sg).expect("entry for hit")];
+                let entry = self.table.entries()[l.entry_idx.expect("entry for hit") as usize];
                 self.caches[cache_idx].install(entry.low, entry.high, sg);
                 return (Some(sg), gops, probes);
             }
@@ -376,18 +398,24 @@ impl FlashWalkerSim<'_> {
     fn run_board_batch(&mut self, now: SimTime) {
         self.tracer
             .gauge("board.queue", now, self.board.inbox.len() as u64);
+        let mut inbox = std::mem::take(&mut self.scratch);
+        debug_assert!(inbox.is_empty());
         let take = self.board.inbox.len().min(self.cfg.board_batch_cap);
-        let inbox: Vec<TWalk> = self.board.inbox.drain(..take).collect();
-        let hot = self.board.hot.clone();
+        inbox.extend(self.board.inbox.drain(..take));
+        // Moved out for the batch, restored below (see run_channel_batch).
+        let hot = std::mem::take(&mut self.board.hot);
         let mut guid_ops: u64 = 0;
         let mut upd_ops: u64 = 0;
         let mut map_probes: u64 = 0;
         let mut dram_write_bytes: u64 = 0;
-        let mut deliveries = DeliveryBuckets::default();
-        let mut dirty_chips: Vec<u32> = Vec::new();
+        let mut deliveries = DeliveryBuckets {
+            buckets: self.pool.take_deliveries(),
+        };
+        let mut dirty_chips = self.pool.take_chip_ids();
+        let mut dirty_mask: u128 = 0;
         let mut completed_now: u64 = 0;
 
-        for (walk_i, mut tw) in inbox.into_iter().enumerate() {
+        for (walk_i, mut tw) in inbox.drain(..).enumerate() {
             // Walk query caches are shared: each group of four guiders
             // owns one; batches stripe walks across groups.
             let cache_idx = walk_i % self.caches.len();
@@ -435,10 +463,21 @@ impl FlashWalkerSim<'_> {
                     if self.chips[chip as usize].slot_of(sg).is_some() {
                         // Deliver straight to the loaded slot.
                         self.stats.deliveries += 1;
-                        deliveries.push(chip, tw);
+                        deliveries.push_pooled(chip, tw, &mut self.pool);
                     } else {
                         dram_write_bytes += self.pwb_insert(tw, now, true);
-                        if !dirty_chips.contains(&chip) {
+                        // Membership via bitmask (chip counts fit easily);
+                        // push order stays first-touch, which fixes the
+                        // later maybe_fill_chip call order.
+                        let seen = if (chip as usize) < 128 {
+                            let bit = 1u128 << chip;
+                            let s = dirty_mask & bit != 0;
+                            dirty_mask |= bit;
+                            s
+                        } else {
+                            dirty_chips.contains(&chip)
+                        };
+                        if !seen {
                             dirty_chips.push(chip);
                         }
                     }
@@ -452,6 +491,8 @@ impl FlashWalkerSim<'_> {
                 }
             }
         }
+        self.scratch = inbox;
+        self.board.hot = hot;
 
         // Flush foreigner pages if the buffer overflowed.
         let pw = page_walks(&self.ssd) as usize;
@@ -503,12 +544,12 @@ impl FlashWalkerSim<'_> {
 
     pub(super) fn on_board_batch_done(
         &mut self,
-        deliveries: Vec<(u32, Vec<TWalk>)>,
-        dirty_chips: Vec<u32>,
+        mut deliveries: Vec<(u32, Vec<TWalk>)>,
+        mut dirty_chips: Vec<u32>,
         now: SimTime,
     ) {
         self.board.busy = false;
-        for (chip, walks) in deliveries {
+        for (chip, walks) in deliveries.drain(..) {
             let ch = self.channel_of_chip(chip);
             let res = self
                 .ssd
@@ -516,9 +557,11 @@ impl FlashWalkerSim<'_> {
             self.events
                 .schedule_at(res.end, Ev::ChipDeliver { chip, walks });
         }
-        for chip in dirty_chips {
+        self.pool.put_deliveries(deliveries);
+        for chip in dirty_chips.drain(..) {
             self.maybe_fill_chip(chip, now);
         }
+        self.pool.put_chip_ids(dirty_chips);
         self.try_start_board(now);
     }
 }

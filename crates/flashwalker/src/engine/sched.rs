@@ -46,12 +46,14 @@ impl FlashWalkerSim<'_> {
     /// restricts that subgraphs fetched by a chip-level accelerator must
     /// be in the same chip's flash planes.")
     pub(super) fn pick_subgraph(&self, chip: u32, relaxed: bool) -> Option<SgId> {
-        let resident: Vec<SgId> = self.chips[chip as usize].resident().collect();
+        let chip_state = &self.chips[chip as usize];
         let threshold = if relaxed { 1 } else { self.cfg.min_load_walks };
         let mut best: Option<(f64, SgId)> = None;
-        for (idx, entry) in self.pwb.entries.iter().enumerate() {
+        for &idx in &self.chip_pwb[chip as usize] {
+            let idx = idx as usize;
+            let entry = &self.pwb.entries[idx];
             let sg = self.pwb.first_sg + idx as u32;
-            if self.chip_of_sg(sg) != chip || resident.contains(&sg) {
+            if chip_state.resident().any(|r| r == sg) {
                 continue;
             }
             if entry.total_walks() < threshold {
@@ -77,10 +79,11 @@ impl FlashWalkerSim<'_> {
     /// on-board DRAM and from the flash planes", §III-B).
     pub(super) fn issue_load(&mut self, chip: u32, sg: SgId, now: SimTime) {
         self.stats.sg_loads += 1;
-        // Graph block pages: chip-private path, no channel traffic.
-        let pages = self.placements[sg as usize].pages.clone();
+        // Graph block pages: chip-private path, no channel traffic
+        // (index loop: `Ppa` is `Copy`, so no placement clone needed).
         let mut array_done = now;
-        for ppa in pages {
+        for i in 0..self.placements[sg as usize].pages.len() {
+            let ppa = self.placements[sg as usize].pages[i];
             array_done = array_done.max(self.ssd.array_read(now, ppa).end);
         }
         let mut done = array_done;

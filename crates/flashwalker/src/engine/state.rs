@@ -262,6 +262,69 @@ impl DeliveryBuckets {
             None => self.buckets.push((chip, vec![w])),
         }
     }
+
+    /// Append a walk to its chip's bucket, drawing fresh buckets from the
+    /// pool instead of allocating.
+    pub fn push_pooled(&mut self, chip: u32, w: TWalk, pool: &mut Pools) {
+        match self.buckets.iter_mut().find(|(c, _)| *c == chip) {
+            Some((_, v)) => v.push(w),
+            None => {
+                let mut v = pool.take_walks();
+                v.push(w);
+                self.buckets.push((chip, v));
+            }
+        }
+    }
+}
+
+/// Free lists for the `Vec` payloads that flow through the event queue
+/// (walk batches, delivery fan-outs, dirty-chip lists). Each vector is
+/// returned here when its event is consumed and handed out again on the
+/// next batch, so a warmed-up run routes walks without allocating.
+/// Ownership rule: a vector taken from a pool is either moved into a
+/// scheduled event (whose handler puts it back) or put back directly —
+/// never dropped on the hot path.
+#[derive(Debug, Default)]
+pub struct Pools {
+    walks: Vec<Vec<TWalk>>,
+    deliveries: Vec<Vec<(u32, Vec<TWalk>)>>,
+    chip_ids: Vec<Vec<u32>>,
+}
+
+impl Pools {
+    /// An empty walk vector, recycled when available.
+    pub fn take_walks(&mut self) -> Vec<TWalk> {
+        self.walks.pop().unwrap_or_default()
+    }
+
+    /// Return a walk vector to the pool.
+    pub fn put_walks(&mut self, mut v: Vec<TWalk>) {
+        v.clear();
+        self.walks.push(v);
+    }
+
+    /// An empty delivery fan-out vector, recycled when available.
+    pub fn take_deliveries(&mut self) -> Vec<(u32, Vec<TWalk>)> {
+        self.deliveries.pop().unwrap_or_default()
+    }
+
+    /// Return a delivery fan-out vector (its inner walk vectors must have
+    /// been recycled or moved out already).
+    pub fn put_deliveries(&mut self, mut v: Vec<(u32, Vec<TWalk>)>) {
+        v.clear();
+        self.deliveries.push(v);
+    }
+
+    /// An empty chip-id vector, recycled when available.
+    pub fn take_chip_ids(&mut self) -> Vec<u32> {
+        self.chip_ids.pop().unwrap_or_default()
+    }
+
+    /// Return a chip-id vector to the pool.
+    pub fn put_chip_ids(&mut self, mut v: Vec<u32>) {
+        v.clear();
+        self.chip_ids.push(v);
+    }
 }
 
 /// Convenience: does this vertex fall inside `[low, high]`? (The chip

@@ -68,25 +68,15 @@ pub fn hop_dense_slice(
         }
         fw_walk::Bias::Weighted => {
             // ITS restricted to the slice: draw in the slice's cumulative
-            // weight interval and binary-search inside it.
+            // weight interval and binary-search inside it (the same
+            // probe-counting search as fw_walk::sample_biased).
             let cl = csr.cumulative(walk.cur);
             let lo_w = if start == 0 { 0.0 } else { cl[start - 1] };
             let hi_w = cl[start + n - 1];
             let r = lo_w + (rng.next_f64() as f32) * (hi_w - lo_w);
-            let mut lo = start;
-            let mut hi = start + n;
-            let mut probes = 0;
-            while lo < hi {
-                let mid = lo + (hi - lo) / 2;
-                probes += 1;
-                if cl[mid] > r {
-                    hi = mid;
-                } else {
-                    lo = mid + 1;
-                }
-            }
+            let (idx, probes) = fw_walk::its_search(cl, start, start + n, r);
             (
-                lo.min(start + n - 1) - start,
+                idx.min(start + n - 1) - start,
                 fw_walk::UNBIASED_UPDATER_OPS + probes,
             )
         }
@@ -119,16 +109,18 @@ pub fn prewalk_slice(
 /// (one per resident subgraph probed, as the guider "compar[es] w.cur with
 /// two end vertices of each loaded subgraph").
 pub fn guide_local(pg: &PartitionedGraph, loaded: &[SgId], v: VertexId) -> (Option<SgId>, u32) {
+    // Dense slices never accept local traffic: choosing among a dense
+    // vertex's blocks needs the dense table, which chips don't have — so
+    // the only possible hit is v's unique regular owner block (O(1)
+    // lookup). The simulated op count stays one comparison per loaded
+    // subgraph probed, exactly as the range-scan reference: the guider
+    // hardware still "compar[es] w.cur with two end vertices of each
+    // loaded subgraph".
+    let target = pg.regular_owner(v);
     let mut ops = 0;
     for &sg in loaded {
         ops += 1;
-        let s = &pg.subgraphs[sg as usize];
-        // Dense slices never accept local traffic: choosing among a dense
-        // vertex's blocks needs the dense table, which chips don't have.
-        if s.dense.is_some() {
-            continue;
-        }
-        if s.low <= v && v <= s.high {
+        if Some(sg) == target {
             return (Some(sg), ops);
         }
     }

@@ -15,8 +15,22 @@ use fw_graph::{DenseVertexMeta, PartitionedGraph, VertexId};
 /// hot subgraphs — both give strong temporal locality on entries.
 #[derive(Debug, Clone)]
 pub struct WalkQueryCache {
-    /// `(low, high, sg_id)` triples in LRU order (front = most recent).
-    entries: Vec<(VertexId, VertexId, u32)>,
+    /// Entry bounds and payloads in parallel arrays (struct-of-arrays so
+    /// the miss-dominated probe scan streams two dense `u32` slices the
+    /// compiler can vectorize), unordered; recency lives in `ticks`.
+    ///
+    /// Subgraph vertex ranges are disjoint, so at most one entry can
+    /// contain a probed vertex — scan order is irrelevant, which lets a
+    /// hit bump a recency stamp instead of physically moving the entry
+    /// to the front (the move-to-front variant memmoved ~capacity
+    /// entries on every hit and install).
+    lows: Vec<VertexId>,
+    highs: Vec<VertexId>,
+    sgs: Vec<u32>,
+    /// Last-touch stamp per entry (parallel to the arrays); stamps are
+    /// unique and monotone, so min-stamp is exactly the LRU entry.
+    ticks: Vec<u64>,
+    tick: u64,
     capacity: usize,
     hits: u64,
     misses: u64,
@@ -30,7 +44,11 @@ impl WalkQueryCache {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "zero-capacity query cache");
         WalkQueryCache {
-            entries: Vec::with_capacity(capacity),
+            lows: Vec::with_capacity(capacity),
+            highs: Vec::with_capacity(capacity),
+            sgs: Vec::with_capacity(capacity),
+            ticks: Vec::with_capacity(capacity),
+            tick: 0,
             capacity,
             hits: 0,
             misses: 0,
@@ -39,30 +57,49 @@ impl WalkQueryCache {
 
     /// Probe the cache for the subgraph containing `v`.
     pub fn probe(&mut self, v: VertexId) -> Option<u32> {
-        match self
-            .entries
-            .iter()
-            .position(|&(lo, hi, _)| lo <= v && v <= hi)
-        {
-            Some(i) => {
-                self.hits += 1;
-                let e = self.entries.remove(i);
-                self.entries.insert(0, e); // move to MRU
-                Some(e.2)
+        // Branchless single-match scan (no early exit) so the bound
+        // checks vectorize; disjoint ranges guarantee at most one hit.
+        let mut found = usize::MAX;
+        for i in 0..self.lows.len() {
+            if self.lows[i] <= v && v <= self.highs[i] {
+                found = i;
             }
-            None => {
-                self.misses += 1;
-                None
-            }
+        }
+        if found != usize::MAX {
+            self.hits += 1;
+            self.tick += 1;
+            self.ticks[found] = self.tick;
+            Some(self.sgs[found])
+        } else {
+            self.misses += 1;
+            None
         }
     }
 
-    /// Install an entry after a mapping-table lookup.
+    /// Install an entry after a mapping-table lookup, evicting the
+    /// least-recently-touched entry when full. (Duplicates are
+    /// impossible: `install` only follows a `probe` miss, and the
+    /// installed range contains the probed vertex.)
     pub fn install(&mut self, low: VertexId, high: VertexId, sg_id: u32) {
-        if self.entries.len() == self.capacity {
-            self.entries.pop();
+        self.tick += 1;
+        if self.lows.len() == self.capacity {
+            let lru = self
+                .ticks
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &t)| t)
+                .map(|(i, _)| i)
+                .expect("capacity > 0");
+            self.lows[lru] = low;
+            self.highs[lru] = high;
+            self.sgs[lru] = sg_id;
+            self.ticks[lru] = self.tick;
+        } else {
+            self.lows.push(low);
+            self.highs.push(high);
+            self.sgs.push(sg_id);
+            self.ticks.push(self.tick);
         }
-        self.entries.insert(0, (low, high, sg_id));
     }
 
     /// `(hits, misses)` so far.

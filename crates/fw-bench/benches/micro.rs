@@ -7,6 +7,9 @@
 //! complementing the `fig*` binaries that measure *simulated* time. The
 //! harness is a plain `std::time::Instant` loop (no external deps): each
 //! bench warms up briefly, then times a fixed batch and reports ns/op.
+//!
+//! `FW_MICRO_QUICK=1` shrinks every batch ~50× — a CI smoke mode that
+//! checks the benches run, not their numbers.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -17,8 +20,18 @@ use fw_graph::partition::PartitionConfig;
 use fw_graph::rmat::{generate_csr, RmatParams};
 use fw_graph::{PartitionedGraph, RangeTable, SubgraphMappingTable};
 use fw_nand::{Ftl, SsdConfig};
-use fw_sim::{EventQueue, SimTime, Xoshiro256pp};
+use fw_sim::{EventQueue, HeapEventQueue, SimTime, Xoshiro256pp};
 use fw_walk::{sample_biased, sample_unbiased};
+
+/// Batch size scaled for the mode: full by default, ~50× smaller under
+/// `FW_MICRO_QUICK` (CI smoke).
+fn iters(n: u64) -> u64 {
+    if std::env::var("FW_MICRO_QUICK").is_ok() {
+        (n / 50).max(10)
+    } else {
+        n
+    }
+}
 
 /// Time `f` over `iters` calls after a 1/10-size warmup; print ns/op.
 fn bench<R>(name: &str, iters: u64, mut f: impl FnMut() -> R) {
@@ -50,14 +63,26 @@ fn setup_tables() -> (PartitionedGraph, SubgraphMappingTable, RangeTable) {
 }
 
 fn bench_mapping() {
-    let (_pg, table, ranges) = setup_tables();
+    let (pg, table, ranges) = setup_tables();
+    // O(1) flat vertex→subgraph table vs the binary-search reference it
+    // replaced on the host hot path (same answers; see partition.rs).
+    let mut rngf = Xoshiro256pp::new(1);
+    bench("vertex_lookup_flat", iters(200_000), || {
+        let v = rngf.next_below(50_000) as u32;
+        pg.subgraph_of(black_box(v))
+    });
+    let mut rngs = Xoshiro256pp::new(1);
+    bench("vertex_lookup_search", iters(200_000), || {
+        let v = rngs.next_below(50_000) as u32;
+        pg.subgraph_of_search(black_box(v))
+    });
     let mut rng = Xoshiro256pp::new(1);
-    bench("mapping_table_full_lookup", 200_000, || {
+    bench("mapping_table_full_lookup", iters(200_000), || {
         let v = rng.next_below(50_000) as u32;
         table.lookup(black_box(v))
     });
     let mut rng2 = Xoshiro256pp::new(2);
-    bench("mapping_table_range_narrowed", 200_000, || {
+    bench("mapping_table_range_narrowed", iters(200_000), || {
         let v = rng2.next_below(50_000) as u32;
         let r = ranges.lookup(v);
         match r.range_id {
@@ -76,7 +101,7 @@ fn bench_query_cache() {
         cache.install(i * 10, i * 10 + 9, i);
     }
     let mut rng = Xoshiro256pp::new(3);
-    bench("walk_query_cache_probe", 500_000, || {
+    bench("walk_query_cache_probe", iters(500_000), || {
         let v = rng.next_below(2_000) as u32;
         cache.probe(black_box(v))
     });
@@ -88,7 +113,7 @@ fn bench_bloom_and_dense() {
         bloom.insert(v);
     }
     let mut rng = Xoshiro256pp::new(4);
-    bench("bloom_filter_probe", 500_000, || {
+    bench("bloom_filter_probe", iters(500_000), || {
         let v = rng.next_below(400_000) as u32;
         bloom.contains(black_box(v))
     });
@@ -110,7 +135,7 @@ fn bench_bloom_and_dense() {
     );
     let mut dense = DenseTable::build(&pg);
     let mut rng2 = Xoshiro256pp::new(5);
-    bench("dense_table_lookup", 500_000, || {
+    bench("dense_table_lookup", iters(500_000), || {
         let v = rng2.next_below(5_000) as u32;
         dense.lookup(black_box(v))
     });
@@ -120,12 +145,12 @@ fn bench_samplers() {
     let csr = generate_csr(RmatParams::graph500(), 10_000, 200_000, 6);
     let weighted = csr.clone().with_random_weights(7);
     let mut rng = Xoshiro256pp::new(8);
-    bench("sample_unbiased", 500_000, || {
+    bench("sample_unbiased", iters(500_000), || {
         let v = rng.next_below(10_000) as u32;
         sample_unbiased(&csr, v, &mut rng)
     });
     let mut rng2 = Xoshiro256pp::new(9);
-    bench("sample_biased_its", 500_000, || {
+    bench("sample_biased_its", iters(500_000), || {
         let v = rng2.next_below(10_000) as u32;
         sample_biased(&weighted, v, &mut rng2)
     });
@@ -133,20 +158,72 @@ fn bench_samplers() {
 
 fn bench_rmat() {
     let mut seed = 0u64;
-    bench("rmat_generate_10k_edges", 200, || {
+    bench("rmat_generate_10k_edges", iters(200), || {
         seed += 1;
         fw_graph::rmat::generate_edges(RmatParams::graph500(), 4_096, 10_000, seed)
     });
 }
 
 fn bench_event_queue() {
+    // Calendar queue (the production EventQueue) vs the binary-heap
+    // reference it replaced, on the same schedule stream. The mixed
+    // workload interleaves pops with short- and long-horizon schedules,
+    // like the engines do, rather than bulk-load-then-drain.
     let mut rng = Xoshiro256pp::new(10);
-    bench("event_queue_push_pop_1k", 2_000, || {
+    bench("event_queue_push_pop_1k", iters(2_000), || {
         let mut q: EventQueue<u64> = EventQueue::new();
         for i in 0..1_000u64 {
             q.schedule_at(SimTime(rng.next_below(1_000_000)), i);
         }
         let mut acc = 0u64;
+        while let Some((_, e)) = q.pop() {
+            acc = acc.wrapping_add(e);
+        }
+        acc
+    });
+    let mut rngh = Xoshiro256pp::new(10);
+    bench("heap_queue_push_pop_1k", iters(2_000), || {
+        let mut q: HeapEventQueue<u64> = HeapEventQueue::new();
+        for i in 0..1_000u64 {
+            q.schedule_at(SimTime(rngh.next_below(1_000_000)), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, e)) = q.pop() {
+            acc = acc.wrapping_add(e);
+        }
+        acc
+    });
+    let mut rngm = Xoshiro256pp::new(11);
+    bench("event_queue_mixed_10k", iters(200), || {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut acc = 0u64;
+        for i in 0..10_000u64 {
+            q.schedule_in(fw_sim::Duration(rngm.next_below(200_000)), i);
+            if i % 4 == 0 {
+                q.schedule_in(fw_sim::Duration(2_000_000 + rngm.next_below(1_000_000)), i);
+            }
+            if let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+        }
+        while let Some((_, e)) = q.pop() {
+            acc = acc.wrapping_add(e);
+        }
+        acc
+    });
+    let mut rngn = Xoshiro256pp::new(11);
+    bench("heap_queue_mixed_10k", iters(200), || {
+        let mut q: HeapEventQueue<u64> = HeapEventQueue::new();
+        let mut acc = 0u64;
+        for i in 0..10_000u64 {
+            q.schedule_in(fw_sim::Duration(rngn.next_below(200_000)), i);
+            if i % 4 == 0 {
+                q.schedule_in(fw_sim::Duration(2_000_000 + rngn.next_below(1_000_000)), i);
+            }
+            if let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+        }
         while let Some((_, e)) = q.pop() {
             acc = acc.wrapping_add(e);
         }
@@ -158,7 +235,7 @@ fn bench_dram() {
     let mut dram = Dram::new(DramConfig::ddr4_1600());
     let mut t = SimTime::ZERO;
     let mut addr = 0u64;
-    bench("dram_access_4k", 500_000, || {
+    bench("dram_access_4k", iters(500_000), || {
         let a = dram.access(t, addr, 4096, DramOp::Read);
         t = a.done;
         addr = (addr + 4096) % (1 << 24);
@@ -170,7 +247,7 @@ fn bench_ftl() {
     let cfg = SsdConfig::tiny();
     let mut ftl = Ftl::new(cfg.geometry, 0, cfg.gc_threshold_blocks);
     let mut lpn = 0u64;
-    bench("ftl_overwrite", 500_000, || {
+    bench("ftl_overwrite", iters(500_000), || {
         lpn = (lpn + 1) % 200;
         ftl.write(lpn).ppa
     });

@@ -710,6 +710,63 @@ impl ScenarioRecord {
     }
 }
 
+/// One scenario's host-performance row: how fast the *simulator* ran,
+/// not what it simulated. Lives in the optional `host` section of a
+/// record, which only exists when the run captured wall-clock
+/// (`fwbench run --wall`) — the default record omits the key entirely so
+/// same-seed runs stay byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostScenario {
+    /// Scenario name this row belongs to (matches a `scenarios` row).
+    pub name: String,
+    /// Host wall-clock per seed, nanoseconds.
+    pub wall_ns: StatU,
+    /// Host work units per seed: simulator events delivered
+    /// (event-driven engines) or hops executed (serial baselines); see
+    /// `RunReport::host_events`.
+    pub host_events: StatU,
+    /// Per-seed `host_events / wall_seconds` — the headline host
+    /// throughput the hot-path work optimizes.
+    pub events_per_sec: StatF,
+}
+
+impl HostScenario {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::s(&self.name)),
+            ("wall_ns", self.wall_ns.to_json()),
+            ("host_events", self.host_events.to_json()),
+            ("events_per_sec", self.events_per_sec.to_json()),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<HostScenario, String> {
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("host row: missing string field 'name'")?
+            .to_string();
+        Ok(HostScenario {
+            wall_ns: StatU::from_json(
+                v.get("wall_ns")
+                    .ok_or_else(|| format!("host {name}: missing 'wall_ns'"))?,
+                &name,
+            )?,
+            host_events: StatU::from_json(
+                v.get("host_events")
+                    .ok_or_else(|| format!("host {name}: missing 'host_events'"))?,
+                &name,
+            )?,
+            events_per_sec: StatF::from_json(
+                v.get("events_per_sec")
+                    .ok_or_else(|| format!("host {name}: missing 'events_per_sec'"))?,
+                &name,
+            )?,
+            name,
+        })
+    }
+}
+
 /// One complete `BENCH_*.json` record.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
@@ -721,12 +778,17 @@ pub struct BenchReport {
     pub env: EnvFingerprint,
     /// Per-scenario rows, in suite order.
     pub scenarios: Vec<ScenarioRecord>,
+    /// Host-performance rows ([`HostScenario`]), present only on `--wall`
+    /// runs. Never gated by `compare`; `fwbench hostperf` reads it.
+    pub host: Option<Vec<HostScenario>>,
 }
 
 impl BenchReport {
-    /// Build the JSON tree for this record.
+    /// Build the JSON tree for this record. The `host` key is emitted
+    /// only when present, so default (deterministic) records are
+    /// byte-identical to records written before the section existed.
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut pairs = vec![
             ("schema", Json::s(&self.schema)),
             ("label", Json::s(&self.label)),
             ("env", self.env.to_json()),
@@ -734,7 +796,14 @@ impl BenchReport {
                 "scenarios",
                 Json::Arr(self.scenarios.iter().map(ScenarioRecord::to_json).collect()),
             ),
-        ])
+        ];
+        if let Some(host) = &self.host {
+            pairs.push((
+                "host",
+                Json::Arr(host.iter().map(HostScenario::to_json).collect()),
+            ));
+        }
+        Json::obj(pairs)
     }
 
     /// Render the record as the canonical `BENCH_*.json` text.
@@ -769,6 +838,16 @@ impl BenchReport {
                 .iter()
                 .map(ScenarioRecord::from_json)
                 .collect::<Result<Vec<_>, _>>()?,
+            host: match v.get("host") {
+                None | Some(Json::Null) => None,
+                Some(h) => Some(
+                    h.as_arr()
+                        .ok_or("'host' is not an array")?
+                        .iter()
+                        .map(HostScenario::from_json)
+                        .collect::<Result<Vec<_>, _>>()?,
+                ),
+            },
         })
     }
 
@@ -926,6 +1005,7 @@ mod tests {
                 report: Json::parse("{\"traffic\":{\"flash_read_bytes\":4096}}").unwrap(),
                 trace: None,
             }],
+            host: None,
         }
     }
 
@@ -940,6 +1020,39 @@ mod tests {
             back.scenario("fw/TT/w100").unwrap().flash_read_bytes(),
             4096
         );
+    }
+
+    #[test]
+    fn host_section_is_optional_and_round_trips() {
+        // Default record: no 'host' key at all (byte-identity contract).
+        let rep = tiny_report();
+        assert!(!rep.render().contains("\"host\""));
+
+        // --wall record: section round-trips through parse → render.
+        let mut rep = tiny_report();
+        rep.host = Some(vec![HostScenario {
+            name: "fw/TT/w100".into(),
+            wall_ns: StatU {
+                mean: 5_000_000,
+                min: 4_000_000,
+                max: 6_000_000,
+            },
+            host_events: StatU {
+                mean: 1200,
+                min: 1200,
+                max: 1200,
+            },
+            events_per_sec: StatF {
+                mean: 240000.0,
+                min: 200000.0,
+                max: 300000.0,
+            },
+        }]);
+        let text = rep.render();
+        assert!(text.contains("\"host\""));
+        let back = BenchReport::parse(&text).expect("parse own output");
+        assert_eq!(back, rep);
+        assert_eq!(back.render(), text);
     }
 
     #[test]

@@ -7,17 +7,24 @@
 //! fwbench run [--suite ci|paper] [--seeds N] [--label L] [--out PATH]
 //!             [--wall] [--no-trace]
 //! fwbench compare [BASELINE] [CURRENT] [--noise-floor F]
+//! fwbench hostperf RECORD [BASELINE]
 //! ```
 //!
 //! `run` defaults: the `ci` suite, 3 seeds (or `FW_SEEDS`), label = suite
 //! name, output `BENCH_<label>.json` in the working directory. Output is
 //! byte-identical across same-seed runs; `--wall` adds host wall-clock
-//! columns (informational, not byte-stable, never gated).
+//! columns and a per-scenario `host` section (informational, not
+//! byte-stable, never gated).
 //!
 //! `compare` with one path compares it against the newest *other*
 //! `BENCH_*.json` in its directory; with two paths the first is the
 //! baseline. Exits 1 when the regression gate or a fidelity verdict
 //! fails, so CI can gate on it.
+//!
+//! `hostperf` prints the `host` section of a `--wall` record — wall-clock,
+//! host work units and events/sec per scenario — and, given a second
+//! record, the wall-clock speedup of the first over it. Informational
+//! only: host performance never gates.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -29,7 +36,7 @@ use fw_bench::suite::{build_bench_report, env_seeds, run_suite, Suite};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  fwbench run [--suite ci|paper] [--seeds N] [--label L] [--out PATH] [--wall] [--no-trace]\n  fwbench compare [BASELINE] [CURRENT] [--noise-floor F]"
+        "usage:\n  fwbench run [--suite ci|paper] [--seeds N] [--label L] [--out PATH] [--wall] [--no-trace]\n  fwbench compare [BASELINE] [CURRENT] [--noise-floor F]\n  fwbench hostperf RECORD [BASELINE]"
     );
     ExitCode::from(2)
 }
@@ -39,6 +46,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("hostperf") => cmd_hostperf(&args[1..]),
         _ => usage(),
     }
 }
@@ -117,6 +125,102 @@ fn cmd_run(args: &[String]) -> ExitCode {
         );
     }
     eprintln!("fwbench: wrote {}", out.display());
+    ExitCode::SUCCESS
+}
+
+fn cmd_hostperf(args: &[String]) -> ExitCode {
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let (cur_path, base_path) = match paths.as_slice() {
+        [cur] => (PathBuf::from(cur), None),
+        [cur, base] => (PathBuf::from(cur), Some(PathBuf::from(base))),
+        _ => return usage(),
+    };
+    let load = |p: &Path| -> Result<BenchReport, ExitCode> {
+        BenchReport::load(p).map_err(|e| {
+            eprintln!("fwbench hostperf: {e}");
+            ExitCode::FAILURE
+        })
+    };
+    let cur = match load(&cur_path) {
+        Ok(r) => r,
+        Err(c) => return c,
+    };
+    let Some(host) = &cur.host else {
+        eprintln!(
+            "fwbench hostperf: {} has no 'host' section — re-run with `fwbench run --wall`",
+            cur_path.display()
+        );
+        return ExitCode::FAILURE;
+    };
+    let base = match &base_path {
+        Some(p) => match load(p) {
+            Ok(r) => Some(r),
+            Err(c) => return c,
+        },
+        None => None,
+    };
+    // Baseline wall-ns per scenario: the `host` section when the record
+    // has one, else the scenario rows' `wall_time_ms` (older `--wall`
+    // records predate the section).
+    let base_wall_ns = |name: &str| -> Option<u64> {
+        let b = base.as_ref()?;
+        if let Some(bh) = &b.host {
+            return bh.iter().find(|h| h.name == name).map(|h| h.wall_ns.mean);
+        }
+        b.scenario(name)
+            .map(|s| (s.wall_time_ms.mean * 1e6) as u64)
+            .filter(|&ns| ns > 0)
+    };
+    if let Some(b) = &base {
+        if b.host.is_none() && b.scenarios.iter().all(|s| s.wall_time_ms.mean == 0.0) {
+            eprintln!(
+                "fwbench hostperf: baseline {} has no wall-clock data — re-run with `fwbench run --wall`",
+                base_path.as_ref().unwrap().display()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    eprintln!(
+        "fwbench hostperf: {} (label '{}', rev {})",
+        cur_path.display(),
+        cur.label,
+        cur.env.git_rev
+    );
+    println!(
+        "{:<28} {:>13} {:>12} {:>14} {:>9}",
+        "scenario", "wall_ms(mean)", "host_events", "events/sec", "vs base"
+    );
+    let mut total_cur = 0u64;
+    let mut total_base = 0u64;
+    for h in host {
+        let vs = base_wall_ns(&h.name).map(|b| {
+            total_cur += h.wall_ns.mean;
+            total_base += b;
+            b as f64 / h.wall_ns.mean.max(1) as f64
+        });
+        println!(
+            "{:<28} {:>13.3} {:>12} {:>14.0} {:>9}",
+            h.name,
+            h.wall_ns.mean as f64 / 1e6,
+            h.host_events.mean,
+            h.events_per_sec.mean,
+            match vs {
+                Some(s) => format!("{s:.2}x"),
+                None => "-".to_string(),
+            }
+        );
+    }
+    if total_base > 0 {
+        println!(
+            "{:<28} {:>13.3} {:>12} {:>14} {:>8.2}x",
+            "TOTAL",
+            total_cur as f64 / 1e6,
+            "-",
+            "-",
+            total_base as f64 / total_cur.max(1) as f64
+        );
+    }
     ExitCode::SUCCESS
 }
 

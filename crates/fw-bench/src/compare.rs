@@ -485,6 +485,7 @@ mod tests {
                 seeds: vec![42, 43, 44],
             },
             scenarios,
+            host: None,
         }
     }
 

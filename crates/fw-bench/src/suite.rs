@@ -19,7 +19,9 @@ use fw_sim::export::trace_summary_json;
 use fw_sim::TraceConfig;
 use fw_walk::{RunReport, WalkEngine, Workload};
 
-use crate::bench_json::{BenchReport, EnvFingerprint, Json, ScenarioRecord, StatF, StatU, SCHEMA};
+use crate::bench_json::{
+    BenchReport, EnvFingerprint, HostScenario, Json, ScenarioRecord, StatF, StatU, SCHEMA,
+};
 use crate::runner::{
     flashwalker_engine, graphwalker_engine, iterative_engine, parallel_map, prepared, DEFAULT_SEED,
 };
@@ -282,6 +284,9 @@ pub struct SeedRun {
     pub seed: u64,
     /// Host wall-clock for the run, milliseconds.
     pub wall_ms: f64,
+    /// Host wall-clock for the run, nanoseconds (the `host` section's
+    /// integer-stat source; `wall_ms` is the same measurement as f64).
+    pub wall_ns: u64,
     /// Speedup over the paired GraphWalker run at the same seed (None
     /// when the suite has no GraphWalker cell at this dataset/walks/
     /// variant, and on the GraphWalker scenarios themselves).
@@ -318,6 +323,35 @@ impl ScenarioResult {
     /// mean/min/max wall-clock milliseconds.
     pub fn wall_stat(&self) -> StatF {
         StatF::of(&self.runs.iter().map(|r| r.wall_ms).collect::<Vec<_>>())
+    }
+
+    /// mean/min/max wall-clock nanoseconds (`host` section source).
+    pub fn wall_ns_stat(&self) -> StatU {
+        StatU::of(&self.runs.iter().map(|r| r.wall_ns).collect::<Vec<_>>())
+    }
+
+    /// mean/min/max host work units per seed (simulator events or hops,
+    /// see `RunReport::host_events`). Deterministic, unlike wall-clock.
+    pub fn host_events_stat(&self) -> StatU {
+        StatU::of(
+            &self
+                .runs
+                .iter()
+                .map(|r| r.report.host_events)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// mean/min/max host throughput per seed: `host_events` over wall
+    /// seconds — the number the host hot-path optimizations move.
+    pub fn events_per_sec_stat(&self) -> StatF {
+        StatF::of(
+            &self
+                .runs
+                .iter()
+                .map(|r| r.report.host_events as f64 / (r.wall_ns.max(1) as f64 / 1e9))
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// mean/min/max speedup over GraphWalker, when every seed has one.
@@ -431,7 +465,8 @@ pub fn run_suite(suite: &Suite) -> SuiteResult {
                     eprintln!("[{}] {} seed {} …", id.abbrev(), sc.name(), seed);
                     let t0 = Instant::now();
                     let report = run_one(&p, sc, seed, suite.trace && si == 0);
-                    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                    let wall_ns = t0.elapsed().as_nanos() as u64;
+                    let wall_ms = wall_ns as f64 / 1e6;
                     let own_ns = report.time.as_nanos();
                     let speedup = if sc.engine == EngineKind::Graphwalker {
                         gw_ns.insert((sc.walks, sc.variant.clone(), seed), own_ns);
@@ -444,6 +479,7 @@ pub fn run_suite(suite: &Suite) -> SuiteResult {
                     runs.push(SeedRun {
                         seed,
                         wall_ms,
+                        wall_ns,
                         speedup,
                         report,
                     });
@@ -486,8 +522,11 @@ pub fn git_rev() -> String {
 
 /// Distill an executed suite into the `BENCH_*.json` record. With
 /// `include_wall` false (the default `fwbench` mode) wall-clock columns
-/// are zeroed so same-seed runs serialize byte-identically; sim-time,
-/// traffic and trace numbers are deterministic either way.
+/// are zeroed and the `host` section is omitted so same-seed runs
+/// serialize byte-identically; with it true the record additionally
+/// carries a per-scenario `host` section (wall-ns, host work units,
+/// events/sec) for `fwbench hostperf`. Sim-time, traffic and trace
+/// numbers are deterministic either way.
 pub fn build_bench_report(label: &str, res: &SuiteResult, include_wall: bool) -> BenchReport {
     let scenarios = res
         .results
@@ -519,6 +558,17 @@ pub fn build_bench_report(label: &str, res: &SuiteResult, include_wall: bool) ->
             }
         })
         .collect();
+    let host = include_wall.then(|| {
+        res.results
+            .iter()
+            .map(|r| HostScenario {
+                name: r.scenario.name(),
+                wall_ns: r.wall_ns_stat(),
+                host_events: r.host_events_stat(),
+                events_per_sec: r.events_per_sec_stat(),
+            })
+            .collect()
+    });
     BenchReport {
         schema: SCHEMA.to_string(),
         label: label.to_string(),
@@ -531,6 +581,7 @@ pub fn build_bench_report(label: &str, res: &SuiteResult, include_wall: bool) ->
             seeds: res.seeds.clone(),
         },
         scenarios,
+        host,
     }
 }
 

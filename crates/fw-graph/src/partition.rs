@@ -109,6 +109,10 @@ pub struct DenseVertexMeta {
     pub total_degree: u64,
 }
 
+/// Tag bit in a [`PartitionedGraph`] `vloc` entry marking a dense vertex;
+/// the low bits then index `dense` instead of `subgraphs`.
+const DENSE_BIT: u32 = 1 << 31;
+
 /// The partitioned graph: subgraphs in vertex order plus dense metadata.
 #[derive(Debug, Clone)]
 pub struct PartitionedGraph {
@@ -118,6 +122,13 @@ pub struct PartitionedGraph {
     pub dense: Vec<DenseVertexMeta>,
     /// Partitioning parameters used.
     pub config: PartitionConfig,
+    /// Flat per-vertex location table: `vloc[v]` is the owning subgraph
+    /// ID, or `DENSE_BIT | i` when `v` is `dense[i]`. Built once here so
+    /// the per-hop lookups ([`Self::subgraph_of`], [`Self::find_dense`],
+    /// [`Self::regular_owner`]) are O(1) instead of binary searches —
+    /// this is untimed host bookkeeping, the *timed* lookup hardware
+    /// stays in [`crate::mapping`].
+    vloc: Vec<u32>,
 }
 
 impl PartitionedGraph {
@@ -227,10 +238,27 @@ impl PartitionedGraph {
                 |d| subgraphs[d.first_subgraph as usize].dense.map(|s| s.vertex) == Some(d.vertex)
             ));
 
+        // Flat vertex→location table. Every vertex 0..num_vertices lands
+        // in exactly one regular block or dense meta entry, so the table
+        // is total.
+        let mut vloc = vec![u32::MAX; csr.num_vertices() as usize];
+        for (i, d) in dense.iter().enumerate() {
+            vloc[d.vertex as usize] = DENSE_BIT | i as u32;
+        }
+        for sg in &subgraphs {
+            if sg.dense.is_none() {
+                for v in sg.low..=sg.high {
+                    vloc[v as usize] = sg.id;
+                }
+            }
+        }
+        debug_assert!(vloc.iter().all(|&c| c != u32::MAX), "unplaced vertex");
+
         PartitionedGraph {
             subgraphs,
             dense,
             config,
+            vloc,
         }
     }
 
@@ -257,18 +285,39 @@ impl PartitionedGraph {
         start..end
     }
 
-    /// Dense metadata for `v`, if dense (binary search).
+    /// Dense metadata for `v`, if dense. O(1) via the flat `vloc` table.
     pub fn find_dense(&self, v: VertexId) -> Option<&DenseVertexMeta> {
-        self.dense
-            .binary_search_by_key(&v, |d| d.vertex)
-            .ok()
-            .map(|i| &self.dense[i])
+        let &code = self.vloc.get(v as usize)?;
+        if code & DENSE_BIT != 0 {
+            Some(&self.dense[(code & !DENSE_BIT) as usize])
+        } else {
+            None
+        }
     }
 
     /// Locate the subgraph containing `v` (data-level ground truth; the
     /// timed binary search lives in [`crate::mapping`]). For dense
-    /// vertices this returns the first slice.
+    /// vertices this returns the first slice. O(1) via the flat `vloc`
+    /// table; [`Self::subgraph_of_search`] is the reference search.
     pub fn subgraph_of(&self, v: VertexId) -> Option<u32> {
+        let &code = self.vloc.get(v as usize)?;
+        if code & DENSE_BIT != 0 {
+            Some(self.dense[(code & !DENSE_BIT) as usize].first_subgraph)
+        } else {
+            Some(code)
+        }
+    }
+
+    /// The regular (non-dense) subgraph holding `v`, or `None` when `v`
+    /// is dense or out of range. O(1).
+    pub fn regular_owner(&self, v: VertexId) -> Option<u32> {
+        let &code = self.vloc.get(v as usize)?;
+        (code & DENSE_BIT == 0).then_some(code)
+    }
+
+    /// Reference binary-search implementation of [`Self::subgraph_of`];
+    /// kept for the equivalence tests and the host microbenches.
+    pub fn subgraph_of_search(&self, v: VertexId) -> Option<u32> {
         let sgs = &self.subgraphs;
         // partition_point: first subgraph with low > v.
         let idx = sgs.partition_point(|sg| sg.low <= v);
@@ -402,6 +451,51 @@ mod tests {
         let p = PartitionedGraph::build(&g, cfg(512));
         let total: u64 = p.subgraphs.iter().map(|s| s.in_degree).sum();
         assert_eq!(total, g.num_edges());
+    }
+
+    /// The flat `vloc` table must answer exactly like the reference
+    /// binary search for every vertex (and out-of-range queries), on
+    /// graphs with and without dense vertices.
+    #[test]
+    fn flat_lookup_matches_reference_search() {
+        let mut rng = Xoshiro256pp::new(0x1A7);
+        for case in 0..16 {
+            let g = if case % 4 == 0 {
+                star(50 + case as u32 * 20) // guaranteed dense vertex 0
+            } else {
+                let nv = 10 + rng.next_below(290) as u32;
+                let ne = 1 + rng.next_below(2999);
+                generate_csr(RmatParams::graph500(), nv, ne, rng.next_below(1000))
+            };
+            let p = PartitionedGraph::build(&g, cfg(128));
+            for v in 0..g.num_vertices() + 3 {
+                assert_eq!(
+                    p.subgraph_of(v),
+                    p.subgraph_of_search(v),
+                    "case {case} vertex {v}"
+                );
+                let dense_ref = p
+                    .dense
+                    .binary_search_by_key(&v, |d| d.vertex)
+                    .ok()
+                    .map(|i| p.dense[i]);
+                assert_eq!(
+                    p.find_dense(v).copied(),
+                    dense_ref,
+                    "case {case} vertex {v}"
+                );
+                // regular_owner: Some iff non-dense and in range, and then
+                // it is the owning block.
+                match p.regular_owner(v) {
+                    Some(sg) => {
+                        assert!(dense_ref.is_none());
+                        assert_eq!(p.subgraph_of(v), Some(sg));
+                        assert!(!p.subgraphs[sg as usize].is_dense());
+                    }
+                    None => assert!(dense_ref.is_some() || v >= g.num_vertices()),
+                }
+            }
+        }
     }
 
     // Deterministic generator sweep standing in for the former proptest

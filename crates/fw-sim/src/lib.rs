@@ -28,7 +28,7 @@ pub mod timeline;
 
 pub use fw_trace::{export, metrics, report, span, stats, time};
 
-pub use event::EventQueue;
+pub use event::{EventQueue, HeapEventQueue};
 pub use fw_trace::{
     chrome_trace_json, spans_csv, ComponentUtil, Counter, Duration, Histogram, LatencySummary,
     MetricsRegistry, QueueDepthSeries, SimTime, SpanRecord, StatSet, TimeSeries, TraceConfig,

@@ -122,6 +122,12 @@ pub struct RunReport {
     pub breakdown: EngineBreakdown,
     /// Achieved flash read bandwidth over the run, bytes/s.
     pub read_bw: f64,
+    /// Host-side work proxy for the run: delivered simulator events for
+    /// the event-driven engines, executed hops for the serial baselines.
+    /// This measures how much the *simulator* did, not simulated
+    /// behaviour — it is deliberately excluded from [`Self::summary_json`]
+    /// so the byte-identical simulated-results contract is untouched.
+    pub host_events: u64,
     /// Walks completed per trace window (empty when the engine does not
     /// trace).
     pub progress: Vec<f64>,
@@ -233,6 +239,7 @@ mod tests {
                 other_ns: 0,
             },
             read_bw: 12.3456,
+            host_events: 99,
             progress: vec![1.0],
             trace_window_ns: 0,
             walk_log: Vec::new(),
@@ -247,5 +254,7 @@ mod tests {
         // Cheap well-formedness: balanced braces, no trailing commas.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(!json.contains(",}"));
+        // Host metrics must never leak into the simulated summary.
+        assert!(!json.contains("host_events"));
     }
 }

@@ -26,7 +26,9 @@ pub mod walk;
 pub mod workload;
 
 pub use engine::{EngineBreakdown, RunReport, RunStats, Traffic, WalkEngine};
-pub use sampler::{sample_biased, sample_unbiased, StepOutcome, UNBIASED_UPDATER_OPS};
+pub use sampler::{
+    its_search, sample_biased, sample_unbiased, StepOutcome, DEAD_END_OPS, UNBIASED_UPDATER_OPS,
+};
 pub use visits::VisitCounts;
 pub use walk::{Walk, WALK_BYTES};
 pub use workload::{Bias, StartDist, Termination, Workload};

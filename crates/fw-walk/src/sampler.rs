@@ -8,6 +8,33 @@ use fw_sim::Xoshiro256pp;
 /// "the walk updater performs 5 operations to process a walk" (§IV-A).
 pub const UNBIASED_UPDATER_OPS: u32 = 5;
 
+/// Operations charged when the walk's vertex has no out-edges: the walk
+/// fetch and the degree check, then stop. The updater bails *before*
+/// drawing a random number or touching the cumulative list, so both
+/// samplers charge the same two ops on a dead end — biased walks pay for
+/// the CL fetch and binary search only when there is something to search.
+pub const DEAD_END_OPS: u32 = 2;
+
+/// The ITS binary search shared by the biased samplers: smallest
+/// `idx ∈ [lo, hi)` with `cl[idx] > r` (or `hi` when none), plus the
+/// probe count the hardware models charge — one op per iteration, the
+/// paper's "more cycles for the binary search" (§III-B). Callers clamp
+/// the index for the `r == total` edge case themselves.
+pub fn its_search(cl: &[f32], lo: usize, hi: usize, r: f32) -> (usize, u32) {
+    let (mut lo, mut hi) = (lo, hi);
+    let mut probes = 0u32;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        probes += 1;
+        if cl[mid] > r {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    (lo, probes)
+}
+
 /// Result of attempting one hop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StepOutcome {
@@ -23,7 +50,7 @@ pub enum StepOutcome {
 pub fn sample_unbiased(csr: &Csr, v: VertexId, rng: &mut Xoshiro256pp) -> (StepOutcome, u32) {
     let nbrs = csr.neighbors(v);
     if nbrs.is_empty() {
-        return (StepOutcome::DeadEnd, 2); // fetch + degree check
+        return (StepOutcome::DeadEnd, DEAD_END_OPS);
     }
     let idx = rng.next_below(nbrs.len() as u64) as usize;
     (StepOutcome::Moved(nbrs[idx]), UNBIASED_UPDATER_OPS)
@@ -40,25 +67,13 @@ pub fn sample_unbiased(csr: &Csr, v: VertexId, rng: &mut Xoshiro256pp) -> (StepO
 pub fn sample_biased(csr: &Csr, v: VertexId, rng: &mut Xoshiro256pp) -> (StepOutcome, u32) {
     let nbrs = csr.neighbors(v);
     if nbrs.is_empty() {
-        return (StepOutcome::DeadEnd, 2);
+        return (StepOutcome::DeadEnd, DEAD_END_OPS);
     }
     let cl = csr.cumulative(v);
     let total = cl[cl.len() - 1];
     let r = (rng.next_f64() as f32) * total;
-    // Binary search for the first cl[idx] > r, counting probes.
-    let mut lo = 0usize;
-    let mut hi = cl.len();
-    let mut probes = 0u32;
-    while lo < hi {
-        let mid = lo + (hi - lo) / 2;
-        probes += 1;
-        if cl[mid] > r {
-            hi = mid;
-        } else {
-            lo = mid + 1;
-        }
-    }
-    let idx = lo.min(nbrs.len() - 1); // guard the r == total edge case
+    let (idx, probes) = its_search(cl, 0, cl.len(), r);
+    let idx = idx.min(nbrs.len() - 1); // guard the r == total edge case
     (StepOutcome::Moved(nbrs[idx]), UNBIASED_UPDATER_OPS + probes)
 }
 
@@ -100,6 +115,42 @@ mod tests {
         let g = line_graph();
         let mut rng = Xoshiro256pp::new(1);
         assert_eq!(sample_unbiased(&g, 3, &mut rng).0, StepOutcome::DeadEnd);
+    }
+
+    #[test]
+    fn dead_end_charges_two_ops_and_draws_no_random_number() {
+        // The op-count contract both samplers share: a dead end costs
+        // DEAD_END_OPS (fetch + degree check) and bails before the RNG —
+        // in the biased case, before the cumulative-list fetch too.
+        let g = line_graph().with_random_weights(7);
+        for sampler in [sample_unbiased, sample_biased] {
+            let mut rng = Xoshiro256pp::new(3);
+            let probe = Xoshiro256pp::new(3).next_u64();
+            assert_eq!(
+                sampler(&g, 3, &mut rng),
+                (StepOutcome::DeadEnd, DEAD_END_OPS)
+            );
+            assert_eq!(rng.next_u64(), probe, "dead end must not consume the RNG");
+        }
+    }
+
+    #[test]
+    fn its_search_finds_first_exceeding_index_and_counts_probes() {
+        let cl = [1.0f32, 3.0, 3.0, 7.0, 10.0];
+        // First cl[idx] > r over the full range.
+        assert_eq!(its_search(&cl, 0, cl.len(), 0.5).0, 0);
+        assert_eq!(its_search(&cl, 0, cl.len(), 1.0).0, 1);
+        assert_eq!(its_search(&cl, 0, cl.len(), 3.0).0, 3); // skips the tie
+        assert_eq!(its_search(&cl, 0, cl.len(), 9.9).0, 4);
+        assert_eq!(its_search(&cl, 0, cl.len(), 10.0).0, 5); // r == total → hi
+                                                             // Restricted window (the dense-slice case).
+        assert_eq!(its_search(&cl, 2, 4, 2.0).0, 2);
+        assert_eq!(its_search(&cl, 2, 4, 8.0).0, 4);
+        // Probe count is the binary-search iteration count: ceil(log2)
+        // bounded, ≥ 1 on non-empty ranges, 0 on empty ones.
+        let (_, probes) = its_search(&cl, 0, cl.len(), 5.0);
+        assert!((1..=3).contains(&probes), "len 5 needs ≤3 probes: {probes}");
+        assert_eq!(its_search(&cl, 2, 2, 0.0), (2, 0));
     }
 
     #[test]

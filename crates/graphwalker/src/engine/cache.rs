@@ -57,14 +57,15 @@ impl GraphWalkerSim<'_> {
         }
         self.cache.insert(0, block);
         run.block_loads += 1;
-        let pages: Vec<Ppa> = self.placements[block as usize].pages.clone();
-        let done = self.ssd.host_read_pages(run.now, &pages);
+        let pages: &[Ppa] = &self.placements[block as usize].pages;
+        let num_pages = pages.len() as u64;
+        let done = self.ssd.host_read_pages(run.now, pages);
         self.tracer.span_bytes(
             "gw.load",
             block,
             run.now,
             done,
-            pages.len() as u64 * self.ssd.config().geometry.page_bytes,
+            num_pages * self.ssd.config().geometry.page_bytes,
         );
         run.breakdown.load_graph += done - run.now;
         run.now = done;

@@ -14,6 +14,10 @@ impl GraphWalkerSim<'_> {
     /// "keeps updating them until they leave these blocks or have reached
     /// the termination conditions").
     pub(super) fn update_block(&mut self, block: u32, run: &mut GwRun) {
+        // Taken for the drain; the emptied buffer is restored below so the
+        // pool never reallocates. Safe because hopping walks either stay
+        // cached (and keep hopping) or leave to *another* block's pool —
+        // nothing pushes into `block`'s own pool mid-update.
         let mut work = std::mem::take(&mut self.pools[block as usize].walks);
         let mut batch_hops: u64 = 0;
         for mut w in work.drain(..) {
@@ -43,6 +47,7 @@ impl GraphWalkerSim<'_> {
                 }
             }
         }
+        self.pools[block as usize].walks = work;
         run.hops += batch_hops;
         let cpu = Duration::nanos(batch_hops * self.cfg.cpu_ns_per_hop);
         self.tracer.span("gw.update", block, run.now, run.now + cpu);

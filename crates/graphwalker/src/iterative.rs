@@ -81,6 +81,8 @@ impl From<IterReport> for RunReport {
                 other_ns: r.breakdown.other.as_nanos(),
             },
             read_bw: r.read_bw,
+            // Serial engine: no event queue; hops are the host-work proxy.
+            host_events: r.hops,
             progress: Vec::new(), // untraced engine
             trace_window_ns: 0,
             walk_log: Vec::new(), // no walk logging
@@ -210,15 +212,11 @@ impl<'g> IterativeSim<'g> {
                 // Load the block (no cross-iteration cache: the stream
                 // revisits every block each iteration).
                 block_loads += 1;
-                let pages = self.placements[b].pages.clone();
-                let done = self.ssd.host_read_pages(now, &pages);
-                self.tracer.span_bytes(
-                    "iter.load",
-                    b as u32,
-                    now,
-                    done,
-                    pages.len() as u64 * page_bytes,
-                );
+                let pages = &self.placements[b].pages;
+                let num_pages = pages.len() as u64;
+                let done = self.ssd.host_read_pages(now, pages);
+                self.tracer
+                    .span_bytes("iter.load", b as u32, now, done, num_pages * page_bytes);
                 breakdown.load_graph += done - now;
                 now = done;
 
