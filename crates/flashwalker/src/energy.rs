@@ -168,6 +168,7 @@ mod tests {
             trace_window_ns: 1,
             walk_log: vec![],
             trace: None,
+            faults: None,
         }
     }
 

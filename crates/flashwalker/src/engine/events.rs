@@ -1,6 +1,6 @@
 //! Simulation events, run statistics and the detailed report type.
 
-use fw_walk::{EngineBreakdown, RunReport, RunStats, Traffic};
+use fw_walk::{EngineBreakdown, FaultSummary, RunReport, RunStats, Traffic};
 
 use super::state::{SgId, TWalk};
 
@@ -88,6 +88,14 @@ pub struct FwStats {
     pub load_fetch_ns: u64,
     /// Load-latency share: spilled-page read-back (ns).
     pub load_spill_ns: u64,
+    /// Subgraph loads whose completion exceeded the fault profile's
+    /// timeout and were requeued (0 when faults are off).
+    pub stalled_loads: u64,
+    /// Load re-issues: timeout requeues plus hard-ECC-fail re-reads.
+    pub load_requeues: u64,
+    /// Pages completed through the degraded controller-path re-read after
+    /// exhausting re-issue attempts.
+    pub degraded_loads: u64,
 }
 
 /// Result of a FlashWalker run.
@@ -131,6 +139,9 @@ pub struct FwReport {
     /// Span-trace derived views, when
     /// [`super::FlashWalkerSim::with_span_trace`] was enabled.
     pub trace: Option<fw_sim::TraceReport>,
+    /// Fault-injection counters, when the run had a nonzero fault
+    /// profile ([`super::FlashWalkerSim::with_faults`]).
+    pub faults: Option<FaultSummary>,
 }
 
 impl From<FwReport> for RunReport {
@@ -164,6 +175,7 @@ impl From<FwReport> for RunReport {
             trace_window_ns: r.trace_window_ns,
             walk_log: r.walk_log,
             trace: r.trace,
+            faults: r.faults,
         }
     }
 }

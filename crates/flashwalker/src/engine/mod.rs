@@ -67,11 +67,12 @@ mod tests;
 pub use events::{FwReport, FwStats};
 
 use fw_dram::{Dram, DramConfig};
+use fw_fault::{derive_stream_seed, FaultProfile, FAULT_STREAM};
 use fw_graph::{Csr, PartitionedGraph, RangeTable, SubgraphMappingTable};
 use fw_nand::layout::GraphBlockPlacement;
 use fw_nand::{GraphLayout, Lpn, Ssd, SsdConfig};
 use fw_sim::{EventQueue, SimTime, TimeSeries, TraceConfig, Tracer, Xoshiro256pp};
-use fw_walk::{RunReport, WalkEngine, Workload, WALK_BYTES};
+use fw_walk::{FaultSummary, RunReport, WalkEngine, Workload, WALK_BYTES};
 
 use crate::config::AccelConfig;
 use crate::tables::{DenseTable, WalkQueryCache};
@@ -95,6 +96,12 @@ pub struct FlashWalkerSim<'g> {
     part_windows: Vec<(usize, usize)>,
     events: EventQueue<Ev>,
     rng: Xoshiro256pp,
+    /// Construction seed, kept so [`Self::with_faults`] can derive the
+    /// injector's independent stream.
+    seed: u64,
+    /// Fault profile; [`FaultProfile::none`] (the default) injects
+    /// nothing and skips every recovery branch.
+    faults: FaultProfile,
 
     chips: Vec<ChipState>,
     channels: Vec<ChannelState>,
@@ -219,6 +226,8 @@ impl<'g> FlashWalkerSim<'g> {
             part_windows,
             events: EventQueue::new(),
             rng: Xoshiro256pp::new(seed),
+            seed,
+            faults: FaultProfile::none(),
             chips,
             channels,
             board: state::BoardState {
@@ -258,6 +267,19 @@ impl<'g> FlashWalkerSim<'g> {
         self.tracer = Tracer::enabled(cfg);
         self.ssd.enable_span_trace(cfg);
         self.dram.enable_span_trace(cfg);
+        self
+    }
+
+    /// Enable fault injection and recovery under `profile`. The injector
+    /// draws from its own RNG stream (derived from the construction seed
+    /// via [`derive_stream_seed`]), so walk paths are identical to a
+    /// fault-free run — only timing, retry/requeue metrics and the
+    /// recovery schedule change. Enabling [`FaultProfile::none`] is a
+    /// no-op.
+    pub fn with_faults(mut self, profile: FaultProfile) -> Self {
+        self.faults = profile;
+        self.ssd
+            .enable_faults(profile, derive_stream_seed(self.seed, FAULT_STREAM));
         self
     }
 
@@ -412,6 +434,22 @@ impl<'g> FlashWalkerSim<'g> {
         self.tracer.merge(&ssd_tracer);
         self.tracer.merge(&dram_tracer);
         let span_trace = self.tracer.finish(horizon);
+        let faults = self.faults.is_on().then(|| {
+            let f = self.ssd.fault_stats();
+            FaultSummary {
+                read_retries: f.read_retries,
+                recovered_reads: f.recovered_reads,
+                hard_read_fails: f.hard_read_fails,
+                program_retries: f.program_retries,
+                chip_stalls: f.chip_stalls,
+                channel_stalls: f.channel_stalls,
+                stall_ns: f.stall_ns,
+                retry_ns: f.retry_ns,
+                stalled_loads: self.stats.stalled_loads,
+                requeues: self.stats.load_requeues,
+                degraded_ops: self.stats.degraded_loads,
+            }
+        });
         let trace = self.ssd.trace().expect("trace enabled");
         FwReport {
             time: end - SimTime::ZERO,
@@ -435,6 +473,7 @@ impl<'g> FlashWalkerSim<'g> {
             trace_window_ns: self.trace_window_ns,
             walk_log: self.walk_log.unwrap_or_default(),
             trace: span_trace,
+            faults,
         }
     }
 }

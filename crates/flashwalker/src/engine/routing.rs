@@ -466,20 +466,7 @@ impl FlashWalkerSim<'_> {
                         deliveries.push_pooled(chip, tw, &mut self.pool);
                     } else {
                         dram_write_bytes += self.pwb_insert(tw, now, true);
-                        // Membership via bitmask (chip counts fit easily);
-                        // push order stays first-touch, which fixes the
-                        // later maybe_fill_chip call order.
-                        let seen = if (chip as usize) < 128 {
-                            let bit = 1u128 << chip;
-                            let s = dirty_mask & bit != 0;
-                            dirty_mask |= bit;
-                            s
-                        } else {
-                            dirty_chips.contains(&chip)
-                        };
-                        if !seen {
-                            dirty_chips.push(chip);
-                        }
+                        mark_dirty(&mut dirty_mask, &mut dirty_chips, chip);
                     }
                 }
                 None => {
@@ -563,6 +550,25 @@ impl FlashWalkerSim<'_> {
         }
         self.pool.put_chip_ids(dirty_chips);
         self.try_start_board(now);
+    }
+}
+
+/// Record `chip` as dirty, deduplicating while preserving first-touch
+/// push order (which fixes the later `maybe_fill_chip` call order).
+/// Chips below 128 use the bitmask fast path; larger ids — possible on
+/// scaled-up geometries — fall back to a linear membership scan of the
+/// (short) dirty list.
+pub(super) fn mark_dirty(dirty_mask: &mut u128, dirty_chips: &mut Vec<u32>, chip: u32) {
+    let seen = if (chip as usize) < 128 {
+        let bit = 1u128 << chip;
+        let s = *dirty_mask & bit != 0;
+        *dirty_mask |= bit;
+        s
+    } else {
+        dirty_chips.contains(&chip)
+    };
+    if !seen {
+        dirty_chips.push(chip);
     }
 }
 
@@ -664,5 +670,60 @@ mod tests {
         for sg in 0..pg.num_subgraphs() {
             assert!(sim.chip_of_sg(sg) < sim.num_chips());
         }
+    }
+
+    #[test]
+    fn mark_dirty_dedups_and_keeps_first_touch_order_across_the_boundary() {
+        // Ids below 128 take the bitmask fast path, ids at/above it the
+        // linear-scan fallback; interleaving them must not disturb the
+        // first-touch push order on either side.
+        let mut mask = 0u128;
+        let mut chips = Vec::new();
+        for &c in &[5, 200, 127, 128, 5, 200, 300, 128, 127, 0, 300, 131] {
+            super::mark_dirty(&mut mask, &mut chips, c);
+        }
+        assert_eq!(chips, vec![5, 200, 127, 128, 300, 0, 131]);
+    }
+
+    #[test]
+    fn geometry_beyond_the_dirty_bitmask_completes() {
+        // 33 channels × 4 chips = 132 chips: round-robin placement puts
+        // subgraphs on chips ≥ 128, exercising the dirty-list fallback
+        // end to end.
+        let csr = generate_csr(RmatParams::graph500(), 20_000, 200_000, 11);
+        let pg = PartitionedGraph::build(
+            &csr,
+            PartitionConfig {
+                subgraph_bytes: 4 << 10,
+                id_bytes: 4,
+                subgraphs_per_partition: 5_000,
+            },
+        );
+        assert!(pg.num_subgraphs() > 128, "need placements past chip 127");
+        let ssd = SsdConfig {
+            geometry: fw_nand::Geometry {
+                channels: 33,
+                chips_per_channel: 4,
+                dies_per_chip: 1,
+                planes_per_die: 1,
+                blocks_per_plane: 8,
+                pages_per_block: 8,
+                page_bytes: 4096,
+            },
+            op_blocks_per_plane: 2,
+            gc_threshold_blocks: 1,
+            ..SsdConfig::paper()
+        };
+        let mut cfg = AccelConfig::scaled();
+        cfg.opts = crate::OptToggles::all();
+        let sim = FlashWalkerSim::new(&csr, &pg, cfg, ssd, 1);
+        assert_eq!(sim.num_chips(), 132);
+        assert!(
+            (0..pg.num_subgraphs()).any(|sg| sim.chip_of_sg(sg) >= 128),
+            "placement must reach chips beyond the bitmask"
+        );
+        let r = sim.run_detailed(fw_walk::Workload::paper_default(2_000));
+        assert_eq!(r.walks, 2_000);
+        assert!(r.stats.sg_loads > 0);
     }
 }

@@ -2,7 +2,8 @@
 //! idle chip slots, plus the subgraph-load path it triggers.
 
 use fw_dram::DramOp;
-use fw_sim::SimTime;
+use fw_nand::Ppa;
+use fw_sim::{Duration, SimTime};
 use fw_walk::WALK_BYTES;
 
 use super::events::Ev;
@@ -84,7 +85,12 @@ impl FlashWalkerSim<'_> {
         let mut array_done = now;
         for i in 0..self.placements[sg as usize].pages.len() {
             let ppa = self.placements[sg as usize].pages[i];
-            array_done = array_done.max(self.ssd.array_read(now, ppa).end);
+            let (r, fault) = self.ssd.array_read_checked(now, ppa);
+            let mut end = r.end;
+            if fault.hard_fail {
+                end = self.recover_page_read(ppa, end);
+            }
+            array_done = array_done.max(end);
         }
         let mut done = array_done;
         // Walks from the PWB: DRAM read + board→chip channel transfer.
@@ -114,6 +120,19 @@ impl FlashWalkerSim<'_> {
             walks.extend(page.walks);
         }
         done = done.max(spill_done);
+        // Watchdog: a load that blows past the profile's timeout counts as
+        // stalled — the scheduler abandons the wait and requeues the load
+        // command (re-sent over the channel after a backoff), which is
+        // what delays the slot opening; the data itself is already in
+        // flight and completes with the requeued command.
+        if self.faults.is_on() && done - now > self.faults.load_timeout {
+            self.stats.stalled_loads += 1;
+            self.stats.load_requeues += 1;
+            let t = self
+                .ssd
+                .channel_transfer(done + self.faults.retry_backoff, ch, WALK_BYTES);
+            done = t.end;
+        }
         self.refresh_score(idx);
         self.tracer.span("sg.load", chip, now, done);
         self.stats.load_array_ns += (array_done - now).as_nanos();
@@ -123,6 +142,26 @@ impl FlashWalkerSim<'_> {
         self.stats.load_walks += walks.len() as u64;
         self.pending_loads.insert((chip, sg), walks);
         self.events.schedule_at(done, Ev::ChipLoaded { chip, sg });
+    }
+
+    /// Recovery path for a chip-private page read whose ECC ladder was
+    /// exhausted: re-issue the read from the mapping table with
+    /// exponential backoff up to the profile's attempt budget, then
+    /// degrade to the conventional controller-path read, whose stronger
+    /// soft decode always recovers. Returns when the page is resident.
+    pub(super) fn recover_page_read(&mut self, ppa: Ppa, failed_at: SimTime) -> SimTime {
+        let mut end = failed_at;
+        for attempt in 0..self.faults.max_load_attempts.saturating_sub(1) {
+            self.stats.load_requeues += 1;
+            let backoff = Duration::nanos(self.faults.retry_backoff.as_nanos() << attempt);
+            let (r, fault) = self.ssd.array_read_checked(end + backoff, ppa);
+            end = r.end;
+            if !fault.hard_fail {
+                return end;
+            }
+        }
+        self.stats.degraded_loads += 1;
+        self.ssd.read_page_to_controller(end, ppa).end
     }
 }
 

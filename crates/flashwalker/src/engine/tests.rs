@@ -180,6 +180,99 @@ fn flash_accounting_is_self_consistent() {
 }
 
 #[test]
+fn zero_fault_profile_is_byte_identical_to_default() {
+    // Enabling the subsystem with the all-zero profile must not move a
+    // single reservation: the injector draws no RNG and adds no latency.
+    let (csr, pg) = small_setup(1500, 15_000, 5_000);
+    let base = run(&csr, &pg, 2_000, crate::OptToggles::all());
+    let mut cfg = AccelConfig::scaled();
+    cfg.opts = crate::OptToggles::all();
+    let off = FlashWalkerSim::new(&csr, &pg, cfg, SsdConfig::tiny(), 99)
+        .with_trace_window(100_000)
+        .with_faults(fw_fault::FaultProfile::none())
+        .run_detailed(Workload::paper_default(2_000));
+    assert_eq!(off.time, base.time);
+    assert_eq!(off.stats.hops, base.stats.hops);
+    assert_eq!(off.flash_read_bytes, base.flash_read_bytes);
+    assert_eq!(off.channel_bytes, base.channel_bytes);
+    assert!(off.faults.is_none(), "fault-free run omits the summary");
+    assert!(base.faults.is_none());
+}
+
+#[test]
+fn completes_under_heavy_faults_and_stays_deterministic() {
+    let (csr, pg) = small_setup(1500, 15_000, 5_000);
+    let faulted = |_| {
+        let mut cfg = AccelConfig::scaled();
+        cfg.opts = crate::OptToggles::all();
+        FlashWalkerSim::new(&csr, &pg, cfg, SsdConfig::tiny(), 99)
+            .with_faults(fw_fault::FaultProfile::heavy())
+            .run_detailed(Workload::paper_default(2_000))
+    };
+    let a = faulted(());
+    let b = faulted(());
+    // Every walk completes despite injected errors and stalls.
+    assert_eq!(a.walks, 2_000);
+    let f = a.faults.expect("faulted run reports a summary");
+    assert!(f.read_retries > 0, "heavy profile must trigger retries");
+    assert!(f.total_events() > 0);
+    // Same seed, same profile: the whole fault schedule replays.
+    assert_eq!(a.time, b.time);
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.stats.hops, b.stats.hops);
+}
+
+#[test]
+fn exhausted_retry_ladder_takes_the_degraded_path() {
+    // Certain read error + 0% retry success: every graph-page read runs
+    // the ladder dry, re-issues fail too, and the load finishes through
+    // the degraded controller path.
+    let (csr, pg) = small_setup(1000, 8_000, 5_000);
+    let profile = fw_fault::FaultProfile {
+        read_error_ppm: 1_000_000,
+        retry_success_pct: 0,
+        max_read_retries: 2,
+        max_load_attempts: 2,
+        retry_backoff: Duration::micros(1),
+        load_timeout: Duration::secs(1),
+        ..fw_fault::FaultProfile::none()
+    };
+    let mut cfg = AccelConfig::scaled();
+    cfg.opts = crate::OptToggles::all();
+    let r = FlashWalkerSim::new(&csr, &pg, cfg, SsdConfig::tiny(), 99)
+        .with_faults(profile)
+        .run_detailed(Workload::paper_default(1_000));
+    assert_eq!(r.walks, 1_000, "walks still complete in degraded mode");
+    assert!(r.stats.degraded_loads > 0);
+    assert!(r.stats.load_requeues >= r.stats.degraded_loads);
+    let f = r.faults.unwrap();
+    assert!(f.hard_read_fails > 0);
+    assert_eq!(f.degraded_ops, r.stats.degraded_loads);
+}
+
+#[test]
+fn slow_loads_trip_the_watchdog_and_requeue() {
+    // A 1 ns timeout classifies every subgraph load as stalled; each one
+    // is requeued with backoff and the run still completes.
+    let (csr, pg) = small_setup(1000, 8_000, 5_000);
+    let profile = fw_fault::FaultProfile {
+        chip_stall_ppm: 1, // keeps the profile "on" with negligible noise
+        load_timeout: Duration::nanos(1),
+        retry_backoff: Duration::micros(10),
+        ..fw_fault::FaultProfile::none()
+    };
+    let mut cfg = AccelConfig::scaled();
+    cfg.opts = crate::OptToggles::all();
+    let r = FlashWalkerSim::new(&csr, &pg, cfg, SsdConfig::tiny(), 99)
+        .with_faults(profile)
+        .run_detailed(Workload::paper_default(1_000));
+    assert_eq!(r.walks, 1_000);
+    assert!(r.stats.stalled_loads > 0);
+    assert_eq!(r.stats.stalled_loads, r.stats.sg_loads);
+    assert!(r.stats.load_requeues >= r.stats.stalled_loads);
+}
+
+#[test]
 fn dense_graph_with_hub_completes() {
     // A hub vertex forces dense handling through pre-walking.
     let mut e = vec![];

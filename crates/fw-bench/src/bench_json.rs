@@ -424,16 +424,22 @@ pub struct StatU {
 }
 
 impl StatU {
-    /// Summarize a non-empty slice.
+    /// Summarize a non-empty slice. Panics on an empty one — callers that
+    /// may legitimately see empty data (all-skipped suites, zero seeds)
+    /// should use [`StatU::try_of`] and surface the error themselves.
     pub fn of(xs: &[u64]) -> StatU {
-        assert!(!xs.is_empty(), "StatU::of on empty slice");
+        StatU::try_of(xs).expect("StatU::of on empty slice")
+    }
+
+    /// Summarize a slice, `None` when it is empty.
+    pub fn try_of(xs: &[u64]) -> Option<StatU> {
         let n = xs.len() as u128;
         let sum: u128 = xs.iter().map(|&x| x as u128).sum();
-        StatU {
-            mean: ((sum + n / 2) / n) as u64,
-            min: *xs.iter().min().unwrap(),
-            max: *xs.iter().max().unwrap(),
-        }
+        Some(StatU {
+            mean: ((sum + n / 2) / n.max(1)) as u64,
+            min: *xs.iter().min()?,
+            max: *xs.iter().max()?,
+        })
     }
 
     /// `(max - min) / mean` — the seed-derived relative noise band
@@ -481,14 +487,22 @@ pub struct StatF {
 }
 
 impl StatF {
-    /// Summarize a non-empty slice.
+    /// Summarize a non-empty slice. Panics on an empty one — callers that
+    /// may legitimately see empty data should use [`StatF::try_of`].
     pub fn of(xs: &[f64]) -> StatF {
-        assert!(!xs.is_empty(), "StatF::of on empty slice");
-        StatF {
+        StatF::try_of(xs).expect("StatF::of on empty slice")
+    }
+
+    /// Summarize a slice, `None` when it is empty.
+    pub fn try_of(xs: &[f64]) -> Option<StatF> {
+        if xs.is_empty() {
+            return None;
+        }
+        Some(StatF {
             mean: xs.iter().sum::<f64>() / xs.len() as f64,
             min: xs.iter().copied().fold(f64::INFINITY, f64::min),
             max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
-        }
+        })
     }
 
     /// The all-zero stat (used when wall-clock capture is disabled).
@@ -542,11 +556,16 @@ pub struct EnvFingerprint {
     pub suite: String,
     /// The exact seed list every scenario repeated over.
     pub seeds: Vec<u64>,
+    /// Fault-injection profile the suite ran under ("none", "light",
+    /// "heavy"). Written only when not "none" so fault-free records stay
+    /// byte-identical to records written before faults existed; absent
+    /// on parse means "none".
+    pub fault_profile: String,
 }
 
 impl EnvFingerprint {
     fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut pairs = vec![
             ("git_rev", Json::s(&self.git_rev)),
             ("config", Json::s(&self.config)),
             ("graph_scale", Json::u(self.graph_scale)),
@@ -556,7 +575,11 @@ impl EnvFingerprint {
                 "seeds",
                 Json::Arr(self.seeds.iter().map(|&s| Json::u(s)).collect()),
             ),
-        ])
+        ];
+        if self.fault_profile != "none" {
+            pairs.push(("fault_profile", Json::s(&self.fault_profile)));
+        }
+        Json::obj(pairs)
     }
 
     fn from_json(v: &Json) -> Result<EnvFingerprint, String> {
@@ -585,6 +608,11 @@ impl EnvFingerprint {
             struct_scale: u("struct_scale")?,
             suite: s("suite")?,
             seeds,
+            fault_profile: v
+                .get("fault_profile")
+                .and_then(Json::as_str)
+                .unwrap_or("none")
+                .to_string(),
         })
     }
 }
@@ -983,6 +1011,7 @@ mod tests {
                 struct_scale: 16,
                 suite: "ci".into(),
                 seeds: vec![42, 43],
+                fault_profile: "none".into(),
             },
             scenarios: vec![ScenarioRecord {
                 name: "fw/TT/w100".into(),
@@ -1051,6 +1080,43 @@ mod tests {
         let text = rep.render();
         assert!(text.contains("\"host\""));
         let back = BenchReport::parse(&text).expect("parse own output");
+        assert_eq!(back, rep);
+        assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn stats_over_empty_slices_are_none_not_panics() {
+        // Regression: an all-skipped suite used to reach the `of` assert
+        // and abort; the try_ variants give callers an error path.
+        assert_eq!(StatU::try_of(&[]), None);
+        assert_eq!(StatF::try_of(&[]), None);
+        assert_eq!(
+            StatU::try_of(&[3, 5]),
+            Some(StatU {
+                mean: 4,
+                min: 3,
+                max: 5
+            })
+        );
+        assert_eq!(StatF::try_of(&[2.0]).unwrap().mean, 2.0);
+    }
+
+    #[test]
+    fn fault_profile_is_omitted_when_none_and_round_trips_otherwise() {
+        // Fault-free records must not change shape (byte-identity with
+        // pre-fault baselines)…
+        let rep = tiny_report();
+        assert!(!rep.render().contains("fault_profile"));
+        let back = BenchReport::parse(&rep.render()).unwrap();
+        assert_eq!(back.env.fault_profile, "none");
+
+        // …and fault-enabled records carry the profile through a round
+        // trip.
+        let mut rep = tiny_report();
+        rep.env.fault_profile = "light".into();
+        let text = rep.render();
+        assert!(text.contains("\"fault_profile\": \"light\""));
+        let back = BenchReport::parse(&text).unwrap();
         assert_eq!(back, rep);
         assert_eq!(back.render(), text);
     }

@@ -17,7 +17,7 @@ use fw_bench::suite::{env_seeds, run_suite, selected_datasets, Suite};
 
 fn main() {
     let suite = Suite::three_way(env_seeds());
-    let res = run_suite(&suite);
+    let res = run_suite(&suite).expect("suite has seeds and scenarios");
 
     println!(
         "dataset\twalks\titerative\tgraphwalker\tflashwalker\tgw_vs_iter\tfw_vs_gw\tfw_vs_iter"

@@ -29,8 +29,9 @@ fn main() {
         seeds: env_seeds(),
         scenarios,
         trace: false,
+        faults: fw_fault::FaultProfile::none(),
     };
-    let res = run_suite(&suite);
+    let res = run_suite(&suite).expect("suite has seeds and scenarios");
 
     println!("dataset\twalks\tfw_time\tgw_time\tspeedup\tmin\tmax");
     let mut speedups = Vec::new();

@@ -28,8 +28,9 @@ fn main() {
         seeds: env_seeds(),
         scenarios,
         trace: false,
+        faults: fw_fault::FaultProfile::none(),
     };
-    let res = run_suite(&suite);
+    let res = run_suite(&suite).expect("suite has seeds and scenarios");
 
     println!("dataset\twalks\tfw_read_MB\tgw_read_MB\ttraffic_reduction\tfw_bw_GBs\tgw_bw_GBs\tbw_improvement\tbw_min\tbw_max");
     let mut traffic = Vec::new();

@@ -33,8 +33,9 @@ fn main() {
         seeds: env_seeds(),
         scenarios,
         trace: false,
+        faults: fw_fault::FaultProfile::none(),
     };
-    let res = run_suite(&suite);
+    let res = run_suite(&suite).expect("suite has seeds and scenarios");
 
     // Results keep suite order: dataset outer, memory sweep inner.
     println!("dataset\twalks\tmem\tfw_time\tgw_time\tspeedup\tmin\tmax");

@@ -59,8 +59,9 @@ fn main() {
         seeds: env_seeds(),
         scenarios,
         trace: false,
+        faults: fw_fault::FaultProfile::none(),
     };
-    let res = run_suite(&suite);
+    let res = run_suite(&suite).expect("suite has seeds and scenarios");
 
     println!("dataset\tconfig\ttime\tspeedup_vs_base\tmin\tmax");
     for r in &res.results {

@@ -33,10 +33,11 @@ use fw_bench::bench_json::{newest_bench_file, BenchReport};
 use fw_bench::compare::{compare_reports, CompareConfig};
 use fw_bench::runner::DEFAULT_SEED;
 use fw_bench::suite::{build_bench_report, env_seeds, run_suite, Suite};
+use fw_fault::FaultProfile;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  fwbench run [--suite ci|paper] [--seeds N] [--label L] [--out PATH] [--wall] [--no-trace]\n  fwbench compare [BASELINE] [CURRENT] [--noise-floor F]\n  fwbench hostperf RECORD [BASELINE]"
+        "usage:\n  fwbench run [--suite ci|paper] [--seeds N] [--label L] [--out PATH] [--wall] [--no-trace] [--faults none|light|heavy]\n  fwbench compare [BASELINE] [CURRENT] [--noise-floor F]\n  fwbench hostperf RECORD [BASELINE]"
     );
     ExitCode::from(2)
 }
@@ -87,21 +88,74 @@ fn cmd_run(args: &[String]) -> ExitCode {
     if args.iter().any(|a| a == "--no-trace") {
         suite.trace = false;
     }
+    if let Some(name) = flag_value(args, "--faults") {
+        match FaultProfile::parse(name) {
+            Ok(p) => suite = suite.with_faults(p),
+            Err(e) => {
+                eprintln!("fwbench: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     let include_wall = args.iter().any(|a| a == "--wall");
+    // Fault runs default to a suffixed label so they never clobber the
+    // fault-free BENCH_<suite>.json byte-identity baseline.
+    let default_label = if suite.faults.is_on() {
+        format!("{}-{}", suite.name, suite.faults.name)
+    } else {
+        suite.name.clone()
+    };
     let label = flag_value(args, "--label")
-        .unwrap_or(&suite.name)
+        .unwrap_or(&default_label)
         .to_string();
     let out: PathBuf = flag_value(args, "--out")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from(format!("BENCH_{label}.json")));
 
     eprintln!(
-        "fwbench: suite={} scenarios={} seeds={:?}",
+        "fwbench: suite={} scenarios={} seeds={:?} faults={}",
         suite.name,
         suite.scenarios.len(),
-        suite.seeds
+        suite.seeds,
+        suite.faults.name
     );
-    let result = run_suite(&suite);
+    let result = match run_suite(&suite) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fwbench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if suite.faults.is_on() {
+        // A requested fault profile that injects nothing means the model
+        // is mis-wired — fail loudly rather than record a silently clean
+        // run (CI gates on this).
+        let events: u64 = result
+            .results
+            .iter()
+            .flat_map(|r| r.runs.iter())
+            .filter_map(|run| run.report.faults.as_ref())
+            .map(|f| f.total_events())
+            .sum();
+        let retries: u64 = result
+            .results
+            .iter()
+            .flat_map(|r| r.runs.iter())
+            .filter_map(|run| run.report.faults.as_ref())
+            .map(|f| f.read_retries)
+            .sum();
+        eprintln!(
+            "fwbench: fault profile '{}': {events} fault events, {retries} read retries",
+            suite.faults.name
+        );
+        if events == 0 {
+            eprintln!(
+                "fwbench: fault profile '{}' was requested but injected zero fault events",
+                suite.faults.name
+            );
+            return ExitCode::FAILURE;
+        }
+    }
     let report = build_bench_report(&label, &result, include_wall);
     if let Err(e) = std::fs::write(&out, report.render()) {
         eprintln!("fwbench: cannot write {}: {e}", out.display());

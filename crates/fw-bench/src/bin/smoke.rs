@@ -26,7 +26,7 @@ fn main() {
         .unwrap_or_else(|| id.default_walks() / 4);
 
     let suite = Suite::single(id, walks, default_gw_memory(), env_seeds());
-    let res = run_suite(&suite);
+    let res = run_suite(&suite).expect("suite has seeds and scenarios");
     let fw = res.find("fw", id, walks).expect("fw cell");
     let gw = res.find("gw", id, walks).expect("gw cell");
     let s = fw.speedup_stat().expect("paired speedup");

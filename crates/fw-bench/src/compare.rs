@@ -164,6 +164,13 @@ pub fn compare_reports(
             base.schema, cur.schema
         ));
     }
+    if base.env.fault_profile != cur.env.fault_profile {
+        return Err(format!(
+            "fault profile mismatch: baseline '{}' vs current '{}' — faulted and \
+             fault-free records are not comparable",
+            base.env.fault_profile, cur.env.fault_profile
+        ));
+    }
     if base.env.graph_scale != cur.env.graph_scale
         || base.env.struct_scale != cur.env.struct_scale
         || base.env.config != cur.env.config
@@ -230,11 +237,14 @@ pub fn compare_reports(
 }
 
 /// For each dataset, the all-optimizations FlashWalker scenario at that
-/// dataset's largest walk count (the Figure 5 anchor cells).
+/// dataset's largest walk count (the Figure 5 anchor cells). The anchor
+/// is picked on walk count alone; a cell without a paired GraphWalker
+/// run still anchors its dataset, and the claims below skip it instead
+/// of silently falling back to a smaller cell.
 fn fw_anchor_cells(rep: &BenchReport) -> BTreeMap<String, &ScenarioRecord> {
     let mut best: BTreeMap<String, &ScenarioRecord> = BTreeMap::new();
     for s in &rep.scenarios {
-        if s.tag != "fw" || s.speedup_over_graphwalker.is_none() {
+        if s.tag != "fw" {
             continue;
         }
         match best.get(&s.dataset) {
@@ -247,6 +257,11 @@ fn fw_anchor_cells(rep: &BenchReport) -> BTreeMap<String, &ScenarioRecord> {
     best
 }
 
+/// Mean speedup of an anchor cell, if it has a paired GraphWalker run.
+fn anchor_speedup(s: &ScenarioRecord) -> Option<f64> {
+    s.speedup_over_graphwalker.as_ref().map(|st| st.mean)
+}
+
 /// Re-check the EXPERIMENTS.md directional claims against one record.
 /// Checks whose scenarios are absent from the record return
 /// [`Verdict::Skip`] rather than guessing.
@@ -257,10 +272,11 @@ pub fn fidelity_checks(rep: &BenchReport, cfg: &CompareConfig) -> Vec<FidelityCh
     // Claim 1 (Fig 5, reproduction summary row 1): FlashWalker beats
     // GraphWalker on every measured cell.
     {
-        let fw: Vec<&ScenarioRecord> = rep
+        let fw: Vec<(&str, f64)> = rep
             .scenarios
             .iter()
-            .filter(|s| s.tag == "fw" && s.speedup_over_graphwalker.is_some())
+            .filter(|s| s.tag == "fw")
+            .filter_map(|s| anchor_speedup(s).map(|sp| (s.name.as_str(), sp)))
             .collect();
         let check = if fw.is_empty() {
             FidelityCheck {
@@ -271,14 +287,8 @@ pub fn fidelity_checks(rep: &BenchReport, cfg: &CompareConfig) -> Vec<FidelityCh
         } else {
             let losers: Vec<String> = fw
                 .iter()
-                .filter(|s| s.speedup_over_graphwalker.unwrap().mean <= 1.0)
-                .map(|s| {
-                    format!(
-                        "{} ({:.2}x)",
-                        s.name,
-                        s.speedup_over_graphwalker.unwrap().mean
-                    )
-                })
+                .filter(|(_, sp)| *sp <= 1.0)
+                .map(|(name, sp)| format!("{name} ({sp:.2}x)"))
                 .collect();
             FidelityCheck {
                 claim: "FlashWalker beats GraphWalker everywhere".into(),
@@ -300,43 +310,56 @@ pub fn fidelity_checks(rep: &BenchReport, cfg: &CompareConfig) -> Vec<FidelityCh
     // Claim 2 (Fig 5): TT shows the smallest speedup — its graph fits
     // GraphWalker's memory, so the baseline is at its strongest there.
     {
-        let check = match anchors.get("TT") {
-            Some(tt) if anchors.len() >= 2 => {
-                let tt_s = tt.speedup_over_graphwalker.unwrap().mean;
+        let claim = "TT shows the smallest speedup (graph fits baseline memory)";
+        let check = match anchors.get("TT").map(|tt| (tt, anchor_speedup(tt))) {
+            Some((tt, None)) => FidelityCheck {
+                claim: claim.into(),
+                verdict: Verdict::Skip,
+                detail: format!("anchor cell {} has no paired gw run", tt.name),
+            },
+            Some((_, Some(tt_s))) if anchors.len() >= 2 => {
                 let others: Vec<(&str, f64)> = anchors
                     .iter()
                     .filter(|(d, _)| d.as_str() != "TT")
-                    .map(|(d, s)| (d.as_str(), s.speedup_over_graphwalker.unwrap().mean))
+                    .filter_map(|(d, s)| anchor_speedup(s).map(|sp| (d.as_str(), sp)))
                     .collect();
-                let beaten: Vec<String> = others
-                    .iter()
-                    .filter(|(_, s)| *s < tt_s)
-                    .map(|(d, s)| format!("{d} ({s:.2}x < {tt_s:.2}x)"))
-                    .collect();
-                FidelityCheck {
-                    claim: "TT shows the smallest speedup (graph fits baseline memory)".into(),
-                    verdict: if beaten.is_empty() {
-                        Verdict::Pass
-                    } else {
-                        Verdict::Fail
-                    },
-                    detail: if beaten.is_empty() {
-                        format!(
-                            "TT {:.2}x ≤ {}",
-                            tt_s,
-                            others
-                                .iter()
-                                .map(|(d, s)| format!("{d} {s:.2}x"))
-                                .collect::<Vec<_>>()
-                                .join(", ")
-                        )
-                    } else {
-                        format!("datasets below TT: {}", beaten.join(", "))
-                    },
+                if others.is_empty() {
+                    FidelityCheck {
+                        claim: claim.into(),
+                        verdict: Verdict::Skip,
+                        detail: "no other dataset anchor has a paired gw run".into(),
+                    }
+                } else {
+                    let beaten: Vec<String> = others
+                        .iter()
+                        .filter(|(_, s)| *s < tt_s)
+                        .map(|(d, s)| format!("{d} ({s:.2}x < {tt_s:.2}x)"))
+                        .collect();
+                    FidelityCheck {
+                        claim: claim.into(),
+                        verdict: if beaten.is_empty() {
+                            Verdict::Pass
+                        } else {
+                            Verdict::Fail
+                        },
+                        detail: if beaten.is_empty() {
+                            format!(
+                                "TT {:.2}x ≤ {}",
+                                tt_s,
+                                others
+                                    .iter()
+                                    .map(|(d, s)| format!("{d} {s:.2}x"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            )
+                        } else {
+                            format!("datasets below TT: {}", beaten.join(", "))
+                        },
+                    }
                 }
             }
             _ => FidelityCheck {
-                claim: "TT shows the smallest speedup (graph fits baseline memory)".into(),
+                claim: claim.into(),
                 verdict: Verdict::Skip,
                 detail: "needs TT plus at least one other dataset".into(),
             },
@@ -347,22 +370,29 @@ pub fn fidelity_checks(rep: &BenchReport, cfg: &CompareConfig) -> Vec<FidelityCh
     // Claim 3 (Fig 5): larger graphs → larger speedups; CW (the largest
     // graph) must beat TT (the smallest).
     {
+        let claim = "larger graphs see larger speedups (CW > TT)";
         let check = match (anchors.get("TT"), anchors.get("CW")) {
-            (Some(tt), Some(cw)) => {
-                let tt_s = tt.speedup_over_graphwalker.unwrap().mean;
-                let cw_s = cw.speedup_over_graphwalker.unwrap().mean;
-                FidelityCheck {
-                    claim: "larger graphs see larger speedups (CW > TT)".into(),
+            (Some(tt), Some(cw)) => match (anchor_speedup(tt), anchor_speedup(cw)) {
+                (Some(tt_s), Some(cw_s)) => FidelityCheck {
+                    claim: claim.into(),
                     verdict: if cw_s > tt_s {
                         Verdict::Pass
                     } else {
                         Verdict::Fail
                     },
                     detail: format!("CW {cw_s:.2}x vs TT {tt_s:.2}x"),
+                },
+                (tt_sp, _) => {
+                    let unpaired = if tt_sp.is_none() { &tt.name } else { &cw.name };
+                    FidelityCheck {
+                        claim: claim.into(),
+                        verdict: Verdict::Skip,
+                        detail: format!("anchor cell {unpaired} has no paired gw run"),
+                    }
                 }
-            }
+            },
             _ => FidelityCheck {
-                claim: "larger graphs see larger speedups (CW > TT)".into(),
+                claim: claim.into(),
                 verdict: Verdict::Skip,
                 detail: "needs both CW and TT cells".into(),
             },
@@ -483,6 +513,7 @@ mod tests {
                 struct_scale: 16,
                 suite: "ci".into(),
                 seeds: vec![42, 43, 44],
+                fault_profile: "none".into(),
             },
             scenarios,
             host: None,
@@ -604,6 +635,40 @@ mod tests {
         };
         let checks = fidelity_checks(&rep, &CompareConfig::default());
         assert_eq!(checks[3].verdict, Verdict::Fail, "{}", checks[3].detail);
+    }
+
+    /// Regression: a largest-walks fw cell whose gw twin is absent used
+    /// to be silently skipped during anchor selection, letting a smaller
+    /// cell anchor the dataset (and, before that, the claim code
+    /// unwrapped speedups that could be None). The anchor must stay on
+    /// the largest cell and the cross-dataset claims must skip, not
+    /// panic or quietly downgrade.
+    #[test]
+    fn unpaired_anchor_cells_skip_the_cross_dataset_claims() {
+        let rep = report(vec![
+            record("fw", "CW", 2000, 70_000_000, 700_000, None),
+            record("fw", "CW", 1000, 40_000_000, 400_000, Some(12.0)),
+            record("gw", "TT", 1000, 50_000_000, 500_000, None),
+            record("fw", "TT", 1000, 10_000_000, 100_000, Some(5.0)),
+        ]);
+        let checks = fidelity_checks(&rep, &CompareConfig::default());
+        // Claim 1 still judges the paired cells.
+        assert_eq!(checks[0].verdict, Verdict::Pass, "{}", checks[0].detail);
+        // Claims 2 and 3 anchor on fw/CW/w2000, which has no paired gw
+        // run — they must skip rather than fall back to fw/CW/w1000.
+        assert_eq!(checks[1].verdict, Verdict::Skip, "{}", checks[1].detail);
+        assert!(checks[1].detail.contains("no other dataset anchor"));
+        assert_eq!(checks[2].verdict, Verdict::Skip, "{}", checks[2].detail);
+        assert!(checks[2].detail.contains("fw/CW/w2000"));
+    }
+
+    #[test]
+    fn mismatched_fault_profiles_are_rejected() {
+        let a = sample();
+        let mut b = sample();
+        b.env.fault_profile = "light".into();
+        let err = compare_reports(&a, &b, &CompareConfig::default()).unwrap_err();
+        assert!(err.contains("fault profile mismatch"), "{err}");
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use flashwalker::{AccelConfig, OptToggles};
+use fw_fault::FaultProfile;
 use fw_graph::datasets::{GRAPH_SCALE, STRUCT_SCALE};
 use fw_graph::DatasetId;
 use fw_sim::export::trace_summary_json;
@@ -186,6 +187,11 @@ pub struct Suite {
     /// `TraceReport`-derived summaries to the record; does not perturb
     /// simulated time).
     pub trace: bool,
+    /// Fault-injection profile applied to every FlashWalker and
+    /// GraphWalker cell (the iterative baseline always runs fault-free).
+    /// The default [`FaultProfile::none`] draws zero RNG and adds zero
+    /// latency, preserving byte-identity with pre-fault records.
+    pub faults: FaultProfile,
 }
 
 impl Suite {
@@ -213,6 +219,7 @@ impl Suite {
             seeds,
             scenarios,
             trace: true,
+            faults: FaultProfile::none(),
         }
     }
 
@@ -239,6 +246,7 @@ impl Suite {
             seeds,
             scenarios,
             trace: true,
+            faults: FaultProfile::none(),
         }
     }
 
@@ -253,6 +261,7 @@ impl Suite {
                 Scenario::fw(dataset, walks),
             ],
             trace: false,
+            faults: FaultProfile::none(),
         }
     }
 
@@ -273,7 +282,14 @@ impl Suite {
             seeds,
             scenarios,
             trace: false,
+            faults: FaultProfile::none(),
         }
+    }
+
+    /// Attach a fault profile (returns self for chaining).
+    pub fn with_faults(mut self, faults: FaultProfile) -> Suite {
+        self.faults = faults;
+        self
     }
 }
 
@@ -372,6 +388,8 @@ pub struct SuiteResult {
     pub name: String,
     /// The seed list that ran.
     pub seeds: Vec<u64>,
+    /// The fault profile the suite ran under.
+    pub faults: FaultProfile,
     /// Per-scenario results, in suite order.
     pub results: Vec<ScenarioResult>,
 }
@@ -391,7 +409,13 @@ impl SuiteResult {
     }
 }
 
-fn run_one(p: &crate::runner::Prepared, sc: &Scenario, seed: u64, trace: bool) -> RunReport {
+fn run_one(
+    p: &crate::runner::Prepared,
+    sc: &Scenario,
+    seed: u64,
+    trace: bool,
+    faults: FaultProfile,
+) -> RunReport {
     let wl = Workload::paper_default(sc.walks);
     let tcfg = TraceConfig::default();
     match sc.engine {
@@ -400,12 +424,18 @@ fn run_one(p: &crate::runner::Prepared, sc: &Scenario, seed: u64, trace: bool) -
             if trace {
                 e = e.with_span_trace(tcfg);
             }
+            if faults.is_on() {
+                e = e.with_faults(faults);
+            }
             e.run(wl)
         }
         EngineKind::Graphwalker => {
             let mut e = graphwalker_engine(p, sc.gw_memory, seed);
             if trace {
                 e = e.with_span_trace(tcfg);
+            }
+            if faults.is_on() {
+                e = e.with_faults(faults);
             }
             e.run(wl)
         }
@@ -423,8 +453,19 @@ fn run_one(p: &crate::runner::Prepared, sc: &Scenario, seed: u64, trace: bool) -
 /// (one OS thread each, like the figure binaries); scenarios and seeds
 /// run in declaration order within a dataset. GraphWalker cells run
 /// first so sibling cells can report per-seed speedups against them.
-pub fn run_suite(suite: &Suite) -> SuiteResult {
-    assert!(!suite.seeds.is_empty(), "suite needs at least one seed");
+///
+/// Errors (rather than panicking) on a suite with no seeds or no
+/// scenarios — both are reachable from the `fwbench` CLI.
+pub fn run_suite(suite: &Suite) -> Result<SuiteResult, String> {
+    if suite.seeds.is_empty() {
+        return Err(format!(
+            "suite '{}' has no seeds; pass at least one (e.g. --seeds 1)",
+            suite.name
+        ));
+    }
+    if suite.scenarios.is_empty() {
+        return Err(format!("suite '{}' has no scenarios to run", suite.name));
+    }
     // Group scenario indices by dataset, preserving first appearance.
     let mut order: Vec<DatasetId> = Vec::new();
     for sc in &suite.scenarios {
@@ -464,7 +505,7 @@ pub fn run_suite(suite: &Suite) -> SuiteResult {
                 for (si, &seed) in suite.seeds.iter().enumerate() {
                     eprintln!("[{}] {} seed {} …", id.abbrev(), sc.name(), seed);
                     let t0 = Instant::now();
-                    let report = run_one(&p, sc, seed, suite.trace && si == 0);
+                    let report = run_one(&p, sc, seed, suite.trace && si == 0, suite.faults);
                     let wall_ns = t0.elapsed().as_nanos() as u64;
                     let wall_ms = wall_ns as f64 / 1e6;
                     let own_ns = report.time.as_nanos();
@@ -500,11 +541,12 @@ pub fn run_suite(suite: &Suite) -> SuiteResult {
 
     let mut flat: Vec<(usize, ScenarioResult)> = chunks.into_iter().flatten().collect();
     flat.sort_by_key(|(i, _)| *i);
-    SuiteResult {
+    Ok(SuiteResult {
         name: suite.name.clone(),
         seeds: suite.seeds.clone(),
+        faults: suite.faults,
         results: flat.into_iter().map(|(_, r)| r).collect(),
-    }
+    })
 }
 
 /// `git rev-parse --short HEAD`, or "unknown" outside a git checkout.
@@ -579,6 +621,7 @@ pub fn build_bench_report(label: &str, res: &SuiteResult, include_wall: bool) ->
             struct_scale: STRUCT_SCALE,
             suite: res.name.clone(),
             seeds: res.seeds.clone(),
+            fault_profile: res.faults.name.to_string(),
         },
         scenarios,
         host,

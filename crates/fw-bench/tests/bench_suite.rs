@@ -11,6 +11,7 @@ use std::sync::OnceLock;
 use fw_bench::bench_json::{BenchReport, Json, StatU};
 use fw_bench::compare::{compare_reports, fidelity_checks, CompareConfig, Verdict};
 use fw_bench::suite::{build_bench_report, default_gw_memory, run_suite, Suite, SuiteResult};
+use fw_fault::FaultProfile;
 use fw_graph::DatasetId;
 
 const WALKS: u64 = 500;
@@ -23,7 +24,7 @@ fn tiny_suite() -> Suite {
 
 fn shared_result() -> &'static SuiteResult {
     static RESULT: OnceLock<SuiteResult> = OnceLock::new();
-    RESULT.get_or_init(|| run_suite(&tiny_suite()))
+    RESULT.get_or_init(|| run_suite(&tiny_suite()).expect("tiny suite runs"))
 }
 
 fn shared_report() -> BenchReport {
@@ -36,7 +37,12 @@ fn shared_report() -> BenchReport {
 #[test]
 fn same_seed_runs_emit_byte_identical_json() {
     let a = build_bench_report("test", shared_result(), false).render();
-    let b = build_bench_report("test", &run_suite(&tiny_suite()), false).render();
+    let b = build_bench_report(
+        "test",
+        &run_suite(&tiny_suite()).expect("tiny suite runs"),
+        false,
+    )
+    .render();
     assert_eq!(a, b, "same-seed fwbench runs must be byte-identical");
     assert!(a.ends_with('\n'), "rendered report ends with a newline");
 }
@@ -103,6 +109,68 @@ fn bench_json_round_trips_through_in_crate_parser() {
             b.speedup_over_graphwalker.is_some()
         );
     }
+}
+
+/// Empty suites error cleanly instead of panicking (regression: an
+/// empty seed list used to reach an assert and abort the process before
+/// any error could be printed).
+#[test]
+fn empty_suites_error_instead_of_panicking() {
+    let mut s = tiny_suite();
+    s.seeds.clear();
+    let err = run_suite(&s).unwrap_err();
+    assert!(err.contains("no seeds"), "{err}");
+
+    let mut s = tiny_suite();
+    s.scenarios.clear();
+    let err = run_suite(&s).unwrap_err();
+    assert!(err.contains("no scenarios"), "{err}");
+}
+
+/// Fault-enabled suites complete every walk, report nonzero fault
+/// metrics, stay byte-deterministic across same-seed runs, and stamp the
+/// profile into the env fingerprint — while fault-free records keep the
+/// exact pre-fault shape.
+#[test]
+fn fault_suite_is_deterministic_and_reports_fault_metrics() {
+    let faulted = || tiny_suite().with_faults(FaultProfile::light());
+    let a = run_suite(&faulted()).expect("fault suite runs");
+    let ra = build_bench_report("faults", &a, false);
+    let rb = build_bench_report(
+        "faults",
+        &run_suite(&faulted()).expect("fault suite runs"),
+        false,
+    );
+    assert_eq!(
+        ra.render(),
+        rb.render(),
+        "same-seed fault runs must be byte-identical"
+    );
+    assert_eq!(ra.env.fault_profile, "light");
+
+    // Every walk completed despite injected faults, and the injector
+    // left observable traces in the reports.
+    for res in &a.results {
+        for run in &res.runs {
+            assert_eq!(run.report.walks, WALKS, "{}", res.scenario.name());
+        }
+    }
+    let events: u64 = a
+        .results
+        .iter()
+        .flat_map(|r| r.runs.iter())
+        .filter_map(|run| run.report.faults.as_ref())
+        .map(|f| f.total_events())
+        .sum();
+    assert!(events > 0, "light profile must inject observable faults");
+    assert!(ra.render().contains("\"faults\""));
+
+    // The fault-free record keeps its pre-fault shape: no profile key,
+    // no per-scenario fault sections.
+    let clean = shared_report();
+    assert_eq!(clean.env.fault_profile, "none");
+    assert!(!clean.render().contains("fault_profile"));
+    assert!(!clean.render().contains("\"faults\""));
 }
 
 /// The suite runner's report carries everything the schema promises:

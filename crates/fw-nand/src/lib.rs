@@ -42,6 +42,7 @@ pub mod trace;
 pub use address::{Geometry, Ppa};
 pub use config::SsdConfig;
 pub use ftl::{Ftl, Lpn};
+pub use fw_fault::{FaultProfile, FaultStats, ReadFault};
 pub use layout::GraphLayout;
 pub use ssd::{Ssd, SsdStats};
 pub use trace::SsdTrace;

@@ -8,6 +8,7 @@
 //! keeps cross-engine comparisons exact: identical requests contend for
 //! identical resources.
 
+use fw_fault::{FaultInjector, FaultProfile, FaultStats, ReadFault};
 use fw_sim::timeline::Reservation;
 use fw_sim::{BandwidthLink, Duration, ServerBank, SimTime, Timeline, TraceConfig, Tracer};
 
@@ -62,6 +63,9 @@ pub struct Ssd {
     stats: SsdStats,
     trace: Option<SsdTrace>,
     tracer: Tracer,
+    /// Fault injector; disabled by default, in which case it draws no
+    /// randomness and adds no latency anywhere.
+    fault: FaultInjector,
 }
 
 impl Ssd {
@@ -88,7 +92,26 @@ impl Ssd {
             stats: SsdStats::default(),
             trace: None,
             tracer: Tracer::disabled(),
+            fault: FaultInjector::disabled(),
         }
+    }
+
+    /// Enable fault injection under `profile`, seeded with an independent
+    /// stream seed (engines derive it from their run seed via
+    /// [`fw_fault::derive_stream_seed`]). Enabling the all-off
+    /// [`FaultProfile::none`] profile is equivalent to the default.
+    pub fn enable_faults(&mut self, profile: FaultProfile, stream_seed: u64) {
+        self.fault = FaultInjector::new(profile, stream_seed);
+    }
+
+    /// The active fault profile.
+    pub fn fault_profile(&self) -> &FaultProfile {
+        self.fault.profile()
+    }
+
+    /// Fault-injection counters accumulated so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault.stats()
     }
 
     /// Enable windowed bandwidth tracing (Figure 8).
@@ -134,17 +157,52 @@ impl Ssd {
     ///
     /// This occupies only the plane and a chip array port — **not** the
     /// channel bus. It is the chip-level accelerator's private access path.
+    ///
+    /// Under fault injection, a read that enters the ECC retry ladder and
+    /// recovers is absorbed here (the escalating sense latencies are
+    /// charged into the reservation); a hard-failed read is charged its
+    /// full ladder time too, with the failure silently swallowed —
+    /// callers that implement recovery use [`Ssd::array_read_checked`].
     pub fn array_read(&mut self, at: SimTime, ppa: Ppa) -> Reservation {
-        self.array_op(at, ppa, self.cfg.read_latency, ArrayOpKind::Read)
+        self.array_read_checked(at, ppa).0
+    }
+
+    /// Like [`Ssd::array_read`], but also reports the injector's verdict
+    /// so the caller can re-issue or degrade on a hard ECC failure.
+    pub fn array_read_checked(&mut self, at: SimTime, ppa: Ppa) -> (Reservation, ReadFault) {
+        let fault = self
+            .fault
+            .on_read(ppa.block_index(&self.cfg.geometry), self.cfg.read_latency);
+        let res = self.array_op(
+            at,
+            ppa,
+            self.cfg.read_latency + fault.extra,
+            ArrayOpKind::Read,
+        );
+        if fault.retries > 0 {
+            self.tracer
+                .record("fault.read_retries", fault.retries as u64);
+        }
+        (res, fault)
     }
 
     /// Program one page from its plane's register into the array.
     pub fn array_program(&mut self, at: SimTime, ppa: Ppa) -> Reservation {
-        self.array_op(at, ppa, self.cfg.program_latency, ArrayOpKind::Program)
+        let extra = self.fault.on_program(
+            ppa.block_index(&self.cfg.geometry),
+            self.cfg.program_latency,
+        );
+        self.array_op(
+            at,
+            ppa,
+            self.cfg.program_latency + extra,
+            ArrayOpKind::Program,
+        )
     }
 
     /// Erase the block containing `ppa`.
     pub fn array_erase(&mut self, at: SimTime, ppa: Ppa) -> Reservation {
+        self.fault.on_erase(ppa.block_index(&self.cfg.geometry));
         self.array_op(at, ppa, self.cfg.erase_latency, ArrayOpKind::Erase)
     }
 
@@ -152,6 +210,14 @@ impl Ssd {
     /// earlier than `at`. Used for register→controller page transfers,
     /// accelerator command/walk traffic, and controller→register writes.
     pub fn channel_transfer(&mut self, at: SimTime, channel: u32, bytes: u64) -> Reservation {
+        let at = match self.fault.channel_stall() {
+            Some(stall) => {
+                self.tracer
+                    .span("fault.channel_stall", channel, at, at + stall);
+                at + stall
+            }
+            None => at,
+        };
         let res =
             self.channels[channel as usize].transfer(at + self.cfg.channel_cmd_overhead, bytes);
         self.stats.channel_bytes += bytes;
@@ -301,6 +367,16 @@ impl Ssd {
         let g = self.cfg.geometry;
         let plane = ppa.plane_index(&g);
         let chip = ppa.chip_index(&g);
+        // A stalled chip delays the op's earliest start; the plane/port
+        // reservations below then queue behind whatever else is pending.
+        let at = match self.fault.chip_stall() {
+            Some(stall) => {
+                self.tracer
+                    .span("fault.chip_stall", chip as u32, at, at + stall);
+                at + stall
+            }
+            None => at,
+        };
         // The op must hold both its plane and one of the chip's array
         // ports for the whole latency. The plane reservation (with
         // backfill) fixes the schedule; the port bank then accounts the
@@ -517,6 +593,134 @@ mod tests {
         let rep = tracer.finish(done).unwrap();
         let legacy = s.channel_utilization(done);
         assert!((rep.mean_util_for("channel.bus") - legacy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_free_device_matches_default_device_exactly() {
+        // Enabling the all-off profile must not change a single
+        // reservation: the injector draws no randomness when disabled.
+        let mut plain = ssd();
+        let mut faulted = ssd();
+        faulted.enable_faults(FaultProfile::none(), 12345);
+        for i in 0..32u32 {
+            let p = ppa(i % 2, (i / 2) % 2, 0, 0, i % 8, i % 8);
+            assert_eq!(
+                plain.read_page_to_controller(SimTime::ZERO, p),
+                faulted.read_page_to_controller(SimTime::ZERO, p)
+            );
+        }
+        let a = plain.host_write_lpns(SimTime::ZERO, &[1, 2, 3]);
+        let b = faulted.host_write_lpns(SimTime::ZERO, &[1, 2, 3]);
+        assert_eq!(a, b);
+        assert_eq!(faulted.fault_stats().read_retries, 0);
+    }
+
+    #[test]
+    fn injected_read_retries_extend_latency_deterministically() {
+        let run = |seed: u64| {
+            let mut s = ssd();
+            s.enable_faults(FaultProfile::heavy(), seed);
+            let mut total = 0u64;
+            for i in 0..400u32 {
+                let p = ppa(i % 2, (i / 2) % 2, (i / 4) % 2, (i / 8) % 2, i % 8, i % 8);
+                let r = s.array_read(SimTime(i as u64 * 1_000_000), p);
+                total += (r.end - r.start).as_nanos();
+            }
+            (total, s.fault_stats())
+        };
+        let (t1, f1) = run(7);
+        let (t2, f2) = run(7);
+        assert_eq!(t1, t2, "same stream seed replays the fault schedule");
+        assert_eq!(f1.read_retries, f2.read_retries);
+        assert!(f1.read_retries > 0, "heavy profile must retry");
+        // A clean run is strictly faster in total array time.
+        let mut clean = ssd();
+        let mut clean_total = 0u64;
+        for i in 0..400u32 {
+            let p = ppa(i % 2, (i / 2) % 2, (i / 4) % 2, (i / 8) % 2, i % 8, i % 8);
+            let r = clean.array_read(SimTime(i as u64 * 1_000_000), p);
+            clean_total += (r.end - r.start).as_nanos();
+        }
+        assert!(
+            t1 > clean_total,
+            "retries add sense time: {t1} vs {clean_total}"
+        );
+    }
+
+    #[test]
+    fn checked_read_surfaces_hard_fail() {
+        let mut s = ssd();
+        // Every read errors, no ladder step recovers.
+        s.enable_faults(
+            FaultProfile {
+                name: "always-fail",
+                read_error_ppm: 1_000_000,
+                retry_success_pct: 0,
+                max_read_retries: 2,
+                ..FaultProfile::none()
+            },
+            1,
+        );
+        let (r, fault) = s.array_read_checked(SimTime::ZERO, ppa(0, 0, 0, 0, 0, 0));
+        assert!(fault.hard_fail);
+        assert_eq!(fault.retries, 2);
+        // Base 35 µs + ladder steps at 100% and 130%.
+        assert_eq!(
+            (r.end - r.start).as_nanos(),
+            35_000 + 35_000 + 35_000 * 130 / 100
+        );
+        assert_eq!(s.fault_stats().hard_read_fails, 1);
+    }
+
+    #[test]
+    fn erases_age_blocks_into_higher_error_rates() {
+        let profile = FaultProfile {
+            name: "wear",
+            read_error_ppm: 1_000,
+            wear_ppm_per_erase: 200_000,
+            retry_success_pct: 100,
+            max_read_retries: 1,
+            ..FaultProfile::none()
+        };
+        let mut s = ssd();
+        s.enable_faults(profile, 9);
+        let worn = ppa(0, 0, 0, 0, 0, 0);
+        for _ in 0..4 {
+            s.array_erase(SimTime::ZERO, worn);
+        }
+        for i in 0..200u32 {
+            s.array_read(SimTime(i as u64 * 10_000_000), worn);
+        }
+        let retries_worn = s.fault_stats().read_retries;
+        assert!(
+            retries_worn > 100,
+            "80.1% error rate after 4 erases: {retries_worn}"
+        );
+    }
+
+    #[test]
+    fn stalls_delay_ops_and_are_counted() {
+        let mut s = ssd();
+        s.enable_faults(
+            FaultProfile {
+                name: "stall-always",
+                chip_stall_ppm: 1_000_000,
+                chip_stall: Duration::micros(200),
+                channel_stall_ppm: 1_000_000,
+                channel_stall: Duration::micros(50),
+                // Keep is_on() true without read/program noise.
+                ..FaultProfile::none()
+            },
+            2,
+        );
+        let r = s.array_read(SimTime::ZERO, ppa(0, 0, 0, 0, 0, 0));
+        assert_eq!(r.start, SimTime::ZERO + Duration::micros(200));
+        let c = s.channel_transfer(SimTime::ZERO, 0, 4096);
+        assert!(c.start >= SimTime::ZERO + Duration::micros(50));
+        let f = s.fault_stats();
+        assert_eq!(f.chip_stalls, 1);
+        assert_eq!(f.channel_stalls, 1);
+        assert_eq!(f.stall_ns, 250_000);
     }
 
     #[test]

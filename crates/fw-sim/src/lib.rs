@@ -34,5 +34,5 @@ pub use fw_trace::{
     MetricsRegistry, QueueDepthSeries, SimTime, SpanRecord, StatSet, TimeSeries, TraceConfig,
     TraceReport, Tracer,
 };
-pub use rng::{SplitMix64, Xoshiro256pp};
+pub use rng::{derive_stream_seed, SplitMix64, Xoshiro256pp};
 pub use timeline::{BandwidthLink, ServerBank, Timeline};

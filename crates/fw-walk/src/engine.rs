@@ -105,6 +105,74 @@ impl EngineBreakdown {
     }
 }
 
+/// Fault-injection and recovery counters for one run.
+///
+/// Present on a [`RunReport`] only when the engine ran with a nonzero
+/// fault profile; fault-free runs carry `None` and serialize without a
+/// `faults` key, keeping their summaries byte-identical to pre-fault
+/// baselines. Device-level counters come from the SSD's injector; the
+/// `stalled_loads` / `requeues` / `degraded_ops` triple is the engine's
+/// own recovery bookkeeping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// ECC read-retry ladder steps taken.
+    pub read_retries: u64,
+    /// Reads that entered the ladder and recovered.
+    pub recovered_reads: u64,
+    /// Reads that exhausted the ladder (triggering engine recovery).
+    pub hard_read_fails: u64,
+    /// Programs that needed an extra pulse.
+    pub program_retries: u64,
+    /// Array ops delayed by a stalled chip.
+    pub chip_stalls: u64,
+    /// Channel transfers delayed by a stalled bus.
+    pub channel_stalls: u64,
+    /// Total injected stall time, ns.
+    pub stall_ns: u64,
+    /// Total extra retry sense/program time, ns.
+    pub retry_ns: u64,
+    /// Loads whose completion exceeded the profile's timeout and were
+    /// requeued by the engine.
+    pub stalled_loads: u64,
+    /// Load re-issues (timeout requeues + hard-fail re-reads).
+    pub requeues: u64,
+    /// Operations completed through the degradation path (mapping-table /
+    /// host fallback re-read) after exhausting re-issue attempts.
+    pub degraded_ops: u64,
+}
+
+impl FaultSummary {
+    /// Total injected fault events (the CI smoke gate checks this is
+    /// nonzero under a nonzero profile).
+    pub fn total_events(&self) -> u64 {
+        self.read_retries
+            + self.program_retries
+            + self.chip_stalls
+            + self.channel_stalls
+            + self.stalled_loads
+            + self.requeues
+            + self.degraded_ops
+    }
+
+    /// Hand-rolled JSON object; key order fixed, byte-deterministic.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"read_retries\":{},\"recovered_reads\":{},\"hard_read_fails\":{},\"program_retries\":{},\"chip_stalls\":{},\"channel_stalls\":{},\"stall_ns\":{},\"retry_ns\":{},\"stalled_loads\":{},\"requeues\":{},\"degraded_ops\":{}}}",
+            self.read_retries,
+            self.recovered_reads,
+            self.hard_read_fails,
+            self.program_retries,
+            self.chip_stalls,
+            self.channel_stalls,
+            self.stall_ns,
+            self.retry_ns,
+            self.stalled_loads,
+            self.requeues,
+            self.degraded_ops
+        )
+    }
+}
+
 /// The unified result of one engine run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -138,6 +206,9 @@ pub struct RunReport {
     /// Span-trace derived views (utilization, latency percentiles,
     /// queue depths), when span tracing was enabled on the engine.
     pub trace: Option<TraceReport>,
+    /// Fault-injection counters; `None` when the engine ran fault-free
+    /// (the default), so pre-fault summaries stay byte-identical.
+    pub faults: Option<FaultSummary>,
 }
 
 impl RunReport {
@@ -169,15 +240,20 @@ impl RunReport {
     /// exporters. Key order is fixed and floats use fixed precision, so
     /// identical runs serialize byte-identically.
     pub fn summary_json(&self) -> String {
+        let faults = match &self.faults {
+            Some(f) => format!(",\"faults\":{}", f.to_json()),
+            None => String::new(),
+        };
         format!(
-            "{{\"engine\":\"{}\",\"time_ns\":{},\"walks\":{},\"stats\":{},\"traffic\":{},\"breakdown\":{},\"read_bw\":{:.3}}}",
+            "{{\"engine\":\"{}\",\"time_ns\":{},\"walks\":{},\"stats\":{},\"traffic\":{},\"breakdown\":{},\"read_bw\":{:.3}{}}}",
             self.engine,
             self.time.as_nanos(),
             self.walks,
             self.stats.to_json(),
             self.traffic.to_json(),
             self.breakdown.to_json(),
-            self.read_bw
+            self.read_bw,
+            faults
         )
     }
 }
@@ -244,6 +320,7 @@ mod tests {
             trace_window_ns: 0,
             walk_log: Vec::new(),
             trace: None,
+            faults: None,
         };
         let json = r.summary_json();
         assert_eq!(json, r.summary_json());
@@ -256,5 +333,26 @@ mod tests {
         assert!(!json.contains(",}"));
         // Host metrics must never leak into the simulated summary.
         assert!(!json.contains("host_events"));
+        // Fault-free runs must not carry a faults key: the byte-identity
+        // contract against pre-fault baselines depends on it.
+        assert!(!json.contains("faults"));
+
+        let mut faulted = r.clone();
+        faulted.faults = Some(FaultSummary {
+            read_retries: 5,
+            recovered_reads: 4,
+            hard_read_fails: 1,
+            requeues: 2,
+            degraded_ops: 1,
+            ..FaultSummary::default()
+        });
+        let fj = faulted.summary_json();
+        assert!(fj.ends_with("}}"), "faults object closes the summary: {fj}");
+        assert!(fj.contains("\"faults\":{\"read_retries\":5"));
+        assert!(fj.contains("\"degraded_ops\":1"));
+        assert_eq!(fj.matches('{').count(), fj.matches('}').count());
+        // read_retries + requeues + degraded_ops (hard fails are already
+        // counted through their ladder retries).
+        assert_eq!(faulted.faults.unwrap().total_events(), 5 + 2 + 1);
     }
 }

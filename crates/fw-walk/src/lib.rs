@@ -25,7 +25,7 @@ pub mod visits;
 pub mod walk;
 pub mod workload;
 
-pub use engine::{EngineBreakdown, RunReport, RunStats, Traffic, WalkEngine};
+pub use engine::{EngineBreakdown, FaultSummary, RunReport, RunStats, Traffic, WalkEngine};
 pub use sampler::{
     its_search, sample_biased, sample_unbiased, StepOutcome, DEAD_END_OPS, UNBIASED_UPDATER_OPS,
 };

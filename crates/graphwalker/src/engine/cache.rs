@@ -4,6 +4,7 @@
 
 use fw_graph::VertexId;
 use fw_nand::Ppa;
+use fw_sim::{Duration, SimTime};
 
 use super::{GraphWalkerSim, GwRun};
 
@@ -57,18 +58,65 @@ impl GraphWalkerSim<'_> {
         }
         self.cache.insert(0, block);
         run.block_loads += 1;
-        let pages: &[Ppa] = &self.placements[block as usize].pages;
-        let num_pages = pages.len() as u64;
-        let done = self.ssd.host_read_pages(run.now, pages);
+        // The host path page by page (NVMe command → array read → channel
+        // → PCIe DMA), unrolled from `Ssd::host_read_pages` so each page's
+        // ECC verdict is visible: a hard-failed page goes through the host
+        // recovery path before its channel/PCIe leg. With faults off this
+        // is timing-identical to `host_read_pages`.
+        let num_pages = self.placements[block as usize].pages.len();
+        let page_bytes = self.ssd.config().geometry.page_bytes;
+        let start = run.now + self.ssd.config().nvme_cmd_overhead;
+        let mut done = start;
+        for i in 0..num_pages {
+            let ppa = self.placements[block as usize].pages[i];
+            let (rd, fault) = self.ssd.array_read_checked(start, ppa);
+            let mut end = rd.end;
+            if fault.hard_fail {
+                end = self.recover_host_read(ppa, end, run);
+            }
+            let ch = self.ssd.channel_transfer(end, ppa.channel, page_bytes);
+            let dma = self.ssd.pcie_transfer(ch.end, page_bytes);
+            done = done.max(dma.end);
+        }
+        // Watchdog: a block load that blows past the profile's timeout is
+        // treated as stalled — the host abandons the wait and requeues the
+        // NVMe command after a backoff; the requeued command completes
+        // against data already staged in the controller.
+        if self.faults.is_on() && done - run.now > self.faults.load_timeout {
+            run.stalled_loads += 1;
+            run.requeues += 1;
+            done = done + self.faults.retry_backoff + self.ssd.config().nvme_cmd_overhead;
+        }
         self.tracer.span_bytes(
             "gw.load",
             block,
             run.now,
             done,
-            num_pages * self.ssd.config().geometry.page_bytes,
+            num_pages as u64 * page_bytes,
         );
         run.breakdown.load_graph += done - run.now;
         run.now = done;
+    }
+
+    /// Host recovery for a page whose ECC ladder was exhausted: re-issue
+    /// the read with exponential backoff up to the profile's attempt
+    /// budget, then fall back to host-side reconstruction, charged as one
+    /// final full-array pass (any residual errors on that pass are
+    /// absorbed by the reconstruction). Returns when the page is in the
+    /// controller.
+    fn recover_host_read(&mut self, ppa: Ppa, failed_at: SimTime, run: &mut GwRun) -> SimTime {
+        let mut end = failed_at;
+        for attempt in 0..self.faults.max_load_attempts.saturating_sub(1) {
+            run.requeues += 1;
+            let backoff = Duration::nanos(self.faults.retry_backoff.as_nanos() << attempt);
+            let (r, fault) = self.ssd.array_read_checked(end + backoff, ppa);
+            end = r.end;
+            if !fault.hard_fail {
+                return end;
+            }
+        }
+        run.degraded += 1;
+        self.ssd.array_read(end, ppa).end
     }
 
     /// Read back spilled walk pages for `block` (walk I/O). Pages are

@@ -21,12 +21,15 @@
 mod cache;
 mod update;
 
+use fw_fault::{derive_stream_seed, FaultProfile, FAULT_STREAM};
 use fw_graph::partition::PartitionConfig;
 use fw_graph::{Csr, PartitionedGraph};
 use fw_nand::layout::GraphBlockPlacement;
 use fw_nand::{GraphLayout, Lpn, Ssd, SsdConfig};
 use fw_sim::{Duration, SimTime, TimeSeries, TraceConfig, TraceReport, Tracer, Xoshiro256pp};
-use fw_walk::{EngineBreakdown, RunReport, RunStats, Traffic, Walk, WalkEngine, Workload};
+use fw_walk::{
+    EngineBreakdown, FaultSummary, RunReport, RunStats, Traffic, Walk, WalkEngine, Workload,
+};
 
 use crate::breakdown::TimeBreakdown;
 use crate::config::GwConfig;
@@ -64,6 +67,9 @@ pub struct GwReport {
     /// Span-trace derived views, when
     /// [`GraphWalkerSim::with_span_trace`] was enabled.
     pub trace: Option<TraceReport>,
+    /// Fault-injection counters, when the run had a nonzero fault
+    /// profile ([`GraphWalkerSim::with_faults`]).
+    pub faults: Option<FaultSummary>,
 }
 
 impl From<GwReport> for RunReport {
@@ -95,6 +101,7 @@ impl From<GwReport> for RunReport {
             trace_window_ns: r.trace_window_ns,
             walk_log: r.walk_log,
             trace: r.trace,
+            faults: r.faults,
         }
     }
 }
@@ -124,6 +131,12 @@ pub(super) struct GwRun {
     pub(super) block_loads: u64,
     pub(super) walk_spills: u64,
     pub(super) progress: TimeSeries,
+    /// Block loads that exceeded the fault profile's timeout.
+    pub(super) stalled_loads: u64,
+    /// Page/command re-issues performed by the host recovery path.
+    pub(super) requeues: u64,
+    /// Pages completed through the degraded host-reconstruction path.
+    pub(super) degraded: u64,
 }
 
 /// The GraphWalker simulator.
@@ -135,6 +148,12 @@ pub struct GraphWalkerSim<'g> {
     wl: Workload,
     ssd: Ssd,
     rng: Xoshiro256pp,
+    /// Construction seed, kept so [`Self::with_faults`] can derive the
+    /// injector's independent stream.
+    seed: u64,
+    /// Fault profile; [`FaultProfile::none`] (the default) injects
+    /// nothing and skips every recovery branch.
+    pub(super) faults: FaultProfile,
     /// Block ids currently cached in host memory, LRU order (front = MRU).
     cache: Vec<u32>,
     pools: Vec<BlockPool>,
@@ -196,6 +215,8 @@ impl<'g> GraphWalkerSim<'g> {
             wl: Workload::paper_default(0),
             ssd: Ssd::new(ssd_cfg, static_blocks),
             rng: Xoshiro256pp::new(seed),
+            seed,
+            faults: FaultProfile::none(),
             cache: Vec::new(),
             pools,
             next_lpn: 0,
@@ -214,6 +235,18 @@ impl<'g> GraphWalkerSim<'g> {
     /// Collect every completed walk into [`GwReport::walk_log`].
     pub fn with_walk_log(mut self) -> Self {
         self.walk_log = Some(Vec::new());
+        self
+    }
+
+    /// Enable fault injection and recovery under `profile`. The injector
+    /// draws from its own RNG stream derived from the construction seed,
+    /// so walk paths match a fault-free run — only timing and
+    /// retry/requeue metrics change. Enabling [`FaultProfile::none`] is a
+    /// no-op.
+    pub fn with_faults(mut self, profile: FaultProfile) -> Self {
+        self.faults = profile;
+        self.ssd
+            .enable_faults(profile, derive_stream_seed(self.seed, FAULT_STREAM));
         self
     }
 
@@ -242,6 +275,9 @@ impl<'g> GraphWalkerSim<'g> {
             block_loads: 0,
             walk_spills: 0,
             progress: TimeSeries::new(self.trace_window_ns),
+            stalled_loads: 0,
+            requeues: 0,
+            degraded: 0,
         };
         let total = self.wl.num_walks;
 
@@ -274,6 +310,22 @@ impl<'g> GraphWalkerSim<'g> {
 
         let s = *self.ssd.stats();
         let cfgp = *self.ssd.config();
+        let faults = self.faults.is_on().then(|| {
+            let f = self.ssd.fault_stats();
+            FaultSummary {
+                read_retries: f.read_retries,
+                recovered_reads: f.recovered_reads,
+                hard_read_fails: f.hard_read_fails,
+                program_retries: f.program_retries,
+                chip_stalls: f.chip_stalls,
+                channel_stalls: f.channel_stalls,
+                stall_ns: f.stall_ns,
+                retry_ns: f.retry_ns,
+                stalled_loads: run.stalled_loads,
+                requeues: run.requeues,
+                degraded_ops: run.degraded,
+            }
+        });
         GwReport {
             time: run.now - SimTime::ZERO,
             walks: run.completed,
@@ -293,6 +345,7 @@ impl<'g> GraphWalkerSim<'g> {
             trace_window_ns: self.trace_window_ns,
             walk_log: self.walk_log.take().unwrap_or_default(),
             trace: span_trace,
+            faults,
         }
     }
 }
@@ -397,6 +450,87 @@ mod tests {
         let b = run(&g, small_cfg(64 << 10), 1_000);
         assert_eq!(a.time, b.time);
         assert_eq!(a.hops, b.hops);
+    }
+
+    #[test]
+    fn zero_fault_profile_is_byte_identical_to_default() {
+        // The unrolled fault-aware load path must reproduce
+        // `host_read_pages` timing exactly when the injector is off.
+        let g = graph(800, 8_000);
+        let base = run(&g, small_cfg(64 << 10), 1_000);
+        let off = GraphWalkerSim::new(&g, 4, small_cfg(64 << 10), SsdConfig::tiny(), 5)
+            .with_faults(fw_fault::FaultProfile::none())
+            .run_detailed(Workload::paper_default(1_000));
+        assert_eq!(off.time, base.time);
+        assert_eq!(off.hops, base.hops);
+        assert_eq!(off.flash_read_bytes, base.flash_read_bytes);
+        assert!(off.faults.is_none(), "fault-free run omits the summary");
+        assert!(base.faults.is_none());
+    }
+
+    #[test]
+    fn completes_under_heavy_faults_and_stays_deterministic() {
+        let g = graph(2000, 20_000);
+        let faulted = |_| {
+            GraphWalkerSim::new(&g, 4, small_cfg(96 << 10), SsdConfig::tiny(), 5)
+                .with_faults(fw_fault::FaultProfile::heavy())
+                .run_detailed(Workload::paper_default(2_000))
+        };
+        let a = faulted(());
+        let b = faulted(());
+        assert_eq!(a.walks, 2_000);
+        let f = a.faults.expect("faulted run reports a summary");
+        assert!(f.read_retries > 0, "heavy profile must trigger retries");
+        assert!(f.total_events() > 0);
+        assert_eq!(a.time, b.time);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.hops, b.hops);
+    }
+
+    #[test]
+    fn exhausted_retry_ladder_falls_back_to_the_host() {
+        // Certain read error + 0% retry success: every page read runs the
+        // ladder dry, re-issues fail, and the load finishes through the
+        // host-reconstruction fallback.
+        let g = graph(800, 8_000);
+        let profile = fw_fault::FaultProfile {
+            read_error_ppm: 1_000_000,
+            retry_success_pct: 0,
+            max_read_retries: 2,
+            max_load_attempts: 2,
+            retry_backoff: Duration::micros(1),
+            load_timeout: Duration::secs(1),
+            ..fw_fault::FaultProfile::none()
+        };
+        let r = GraphWalkerSim::new(&g, 4, small_cfg(64 << 10), SsdConfig::tiny(), 5)
+            .with_faults(profile)
+            .run_detailed(Workload::paper_default(1_000));
+        assert_eq!(r.walks, 1_000, "walks still complete in degraded mode");
+        let f = r.faults.unwrap();
+        assert!(f.hard_read_fails > 0);
+        assert!(f.degraded_ops > 0);
+        assert!(f.requeues >= f.degraded_ops);
+    }
+
+    #[test]
+    fn slow_loads_trip_the_watchdog_and_requeue() {
+        // A 1 ns timeout classifies every block load as stalled; each is
+        // requeued with backoff and the run still completes.
+        let g = graph(800, 8_000);
+        let profile = fw_fault::FaultProfile {
+            channel_stall_ppm: 1, // keeps the profile "on" with negligible noise
+            load_timeout: Duration::nanos(1),
+            retry_backoff: Duration::micros(10),
+            ..fw_fault::FaultProfile::none()
+        };
+        let r = GraphWalkerSim::new(&g, 4, small_cfg(64 << 10), SsdConfig::tiny(), 5)
+            .with_faults(profile)
+            .run_detailed(Workload::paper_default(1_000));
+        assert_eq!(r.walks, 1_000);
+        let f = r.faults.unwrap();
+        assert!(f.stalled_loads > 0);
+        assert_eq!(f.stalled_loads, r.block_loads);
+        assert!(f.requeues >= f.stalled_loads);
     }
 
     #[test]

@@ -87,6 +87,7 @@ impl From<IterReport> for RunReport {
             trace_window_ns: 0,
             walk_log: Vec::new(), // no walk logging
             trace: r.trace,
+            faults: None, // serial engine runs unfaulted
         }
     }
 }
