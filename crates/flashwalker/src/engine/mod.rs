@@ -71,7 +71,10 @@ use fw_fault::{derive_stream_seed, FaultProfile, FAULT_STREAM};
 use fw_graph::{Csr, PartitionedGraph, RangeTable, SubgraphMappingTable};
 use fw_nand::layout::GraphBlockPlacement;
 use fw_nand::{GraphLayout, Lpn, Ssd, SsdConfig};
-use fw_sim::{EventQueue, SimTime, TimeSeries, TraceConfig, Tracer, Xoshiro256pp};
+use fw_sim::{
+    ShardId, ShardedClock, ShardedEventQueue, SimTime, TimeSeries, TraceConfig, Tracer,
+    Xoshiro256pp,
+};
 use fw_walk::{FaultSummary, RunReport, WalkEngine, Workload, WALK_BYTES};
 
 use crate::config::AccelConfig;
@@ -94,7 +97,14 @@ pub struct FlashWalkerSim<'g> {
     placements: Vec<GraphBlockPlacement>,
     /// Mapping-table entry window per partition.
     part_windows: Vec<(usize, usize)>,
-    events: EventQueue<Ev>,
+    /// Sharded event streams: one shard per channel (carrying that
+    /// channel's chip and channel-accelerator events) plus a board/PCIe
+    /// shard. The merged pop order is bit-identical to the monolithic
+    /// queue, so `threads` never changes a single event delivery.
+    events: ShardedEventQueue<Ev>,
+    /// Worker count for window-driven execution; `1` (the default) runs
+    /// the sequential reference loop.
+    threads: u32,
     rng: Xoshiro256pp,
     /// Construction seed, kept so [`Self::with_faults`] can derive the
     /// injector's independent stream.
@@ -125,8 +135,11 @@ pub struct FlashWalkerSim<'g> {
     scratch: Vec<TWalk>,
     /// Reusable loaded-subgraph snapshot for chip batches.
     loaded_scratch: Vec<SgId>,
-    /// Free lists for event-payload vectors (see [`state::Pools`]).
-    pool: Pools,
+    /// Per-shard free lists for event-payload vectors (see
+    /// [`state::Pools`]): a vector is recycled into the pool of the shard
+    /// whose handler consumed it, so window-local recycling never crosses
+    /// a shard boundary between sync points.
+    pools: Vec<Pools>,
 
     total_walks: u64,
     completed: u64,
@@ -136,6 +149,10 @@ pub struct FlashWalkerSim<'g> {
     trace_window_ns: u64,
     walk_log: Option<Vec<fw_walk::Walk>>,
     pub(super) tracer: Tracer,
+    /// Per-shard tracers for the accelerator batch spans and queue
+    /// gauges. Merged into the root tracer at run end; the canonical
+    /// [`Tracer::finish`] makes the report independent of merge order.
+    pub(super) shard_tracers: Vec<Tracer>,
 }
 
 /// Walks per flash page (4 KB / 16 B).
@@ -224,7 +241,9 @@ impl<'g> FlashWalkerSim<'g> {
             dram: Dram::new(DramConfig::ddr4_1600()),
             placements,
             part_windows,
-            events: EventQueue::new(),
+            // One shard per channel, plus the board/PCIe shard last.
+            events: ShardedEventQueue::new(geometry.channels as usize + 1),
+            threads: 1,
             rng: Xoshiro256pp::new(seed),
             seed,
             faults: FaultProfile::none(),
@@ -246,7 +265,9 @@ impl<'g> FlashWalkerSim<'g> {
             relaxed_pick: false,
             scratch: Vec::new(),
             loaded_scratch: Vec::new(),
-            pool: Pools::default(),
+            pools: (0..geometry.channels as usize + 1)
+                .map(|_| Pools::default())
+                .collect(),
             total_walks: 0,
             completed: 0,
             next_lpn: 0,
@@ -255,7 +276,19 @@ impl<'g> FlashWalkerSim<'g> {
             trace_window_ns: 1_000_000,
             walk_log: None,
             tracer: Tracer::disabled(),
+            shard_tracers: (0..geometry.channels as usize + 1)
+                .map(|_| Tracer::disabled())
+                .collect(),
         }
+    }
+
+    /// Run with `n` workers. `1` (the default) is the sequential
+    /// reference loop; more switch to window-driven execution over the
+    /// sharded event streams. The committed event order — and therefore
+    /// every report byte — is identical at any thread count.
+    pub fn with_threads(mut self, n: u32) -> Self {
+        self.threads = n.max(1);
+        self
     }
 
     /// Enable span-based tracing of the whole hierarchy: flash / channel /
@@ -265,6 +298,9 @@ impl<'g> FlashWalkerSim<'g> {
     /// [`fw_sim::TraceReport`] lands in [`FwReport::trace`].
     pub fn with_span_trace(mut self, cfg: TraceConfig) -> Self {
         self.tracer = Tracer::enabled(cfg);
+        for t in &mut self.shard_tracers {
+            *t = Tracer::enabled(cfg);
+        }
         self.ssd.enable_span_trace(cfg);
         self.dram.enable_span_trace(cfg);
         self
@@ -317,6 +353,34 @@ impl<'g> FlashWalkerSim<'g> {
         chip / self.ssd.config().geometry.chips_per_channel
     }
 
+    /// Shard ownership: a chip's events ride its channel's stream (walks
+    /// leave a chip only over that channel's bus, so the stream carries
+    /// every cross-chip interaction the chip can have between syncs).
+    pub(super) fn shard_of_chip(&self, chip: u32) -> ShardId {
+        ShardId(self.channel_of_chip(chip))
+    }
+
+    pub(super) fn shard_of_chan(&self, ch: u32) -> ShardId {
+        ShardId(ch)
+    }
+
+    /// The board/PCIe shard: the last stream, after one per channel.
+    pub(super) fn board_shard(&self) -> ShardId {
+        ShardId(self.ssd.config().geometry.channels)
+    }
+
+    /// Conservative window lookahead: the fastest accelerator cycle. A
+    /// committed event can only reach *another* shard through a scheduled
+    /// batch at least one cycle out, so no cross-shard event can land
+    /// inside the window that spawned it.
+    fn window_lookahead(&self) -> fw_sim::Duration {
+        self.cfg
+            .chip_cycle
+            .min(self.cfg.chan_cycle)
+            .min(self.cfg.board_cycle)
+            .max(fw_sim::Duration(1))
+    }
+
     fn alloc_lpn(&mut self) -> Lpn {
         self.next_lpn += 1;
         self.next_lpn
@@ -341,6 +405,129 @@ impl<'g> FlashWalkerSim<'g> {
     // Top level
     // ------------------------------------------------------------------
 
+    /// Deliver one committed event to its handler.
+    fn dispatch(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::ChipLoaded { chip, sg } => self.on_chip_loaded(chip, sg, now),
+            Ev::ChipBatchDone { chip, outbox } => self.on_chip_batch_done(chip, outbox, now),
+            Ev::ChanArrive { ch, mut walks } => {
+                self.channels[ch as usize].inbox.append(&mut walks);
+                let sh = self.shard_of_chan(ch).index();
+                self.pools[sh].put_walks(walks);
+                self.try_start_channel(ch, now);
+            }
+            Ev::ChanBatchDone { ch, to_board } => self.on_chan_batch_done(ch, to_board, now),
+            Ev::BoardBatchDone {
+                deliveries,
+                dirty_chips,
+            } => self.on_board_batch_done(deliveries, dirty_chips, now),
+            Ev::ChipDeliver { chip, walks } => self.on_chip_deliver(chip, walks, now),
+        }
+    }
+
+    /// All shards quiesced with work left: flush leftover foreigner-
+    /// buffered walks, relax the load threshold for PWB stragglers, or
+    /// switch to the next partition with work. This is a global barrier —
+    /// every stream agrees the queue is empty before any refill.
+    fn on_quiesce(&mut self) {
+        let now = self.events.now();
+        if !self.board.foreigner_buf.is_empty() {
+            let walks = std::mem::take(&mut self.board.foreigner_buf);
+            self.flush_foreign_page(walks, now, true);
+        }
+        if self.pwb.total_walks() > 0 {
+            // Straggler tail: relax the load threshold and free any idle
+            // slots so the scheduler can make progress, then refill.
+            self.relaxed_pick = true;
+            for chip in 0..self.num_chips() {
+                for slot in &mut self.chips[chip as usize].slots {
+                    if matches!(slot, Slot::Loaded { queue, .. } if queue.is_empty()) {
+                        *slot = Slot::Empty;
+                    }
+                }
+                self.maybe_fill_chip(chip, now);
+            }
+            assert!(
+                !self.events.is_empty(),
+                "stuck: PWB has {} walks but no chip can load \
+                 (completed {}/{})",
+                self.pwb.total_walks(),
+                self.completed,
+                self.total_walks
+            );
+            return;
+        }
+        let next = self.next_partition_with_work().unwrap_or_else(|| {
+            panic!(
+                "stuck: no partition has work but only {}/{} walks done",
+                self.completed, self.total_walks
+            )
+        });
+        self.stats.partition_switches += 1;
+        self.setup_partition(next, now, true);
+    }
+
+    /// The sequential reference loop: pop the globally next event,
+    /// dispatch, repeat. Kept as the ground truth the windowed path is
+    /// tested against.
+    fn run_loop_sequential(&mut self) {
+        let mut guard: u64 = 0;
+        while self.completed < self.total_walks {
+            match self.events.pop() {
+                Some((now, _shard, ev)) => self.dispatch(now, ev),
+                None => self.on_quiesce(),
+            }
+            guard += 1;
+            assert!(
+                guard < 500_000_000,
+                "event guard tripped — runaway simulation"
+            );
+        }
+    }
+
+    /// Window-driven execution (`threads > 1`): events drain through
+    /// conservative [`fw_sim::SyncWindow`]s — lookahead one accelerator
+    /// cycle, the minimum cross-shard latency — with a [`ShardedClock`]
+    /// auditing that no shard escapes the open window or travels
+    /// backwards. Events *commit* in the same global (time, sequence)
+    /// order as the sequential reference — walk sampling draws from one
+    /// shared RNG stream, so the commit plane is serialized by design —
+    /// which is what makes the two paths bit-identical; the per-shard
+    /// planes (tracer lanes, pool free lists, fault streams) are the
+    /// window-local state workers own between sync points.
+    fn run_loop_windowed(&mut self) {
+        let lookahead = self.window_lookahead();
+        let mut clock = ShardedClock::new(self.events.num_shards());
+        let mut guard: u64 = 0;
+        while self.completed < self.total_walks {
+            match self.events.next_window(lookahead) {
+                Some(w) => {
+                    clock.open_window(w);
+                    while let Some((now, shard, ev)) = self.events.pop_within(w.end) {
+                        clock.advance(shard, now);
+                        self.dispatch(now, ev);
+                        guard += 1;
+                        assert!(
+                            guard < 500_000_000,
+                            "event guard tripped — runaway simulation"
+                        );
+                        if self.completed >= self.total_walks {
+                            return;
+                        }
+                    }
+                    clock.close_window();
+                }
+                None => {
+                    self.on_quiesce();
+                    // The quiesce refill may legitimately schedule before
+                    // the last window's end; the barrier re-founds the
+                    // per-shard clocks.
+                    clock = ShardedClock::new(self.events.num_shards());
+                }
+            }
+        }
+    }
+
     /// Run `wl` to completion and return the engine-specific report with
     /// the full per-level statistics. The unified view is
     /// [`WalkEngine::run`].
@@ -355,80 +542,23 @@ impl<'g> FlashWalkerSim<'g> {
             self.maybe_fill_chip(chip, SimTime::ZERO);
         }
 
-        let mut guard: u64 = 0;
-        while self.completed < self.total_walks {
-            match self.events.pop() {
-                Some((now, ev)) => match ev {
-                    Ev::ChipLoaded { chip, sg } => self.on_chip_loaded(chip, sg, now),
-                    Ev::ChipBatchDone { chip, outbox } => {
-                        self.on_chip_batch_done(chip, outbox, now)
-                    }
-                    Ev::ChanArrive { ch, mut walks } => {
-                        self.channels[ch as usize].inbox.append(&mut walks);
-                        self.pool.put_walks(walks);
-                        self.try_start_channel(ch, now);
-                    }
-                    Ev::ChanBatchDone { ch, to_board } => {
-                        self.on_chan_batch_done(ch, to_board, now)
-                    }
-                    Ev::BoardBatchDone {
-                        deliveries,
-                        dirty_chips,
-                    } => self.on_board_batch_done(deliveries, dirty_chips, now),
-                    Ev::ChipDeliver { chip, walks } => self.on_chip_deliver(chip, walks, now),
-                },
-                None => {
-                    let now = self.events.now();
-                    // Quiesced with work left: leftover foreigner-buffered
-                    // walks, PWB stragglers, or another partition.
-                    if !self.board.foreigner_buf.is_empty() {
-                        let walks = std::mem::take(&mut self.board.foreigner_buf);
-                        self.flush_foreign_page(walks, now, true);
-                    }
-                    if self.pwb.total_walks() > 0 {
-                        // Straggler tail: relax the load threshold and
-                        // free any idle slots so the scheduler can make
-                        // progress, then refill.
-                        self.relaxed_pick = true;
-                        for chip in 0..self.num_chips() {
-                            for slot in &mut self.chips[chip as usize].slots {
-                                if matches!(slot, Slot::Loaded { queue, .. } if queue.is_empty()) {
-                                    *slot = Slot::Empty;
-                                }
-                            }
-                            self.maybe_fill_chip(chip, now);
-                        }
-                        assert!(
-                            !self.events.is_empty(),
-                            "stuck: PWB has {} walks but no chip can load \
-                             (completed {}/{})",
-                            self.pwb.total_walks(),
-                            self.completed,
-                            self.total_walks
-                        );
-                        continue;
-                    }
-                    let next = self.next_partition_with_work().unwrap_or_else(|| {
-                        panic!(
-                            "stuck: no partition has work but only {}/{} walks done",
-                            self.completed, self.total_walks
-                        )
-                    });
-                    self.stats.partition_switches += 1;
-                    self.setup_partition(next, now, true);
-                }
-            }
-            guard += 1;
-            assert!(
-                guard < 500_000_000,
-                "event guard tripped — runaway simulation"
-            );
+        if self.threads > 1 {
+            self.run_loop_windowed();
+        } else {
+            self.run_loop_sequential();
         }
 
         let end = self.events.now();
         let horizon = SimTime::ZERO.max(end);
         let cfgp = *self.ssd.config();
         let s = *self.ssd.stats();
+        // Deterministic merge of the per-shard lanes: shard order here is
+        // fixed, and the canonical `Tracer::finish` is merge-order
+        // independent anyway (asserted in fw-trace's shuffled-merge test).
+        let shard_tracers = std::mem::take(&mut self.shard_tracers);
+        for t in &shard_tracers {
+            self.tracer.merge(t);
+        }
         let ssd_tracer = self.ssd.take_tracer();
         let dram_tracer = self.dram.take_tracer();
         self.tracer.merge(&ssd_tracer);

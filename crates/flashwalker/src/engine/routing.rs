@@ -27,8 +27,9 @@ impl FlashWalkerSim<'_> {
 
     fn run_chip_batch(&mut self, chip: u32, now: SimTime) {
         let hops_before = self.stats.chip_hops;
-        self.tracer
-            .gauge("chip.queue", now, self.chips[chip as usize].queued_walks());
+        let sh = self.shard_of_chip(chip).index();
+        let queued = self.chips[chip as usize].queued_walks();
+        self.shard_tracers[sh].gauge("chip.queue", now, queued);
         // Snapshot loaded subgraphs and drain their queues into the
         // reusable scratch buffers (batch bodies never nest, so taking
         // them is safe; both go back before this function returns).
@@ -51,7 +52,7 @@ impl FlashWalkerSim<'_> {
         }
         let mut upd_ops: u64 = 0;
         let mut guid_ops: u64 = 0;
-        let mut outbox = self.pool.take_walks();
+        let mut outbox = self.pools[sh].take_walks();
         let mut completed_now: u64 = 0;
 
         for mut tw in work.drain(..) {
@@ -117,16 +118,20 @@ impl FlashWalkerSim<'_> {
         let busy = upd_time.max(gui_time).max(cyc);
         self.stats.chip_busy_ns += busy.as_nanos();
         self.stats.chip_batches += 1;
-        self.tracer.span("chip.batch", chip, now, now + busy);
+        self.shard_tracers[sh].span("chip.batch", chip, now, now + busy);
         let batch_hops = self.stats.chip_hops - hops_before;
         if let Some(per_hop) = busy.as_nanos().checked_div(batch_hops) {
-            self.tracer.record("walk.step_ns", per_hop);
+            self.shard_tracers[sh].record("walk.step_ns", per_hop);
         }
-        self.events
-            .schedule_at(now + busy, Ev::ChipBatchDone { chip, outbox });
+        self.events.schedule_at(
+            self.shard_of_chip(chip),
+            now + busy,
+            Ev::ChipBatchDone { chip, outbox },
+        );
     }
 
     pub(super) fn on_chip_batch_done(&mut self, chip: u32, mut outbox: Vec<TWalk>, now: SimTime) {
+        let sh = self.shard_of_chip(chip).index();
         self.chips[chip as usize].busy = false;
         // "When a walk queue for a loaded subgraph becomes empty … the
         // subgraph scheduler is informed to decide a subgraph." We also
@@ -144,7 +149,7 @@ impl FlashWalkerSim<'_> {
                         outbox.push(tw);
                     }
                     if let Slot::Loaded { queue, .. } = std::mem::replace(slot, Slot::Empty) {
-                        self.pool.put_walks(queue);
+                        self.pools[sh].put_walks(queue);
                     }
                 }
             }
@@ -157,10 +162,13 @@ impl FlashWalkerSim<'_> {
             let res = self
                 .ssd
                 .channel_transfer(now, ch, outbox.len() as u64 * WALK_BYTES);
-            self.events
-                .schedule_at(res.end, Ev::ChanArrive { ch, walks: outbox });
+            self.events.schedule_at(
+                self.shard_of_chan(ch),
+                res.end,
+                Ev::ChanArrive { ch, walks: outbox },
+            );
         } else {
-            self.pool.put_walks(outbox);
+            self.pools[sh].put_walks(outbox);
         }
         self.maybe_fill_chip(chip, now);
         self.try_start_chip(chip, now);
@@ -184,7 +192,8 @@ impl FlashWalkerSim<'_> {
     }
 
     pub(super) fn on_chip_deliver(&mut self, chip: u32, mut walks: Vec<TWalk>, now: SimTime) {
-        let mut retry = self.pool.take_walks();
+        let sh = self.shard_of_chip(chip).index();
+        let mut retry = self.pools[sh].take_walks();
         for tw in walks.drain(..) {
             let sg = tw.dest.expect("delivery without destination");
             match self.chips[chip as usize].slot_of(sg) {
@@ -205,14 +214,15 @@ impl FlashWalkerSim<'_> {
                 }
             }
         }
-        self.pool.put_walks(walks);
+        self.pools[sh].put_walks(walks);
         if !retry.is_empty() {
             self.events.schedule_at(
+                self.shard_of_chip(chip),
                 now + Duration::micros(1),
                 Ev::ChipDeliver { chip, walks: retry },
             );
         } else {
-            self.pool.put_walks(retry);
+            self.pools[sh].put_walks(retry);
         }
         self.maybe_fill_chip(chip, now);
         self.try_start_chip(chip, now);
@@ -232,11 +242,9 @@ impl FlashWalkerSim<'_> {
     }
 
     fn run_channel_batch(&mut self, ch: u32, now: SimTime) {
-        self.tracer.gauge(
-            "chan.queue",
-            now,
-            self.channels[ch as usize].inbox.len() as u64,
-        );
+        let sh = self.shard_of_chan(ch).index();
+        let depth = self.channels[ch as usize].inbox.len() as u64;
+        self.shard_tracers[sh].gauge("chan.queue", now, depth);
         let mut inbox = std::mem::take(&mut self.scratch);
         debug_assert!(inbox.is_empty());
         let inbox_all = &mut self.channels[ch as usize].inbox;
@@ -248,7 +256,7 @@ impl FlashWalkerSim<'_> {
         let hot = std::mem::take(&mut self.channels[ch as usize].hot);
         let mut guid_ops: u64 = 0;
         let mut upd_ops: u64 = 0;
-        let mut to_board = self.pool.take_walks();
+        let mut to_board = self.pools[sh].take_walks();
         let mut completed_now: u64 = 0;
 
         for mut tw in inbox.drain(..) {
@@ -302,19 +310,23 @@ impl FlashWalkerSim<'_> {
             .max(cyc);
         self.stats.chan_busy_ns += busy.as_nanos();
         self.stats.chan_batches += 1;
-        self.tracer.span("chan.batch", ch, now, now + busy);
-        self.events
-            .schedule_at(now + busy, Ev::ChanBatchDone { ch, to_board });
+        self.shard_tracers[sh].span("chan.batch", ch, now, now + busy);
+        self.events.schedule_at(
+            self.shard_of_chan(ch),
+            now + busy,
+            Ev::ChanBatchDone { ch, to_board },
+        );
     }
 
     pub(super) fn on_chan_batch_done(&mut self, ch: u32, mut to_board: Vec<TWalk>, now: SimTime) {
+        let sh = self.shard_of_chan(ch).index();
         self.channels[ch as usize].busy = false;
         // Channel→board traffic is controller-internal (the board fetches
         // roving walks from channel accelerators over the controller
         // interconnect, not the ONFI bus).
         let any = !to_board.is_empty();
         self.board.inbox.append(&mut to_board);
-        self.pool.put_walks(to_board);
+        self.pools[sh].put_walks(to_board);
         if any {
             self.try_start_board(now);
         }
@@ -396,8 +408,9 @@ impl FlashWalkerSim<'_> {
     }
 
     fn run_board_batch(&mut self, now: SimTime) {
-        self.tracer
-            .gauge("board.queue", now, self.board.inbox.len() as u64);
+        let bs = self.board_shard().index();
+        let depth = self.board.inbox.len() as u64;
+        self.shard_tracers[bs].gauge("board.queue", now, depth);
         let mut inbox = std::mem::take(&mut self.scratch);
         debug_assert!(inbox.is_empty());
         let take = self.board.inbox.len().min(self.cfg.board_batch_cap);
@@ -409,9 +422,9 @@ impl FlashWalkerSim<'_> {
         let mut map_probes: u64 = 0;
         let mut dram_write_bytes: u64 = 0;
         let mut deliveries = DeliveryBuckets {
-            buckets: self.pool.take_deliveries(),
+            buckets: self.pools[bs].take_deliveries(),
         };
-        let mut dirty_chips = self.pool.take_chip_ids();
+        let mut dirty_chips = self.pools[bs].take_chip_ids();
         let mut dirty_mask: u128 = 0;
         let mut completed_now: u64 = 0;
 
@@ -463,7 +476,7 @@ impl FlashWalkerSim<'_> {
                     if self.chips[chip as usize].slot_of(sg).is_some() {
                         // Deliver straight to the loaded slot.
                         self.stats.deliveries += 1;
-                        deliveries.push_pooled(chip, tw, &mut self.pool);
+                        deliveries.push_pooled(chip, tw, &mut self.pools[bs]);
                     } else {
                         dram_write_bytes += self.pwb_insert(tw, now, true);
                         mark_dirty(&mut dirty_mask, &mut dirty_chips, chip);
@@ -517,10 +530,11 @@ impl FlashWalkerSim<'_> {
         let busy = gui.max(upd).max(map).max(dram).max(cyc);
         self.stats.board_busy_ns += busy.as_nanos();
         self.stats.board_batches += 1;
-        self.tracer.span("board.batch", 0, now, now + busy);
+        self.shard_tracers[bs].span("board.batch", 0, now, now + busy);
         self.stats.board_dram_ns += dram.as_nanos();
         self.stats.board_map_ns += map.as_nanos();
         self.events.schedule_at(
+            self.board_shard(),
             now + busy,
             Ev::BoardBatchDone {
                 deliveries: deliveries.buckets,
@@ -535,20 +549,24 @@ impl FlashWalkerSim<'_> {
         mut dirty_chips: Vec<u32>,
         now: SimTime,
     ) {
+        let bs = self.board_shard().index();
         self.board.busy = false;
         for (chip, walks) in deliveries.drain(..) {
             let ch = self.channel_of_chip(chip);
             let res = self
                 .ssd
                 .channel_transfer(now, ch, walks.len() as u64 * WALK_BYTES);
-            self.events
-                .schedule_at(res.end, Ev::ChipDeliver { chip, walks });
+            self.events.schedule_at(
+                self.shard_of_chip(chip),
+                res.end,
+                Ev::ChipDeliver { chip, walks },
+            );
         }
-        self.pool.put_deliveries(deliveries);
+        self.pools[bs].put_deliveries(deliveries);
         for chip in dirty_chips.drain(..) {
             self.maybe_fill_chip(chip, now);
         }
-        self.pool.put_chip_ids(dirty_chips);
+        self.pools[bs].put_chip_ids(dirty_chips);
         self.try_start_board(now);
     }
 }

@@ -134,14 +134,16 @@ impl FlashWalkerSim<'_> {
             done = t.end;
         }
         self.refresh_score(idx);
-        self.tracer.span("sg.load", chip, now, done);
+        let sh = self.shard_of_chip(chip).index();
+        self.shard_tracers[sh].span("sg.load", chip, now, done);
         self.stats.load_array_ns += (array_done - now).as_nanos();
         self.stats.load_fetch_ns += (fetch_done - now).as_nanos();
         self.stats.load_spill_ns += (spill_done - now).as_nanos();
         self.stats.load_latency_ns += (done - now).as_nanos();
         self.stats.load_walks += walks.len() as u64;
         self.pending_loads.insert((chip, sg), walks);
-        self.events.schedule_at(done, Ev::ChipLoaded { chip, sg });
+        self.events
+            .schedule_at(self.shard_of_chip(chip), done, Ev::ChipLoaded { chip, sg });
     }
 
     /// Recovery path for a chip-private page read whose ECC ladder was

@@ -561,6 +561,14 @@ pub struct EnvFingerprint {
     /// byte-identical to records written before faults existed; absent
     /// on parse means "none".
     pub fault_profile: String,
+    /// Worker-thread count the suite ran with. Written only when not 1
+    /// (the sequential reference) so single-threaded records stay
+    /// byte-identical to records written before the field existed;
+    /// absent on parse means 1. `compare` refuses to diff records with
+    /// different thread counts unless explicitly overridden — wall-clock
+    /// aside, the simulated numbers are thread-count invariant, so a
+    /// mismatch means someone is comparing the wrong pair of records.
+    pub threads: u32,
 }
 
 impl EnvFingerprint {
@@ -578,6 +586,9 @@ impl EnvFingerprint {
         ];
         if self.fault_profile != "none" {
             pairs.push(("fault_profile", Json::s(&self.fault_profile)));
+        }
+        if self.threads != 1 {
+            pairs.push(("threads", Json::u(self.threads as u64)));
         }
         Json::obj(pairs)
     }
@@ -613,6 +624,7 @@ impl EnvFingerprint {
                 .and_then(Json::as_str)
                 .unwrap_or("none")
                 .to_string(),
+            threads: v.get("threads").and_then(Json::as_u64).unwrap_or(1) as u32,
         })
     }
 }
@@ -809,6 +821,13 @@ pub struct BenchReport {
     /// Host-performance rows ([`HostScenario`]), present only on `--wall`
     /// runs. Never gated by `compare`; `fwbench hostperf` reads it.
     pub host: Option<Vec<HostScenario>>,
+    /// End-to-end wall-clock of the whole suite run, nanoseconds —
+    /// scheduling and dataset generation included, which is what the
+    /// thread-scaling sweep actually buys down. Present only alongside
+    /// `host`; records written before the field (or without `--wall`)
+    /// parse to `None`, which `fwbench hostperf` treats as a
+    /// pre-threads record.
+    pub suite_wall_ns: Option<u64>,
 }
 
 impl BenchReport {
@@ -830,6 +849,9 @@ impl BenchReport {
                 "host",
                 Json::Arr(host.iter().map(HostScenario::to_json).collect()),
             ));
+            if let Some(ns) = self.suite_wall_ns {
+                pairs.push(("suite_wall_ns", Json::u(ns)));
+            }
         }
         Json::obj(pairs)
     }
@@ -876,6 +898,7 @@ impl BenchReport {
                         .collect::<Result<Vec<_>, _>>()?,
                 ),
             },
+            suite_wall_ns: v.get("suite_wall_ns").and_then(Json::as_u64),
         })
     }
 
@@ -1012,6 +1035,7 @@ mod tests {
                 suite: "ci".into(),
                 seeds: vec![42, 43],
                 fault_profile: "none".into(),
+                threads: 1,
             },
             scenarios: vec![ScenarioRecord {
                 name: "fw/TT/w100".into(),
@@ -1034,6 +1058,7 @@ mod tests {
                 report: Json::parse("{\"traffic\":{\"flash_read_bytes\":4096}}").unwrap(),
                 trace: None,
             }],
+            suite_wall_ns: None,
             host: None,
         }
     }
@@ -1118,6 +1143,43 @@ mod tests {
         assert!(text.contains("\"fault_profile\": \"light\""));
         let back = BenchReport::parse(&text).unwrap();
         assert_eq!(back, rep);
+        assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn threads_field_is_omitted_at_one_and_round_trips_otherwise() {
+        // Sequential records keep the pre-threads shape (byte-identity
+        // with records written before the field existed)…
+        let rep = tiny_report();
+        assert!(!rep.render().contains("\"threads\""));
+        let back = BenchReport::parse(&rep.render()).unwrap();
+        assert_eq!(back.env.threads, 1);
+
+        // …and multi-worker records carry the count through a round trip.
+        let mut rep = tiny_report();
+        rep.env.threads = 4;
+        let text = rep.render();
+        assert!(text.contains("\"threads\": 4"));
+        let back = BenchReport::parse(&text).unwrap();
+        assert_eq!(back, rep);
+        assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn suite_wall_rides_with_the_host_section_and_round_trips() {
+        // Without `host` the field never serializes — a deterministic
+        // record stays byte-identical even if a caller sets it.
+        let mut rep = tiny_report();
+        rep.suite_wall_ns = Some(7_000_000);
+        assert!(!rep.render().contains("suite_wall_ns"));
+
+        // With `host` it round-trips; absent on parse means an older
+        // `--wall` record (hostperf's fallback).
+        rep.host = Some(vec![]);
+        let text = rep.render();
+        assert!(text.contains("\"suite_wall_ns\": 7000000"));
+        let back = BenchReport::parse(&text).unwrap();
+        assert_eq!(back.suite_wall_ns, Some(7_000_000));
         assert_eq!(back.render(), text);
     }
 

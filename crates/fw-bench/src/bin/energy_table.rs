@@ -6,16 +6,16 @@
 
 use flashwalker::energy::{flashwalker_energy, graphwalker_energy, graphwalker_report::GwLike};
 use flashwalker::OptToggles;
-use fw_bench::runner::{
-    parallel_map, prepared, run_flashwalker, run_graphwalker, walk_sweep, DEFAULT_SEED,
-};
+use fw_bench::runner::{prepared, run_flashwalker, run_graphwalker, walk_sweep, DEFAULT_SEED};
+use fw_bench::suite::env_threads;
 use fw_graph::datasets::GRAPH_SCALE;
 use fw_graph::DatasetId;
 
 fn main() {
     let mem = (8u64 << 30) / GRAPH_SCALE;
     println!("dataset\twalks\tfw_mJ\tgw_mJ\tenergy_ratio\tfw_mJ_per_kwalk\tgw_mJ_per_kwalk");
-    let rows = parallel_map(DatasetId::ALL.to_vec(), |id| {
+    let pool = fw_sim::WorkerPool::new(env_threads() as usize);
+    let rows = pool.map_ordered(DatasetId::ALL.to_vec(), |_, id| {
         let p = prepared(id, DEFAULT_SEED);
         let walks = *walk_sweep(id).last().unwrap();
         eprintln!("[{}] {} walks …", id.abbrev(), walks);

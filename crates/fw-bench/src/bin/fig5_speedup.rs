@@ -12,7 +12,7 @@
 
 use fw_bench::runner::walk_sweep;
 use fw_bench::suite::{
-    default_gw_memory, env_seeds, run_suite, selected_datasets, Scenario, Suite,
+    default_gw_memory, env_seeds, env_threads, run_suite, selected_datasets, Scenario, Suite,
 };
 
 fn main() {
@@ -30,6 +30,7 @@ fn main() {
         scenarios,
         trace: false,
         faults: fw_fault::FaultProfile::none(),
+        threads: env_threads(),
     };
     let res = run_suite(&suite).expect("suite has seeds and scenarios");
 

@@ -10,7 +10,7 @@
 //! columns; `FW_DATASETS` restricts the dataset grid.
 
 use fw_bench::runner::walk_sweep;
-use fw_bench::suite::{env_seeds, run_suite, selected_datasets, Scenario, Suite};
+use fw_bench::suite::{env_seeds, env_threads, run_suite, selected_datasets, Scenario, Suite};
 use fw_graph::datasets::GRAPH_SCALE;
 
 fn main() {
@@ -34,6 +34,7 @@ fn main() {
         scenarios,
         trace: false,
         faults: fw_fault::FaultProfile::none(),
+        threads: env_threads(),
     };
     let res = run_suite(&suite).expect("suite has seeds and scenarios");
 

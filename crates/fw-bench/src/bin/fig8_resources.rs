@@ -9,7 +9,8 @@
 
 use flashwalker::OptToggles;
 use fw_bench::chart::chart_row;
-use fw_bench::runner::{parallel_map, prepared, run_flashwalker, walk_sweep, DEFAULT_SEED};
+use fw_bench::runner::{prepared, run_flashwalker, walk_sweep, DEFAULT_SEED};
+use fw_bench::suite::env_threads;
 use fw_graph::DatasetId;
 use fw_nand::SsdConfig;
 
@@ -18,7 +19,8 @@ fn main() {
     println!("# channel-bus aggregate ceiling: {ceiling:.2} GB/s");
     println!("dataset\twindow_ms\tread_GBs\twrite_GBs\tchannel_GBs\tdone_pct");
 
-    let rows = parallel_map(DatasetId::ALL.to_vec(), |id| {
+    let pool = fw_sim::WorkerPool::new(env_threads() as usize);
+    let rows = pool.map_ordered(DatasetId::ALL.to_vec(), |_, id| {
         let p = prepared(id, DEFAULT_SEED);
         let walks = *walk_sweep(id).last().unwrap();
         eprintln!("[{}] {} walks …", id.abbrev(), walks);

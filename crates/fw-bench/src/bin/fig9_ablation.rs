@@ -13,7 +13,7 @@
 
 use flashwalker::OptToggles;
 use fw_bench::runner::walk_sweep;
-use fw_bench::suite::{env_seeds, run_suite, selected_datasets, Scenario, Suite};
+use fw_bench::suite::{env_seeds, env_threads, run_suite, selected_datasets, Scenario, Suite};
 
 fn main() {
     // Incremental configurations, as in §IV-E.
@@ -60,6 +60,7 @@ fn main() {
         scenarios,
         trace: false,
         faults: fw_fault::FaultProfile::none(),
+        threads: env_threads(),
     };
     let res = run_suite(&suite).expect("suite has seeds and scenarios");
 

@@ -5,26 +5,34 @@
 //!
 //! ```text
 //! fwbench run [--suite ci|paper] [--seeds N] [--label L] [--out PATH]
-//!             [--wall] [--no-trace]
+//!             [--wall] [--no-trace] [--threads N]
 //! fwbench compare [BASELINE] [CURRENT] [--noise-floor F]
+//!                 [--allow-thread-mismatch]
 //! fwbench hostperf RECORD [BASELINE]
 //! ```
 //!
 //! `run` defaults: the `ci` suite, 3 seeds (or `FW_SEEDS`), label = suite
 //! name, output `BENCH_<label>.json` in the working directory. Output is
 //! byte-identical across same-seed runs; `--wall` adds host wall-clock
-//! columns and a per-scenario `host` section (informational, not
-//! byte-stable, never gated).
+//! columns, a suite wall total, and a per-scenario `host` section
+//! (informational, not byte-stable, never gated). `--threads N` (or
+//! `FW_THREADS`) fans scenario×seed cells over N workers and runs each
+//! engine's windowed sharded loop; the simulated record is identical at
+//! any thread count — only wall-clock moves — and a non-default count is
+//! stamped into the env fingerprint.
 //!
 //! `compare` with one path compares it against the newest *other*
 //! `BENCH_*.json` in its directory; with two paths the first is the
 //! baseline. Exits 1 when the regression gate or a fidelity verdict
-//! fails, so CI can gate on it.
+//! fails, so CI can gate on it. Records from different thread counts
+//! refuse to diff unless `--allow-thread-mismatch` is passed (the
+//! intended use: the threads=1 vs threads=4 equivalence gate).
 //!
 //! `hostperf` prints the `host` section of a `--wall` record — wall-clock,
-//! host work units and events/sec per scenario — and, given a second
-//! record, the wall-clock speedup of the first over it. Informational
-//! only: host performance never gates.
+//! host work units, events/sec and events/sec-per-worker per scenario,
+//! plus the suite wall total — and, given a second record, the wall-clock
+//! speedup of the first over it. Informational only: host performance
+//! never gates.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -32,12 +40,12 @@ use std::process::ExitCode;
 use fw_bench::bench_json::{newest_bench_file, BenchReport};
 use fw_bench::compare::{compare_reports, CompareConfig};
 use fw_bench::runner::DEFAULT_SEED;
-use fw_bench::suite::{build_bench_report, env_seeds, run_suite, Suite};
+use fw_bench::suite::{build_bench_report, env_seeds, env_threads, run_suite, Suite};
 use fw_fault::FaultProfile;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  fwbench run [--suite ci|paper] [--seeds N] [--label L] [--out PATH] [--wall] [--no-trace] [--faults none|light|heavy]\n  fwbench compare [BASELINE] [CURRENT] [--noise-floor F]\n  fwbench hostperf RECORD [BASELINE]"
+        "usage:\n  fwbench run [--suite ci|paper] [--seeds N] [--label L] [--out PATH] [--wall] [--no-trace] [--faults none|light|heavy] [--threads N]\n  fwbench compare [BASELINE] [CURRENT] [--noise-floor F] [--allow-thread-mismatch]\n  fwbench hostperf RECORD [BASELINE]"
     );
     ExitCode::from(2)
 }
@@ -97,6 +105,18 @@ fn cmd_run(args: &[String]) -> ExitCode {
             }
         }
     }
+    let threads: u32 = match flag_value(args, "--threads") {
+        Some(t) => match t.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--threads wants a positive integer");
+                return ExitCode::from(2);
+            }
+        },
+        // FW_THREADS is the figure binaries' knob; honor it here too.
+        None => env_threads(),
+    };
+    suite = suite.with_threads(threads);
     let include_wall = args.iter().any(|a| a == "--wall");
     // Fault runs default to a suffixed label so they never clobber the
     // fault-free BENCH_<suite>.json byte-identity baseline.
@@ -113,11 +133,12 @@ fn cmd_run(args: &[String]) -> ExitCode {
         .unwrap_or_else(|| PathBuf::from(format!("BENCH_{label}.json")));
 
     eprintln!(
-        "fwbench: suite={} scenarios={} seeds={:?} faults={}",
+        "fwbench: suite={} scenarios={} seeds={:?} faults={} threads={}",
         suite.name,
         suite.scenarios.len(),
         suite.seeds,
-        suite.faults.name
+        suite.faults.name,
+        suite.threads
     );
     let result = match run_suite(&suite) {
         Ok(r) => r,
@@ -235,15 +256,17 @@ fn cmd_hostperf(args: &[String]) -> ExitCode {
         }
     }
 
+    let threads = cur.env.threads.max(1);
     eprintln!(
-        "fwbench hostperf: {} (label '{}', rev {})",
+        "fwbench hostperf: {} (label '{}', rev {}, {} worker(s))",
         cur_path.display(),
         cur.label,
-        cur.env.git_rev
+        cur.env.git_rev,
+        threads
     );
     println!(
-        "{:<28} {:>13} {:>12} {:>14} {:>9}",
-        "scenario", "wall_ms(mean)", "host_events", "events/sec", "vs base"
+        "{:<28} {:>13} {:>12} {:>14} {:>12} {:>9}",
+        "scenario", "wall_ms(mean)", "host_events", "events/sec", "ev/s/worker", "vs base"
     );
     let mut total_cur = 0u64;
     let mut total_base = 0u64;
@@ -254,11 +277,12 @@ fn cmd_hostperf(args: &[String]) -> ExitCode {
             b as f64 / h.wall_ns.mean.max(1) as f64
         });
         println!(
-            "{:<28} {:>13.3} {:>12} {:>14.0} {:>9}",
+            "{:<28} {:>13.3} {:>12} {:>14.0} {:>12.0} {:>9}",
             h.name,
             h.wall_ns.mean as f64 / 1e6,
             h.host_events.mean,
             h.events_per_sec.mean,
+            h.events_per_sec.mean / threads as f64,
             match vs {
                 Some(s) => format!("{s:.2}x"),
                 None => "-".to_string(),
@@ -267,19 +291,46 @@ fn cmd_hostperf(args: &[String]) -> ExitCode {
     }
     if total_base > 0 {
         println!(
-            "{:<28} {:>13.3} {:>12} {:>14} {:>8.2}x",
+            "{:<28} {:>13.3} {:>12} {:>14} {:>12} {:>8.2}x",
             "TOTAL",
             total_cur as f64 / 1e6,
             "-",
             "-",
+            "-",
             total_base as f64 / total_cur.max(1) as f64
         );
+    }
+    // Suite wall total: the elapsed time of the whole sweep, the number
+    // the thread-scaling experiments compare. Older `--wall` records
+    // predate the field (and the `threads` stamp); say so instead of
+    // inventing a total from overlapping per-cell times.
+    match cur.suite_wall_ns {
+        Some(ns) => {
+            let base_suite = base.as_ref().and_then(|b| b.suite_wall_ns);
+            match base_suite {
+                Some(bns) => println!(
+                    "suite wall {:.3} ms at {} worker(s) — {:.2}x vs baseline's {:.3} ms at {} worker(s)",
+                    ns as f64 / 1e6,
+                    threads,
+                    bns as f64 / ns.max(1) as f64,
+                    bns as f64 / 1e6,
+                    base.as_ref().map(|b| b.env.threads.max(1)).unwrap_or(1)
+                ),
+                None => println!("suite wall {:.3} ms at {} worker(s)", ns as f64 / 1e6, threads),
+            }
+        }
+        None => eprintln!(
+            "fwbench hostperf: record predates the suite-wall/threads fields — per-worker numbers assume 1 worker"
+        ),
     }
     ExitCode::SUCCESS
 }
 
 fn cmd_compare(args: &[String]) -> ExitCode {
     let mut cfg = CompareConfig::default();
+    if args.iter().any(|a| a == "--allow-thread-mismatch") {
+        cfg.allow_thread_mismatch = true;
+    }
     if let Some(f) = flag_value(args, "--noise-floor") {
         match f.parse() {
             Ok(v) => cfg.noise_floor = v,

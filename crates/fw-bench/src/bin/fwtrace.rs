@@ -5,24 +5,45 @@
 //!
 //! ```text
 //! cargo run --release -p fw-bench --bin fwtrace \
-//!     [fw|gw|iter] [TT|FS|CW|R2B|R8B] [walks] [out.json]
+//!     [fw|gw|iter] [TT|FS|CW|R2B|R8B] [walks] [out.json] [--threads N]
 //! ```
 //!
 //! Defaults: `fw TT <default_walks/8> fwtrace.json`. A `.csv` sibling
 //! with the per-component utilization table is written next to the JSON.
+//! `--threads N` (or `FW_THREADS`) runs the engine's windowed sharded
+//! loop with per-shard tracers; the emitted trace is identical to the
+//! sequential one (the canonical tracer merge is order-independent).
 
+use flashwalker::{AccelConfig, OptToggles};
 use fw_bench::runner::{
-    prepared, run_flashwalker_traced, run_graphwalker_traced, run_iterative_traced, DEFAULT_SEED,
+    flashwalker_engine, graphwalker_engine, iterative_engine, prepared, DEFAULT_SEED,
 };
+use fw_bench::suite::env_threads;
 use fw_graph::DatasetId;
 use fw_sim::{chrome_trace_json, export, TraceConfig, TraceReport};
+use fw_walk::Workload;
 
 /// Host memory for the baseline engines (the scaled mid-range sweep
 /// point the comparison binaries use).
 const BASELINE_MEMORY: u64 = 8 << 20;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let raw: Vec<String> = std::env::args().collect();
+    let threads = env_threads();
+    // Strip `--threads N` before the positional parse.
+    let mut args: Vec<String> = Vec::new();
+    let mut skip = false;
+    for a in raw {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a == "--threads" {
+            skip = true;
+            continue;
+        }
+        args.push(a);
+    }
     let engine = args.get(1).map(|s| s.as_str()).unwrap_or("fw").to_string();
     let id = match args.get(2).map(|s| s.as_str()) {
         Some("FS") => DatasetId::Friendster,
@@ -42,15 +63,39 @@ fn main() {
 
     let p = prepared(id, DEFAULT_SEED);
     let cfg = TraceConfig::default();
+    let wl = Workload::paper_default(walks);
     eprintln!(
-        "fwtrace: engine={engine} dataset={} walks={walks}",
+        "fwtrace: engine={engine} dataset={} walks={walks} threads={threads}",
         id.abbrev()
     );
 
     let trace: Option<TraceReport> = match engine.as_str() {
-        "gw" => run_graphwalker_traced(&p, walks, BASELINE_MEMORY, cfg, DEFAULT_SEED).trace,
-        "iter" => run_iterative_traced(&p, walks, BASELINE_MEMORY, cfg, DEFAULT_SEED).trace,
-        _ => run_flashwalker_traced(&p, walks, cfg, DEFAULT_SEED).trace,
+        "gw" => {
+            graphwalker_engine(&p, BASELINE_MEMORY, DEFAULT_SEED)
+                .with_threads(threads)
+                .with_span_trace(cfg)
+                .run_detailed(wl)
+                .trace
+        }
+        // The iteration-synchronous baseline has no event loop to shard.
+        "iter" => {
+            iterative_engine(&p, BASELINE_MEMORY, DEFAULT_SEED)
+                .with_span_trace(cfg)
+                .run_detailed(wl)
+                .trace
+        }
+        _ => {
+            flashwalker_engine(
+                &p,
+                OptToggles::all(),
+                AccelConfig::scaled().alpha,
+                DEFAULT_SEED,
+            )
+            .with_threads(threads)
+            .with_span_trace(cfg)
+            .run_detailed(wl)
+            .trace
+        }
     };
     let trace = trace.expect("span tracing was enabled");
 

@@ -26,6 +26,12 @@ pub struct CompareConfig {
     pub warn_mult: f64,
     /// Slowdown beyond `fail_mult × noise` → fail (gate trips).
     pub fail_mult: f64,
+    /// Permit diffing records produced at different worker-thread
+    /// counts. Off by default — a thread-count mismatch usually means
+    /// the wrong pair of records; the CI equivalence step turns it on
+    /// deliberately, *because* the simulated numbers must match exactly
+    /// across thread counts.
+    pub allow_thread_mismatch: bool,
 }
 
 impl Default for CompareConfig {
@@ -34,6 +40,7 @@ impl Default for CompareConfig {
             noise_floor: 0.02,
             warn_mult: 1.0,
             fail_mult: 2.0,
+            allow_thread_mismatch: false,
         }
     }
 }
@@ -169,6 +176,14 @@ pub fn compare_reports(
             "fault profile mismatch: baseline '{}' vs current '{}' — faulted and \
              fault-free records are not comparable",
             base.env.fault_profile, cur.env.fault_profile
+        ));
+    }
+    if base.env.threads != cur.env.threads && !cfg.allow_thread_mismatch {
+        return Err(format!(
+            "thread-count mismatch: baseline ran with {} worker(s), current with {} — \
+             pass --allow-thread-mismatch to diff across thread counts (the simulated \
+             numbers are thread-invariant; this guard catches accidental record mixups)",
+            base.env.threads, cur.env.threads
         ));
     }
     if base.env.graph_scale != cur.env.graph_scale
@@ -514,8 +529,10 @@ mod tests {
                 suite: "ci".into(),
                 seeds: vec![42, 43, 44],
                 fault_profile: "none".into(),
+                threads: 1,
             },
             scenarios,
+            suite_wall_ns: None,
             host: None,
         }
     }
@@ -528,6 +545,23 @@ mod tests {
             record("fw", "CW", 2000, 70_000_000, 700_000, Some(12.9)),
             record("fw-base", "TT", 1000, 19_000_000, 200_000, None),
         ])
+    }
+
+    #[test]
+    fn cross_thread_count_compares_are_refused_unless_overridden() {
+        let base = sample();
+        let mut cur = sample();
+        cur.env.threads = 4;
+        let err = compare_reports(&base, &cur, &CompareConfig::default()).unwrap_err();
+        assert!(err.contains("thread-count mismatch"), "{err}");
+        // The override exists for the CI equivalence step: simulated
+        // numbers are thread-invariant, so the diff must gate clean.
+        let cfg = CompareConfig {
+            allow_thread_mismatch: true,
+            ..CompareConfig::default()
+        };
+        let res = compare_reports(&base, &cur, &cfg).expect("override permits the diff");
+        assert!(!res.failed());
     }
 
     #[test]

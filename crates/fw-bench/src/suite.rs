@@ -1,8 +1,9 @@
 //! Declarative benchmark suites: a [`Scenario`] is one engine × dataset ×
 //! walk-count cell, a [`Suite`] is a list of scenarios repeated over a
 //! seed list, and [`run_suite`] executes the whole grid through the
-//! shared [`WalkEngine`] harness — datasets in parallel, seeds in order,
-//! speedups paired against the suite's own GraphWalker cells.
+//! shared [`WalkEngine`] harness — scenario×seed cells fan out over a
+//! [`WorkerPool`], speedups paired against the suite's own GraphWalker
+//! cells.
 //!
 //! This is the one code path behind the `fwbench` binary, the figure
 //! binaries' seed repetition, and `smoke`/`baseline_compare`; the result
@@ -17,14 +18,14 @@ use fw_fault::FaultProfile;
 use fw_graph::datasets::{GRAPH_SCALE, STRUCT_SCALE};
 use fw_graph::DatasetId;
 use fw_sim::export::trace_summary_json;
-use fw_sim::TraceConfig;
+use fw_sim::{TraceConfig, WorkerPool};
 use fw_walk::{RunReport, WalkEngine, Workload};
 
 use crate::bench_json::{
     BenchReport, EnvFingerprint, HostScenario, Json, ScenarioRecord, StatF, StatU, SCHEMA,
 };
 use crate::runner::{
-    flashwalker_engine, graphwalker_engine, iterative_engine, parallel_map, prepared, DEFAULT_SEED,
+    flashwalker_engine, graphwalker_engine, iterative_engine, prepared, Prepared, DEFAULT_SEED,
 };
 
 /// The host memory capacity every baseline uses unless a suite sweeps it
@@ -43,6 +44,27 @@ pub fn env_seeds() -> Vec<u64> {
         .unwrap_or(1)
         .max(1);
     (0..n).map(|i| DEFAULT_SEED + i).collect()
+}
+
+/// Worker-thread count for a binary's sweep: `--threads N` on the
+/// command line, else `FW_THREADS=N`, else 1 (the sequential reference).
+/// Shared by the figure binaries and `fwtrace`; `fwbench run` parses its
+/// own `--threads` flag through the same precedence.
+pub fn env_threads() -> u32 {
+    let args: Vec<String> = std::env::args().collect();
+    let from_flag = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok());
+    from_flag
+        .or_else(|| {
+            std::env::var("FW_THREADS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+        })
+        .unwrap_or(1)
+        .max(1)
 }
 
 /// `FW_DATASETS=TT,FS` restricts the dataset grid; default all five.
@@ -192,6 +214,13 @@ pub struct Suite {
     /// The default [`FaultProfile::none`] draws zero RNG and adds zero
     /// latency, preserving byte-identity with pre-fault records.
     pub faults: FaultProfile,
+    /// Worker threads for the suite sweep: scenario×seed cells execute
+    /// on a [`WorkerPool`] this wide, and each engine runs its
+    /// window-driven sharded loop when this exceeds 1. Simulated results
+    /// are thread-invariant (the equivalence tests assert it); only
+    /// wall-clock changes. 1 — the default — is the fully sequential
+    /// reference path.
+    pub threads: u32,
 }
 
 impl Suite {
@@ -220,6 +249,7 @@ impl Suite {
             scenarios,
             trace: true,
             faults: FaultProfile::none(),
+            threads: 1,
         }
     }
 
@@ -247,6 +277,7 @@ impl Suite {
             scenarios,
             trace: true,
             faults: FaultProfile::none(),
+            threads: 1,
         }
     }
 
@@ -262,6 +293,7 @@ impl Suite {
             ],
             trace: false,
             faults: FaultProfile::none(),
+            threads: 1,
         }
     }
 
@@ -283,12 +315,20 @@ impl Suite {
             scenarios,
             trace: false,
             faults: FaultProfile::none(),
+            threads: 1,
         }
     }
 
     /// Attach a fault profile (returns self for chaining).
     pub fn with_faults(mut self, faults: FaultProfile) -> Suite {
         self.faults = faults;
+        self
+    }
+
+    /// Set the worker-thread count (returns self for chaining). Zero
+    /// clamps to one, the sequential reference.
+    pub fn with_threads(mut self, threads: u32) -> Suite {
+        self.threads = threads.max(1);
         self
     }
 }
@@ -390,6 +430,13 @@ pub struct SuiteResult {
     pub seeds: Vec<u64>,
     /// The fault profile the suite ran under.
     pub faults: FaultProfile,
+    /// The worker-thread count the sweep ran with.
+    pub threads: u32,
+    /// Wall-clock for the whole sweep (dataset generation + every
+    /// scenario×seed cell), nanoseconds. This is the number the
+    /// thread-scaling experiments divide — per-cell wall times overlap
+    /// under a parallel pool, so their sum overstates elapsed time.
+    pub suite_wall_ns: u64,
     /// Per-scenario results, in suite order.
     pub results: Vec<ScenarioResult>,
 }
@@ -410,17 +457,18 @@ impl SuiteResult {
 }
 
 fn run_one(
-    p: &crate::runner::Prepared,
+    p: &Prepared,
     sc: &Scenario,
     seed: u64,
     trace: bool,
     faults: FaultProfile,
+    threads: u32,
 ) -> RunReport {
     let wl = Workload::paper_default(sc.walks);
     let tcfg = TraceConfig::default();
     match sc.engine {
         EngineKind::Flashwalker => {
-            let mut e = flashwalker_engine(p, sc.opts, sc.alpha, seed);
+            let mut e = flashwalker_engine(p, sc.opts, sc.alpha, seed).with_threads(threads);
             if trace {
                 e = e.with_span_trace(tcfg);
             }
@@ -430,7 +478,7 @@ fn run_one(
             e.run(wl)
         }
         EngineKind::Graphwalker => {
-            let mut e = graphwalker_engine(p, sc.gw_memory, seed);
+            let mut e = graphwalker_engine(p, sc.gw_memory, seed).with_threads(threads);
             if trace {
                 e = e.with_span_trace(tcfg);
             }
@@ -440,6 +488,8 @@ fn run_one(
             e.run(wl)
         }
         EngineKind::Iterative => {
+            // The iteration-synchronous baseline has no event loop to
+            // shard; it is identical at every thread count.
             let mut e = iterative_engine(p, sc.gw_memory, seed);
             if trace {
                 e = e.with_span_trace(tcfg);
@@ -449,10 +499,16 @@ fn run_one(
     }
 }
 
-/// Execute every scenario × seed of a suite. Datasets run in parallel
-/// (one OS thread each, like the figure binaries); scenarios and seeds
-/// run in declaration order within a dataset. GraphWalker cells run
-/// first so sibling cells can report per-seed speedups against them.
+/// Execute every scenario × seed of a suite on a [`WorkerPool`] of
+/// `suite.threads` workers. Datasets are prepared once (in first-
+/// appearance order) across the pool, then every scenario×seed cell runs
+/// as one pool job; GraphWalker cells run as a full pass first so every
+/// other cell can pair its per-seed speedup against the same-seed
+/// GraphWalker time. With `threads == 1` the pool runs every job inline
+/// in order — the sequential reference the equivalence tests diff
+/// against. Simulated results are identical either way (each cell is an
+/// independent simulator run); only wall-clock and [`SuiteResult::
+/// suite_wall_ns`] change.
 ///
 /// Errors (rather than panicking) on a suite with no seeds or no
 /// scenarios — both are reachable from the `fwbench` CLI.
@@ -466,86 +522,111 @@ pub fn run_suite(suite: &Suite) -> Result<SuiteResult, String> {
     if suite.scenarios.is_empty() {
         return Err(format!("suite '{}' has no scenarios to run", suite.name));
     }
-    // Group scenario indices by dataset, preserving first appearance.
+    let threads = suite.threads.max(1);
+    let pool = WorkerPool::new(threads as usize);
+    let t_suite = Instant::now();
+
+    // Prepare each dataset once, in first-appearance order.
     let mut order: Vec<DatasetId> = Vec::new();
     for sc in &suite.scenarios {
         if !order.contains(&sc.dataset) {
             order.push(sc.dataset);
         }
     }
-    let grouped: Vec<(DatasetId, Vec<usize>)> = order
-        .into_iter()
-        .map(|d| {
-            let idxs = suite
-                .scenarios
-                .iter()
-                .enumerate()
-                .filter(|(_, sc)| sc.dataset == d)
-                .map(|(i, _)| i)
-                .collect();
-            (d, idxs)
-        })
-        .collect();
-
-    let chunks = parallel_map(grouped, |(id, idxs)| {
+    let prepped: Vec<Prepared> = pool.map_ordered(order.clone(), |_, id| {
         eprintln!("[{}] generating …", id.abbrev());
-        let p = prepared(id, DEFAULT_SEED);
-        // GraphWalker sim times per (walks, variant, seed), for pairing.
-        let mut gw_ns: HashMap<(u64, String, u64), u64> = HashMap::new();
-        let mut out: Vec<(usize, ScenarioResult)> = Vec::new();
-        let pass = |gw_pass: bool,
-                    out: &mut Vec<(usize, ScenarioResult)>,
-                    gw_ns: &mut HashMap<(u64, String, u64), u64>| {
-            for &i in &idxs {
-                let sc = &suite.scenarios[i];
-                if (sc.engine == EngineKind::Graphwalker) != gw_pass {
-                    continue;
-                }
-                let mut runs = Vec::new();
-                for (si, &seed) in suite.seeds.iter().enumerate() {
-                    eprintln!("[{}] {} seed {} …", id.abbrev(), sc.name(), seed);
-                    let t0 = Instant::now();
-                    let report = run_one(&p, sc, seed, suite.trace && si == 0, suite.faults);
-                    let wall_ns = t0.elapsed().as_nanos() as u64;
-                    let wall_ms = wall_ns as f64 / 1e6;
-                    let own_ns = report.time.as_nanos();
-                    let speedup = if sc.engine == EngineKind::Graphwalker {
-                        gw_ns.insert((sc.walks, sc.variant.clone(), seed), own_ns);
-                        None
-                    } else {
-                        gw_ns
-                            .get(&(sc.walks, sc.variant.clone(), seed))
-                            .map(|&g| g as f64 / own_ns.max(1) as f64)
-                    };
-                    runs.push(SeedRun {
-                        seed,
-                        wall_ms,
-                        wall_ns,
-                        speedup,
-                        report,
-                    });
-                }
-                out.push((
-                    i,
-                    ScenarioResult {
-                        scenario: sc.clone(),
-                        runs,
-                    },
-                ));
-            }
-        };
-        pass(true, &mut out, &mut gw_ns);
-        pass(false, &mut out, &mut gw_ns);
-        out
+        prepared(id, DEFAULT_SEED)
     });
+    let prep_of = |d: DatasetId| -> &Prepared {
+        &prepped[order
+            .iter()
+            .position(|&x| x == d)
+            .expect("dataset prepared")]
+    };
 
-    let mut flat: Vec<(usize, ScenarioResult)> = chunks.into_iter().flatten().collect();
-    flat.sort_by_key(|(i, _)| *i);
+    // One pool job per scenario×seed cell, split into a GraphWalker pass
+    // and an everything-else pass.
+    let cells = |gw_pass: bool| -> Vec<(usize, usize)> {
+        let mut v = Vec::new();
+        for (i, sc) in suite.scenarios.iter().enumerate() {
+            if (sc.engine == EngineKind::Graphwalker) == gw_pass {
+                for si in 0..suite.seeds.len() {
+                    v.push((i, si));
+                }
+            }
+        }
+        v
+    };
+    let run_cell = |_: usize, (i, si): (usize, usize)| {
+        let sc = &suite.scenarios[i];
+        let seed = suite.seeds[si];
+        eprintln!("[{}] {} seed {} …", sc.dataset.abbrev(), sc.name(), seed);
+        let t0 = Instant::now();
+        let report = run_one(
+            prep_of(sc.dataset),
+            sc,
+            seed,
+            suite.trace && si == 0,
+            suite.faults,
+            threads,
+        );
+        (i, si, t0.elapsed().as_nanos() as u64, report)
+    };
+    let gw_runs = pool.map_ordered(cells(true), run_cell);
+    // GraphWalker sim times per (dataset, walks, variant, seed), for
+    // speedup pairing in the second pass.
+    let mut gw_ns: HashMap<(DatasetId, u64, String, u64), u64> = HashMap::new();
+    for (i, si, _, report) in &gw_runs {
+        let sc = &suite.scenarios[*i];
+        gw_ns.insert(
+            (sc.dataset, sc.walks, sc.variant.clone(), suite.seeds[*si]),
+            report.time.as_nanos(),
+        );
+    }
+    let rest_runs = pool.map_ordered(cells(false), run_cell);
+
+    // Reassemble per-scenario results in suite order, seeds in order.
+    let mut by_scenario: Vec<Vec<(usize, u64, RunReport)>> =
+        (0..suite.scenarios.len()).map(|_| Vec::new()).collect();
+    for (i, si, wall_ns, report) in gw_runs.into_iter().chain(rest_runs) {
+        by_scenario[i].push((si, wall_ns, report));
+    }
+    let mut results = Vec::new();
+    for (i, mut seed_runs) in by_scenario.into_iter().enumerate() {
+        let sc = &suite.scenarios[i];
+        seed_runs.sort_by_key(|(si, _, _)| *si);
+        let runs = seed_runs
+            .into_iter()
+            .map(|(si, wall_ns, report)| {
+                let seed = suite.seeds[si];
+                let speedup = if sc.engine == EngineKind::Graphwalker {
+                    None
+                } else {
+                    gw_ns
+                        .get(&(sc.dataset, sc.walks, sc.variant.clone(), seed))
+                        .map(|&g| g as f64 / report.time.as_nanos().max(1) as f64)
+                };
+                SeedRun {
+                    seed,
+                    wall_ms: wall_ns as f64 / 1e6,
+                    wall_ns,
+                    speedup,
+                    report,
+                }
+            })
+            .collect();
+        results.push(ScenarioResult {
+            scenario: sc.clone(),
+            runs,
+        });
+    }
     Ok(SuiteResult {
         name: suite.name.clone(),
         seeds: suite.seeds.clone(),
         faults: suite.faults,
-        results: flat.into_iter().map(|(_, r)| r).collect(),
+        threads,
+        suite_wall_ns: t_suite.elapsed().as_nanos() as u64,
+        results,
     })
 }
 
@@ -622,8 +703,10 @@ pub fn build_bench_report(label: &str, res: &SuiteResult, include_wall: bool) ->
             suite: res.name.clone(),
             seeds: res.seeds.clone(),
             fault_profile: res.faults.name.to_string(),
+            threads: res.threads,
         },
         scenarios,
+        suite_wall_ns: include_wall.then_some(res.suite_wall_ns),
         host,
     }
 }

@@ -9,9 +9,12 @@
 //! sacrificing the repo's core invariant — *bit-determinism from a single
 //! `u64` seed*:
 //!
-//! * every fault decision is drawn from a dedicated xoshiro256++ stream,
-//!   derived from the engine seed via [`derive_stream_seed`], so injected
-//!   faults never perturb walk-path randomness;
+//! * every fault decision is drawn from a dedicated *per-lane* (per-chip
+//!   / per-channel) xoshiro256++ stream, derived from the engine seed via
+//!   [`derive_stream_seed`], so injected faults never perturb walk-path
+//!   randomness — and a lane's fault schedule depends only on that lane's
+//!   own op sequence, never on how other lanes interleave (the property
+//!   sharded parallel execution relies on);
 //! * all probabilities are integers (parts-per-million) and all latency
 //!   scaling uses integer percent multipliers, so two platforms replay the
 //!   exact same fault schedule;
@@ -205,15 +208,33 @@ pub struct FaultStats {
     pub retry_ns: u64,
 }
 
+/// Lane-tag space for per-chip fault streams (see
+/// [`FaultInjector::chip_rng`]): chip lane `i` draws from
+/// `derive_stream_seed(stream_seed, CHIP_LANE_TAG + i)`.
+const CHIP_LANE_TAG: u64 = 0x1C_0000;
+
+/// Lane-tag space for per-channel fault streams; disjoint from
+/// [`CHIP_LANE_TAG`] so chip `i` and channel `i` never share a stream.
+const CHANNEL_LANE_TAG: u64 = 0x2C_0000;
+
 /// The device-level fault injector owned by `fw_nand::Ssd`.
 ///
-/// Holds its own RNG stream and the per-block wear table; every decision
-/// is a pure function of (profile, stream seed, call sequence), which is
-/// what makes same-seed fault runs bit-deterministic.
+/// Holds one RNG stream *per lane* — a lane is a chip (array ops) or a
+/// channel (bus transfers) — plus the per-block wear table. Every
+/// decision is a pure function of (profile, stream seed, lane, that
+/// lane's call sequence): a lane's fault schedule is independent of how
+/// ops on *other* lanes interleave with it, which is what lets sharded
+/// (per-chip / per-channel) execution replay the exact schedule the
+/// sequential reference draws.
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
     profile: FaultProfile,
-    rng: Xoshiro256pp,
+    stream_seed: u64,
+    /// Per-chip streams, grown lazily; slot `i` seeds from
+    /// `derive_stream_seed(stream_seed, CHIP_LANE_TAG + i)`.
+    chip_streams: Vec<Option<Xoshiro256pp>>,
+    /// Per-channel streams, tag space [`CHANNEL_LANE_TAG`].
+    channel_streams: Vec<Option<Xoshiro256pp>>,
     /// Erase count per global block index, grown lazily.
     wear: Vec<u32>,
     stats: FaultStats,
@@ -238,10 +259,40 @@ impl FaultInjector {
         );
         FaultInjector {
             profile,
-            rng: Xoshiro256pp::new(stream_seed),
+            stream_seed,
+            chip_streams: Vec::new(),
+            channel_streams: Vec::new(),
             wear: Vec::new(),
             stats: FaultStats::default(),
         }
+    }
+
+    /// The chip lane's private stream, created on first use.
+    fn chip_rng(&mut self, lane: u32) -> &mut Xoshiro256pp {
+        let i = lane as usize;
+        if i >= self.chip_streams.len() {
+            self.chip_streams.resize(i + 1, None);
+        }
+        self.chip_streams[i].get_or_insert_with(|| {
+            Xoshiro256pp::new(derive_stream_seed(
+                self.stream_seed,
+                CHIP_LANE_TAG + lane as u64,
+            ))
+        })
+    }
+
+    /// The channel lane's private stream, created on first use.
+    fn channel_rng(&mut self, lane: u32) -> &mut Xoshiro256pp {
+        let i = lane as usize;
+        if i >= self.channel_streams.len() {
+            self.channel_streams.resize(i + 1, None);
+        }
+        self.channel_streams[i].get_or_insert_with(|| {
+            Xoshiro256pp::new(derive_stream_seed(
+                self.stream_seed,
+                CHANNEL_LANE_TAG + lane as u64,
+            ))
+        })
     }
 
     /// Whether any injection is configured.
@@ -260,8 +311,9 @@ impl FaultInjector {
     }
 
     /// Decide the fate of an array read of `block` (a global block index,
-    /// see `Ppa::block_index`) whose clean sense takes `base`.
-    pub fn on_read(&mut self, block: usize, base: Duration) -> ReadFault {
+    /// see `Ppa::block_index`) on chip lane `lane`, whose clean sense
+    /// takes `base`.
+    pub fn on_read(&mut self, lane: u32, block: usize, base: Duration) -> ReadFault {
         if self.profile.read_error_ppm == 0 {
             return ReadFault::default();
         }
@@ -269,30 +321,38 @@ impl FaultInjector {
         let p = (self.profile.read_error_ppm as u64
             + wear * self.profile.wear_ppm_per_erase as u64)
             .min(PPM);
-        if self.rng.next_below(PPM) >= p {
+        let retry_success_pct = self.profile.retry_success_pct as u64;
+        let max_read_retries = self.profile.max_read_retries;
+        let rng = self.chip_rng(lane);
+        if rng.next_below(PPM) >= p {
             return ReadFault::default();
         }
         // The default sense failed ECC: climb the retry ladder.
         let mut fault = ReadFault::default();
-        for step in 0..self.profile.max_read_retries {
+        let mut recovered = false;
+        for step in 0..max_read_retries {
             fault.retries += 1;
             fault.extra += Duration::nanos(base.as_nanos() * LADDER_PCT[step as usize] / 100);
-            self.stats.read_retries += 1;
-            if self.rng.next_below(100) < self.profile.retry_success_pct as u64 {
-                self.stats.recovered_reads += 1;
-                self.stats.retry_ns += fault.extra.as_nanos();
-                return fault;
+            if rng.next_below(100) < retry_success_pct {
+                recovered = true;
+                break;
             }
         }
-        fault.hard_fail = true;
-        self.stats.hard_read_fails += 1;
+        self.stats.read_retries += fault.retries as u64;
         self.stats.retry_ns += fault.extra.as_nanos();
+        if recovered {
+            self.stats.recovered_reads += 1;
+        } else {
+            fault.hard_fail = true;
+            self.stats.hard_read_fails += 1;
+        }
         fault
     }
 
-    /// Extra latency for a program of `block` whose clean pulse takes
-    /// `base` (a failed verify costs one full extra pulse).
-    pub fn on_program(&mut self, block: usize, base: Duration) -> Duration {
+    /// Extra latency for a program of `block` on chip lane `lane` whose
+    /// clean pulse takes `base` (a failed verify costs one full extra
+    /// pulse).
+    pub fn on_program(&mut self, lane: u32, block: usize, base: Duration) -> Duration {
         if self.profile.program_error_ppm == 0 {
             return Duration::ZERO;
         }
@@ -300,7 +360,7 @@ impl FaultInjector {
         let p = (self.profile.program_error_ppm as u64
             + wear * self.profile.wear_ppm_per_erase as u64)
             .min(PPM);
-        if self.rng.next_below(PPM) >= p {
+        if self.chip_rng(lane).next_below(PPM) >= p {
             return Duration::ZERO;
         }
         self.stats.program_retries += 1;
@@ -319,12 +379,13 @@ impl FaultInjector {
         self.wear[block] += 1;
     }
 
-    /// Draw a chip stall for one array op.
-    pub fn chip_stall(&mut self) -> Option<Duration> {
+    /// Draw a chip stall for one array op on chip lane `lane`.
+    pub fn chip_stall(&mut self, lane: u32) -> Option<Duration> {
         if self.profile.chip_stall_ppm == 0 {
             return None;
         }
-        if self.rng.next_below(PPM) >= self.profile.chip_stall_ppm as u64 {
+        let ppm = self.profile.chip_stall_ppm as u64;
+        if self.chip_rng(lane).next_below(PPM) >= ppm {
             return None;
         }
         self.stats.chip_stalls += 1;
@@ -332,12 +393,13 @@ impl FaultInjector {
         Some(self.profile.chip_stall)
     }
 
-    /// Draw a channel stall for one bus transfer.
-    pub fn channel_stall(&mut self) -> Option<Duration> {
+    /// Draw a channel stall for one bus transfer on channel lane `lane`.
+    pub fn channel_stall(&mut self, lane: u32) -> Option<Duration> {
         if self.profile.channel_stall_ppm == 0 {
             return None;
         }
-        if self.rng.next_below(PPM) >= self.profile.channel_stall_ppm as u64 {
+        let ppm = self.profile.channel_stall_ppm as u64;
+        if self.channel_rng(lane).next_below(PPM) >= ppm {
             return None;
         }
         self.stats.channel_stalls += 1;
@@ -365,20 +427,23 @@ mod tests {
     #[test]
     fn disabled_injector_is_free_and_stateless() {
         let mut a = FaultInjector::disabled();
-        let rng_before = format!("{:?}", a.rng);
         for b in 0..100 {
-            let f = a.on_read(b, Duration::micros(35));
+            let f = a.on_read(b as u32 % 4, b, Duration::micros(35));
             assert_eq!(f.retries, 0);
             assert!(!f.hard_fail);
             assert_eq!(f.extra, Duration::ZERO);
-            assert_eq!(a.on_program(b, Duration::micros(350)), Duration::ZERO);
-            assert!(a.chip_stall().is_none());
-            assert!(a.channel_stall().is_none());
+            assert_eq!(
+                a.on_program(b as u32 % 4, b, Duration::micros(350)),
+                Duration::ZERO
+            );
+            assert!(a.chip_stall(b as u32 % 4).is_none());
+            assert!(a.channel_stall(b as u32 % 2).is_none());
             a.on_erase(b);
         }
-        // No RNG draws at all: the stream state is untouched, which is the
-        // property that keeps fault-free runs byte-identical.
-        assert_eq!(format!("{:?}", a.rng), rng_before);
+        // No RNG draws at all: no lane stream was even created, which is
+        // the property that keeps fault-free runs byte-identical.
+        assert!(a.chip_streams.iter().all(Option::is_none));
+        assert!(a.channel_streams.iter().all(Option::is_none));
         assert_eq!(a.stats().read_retries, 0);
     }
 
@@ -387,22 +452,73 @@ mod tests {
         let mut a = FaultInjector::new(FaultProfile::heavy(), 99);
         let mut b = FaultInjector::new(FaultProfile::heavy(), 99);
         for blk in 0..2000usize {
-            let fa = a.on_read(blk % 7, Duration::micros(35));
-            let fb = b.on_read(blk % 7, Duration::micros(35));
+            let lane = (blk % 5) as u32;
+            let fa = a.on_read(lane, blk % 7, Duration::micros(35));
+            let fb = b.on_read(lane, blk % 7, Duration::micros(35));
             assert_eq!(fa.retries, fb.retries);
             assert_eq!(fa.hard_fail, fb.hard_fail);
             assert_eq!(fa.extra, fb.extra);
-            assert_eq!(a.chip_stall(), b.chip_stall());
+            assert_eq!(a.chip_stall(lane), b.chip_stall(lane));
         }
         assert_eq!(a.stats().read_retries, b.stats().read_retries);
         assert!(a.stats().read_retries > 0, "heavy profile must retry");
+    }
+
+    /// The sharding property: a lane's fault schedule is a function of
+    /// that lane's own op sequence only. Replaying the same per-lane op
+    /// sequences under a *different cross-lane interleave* must produce
+    /// the exact same per-lane verdicts.
+    #[test]
+    fn lane_schedules_are_invariant_under_cross_lane_interleave() {
+        let run = |interleaved: bool| {
+            let mut inj = FaultInjector::new(FaultProfile::heavy(), 7);
+            let mut per_lane: Vec<Vec<(u32, bool, Duration)>> = vec![Vec::new(); 3];
+            if interleaved {
+                // Round-robin across lanes: lane k sees ops 0..200 in order.
+                for op in 0..200usize {
+                    for lane in 0..3u32 {
+                        let f = inj.on_read(lane, op % 11, Duration::micros(35));
+                        per_lane[lane as usize].push((f.retries, f.hard_fail, f.extra));
+                        let _ = inj.chip_stall(lane);
+                        let _ = inj.channel_stall(lane);
+                    }
+                }
+            } else {
+                // Lane-major: each lane runs its whole sequence back to back.
+                for lane in 0..3u32 {
+                    for op in 0..200usize {
+                        let f = inj.on_read(lane, op % 11, Duration::micros(35));
+                        per_lane[lane as usize].push((f.retries, f.hard_fail, f.extra));
+                        let _ = inj.chip_stall(lane);
+                        let _ = inj.channel_stall(lane);
+                    }
+                }
+            }
+            per_lane
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    /// Distinct lanes (and the chip vs channel tag spaces) draw from
+    /// statistically independent streams, not a shared one.
+    #[test]
+    fn lanes_draw_from_distinct_streams() {
+        let mut inj = FaultInjector::new(FaultProfile::heavy(), 13);
+        let seq = |inj: &mut FaultInjector, lane: u32| -> Vec<u32> {
+            (0..500)
+                .map(|op| inj.on_read(lane, op % 11, Duration::micros(35)).retries)
+                .collect()
+        };
+        let lane0 = seq(&mut inj, 0);
+        let lane1 = seq(&mut inj, 1);
+        assert_ne!(lane0, lane1, "per-chip streams must differ");
     }
 
     #[test]
     fn ladder_escalates_and_hard_fails_after_max_steps() {
         let mut inj = FaultInjector::new(always_fail(), 1);
         let base = Duration::micros(35);
-        let f = inj.on_read(0, base);
+        let f = inj.on_read(0, 0, base);
         assert_eq!(f.retries, 3);
         assert!(f.hard_fail);
         // Extra = base * (100 + 130 + 170) / 100.
@@ -425,14 +541,14 @@ mod tests {
         let trials = 20_000;
         let mut fresh = FaultInjector::new(profile, 7);
         let fresh_errs: u64 = (0..trials)
-            .map(|_| fresh.on_read(0, Duration::micros(35)).retries as u64)
+            .map(|_| fresh.on_read(0, 0, Duration::micros(35)).retries as u64)
             .sum();
         let mut worn = FaultInjector::new(profile, 7);
         for _ in 0..10 {
             worn.on_erase(0);
         }
         let worn_errs: u64 = (0..trials)
-            .map(|_| worn.on_read(0, Duration::micros(35)).retries as u64)
+            .map(|_| worn.on_read(0, 0, Duration::micros(35)).retries as u64)
             .sum();
         // 0.1% base vs 50.1% after ten erases.
         assert!(
@@ -456,7 +572,7 @@ mod tests {
             inj.on_erase(0);
         }
         for _ in 0..100 {
-            assert_eq!(inj.on_read(0, Duration::micros(35)).retries, 1);
+            assert_eq!(inj.on_read(0, 0, Duration::micros(35)).retries, 1);
         }
     }
 
@@ -486,7 +602,7 @@ mod tests {
     fn stall_draws_follow_configured_rates() {
         let mut inj = FaultInjector::new(FaultProfile::heavy(), 11);
         let n = 100_000;
-        let stalls = (0..n).filter(|_| inj.chip_stall().is_some()).count();
+        let stalls = (0..n).filter(|_| inj.chip_stall(0).is_some()).count();
         // 1% ppm rate: expect ~1000, accept a loose band.
         assert!((500..2000).contains(&stalls), "{stalls} stalls");
         assert_eq!(inj.stats().chip_stalls as usize, stalls);

@@ -170,9 +170,11 @@ impl Ssd {
     /// Like [`Ssd::array_read`], but also reports the injector's verdict
     /// so the caller can re-issue or degrade on a hard ECC failure.
     pub fn array_read_checked(&mut self, at: SimTime, ppa: Ppa) -> (Reservation, ReadFault) {
-        let fault = self
-            .fault
-            .on_read(ppa.block_index(&self.cfg.geometry), self.cfg.read_latency);
+        let fault = self.fault.on_read(
+            ppa.chip_index(&self.cfg.geometry) as u32,
+            ppa.block_index(&self.cfg.geometry),
+            self.cfg.read_latency,
+        );
         let res = self.array_op(
             at,
             ppa,
@@ -189,6 +191,7 @@ impl Ssd {
     /// Program one page from its plane's register into the array.
     pub fn array_program(&mut self, at: SimTime, ppa: Ppa) -> Reservation {
         let extra = self.fault.on_program(
+            ppa.chip_index(&self.cfg.geometry) as u32,
             ppa.block_index(&self.cfg.geometry),
             self.cfg.program_latency,
         );
@@ -210,7 +213,7 @@ impl Ssd {
     /// earlier than `at`. Used for register→controller page transfers,
     /// accelerator command/walk traffic, and controller→register writes.
     pub fn channel_transfer(&mut self, at: SimTime, channel: u32, bytes: u64) -> Reservation {
-        let at = match self.fault.channel_stall() {
+        let at = match self.fault.channel_stall(channel) {
             Some(stall) => {
                 self.tracer
                     .span("fault.channel_stall", channel, at, at + stall);
@@ -369,7 +372,7 @@ impl Ssd {
         let chip = ppa.chip_index(&g);
         // A stalled chip delays the op's earliest start; the plane/port
         // reservations below then queue behind whatever else is pending.
-        let at = match self.fault.chip_stall() {
+        let at = match self.fault.chip_stall(chip as u32) {
             Some(stall) => {
                 self.tracer
                     .span("fault.chip_stall", chip as u32, at, at + stall);

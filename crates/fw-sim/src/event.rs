@@ -234,6 +234,16 @@ impl<E> EventQueue<E> {
         Some((entry.time, entry.event))
     }
 
+    /// Timestamp and payload of the next pending event without delivering
+    /// it. Needs `&mut self` because the head may have to be promoted out
+    /// of the wheel/overflow tiers first; the delivery order is unchanged.
+    pub fn peek(&mut self) -> Option<(SimTime, &E)> {
+        if self.current.is_empty() {
+            self.refill_current();
+        }
+        self.current.peek().map(|Reverse(e)| (e.time, &e.event))
+    }
+
     /// Promote the earliest pending bucket into the (empty) `current`
     /// heap and migrate any overflow entries that the advanced horizon
     /// now covers.
@@ -372,6 +382,12 @@ impl<E> HeapEventQueue<E> {
     /// Timestamp of the next pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Timestamp and payload of the next pending event (see
+    /// [`EventQueue::peek`]; `&mut` for API parity).
+    pub fn peek(&mut self) -> Option<(SimTime, &E)> {
+        self.heap.peek().map(|Reverse(e)| (e.time, &e.event))
     }
 
     /// Deliver the next event, advancing the clock to its timestamp.

@@ -23,7 +23,9 @@
 //! the two sides of the evaluation comparable.
 
 pub mod event;
+pub mod pool;
 pub mod rng;
+pub mod shard;
 pub mod timeline;
 
 pub use fw_trace::{export, metrics, report, span, stats, time};
@@ -34,5 +36,7 @@ pub use fw_trace::{
     MetricsRegistry, QueueDepthSeries, SimTime, SpanRecord, StatSet, TimeSeries, TraceConfig,
     TraceReport, Tracer,
 };
+pub use pool::WorkerPool;
 pub use rng::{derive_stream_seed, SplitMix64, Xoshiro256pp};
+pub use shard::{ShardId, ShardedClock, ShardedEventQueue, SyncWindow};
 pub use timeline::{BandwidthLink, ServerBank, Timeline};

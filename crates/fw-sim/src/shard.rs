@@ -1,0 +1,462 @@
+//! Sharded event streams with conservative synchronization windows.
+//!
+//! The paper's hardware is massively parallel — 129 walker units across
+//! channels and chips — while the reference simulator replays everything
+//! on one [`EventQueue`]. This module is the substrate for executing that
+//! replay as *per-shard event streams* (one stream per channel, plus a
+//! board/PCIe stream) that only need to agree on order at synchronization
+//! points:
+//!
+//! * [`ShardedEventQueue`] — one calendar queue per shard plus a global
+//!   insertion sequence. Its merged pop stream is **bit-identical** to a
+//!   single [`EventQueue`] fed the same schedule (asserted over randomized
+//!   schedules in the test suite), so an engine can switch between the
+//!   monolithic queue and the sharded one without changing a single event
+//!   delivery.
+//! * [`SyncWindow`] / [`ShardedEventQueue::next_window`] — conservative
+//!   time windows. Events inside a window that belong to different shards
+//!   cannot affect each other *within* the window as long as the lookahead
+//!   is at most the minimum cross-shard latency, which is what lets
+//!   shard-local work (tracer lanes, fault streams, pool recycling)
+//!   proceed per-worker between sync points.
+//! * [`ShardedClock`] — per-shard commit-time bookkeeping that asserts the
+//!   conservative discipline: no shard may run past the open window, and
+//!   shard-local time never goes backwards.
+//!
+//! The scheduling plane stays globally ordered: ties across shards break
+//! on the *global* sequence number, exactly like the monolithic queue's
+//! insertion order. That is the determinism argument in one sentence —
+//! the merge key (time, global seq) is a total order independent of which
+//! worker touched the event last.
+
+use crate::event::EventQueue;
+use crate::time::{Duration, SimTime};
+
+/// Identifies one event stream (shard). Engines map channels, chips and
+/// the board to shards; the mapping is theirs, the ordering contract is
+/// ours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(pub u32);
+
+impl ShardId {
+    /// The shard index as a `usize` (for indexing per-shard state).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One conservative synchronization window: every pending event with
+/// `start <= time <= end` may be examined shard-locally before the next
+/// global merge point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncWindow {
+    /// Timestamp of the earliest pending event when the window opened.
+    pub start: SimTime,
+    /// Inclusive upper bound: `start + lookahead`.
+    pub end: SimTime,
+}
+
+/// A set of per-shard [`EventQueue`]s whose merged delivery order is
+/// bit-identical to a single monolithic queue.
+///
+/// Each shard keeps its own calendar queue; every scheduled event also
+/// carries a *global* sequence number, so the k-way merge in
+/// [`pop`](ShardedEventQueue::pop) breaks time ties by global insertion
+/// order — the exact tie-break the monolithic [`EventQueue`] applies.
+/// Within one shard the local insertion order is a subsequence of the
+/// global order, so the per-shard calendar queues already agree with the
+/// global key and the merge only has to compare shard heads.
+pub struct ShardedEventQueue<E> {
+    shards: Vec<EventQueue<(u64, E)>>,
+    gseq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> ShardedEventQueue<E> {
+    /// An empty queue with `num_shards` streams and the clock at `t = 0`.
+    ///
+    /// # Panics
+    /// Panics if `num_shards` is zero — a simulation needs at least one
+    /// stream.
+    pub fn new(num_shards: usize) -> Self {
+        assert!(num_shards > 0, "a sharded queue needs at least one shard");
+        ShardedEventQueue {
+            shards: (0..num_shards).map(|_| EventQueue::new()).collect(),
+            gseq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Number of shards (fixed at construction).
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Current simulated time: the timestamp of the most recently popped
+    /// event (or `t = 0` before the first pop).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered so far, across all shards.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Number of events still pending, across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(EventQueue::len).sum()
+    }
+
+    /// True if every shard has quiesced.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(EventQueue::is_empty)
+    }
+
+    /// Number of events still pending on one shard.
+    pub fn shard_len(&self, shard: ShardId) -> usize {
+        self.shards[shard.index()].len()
+    }
+
+    /// Schedule `event` on `shard` at absolute time `at`.
+    ///
+    /// # Panics
+    /// In debug builds, panics if `at` precedes the global clock (the
+    /// same non-causality guard as the monolithic queue).
+    pub fn schedule_at(&mut self, shard: ShardId, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
+        let gseq = self.gseq;
+        self.gseq += 1;
+        self.shards[shard.index()].schedule_at(at, (gseq, event));
+    }
+
+    /// Schedule `event` on `shard` `delay` after the current global time.
+    #[inline]
+    pub fn schedule_in(&mut self, shard: ShardId, delay: Duration, event: E) {
+        self.schedule_at(shard, self.now + delay, event);
+    }
+
+    /// The shard holding the globally next event, by (time, global seq).
+    fn head_shard(&mut self) -> Option<usize> {
+        let mut best: Option<(SimTime, u64, usize)> = None;
+        for i in 0..self.shards.len() {
+            if let Some((t, &(g, _))) = self.shards[i].peek() {
+                if best.map(|(bt, bg, _)| (t, g) < (bt, bg)).unwrap_or(true) {
+                    best = Some((t, g, i));
+                }
+            }
+        }
+        best.map(|(_, _, i)| i)
+    }
+
+    /// Timestamp of the globally next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.head_shard()
+            .and_then(|i| self.shards[i].peek().map(|(t, _)| t))
+    }
+
+    /// Deliver the globally next event, advancing the clock to its
+    /// timestamp. Returns the owning shard alongside the payload.
+    pub fn pop(&mut self) -> Option<(SimTime, ShardId, E)> {
+        let i = self.head_shard()?;
+        let (t, (_, ev)) = self.shards[i].pop()?;
+        debug_assert!(t >= self.now);
+        self.now = t;
+        self.popped += 1;
+        Some((t, ShardId(i as u32), ev))
+    }
+
+    /// Deliver the globally next event only if it lies at or before
+    /// `end` (a window bound). Events scheduled *during* the window that
+    /// land inside it are picked up in correct global order.
+    pub fn pop_within(&mut self, end: SimTime) -> Option<(SimTime, ShardId, E)> {
+        match self.peek_time() {
+            Some(t) if t <= end => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Open the next conservative window: `[t_next, t_next + lookahead]`
+    /// where `t_next` is the earliest pending event. Returns `None` when
+    /// the queue has quiesced.
+    ///
+    /// The conservative discipline: with `lookahead` at most the minimum
+    /// cross-shard latency, no event committed inside the window can
+    /// schedule another shard's event *inside the same window*, so
+    /// shard-local state may be touched per-worker until the window
+    /// closes.
+    pub fn next_window(&mut self, lookahead: Duration) -> Option<SyncWindow> {
+        let start = self.peek_time()?;
+        Some(SyncWindow {
+            start,
+            end: start + lookahead,
+        })
+    }
+}
+
+/// Per-shard commit-time bookkeeping for window-driven execution.
+///
+/// The clock does not schedule anything; it *audits* the conservative
+/// discipline. Engines call [`advance`](ShardedClock::advance) as they
+/// commit events and the clock panics (debug builds) the moment a shard
+/// runs past the open window or travels backwards — the two ways a
+/// parallel replay could silently diverge from the sequential reference.
+#[derive(Debug)]
+pub struct ShardedClock {
+    local: Vec<SimTime>,
+    window: Option<SyncWindow>,
+    windows_opened: u64,
+}
+
+impl ShardedClock {
+    /// A clock for `num_shards` shards, all at `t = 0`, no open window.
+    pub fn new(num_shards: usize) -> Self {
+        ShardedClock {
+            local: vec![SimTime::ZERO; num_shards],
+            window: None,
+            windows_opened: 0,
+        }
+    }
+
+    /// Number of shards tracked.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.local.len()
+    }
+
+    /// Shard-local commit time (the last event time committed there).
+    #[inline]
+    pub fn local_time(&self, shard: ShardId) -> SimTime {
+        self.local[shard.index()]
+    }
+
+    /// The conservative global bound: no shard has committed past the
+    /// minimum local time plus the window lookahead, so this is the
+    /// earliest time a not-yet-seen cross-shard event could carry.
+    pub fn global_lower_bound(&self) -> SimTime {
+        self.local.iter().copied().min().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Open a window; subsequent [`advance`](ShardedClock::advance) calls
+    /// must stay at or before `window.end`.
+    pub fn open_window(&mut self, window: SyncWindow) {
+        self.window = Some(window);
+        self.windows_opened += 1;
+    }
+
+    /// Record that `shard` committed an event at `t`.
+    ///
+    /// # Panics
+    /// In debug builds, panics if `t` precedes the shard's local time
+    /// (time travel) or exceeds the open window's end (a worker escaped
+    /// the conservative bound).
+    pub fn advance(&mut self, shard: ShardId, t: SimTime) {
+        debug_assert!(
+            t >= self.local[shard.index()],
+            "shard {shard:?} moved backwards: {t:?} < {:?}",
+            self.local[shard.index()]
+        );
+        if let Some(w) = self.window {
+            debug_assert!(t <= w.end, "shard {shard:?} escaped window {w:?} at {t:?}");
+        }
+        self.local[shard.index()] = t;
+    }
+
+    /// Close the open window (barrier). All shards' local clocks are
+    /// pulled up to the window end so the next window's lower bound is
+    /// monotone.
+    pub fn close_window(&mut self) {
+        if let Some(w) = self.window.take() {
+            for t in &mut self.local {
+                if *t < w.end {
+                    *t = w.end;
+                }
+            }
+        }
+    }
+
+    /// Number of windows opened so far (sync-point count; a proxy for
+    /// merge overhead in window-driven runs).
+    #[inline]
+    pub fn windows_opened(&self) -> u64 {
+        self.windows_opened
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventQueue;
+    use crate::rng::Xoshiro256pp;
+
+    #[test]
+    fn merges_across_shards_in_time_order() {
+        let mut q = ShardedEventQueue::new(3);
+        q.schedule_at(ShardId(2), SimTime(30), "c");
+        q.schedule_at(ShardId(0), SimTime(10), "a");
+        q.schedule_at(ShardId(1), SimTime(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop())
+            .map(|(_, s, e)| (s, e))
+            .collect();
+        assert_eq!(
+            order,
+            vec![(ShardId(0), "a"), (ShardId(1), "b"), (ShardId(2), "c")]
+        );
+        assert_eq!(q.now(), SimTime(30));
+        assert_eq!(q.events_processed(), 3);
+    }
+
+    #[test]
+    fn cross_shard_ties_break_by_global_insertion_order() {
+        let mut q = ShardedEventQueue::new(4);
+        for i in 0..100u32 {
+            q.schedule_at(ShardId(i % 4), SimTime(7), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_within_respects_the_window_bound() {
+        let mut q = ShardedEventQueue::new(2);
+        q.schedule_at(ShardId(0), SimTime(5), "in");
+        q.schedule_at(ShardId(1), SimTime(50), "out");
+        let w = q.next_window(Duration(10)).unwrap();
+        assert_eq!(
+            w,
+            SyncWindow {
+                start: SimTime(5),
+                end: SimTime(15)
+            }
+        );
+        assert_eq!(q.pop_within(w.end).map(|(_, _, e)| e), Some("in"));
+        // A handler scheduling back into the window is still delivered
+        // inside it, in order.
+        q.schedule_at(ShardId(1), SimTime(12), "late");
+        assert_eq!(q.pop_within(w.end).map(|(_, _, e)| e), Some("late"));
+        assert_eq!(q.pop_within(w.end), None, "out-of-window event leaked");
+        assert_eq!(q.pop().map(|(_, _, e)| e), Some("out"));
+        assert!(q.next_window(Duration(10)).is_none());
+    }
+
+    /// The heart of the determinism argument: drive a monolithic
+    /// [`EventQueue`] and a [`ShardedEventQueue`] (events spread over
+    /// shards by a deterministic hash) through an identical randomized
+    /// schedule — heavy ties, relative delays, far-future bursts,
+    /// interleaved pops — and assert the (time, payload) pop streams are
+    /// bit-identical. Payloads are unique insertion indices, so this pins
+    /// the (time, global seq) tie-break exactly.
+    #[test]
+    fn matches_monolithic_queue_on_random_schedules() {
+        for seed in 0..8u64 {
+            for num_shards in [1usize, 2, 5] {
+                let mut rng = Xoshiro256pp::new(0x5AAD + seed);
+                let mut mono: EventQueue<u64> = EventQueue::new();
+                let mut sharded: ShardedEventQueue<u64> = ShardedEventQueue::new(num_shards);
+                let mut next_id = 0u64;
+                let mut scheduled = 0u64;
+                for _round in 0..2_000 {
+                    match rng.next_below(10) {
+                        0..=3 => {
+                            let t = SimTime(mono.now().0 + rng.next_below(20_000) / 64 * 64);
+                            let s = ShardId((next_id % num_shards as u64) as u32);
+                            mono.schedule_at(t, next_id);
+                            sharded.schedule_at(s, t, next_id);
+                            next_id += 1;
+                            scheduled += 1;
+                        }
+                        4..=6 => {
+                            let d = Duration(rng.next_below(3_000_000));
+                            let s = ShardId((next_id % num_shards as u64) as u32);
+                            mono.schedule_in(d, next_id);
+                            sharded.schedule_in(s, d, next_id);
+                            next_id += 1;
+                            scheduled += 1;
+                        }
+                        _ => {
+                            for _ in 0..=rng.next_below(3) {
+                                assert_eq!(mono.peek_time(), sharded.peek_time());
+                                let a = mono.pop();
+                                let b = sharded.pop().map(|(t, _, e)| (t, e));
+                                assert_eq!(a, b, "pop streams diverged (seed {seed})");
+                            }
+                        }
+                    }
+                    assert_eq!(
+                        sharded.events_processed() + sharded.len() as u64,
+                        scheduled,
+                        "sharded queue stranded events (seed {seed})"
+                    );
+                    assert_eq!(mono.now(), sharded.now());
+                }
+                loop {
+                    let a = mono.pop();
+                    let b = sharded.pop().map(|(t, _, e)| (t, e));
+                    assert_eq!(a, b, "drain diverged (seed {seed})");
+                    if a.is_none() {
+                        break;
+                    }
+                }
+                assert!(sharded.is_empty());
+                assert_eq!(sharded.events_processed(), scheduled);
+            }
+        }
+    }
+
+    #[test]
+    fn window_driven_drain_equals_straight_drain() {
+        // Popping through conservative windows must visit the exact same
+        // stream as popping directly.
+        let mut straight = ShardedEventQueue::new(3);
+        let mut windowed = ShardedEventQueue::new(3);
+        let mut rng = Xoshiro256pp::new(77);
+        for i in 0..500u64 {
+            let t = SimTime(rng.next_below(1 << 20));
+            let s = ShardId((i % 3) as u32);
+            straight.schedule_at(s, t, i);
+            windowed.schedule_at(s, t, i);
+        }
+        let direct: Vec<_> = std::iter::from_fn(|| straight.pop()).collect();
+        let mut clock = ShardedClock::new(3);
+        let mut via_windows = Vec::new();
+        while let Some(w) = windowed.next_window(Duration(4096)) {
+            clock.open_window(w);
+            while let Some((t, s, e)) = windowed.pop_within(w.end) {
+                clock.advance(s, t);
+                via_windows.push((t, s, e));
+            }
+            clock.close_window();
+        }
+        assert_eq!(direct, via_windows);
+        assert!(clock.windows_opened() > 1, "expected multiple windows");
+        assert!(clock.global_lower_bound() >= direct.last().unwrap().0);
+    }
+
+    #[test]
+    #[should_panic(expected = "escaped window")]
+    #[cfg(debug_assertions)]
+    fn clock_catches_window_escape() {
+        let mut clock = ShardedClock::new(2);
+        clock.open_window(SyncWindow {
+            start: SimTime(0),
+            end: SimTime(100),
+        });
+        clock.advance(ShardId(0), SimTime(101));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn rejects_zero_shards() {
+        let _ = ShardedEventQueue::<()>::new(0);
+    }
+}

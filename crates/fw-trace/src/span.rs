@@ -291,18 +291,61 @@ impl Tracer {
     /// `horizon` (utilization denominators are `horizon` nanoseconds).
     ///
     /// Returns `None` for a disabled tracer.
+    ///
+    /// The report is *canonical*: name ids are remapped to sorted-name
+    /// order and retained spans are sorted by `(name, lane, start, end,
+    /// bytes)` before derivation. Intern order depends on which tracer
+    /// saw a name first — under per-shard tracing that is a function of
+    /// merge order — so canonicalizing here makes the report (and every
+    /// exporter downstream) independent of worker completion order.
     pub fn finish(self, horizon: SimTime) -> Option<TraceReport> {
         if !self.on {
             return None;
         }
+        // Canonicalize: sorted-name id space, sorted span list.
+        let mut order: Vec<u32> = (0..self.names.len() as u32).collect();
+        order.sort_by(|&a, &b| self.names[a as usize].cmp(&self.names[b as usize]));
+        let mut remap = vec![0u32; self.names.len()];
+        for (new, &old) in order.iter().enumerate() {
+            remap[old as usize] = new as u32;
+        }
+        let names: Vec<String> = order
+            .iter()
+            .map(|&o| self.names[o as usize].clone())
+            .collect();
+        let tracks: BTreeMap<(u32, u32), Track> = self
+            .tracks
+            .into_iter()
+            .map(|((id, lane), t)| ((remap[id as usize], lane), t))
+            .collect();
+        let gauges: BTreeMap<u32, GaugeSeries> = self
+            .gauges
+            .into_iter()
+            .map(|(id, g)| (remap[id as usize], g))
+            .collect();
+        let values: BTreeMap<u32, Histogram> = self
+            .values
+            .into_iter()
+            .map(|(id, h)| (remap[id as usize], h))
+            .collect();
+        let mut spans: Vec<SpanRecord> = self
+            .spans
+            .into_iter()
+            .map(|s| SpanRecord {
+                name: remap[s.name as usize],
+                ..s
+            })
+            .collect();
+        spans.sort_by_key(|s| (s.name, s.lane, s.start, s.end, s.bytes));
+
         let horizon_ns = horizon.as_nanos().max(1);
         let mut components = Vec::new();
         let mut per_name: BTreeMap<u32, Histogram> = BTreeMap::new();
         let mut per_name_bytes: BTreeMap<u32, u64> = BTreeMap::new();
         let mut per_name_busy: BTreeMap<u32, u64> = BTreeMap::new();
         let mut metrics = MetricsRegistry::new();
-        for (&(id, lane), track) in &self.tracks {
-            let name = &self.names[id as usize];
+        for (&(id, lane), track) in &tracks {
+            let name = &names[id as usize];
             components.push(ComponentUtil {
                 name: name.clone(),
                 lane,
@@ -327,19 +370,19 @@ impl Tracer {
         let mut latencies = Vec::new();
         for (id, hist) in &per_name {
             latencies.push(LatencySummary::from_histogram(
-                self.names[*id as usize].clone(),
+                names[*id as usize].clone(),
                 hist,
             ));
         }
-        for (&id, hist) in &self.values {
+        for (&id, hist) in &values {
             latencies.push(LatencySummary::from_histogram(
-                self.names[id as usize].clone(),
+                names[id as usize].clone(),
                 hist,
             ));
         }
         latencies.sort_by(|a, b| a.name.cmp(&b.name));
         let mut queue_depths = Vec::new();
-        for (&id, g) in &self.gauges {
+        for (&id, g) in &gauges {
             let mean: Vec<f64> = g
                 .sum
                 .windows()
@@ -348,24 +391,24 @@ impl Tracer {
                 .map(|(&s, &c)| if c == 0.0 { 0.0 } else { s / c })
                 .collect();
             queue_depths.push(QueueDepthSeries {
-                name: self.names[id as usize].clone(),
+                name: names[id as usize].clone(),
                 window_ns: self.cfg.window_ns,
                 mean,
             });
         }
         let mut name_bytes: BTreeMap<String, u64> = BTreeMap::new();
         for (id, b) in per_name_bytes {
-            name_bytes.insert(self.names[id as usize].clone(), b);
+            name_bytes.insert(names[id as usize].clone(), b);
         }
         let mut name_busy: BTreeMap<String, u64> = BTreeMap::new();
         for (id, b) in per_name_busy {
-            name_busy.insert(self.names[id as usize].clone(), b);
+            name_busy.insert(names[id as usize].clone(), b);
         }
         Some(TraceReport {
             horizon_ns: horizon.as_nanos(),
             window_ns: self.cfg.window_ns,
-            names: self.names,
-            spans: self.spans,
+            names,
+            spans,
             dropped_spans: self.dropped,
             components,
             latencies,
@@ -442,6 +485,67 @@ mod tests {
         assert_eq!(rep.metrics.counter("channel.bus.3.bytes"), 512);
         let util = rep.metrics.gauge("channel.bus.3.util").unwrap();
         assert!((util - 0.25).abs() < 1e-9);
+    }
+
+    /// Satellite for the parallel core: per-shard tracers merge at run
+    /// end, and worker completion order must not leak into the report.
+    /// Build shard tracers with overlapping and disjoint names, merge
+    /// them in several shuffled orders, and assert the finished reports —
+    /// including both byte-level exporters — are identical.
+    #[test]
+    fn merge_order_does_not_change_the_finished_report() {
+        use crate::export::{chrome_trace_json, trace_summary_json};
+
+        let make_shards = || {
+            let mut s0 = Tracer::enabled(TraceConfig::default());
+            s0.span_bytes("chip.read", 0, t(0), t(100), 4096);
+            s0.span("chan.bus", 0, t(100), t(130));
+            s0.gauge("chip.queue", t(50), 3);
+            s0.record("hop_ns", 40);
+            let mut s1 = Tracer::enabled(TraceConfig::default());
+            s1.span_bytes("chip.read", 1, t(20), t(90), 4096);
+            s1.span("board.pe", 0, t(90), t(140));
+            s1.gauge("chan.queue", t(60), 7);
+            s1.record("hop_ns", 55);
+            let mut s2 = Tracer::enabled(TraceConfig::default());
+            s2.span("dram.access", 2, t(5), t(25));
+            s2.span_bytes("chip.read", 0, t(200), t(260), 8192);
+            s2.gauge("chip.queue", t(150), 9);
+            vec![s0, s1, s2]
+        };
+
+        let finish_in_order = |order: &[usize]| {
+            let shards = make_shards();
+            let mut root = Tracer::enabled(TraceConfig::default());
+            for &i in order {
+                root.merge(&shards[i]);
+            }
+            root.finish(t(1_000)).unwrap()
+        };
+
+        let reference = finish_in_order(&[0, 1, 2]);
+        for order in [[1, 0, 2], [2, 1, 0], [2, 0, 1], [1, 2, 0]] {
+            let shuffled = finish_in_order(&order);
+            assert_eq!(reference.names, shuffled.names, "order {order:?}");
+            assert_eq!(reference.spans, shuffled.spans, "order {order:?}");
+            assert_eq!(
+                chrome_trace_json(&reference),
+                chrome_trace_json(&shuffled),
+                "chrome trace diverged for merge order {order:?}"
+            );
+            assert_eq!(
+                trace_summary_json(&reference),
+                trace_summary_json(&shuffled),
+                "summary diverged for merge order {order:?}"
+            );
+        }
+        // Canonical form: names sorted, spans sorted by (name, lane, start).
+        let mut sorted_names = reference.names.clone();
+        sorted_names.sort();
+        assert_eq!(reference.names, sorted_names);
+        let mut sorted_spans = reference.spans.clone();
+        sorted_spans.sort_by_key(|s| (s.name, s.lane, s.start, s.end, s.bytes));
+        assert_eq!(reference.spans, sorted_spans);
     }
 
     #[test]

@@ -87,10 +87,11 @@ impl GraphWalkerSim<'_> {
             run.requeues += 1;
             done = done + self.faults.retry_backoff + self.ssd.config().nvme_cmd_overhead;
         }
-        self.tracer.span_bytes(
+        let start = run.now;
+        self.stream_tracer(block).span_bytes(
             "gw.load",
             block,
-            run.now,
+            start,
             done,
             num_pages as u64 * page_bytes,
         );
@@ -136,7 +137,9 @@ impl GraphWalkerSim<'_> {
             self.ssd.ftl_mut().trim(lpn);
             self.pools[block as usize].walks.extend(walks);
         }
-        self.tracer.span("gw.walk_io", block, run.now, done);
+        let start = run.now;
+        self.stream_tracer(block)
+            .span("gw.walk_io", block, start, done);
         run.breakdown.walk_io += done - run.now;
         run.now = done;
     }

@@ -161,6 +161,19 @@ pub struct GraphWalkerSim<'g> {
     trace_window_ns: u64,
     walk_log: Option<Vec<Walk>>,
     pub(super) tracer: Tracer,
+    /// Worker count for the block-stream planes; `1` (the default) is the
+    /// sequential reference. The scheduler loop itself is serial — every
+    /// hop draws from the one host RNG — so `threads` shards the
+    /// measurement plane (block-stream tracer lanes) and the run plane
+    /// (suite cells in `fwbench`), never the committed schedule.
+    threads: u32,
+    /// Trace config, kept so stream tracers can be rebuilt when the
+    /// builder order puts `with_threads` after `with_span_trace`.
+    trace_cfg: Option<TraceConfig>,
+    /// Per-block-stream tracers (block → stream `block % streams`),
+    /// merged into the root tracer at run end. The canonical
+    /// [`Tracer::finish`] makes the report identical at any stream count.
+    pub(super) stream_tracers: Vec<Tracer>,
 }
 
 impl<'g> GraphWalkerSim<'g> {
@@ -223,7 +236,34 @@ impl<'g> GraphWalkerSim<'g> {
             trace_window_ns: 1_000_000,
             walk_log: None,
             tracer: Tracer::disabled(),
+            threads: 1,
+            trace_cfg: None,
+            stream_tracers: vec![Tracer::disabled()],
         }
+    }
+
+    /// Run with `n` workers. The committed schedule — and therefore every
+    /// report byte — is identical at any thread count; `n > 1` shards the
+    /// block-stream tracer lanes per worker.
+    pub fn with_threads(mut self, n: u32) -> Self {
+        self.threads = n.max(1);
+        self.rebuild_stream_tracers();
+        self
+    }
+
+    fn rebuild_stream_tracers(&mut self) {
+        let template = match self.trace_cfg {
+            Some(c) => Tracer::enabled(c),
+            None => Tracer::disabled(),
+        };
+        self.stream_tracers = (0..self.threads.max(1)).map(|_| template.clone()).collect();
+    }
+
+    /// The block-stream tracer owning `block`'s lanes (blocks stripe
+    /// round-robin over the streams).
+    pub(super) fn stream_tracer(&mut self, block: u32) -> &mut Tracer {
+        let n = self.stream_tracers.len();
+        &mut self.stream_tracers[block as usize % n]
     }
 
     /// Set the progress trace window (default 1 ms).
@@ -254,6 +294,8 @@ impl<'g> GraphWalkerSim<'g> {
     /// derived views land in [`GwReport::trace`].
     pub fn with_span_trace(mut self, cfg: TraceConfig) -> Self {
         self.tracer = Tracer::enabled(cfg);
+        self.trace_cfg = Some(cfg);
+        self.rebuild_stream_tracers();
         self.ssd.enable_span_trace(cfg);
         self
     }
@@ -304,6 +346,12 @@ impl<'g> GraphWalkerSim<'g> {
             self.spill_overflow(&mut run);
         }
 
+        // Deterministic merge of the block-stream lanes (stream order is
+        // fixed; the canonical finish is merge-order independent anyway).
+        let stream_tracers = std::mem::take(&mut self.stream_tracers);
+        for t in &stream_tracers {
+            self.tracer.merge(t);
+        }
         let ssd_tracer = self.ssd.take_tracer();
         self.tracer.merge(&ssd_tracer);
         let span_trace = self.tracer.finish(run.now);

@@ -50,9 +50,11 @@ impl GraphWalkerSim<'_> {
         self.pools[block as usize].walks = work;
         run.hops += batch_hops;
         let cpu = Duration::nanos(batch_hops * self.cfg.cpu_ns_per_hop);
-        self.tracer.span("gw.update", block, run.now, run.now + cpu);
+        let now = run.now;
+        self.stream_tracer(block)
+            .span("gw.update", block, now, now + cpu);
         if let Some(per_hop) = cpu.as_nanos().checked_div(batch_hops) {
-            self.tracer.record("walk.step_ns", per_hop);
+            self.stream_tracer(block).record("walk.step_ns", per_hop);
         }
         run.breakdown.update_walks += cpu;
         run.now += cpu;
