@@ -169,6 +169,7 @@ mod tests {
             walk_log: vec![],
             trace: None,
             faults: None,
+            journeys: None,
         }
     }
 

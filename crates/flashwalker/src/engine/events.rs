@@ -142,6 +142,9 @@ pub struct FwReport {
     /// Fault-injection counters, when the run had a nonzero fault
     /// profile ([`super::FlashWalkerSim::with_faults`]).
     pub faults: Option<FaultSummary>,
+    /// Walk-journey report, when
+    /// [`super::FlashWalkerSim::with_journeys`] was enabled.
+    pub journeys: Option<fw_sim::JourneyReport>,
 }
 
 impl From<FwReport> for RunReport {
@@ -176,6 +179,7 @@ impl From<FwReport> for RunReport {
             walk_log: r.walk_log,
             trace: r.trace,
             faults: r.faults,
+            journeys: r.journeys,
         }
     }
 }

@@ -72,8 +72,8 @@ use fw_graph::{Csr, PartitionedGraph, RangeTable, SubgraphMappingTable};
 use fw_nand::layout::GraphBlockPlacement;
 use fw_nand::{GraphLayout, Lpn, Ssd, SsdConfig};
 use fw_sim::{
-    ShardId, ShardedClock, ShardedEventQueue, SimTime, TimeSeries, TraceConfig, Tracer,
-    Xoshiro256pp,
+    JourneyConfig, JourneyRecorder, ShardId, ShardedClock, ShardedEventQueue, SimTime, TimeSeries,
+    TraceConfig, Tracer, Xoshiro256pp,
 };
 use fw_walk::{FaultSummary, RunReport, WalkEngine, Workload, WALK_BYTES};
 
@@ -153,6 +153,14 @@ pub struct FlashWalkerSim<'g> {
     /// gauges. Merged into the root tracer at run end; the canonical
     /// [`Tracer::finish`] makes the report independent of merge order.
     pub(super) shard_tracers: Vec<Tracer>,
+    /// Root journey recorder (board-side events: PWB enqueues, foreigner
+    /// flushes). Merged with the shard recorders at run end.
+    pub(super) journeys: JourneyRecorder,
+    /// Per-shard journey recorders mirroring `shard_tracers`: chip /
+    /// channel / load events ride the shard whose handler records them,
+    /// and the canonical `JourneyRecorder::finish` sort makes the merged
+    /// report independent of shard merge order.
+    pub(super) shard_journeys: Vec<JourneyRecorder>,
 }
 
 /// Walks per flash page (4 KB / 16 B).
@@ -279,6 +287,10 @@ impl<'g> FlashWalkerSim<'g> {
             shard_tracers: (0..geometry.channels as usize + 1)
                 .map(|_| Tracer::disabled())
                 .collect(),
+            journeys: JourneyRecorder::disabled(),
+            shard_journeys: (0..geometry.channels as usize + 1)
+                .map(|_| JourneyRecorder::disabled())
+                .collect(),
         }
     }
 
@@ -316,6 +328,21 @@ impl<'g> FlashWalkerSim<'g> {
         self.faults = profile;
         self.ssd
             .enable_faults(profile, derive_stream_seed(self.seed, FAULT_STREAM));
+        self
+    }
+
+    /// Enable walk-journey recording: a deterministic sample of walk ids
+    /// (pure function of `cfg.seed` and the id) gets its full lifecycle —
+    /// subgraph loads, NAND reads, ECC retries, sample batches, hops,
+    /// enqueues — recorded with sim-time stamps. The derived
+    /// [`fw_sim::JourneyReport`] lands in [`FwReport::journeys`].
+    /// Zero-cost when not called; byte-deterministic at any thread count
+    /// (events commit in the same order and the finish sort is canonical).
+    pub fn with_journeys(mut self, cfg: JourneyConfig) -> Self {
+        self.journeys = JourneyRecorder::enabled(cfg);
+        for j in &mut self.shard_journeys {
+            *j = JourneyRecorder::enabled(cfg);
+        }
         self
     }
 
@@ -564,6 +591,11 @@ impl<'g> FlashWalkerSim<'g> {
         self.tracer.merge(&ssd_tracer);
         self.tracer.merge(&dram_tracer);
         let span_trace = self.tracer.finish(horizon);
+        let shard_journeys = std::mem::take(&mut self.shard_journeys);
+        for j in &shard_journeys {
+            self.journeys.merge(j);
+        }
+        let journeys = std::mem::replace(&mut self.journeys, JourneyRecorder::disabled()).finish();
         let faults = self.faults.is_on().then(|| {
             let f = self.ssd.fault_stats();
             FaultSummary {
@@ -604,6 +636,7 @@ impl<'g> FlashWalkerSim<'g> {
             walk_log: self.walk_log.unwrap_or_default(),
             trace: span_trace,
             faults,
+            journeys,
         }
     }
 }

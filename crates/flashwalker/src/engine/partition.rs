@@ -4,7 +4,7 @@
 //! drain/switch sequence that moves the device to the next partition with
 //! work.
 
-use fw_sim::SimTime;
+use fw_sim::{JourneyEventKind, SimTime};
 use fw_walk::WALK_BYTES;
 
 use super::state::{SgId, SpillPage, TWalk};
@@ -24,6 +24,12 @@ impl FlashWalkerSim<'_> {
             .pwb
             .index_of(sg)
             .expect("pwb_insert outside current partition");
+        // Zero-width marker: the walk entered a queue here; waiting time
+        // until its next activity shows up as `wait` in the journey
+        // decomposition. Events dispatch serially, so the root recorder
+        // is safe from any shard context.
+        self.journeys
+            .event(tw.walk.id, JourneyEventKind::Enqueue, sg, now, now);
         self.pwb.entries[idx].walks.push(tw);
         self.pwb.inserts_since_refresh[idx] += 1;
         // Lazy score refresh: "we access the topN list every M
@@ -81,6 +87,12 @@ impl FlashWalkerSim<'_> {
                 self.stats.foreign_pages += 1;
             } else {
                 self.stats.init_spill_pages += 1;
+            }
+            if self.journeys.is_enabled() {
+                for tw in &g {
+                    self.journeys
+                        .event(tw.walk.id, JourneyEventKind::Enqueue, p, now, now);
+                }
             }
             self.foreign
                 .pages

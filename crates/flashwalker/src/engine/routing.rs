@@ -3,7 +3,7 @@
 //! batches (destination resolution and delivery fan-out).
 
 use fw_dram::DramOp;
-use fw_sim::{Duration, SimTime};
+use fw_sim::{Duration, JourneyEventKind, SimTime};
 use fw_walk::WALK_BYTES;
 
 use super::events::Ev;
@@ -54,8 +54,17 @@ impl FlashWalkerSim<'_> {
         let mut guid_ops: u64 = 0;
         let mut outbox = self.pools[sh].take_walks();
         let mut completed_now: u64 = 0;
+        // Journey bookkeeping: batch duration is only known after the
+        // drain, so sampled ids are collected now and stamped below.
+        let j_on = self.shard_journeys[sh].is_enabled();
+        let mut j_ids: Vec<u32> = Vec::new();
+        let mut j_done: Vec<u32> = Vec::new();
 
         for mut tw in work.drain(..) {
+            let jw = j_on && self.shard_journeys[sh].wants(tw.walk.id);
+            if jw {
+                j_ids.push(tw.walk.id);
+            }
             loop {
                 let sg = tw.dest.expect("queued walk without destination");
                 let is_dense = self.pg.subgraphs[sg as usize].is_dense();
@@ -70,6 +79,9 @@ impl FlashWalkerSim<'_> {
                 match res {
                     HopResult::Completed(w) => {
                         completed_now += 1;
+                        if jw {
+                            j_done.push(w.id);
+                        }
                         self.log_completed(w);
                         break;
                     }
@@ -119,6 +131,18 @@ impl FlashWalkerSim<'_> {
         self.stats.chip_busy_ns += busy.as_nanos();
         self.stats.chip_batches += 1;
         self.shard_tracers[sh].span("chip.batch", chip, now, now + busy);
+        for &id in &j_ids {
+            self.shard_journeys[sh].event(id, JourneyEventKind::SampleStep, chip, now, now + busy);
+        }
+        for &id in &j_done {
+            self.shard_journeys[sh].event(
+                id,
+                JourneyEventKind::Complete,
+                chip,
+                now + busy,
+                now + busy,
+            );
+        }
         let batch_hops = self.stats.chip_hops - hops_before;
         if let Some(per_hop) = busy.as_nanos().checked_div(batch_hops) {
             self.shard_tracers[sh].record("walk.step_ns", per_hop);
@@ -162,6 +186,17 @@ impl FlashWalkerSim<'_> {
             let res = self
                 .ssd
                 .channel_transfer(now, ch, outbox.len() as u64 * WALK_BYTES);
+            if self.shard_journeys[sh].is_enabled() {
+                for tw in &outbox {
+                    self.shard_journeys[sh].event(
+                        tw.walk.id,
+                        JourneyEventKind::Hop,
+                        ch,
+                        now,
+                        res.end,
+                    );
+                }
+            }
             self.events.schedule_at(
                 self.shard_of_chan(ch),
                 res.end,
@@ -258,8 +293,15 @@ impl FlashWalkerSim<'_> {
         let mut upd_ops: u64 = 0;
         let mut to_board = self.pools[sh].take_walks();
         let mut completed_now: u64 = 0;
+        let j_on = self.shard_journeys[sh].is_enabled();
+        let mut j_ids: Vec<u32> = Vec::new();
+        let mut j_done: Vec<u32> = Vec::new();
 
         for mut tw in inbox.drain(..) {
+            let jw = j_on && self.shard_journeys[sh].wants(tw.walk.id);
+            if jw {
+                j_ids.push(tw.walk.id);
+            }
             // Hot-subgraph updating at the channel (HS).
             let mut done = false;
             if self.cfg.opts.hot_subgraphs {
@@ -274,6 +316,9 @@ impl FlashWalkerSim<'_> {
                     match res {
                         HopResult::Completed(w) => {
                             completed_now += 1;
+                            if jw {
+                                j_done.push(w.id);
+                            }
                             self.log_completed(w);
                             done = true;
                             break;
@@ -311,6 +356,18 @@ impl FlashWalkerSim<'_> {
         self.stats.chan_busy_ns += busy.as_nanos();
         self.stats.chan_batches += 1;
         self.shard_tracers[sh].span("chan.batch", ch, now, now + busy);
+        for &id in &j_ids {
+            self.shard_journeys[sh].event(id, JourneyEventKind::SampleStep, ch, now, now + busy);
+        }
+        for &id in &j_done {
+            self.shard_journeys[sh].event(
+                id,
+                JourneyEventKind::Complete,
+                ch,
+                now + busy,
+                now + busy,
+            );
+        }
         self.events.schedule_at(
             self.shard_of_chan(ch),
             now + busy,
@@ -427,8 +484,15 @@ impl FlashWalkerSim<'_> {
         let mut dirty_chips = self.pools[bs].take_chip_ids();
         let mut dirty_mask: u128 = 0;
         let mut completed_now: u64 = 0;
+        let j_on = self.shard_journeys[bs].is_enabled();
+        let mut j_ids: Vec<u32> = Vec::new();
+        let mut j_done: Vec<u32> = Vec::new();
 
         for (walk_i, mut tw) in inbox.drain(..).enumerate() {
+            let jw = j_on && self.shard_journeys[bs].wants(tw.walk.id);
+            if jw {
+                j_ids.push(tw.walk.id);
+            }
             // Walk query caches are shared: each group of four guiders
             // owns one; batches stripe walks across groups.
             let cache_idx = walk_i % self.caches.len();
@@ -453,6 +517,9 @@ impl FlashWalkerSim<'_> {
                             match res {
                                 HopResult::Completed(w) => {
                                     completed_now += 1;
+                                    if jw {
+                                        j_done.push(w.id);
+                                    }
                                     self.log_completed(w);
                                     break Some(None); // consumed
                                 }
@@ -531,6 +598,24 @@ impl FlashWalkerSim<'_> {
         self.stats.board_busy_ns += busy.as_nanos();
         self.stats.board_batches += 1;
         self.shard_tracers[bs].span("board.batch", 0, now, now + busy);
+        for &id in &j_ids {
+            self.shard_journeys[bs].event(
+                id,
+                JourneyEventKind::SampleStep,
+                u32::MAX,
+                now,
+                now + busy,
+            );
+        }
+        for &id in &j_done {
+            self.shard_journeys[bs].event(
+                id,
+                JourneyEventKind::Complete,
+                u32::MAX,
+                now + busy,
+                now + busy,
+            );
+        }
         self.stats.board_dram_ns += dram.as_nanos();
         self.stats.board_map_ns += map.as_nanos();
         self.events.schedule_at(
@@ -556,6 +641,17 @@ impl FlashWalkerSim<'_> {
             let res = self
                 .ssd
                 .channel_transfer(now, ch, walks.len() as u64 * WALK_BYTES);
+            if self.shard_journeys[bs].is_enabled() {
+                for tw in &walks {
+                    self.shard_journeys[bs].event(
+                        tw.walk.id,
+                        JourneyEventKind::Hop,
+                        ch,
+                        now,
+                        res.end,
+                    );
+                }
+            }
             self.events.schedule_at(
                 self.shard_of_chip(chip),
                 res.end,

@@ -3,7 +3,7 @@
 
 use fw_dram::DramOp;
 use fw_nand::Ppa;
-use fw_sim::{Duration, SimTime};
+use fw_sim::{Duration, JourneyEventKind, SimTime};
 use fw_walk::WALK_BYTES;
 
 use super::events::Ev;
@@ -80,6 +80,11 @@ impl FlashWalkerSim<'_> {
     /// on-board DRAM and from the flash planes", §III-B).
     pub(super) fn issue_load(&mut self, chip: u32, sg: SgId, now: SimTime) {
         self.stats.sg_loads += 1;
+        let sh = self.shard_of_chip(chip).index();
+        let j_on = self.shard_journeys[sh].is_enabled();
+        // Fault segments happen before the walk set is known; collected
+        // here and replayed onto each sampled fetched walk below.
+        let mut j_faults: Vec<(JourneyEventKind, SimTime, SimTime)> = Vec::new();
         // Graph block pages: chip-private path, no channel traffic
         // (index loop: `Ppa` is `Copy`, so no placement clone needed).
         let mut array_done = now;
@@ -87,8 +92,19 @@ impl FlashWalkerSim<'_> {
             let ppa = self.placements[sg as usize].pages[i];
             let (r, fault) = self.ssd.array_read_checked(now, ppa);
             let mut end = r.end;
+            if j_on && fault.extra.as_nanos() > 0 {
+                j_faults.push((
+                    JourneyEventKind::EccRetry,
+                    SimTime(end.as_nanos().saturating_sub(fault.extra.as_nanos())),
+                    end,
+                ));
+            }
             if fault.hard_fail {
-                end = self.recover_page_read(ppa, end);
+                let recovered = self.recover_page_read(ppa, end);
+                if j_on {
+                    j_faults.push((JourneyEventKind::Stall, end, recovered));
+                }
+                end = recovered;
             }
             array_done = array_done.max(end);
         }
@@ -131,11 +147,36 @@ impl FlashWalkerSim<'_> {
             let t = self
                 .ssd
                 .channel_transfer(done + self.faults.retry_backoff, ch, WALK_BYTES);
+            if j_on {
+                j_faults.push((JourneyEventKind::Stall, done, t.end));
+            }
             done = t.end;
         }
         self.refresh_score(idx);
-        let sh = self.shard_of_chip(chip).index();
         self.shard_tracers[sh].span("sg.load", chip, now, done);
+        if j_on {
+            for tw in &walks {
+                if self.shard_journeys[sh].wants(tw.walk.id) {
+                    self.shard_journeys[sh].event(
+                        tw.walk.id,
+                        JourneyEventKind::SubgraphLoad,
+                        chip,
+                        now,
+                        done,
+                    );
+                    self.shard_journeys[sh].event(
+                        tw.walk.id,
+                        JourneyEventKind::NandRead,
+                        chip,
+                        now,
+                        array_done,
+                    );
+                    for &(kind, s, e) in &j_faults {
+                        self.shard_journeys[sh].event(tw.walk.id, kind, chip, s, e);
+                    }
+                }
+            }
+        }
         self.stats.load_array_ns += (array_done - now).as_nanos();
         self.stats.load_fetch_ns += (fetch_done - now).as_nanos();
         self.stats.load_spill_ns += (spill_done - now).as_nanos();

@@ -294,3 +294,88 @@ fn dense_graph_with_hub_completes() {
     let r = run(&csr, &pg, 2_000, crate::OptToggles::all());
     assert_eq!(r.walks, 2_000);
 }
+
+#[test]
+fn journeys_off_by_default_on_is_exact_and_schedule_neutral() {
+    let (csr, pg) = small_setup(1500, 15_000, 5_000);
+    let base = run(&csr, &pg, 2_000, crate::OptToggles::all());
+    assert!(base.journeys.is_none(), "journeys are opt-in");
+    let journeyed = |_| {
+        let mut cfg = AccelConfig::scaled();
+        cfg.opts = crate::OptToggles::all();
+        FlashWalkerSim::new(&csr, &pg, cfg, SsdConfig::tiny(), 99)
+            .with_trace_window(100_000)
+            .with_journeys(fw_sim::JourneyConfig::default())
+            .run_detailed(Workload::paper_default(2_000))
+    };
+    let a = journeyed(());
+    let b = journeyed(());
+    assert_eq!(a.time, base.time, "recording never perturbs the schedule");
+    assert_eq!(a.stats.hops, base.stats.hops);
+    let ja = a.journeys.expect("journeys on");
+    assert_eq!(
+        ja.to_json(),
+        b.journeys.expect("journeys on").to_json(),
+        "byte-deterministic"
+    );
+    assert!(ja.sampled_walks > 0);
+    for w in &ja.walks {
+        let sum: u64 = w.segments.iter().map(|&(_, ns)| ns).sum();
+        assert_eq!(
+            sum, w.latency_ns,
+            "walk {} segments partition latency",
+            w.id
+        );
+    }
+}
+
+#[test]
+fn journey_report_is_identical_at_any_thread_count() {
+    let (csr, pg) = small_setup(1500, 15_000, 8);
+    let at = |threads: u32| {
+        let mut cfg = AccelConfig::scaled();
+        cfg.opts = crate::OptToggles::all();
+        FlashWalkerSim::new(&csr, &pg, cfg, SsdConfig::tiny(), 99)
+            .with_threads(threads)
+            .with_journeys(fw_sim::JourneyConfig::default())
+            .run_detailed(Workload::paper_default(2_000))
+            .journeys
+            .expect("journeys on")
+            .to_json()
+    };
+    assert_eq!(at(1), at(4), "shard merge must be order-independent");
+}
+
+#[test]
+fn heavy_fault_journeys_surface_retry_and_stall_segments() {
+    let (csr, pg) = small_setup(1500, 15_000, 5_000);
+    let mut cfg = AccelConfig::scaled();
+    cfg.opts = crate::OptToggles::all();
+    let r = FlashWalkerSim::new(&csr, &pg, cfg, SsdConfig::tiny(), 99)
+        .with_faults(fw_fault::FaultProfile::heavy())
+        .with_journeys(fw_sim::JourneyConfig {
+            seed: 7,
+            sample_period: 1,
+            max_walks: usize::MAX,
+        })
+        .run_detailed(Workload::paper_default(2_000));
+    let f = r.faults.expect("faulted run reports a summary");
+    assert!(f.read_retries > 0);
+    let j = r.journeys.expect("journeys on");
+    let touched = j
+        .walks
+        .iter()
+        .filter(|w| {
+            w.events.iter().any(|e| {
+                matches!(
+                    e.kind,
+                    fw_sim::JourneyEventKind::EccRetry | fw_sim::JourneyEventKind::Stall
+                )
+            })
+        })
+        .count();
+    assert!(
+        touched > 0,
+        "heavy faults must appear as retry/stall events in sampled journeys"
+    );
+}

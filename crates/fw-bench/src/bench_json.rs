@@ -569,6 +569,14 @@ pub struct EnvFingerprint {
     /// aside, the simulated numbers are thread-count invariant, so a
     /// mismatch means someone is comparing the wrong pair of records.
     pub threads: u32,
+    /// Whether the run recorded walk journeys (`fwbench run --journeys`).
+    /// Written only when true so default records stay byte-identical to
+    /// records written before journeys existed; absent on parse means
+    /// false. `compare` refuses to diff a journey record against a
+    /// non-journey one unless explicitly overridden — the scenario rows
+    /// carry different sections, so a silent cross-diff hides which side
+    /// actually measured the tails.
+    pub journeys: bool,
 }
 
 impl EnvFingerprint {
@@ -589,6 +597,9 @@ impl EnvFingerprint {
         }
         if self.threads != 1 {
             pairs.push(("threads", Json::u(self.threads as u64)));
+        }
+        if self.journeys {
+            pairs.push(("journeys", Json::Bool(true)));
         }
         Json::obj(pairs)
     }
@@ -625,6 +636,7 @@ impl EnvFingerprint {
                 .unwrap_or("none")
                 .to_string(),
             threads: v.get("threads").and_then(Json::as_u64).unwrap_or(1) as u32,
+            journeys: matches!(v.get("journeys"), Some(Json::Bool(true))),
         })
     }
 }
@@ -660,6 +672,12 @@ pub struct ScenarioRecord {
     /// utilization, latencies, queues, bottleneck. None when tracing was
     /// off.
     pub trace: Option<Json>,
+    /// The seed-0 run's `JourneyReport::to_json` (fw-trace), parsed:
+    /// walk-latency percentiles, per-walk segment decompositions and the
+    /// tail-attribution table. Unlike `trace` (always present as a key,
+    /// null when off), the key is omitted entirely when journeys were not
+    /// recorded so pre-journey records stay byte-identical.
+    pub journeys: Option<Json>,
 }
 
 impl ScenarioRecord {
@@ -698,6 +716,9 @@ impl ScenarioRecord {
                 None => Json::Null,
             },
         ));
+        if let Some(j) = &self.journeys {
+            pairs.push(("journeys", j.clone()));
+        }
         Json::obj(pairs)
     }
 
@@ -716,6 +737,10 @@ impl ScenarioRecord {
         let trace = match v.get("trace") {
             None | Some(Json::Null) => None,
             Some(t) => Some(t.clone()),
+        };
+        let journeys = match v.get("journeys") {
+            None | Some(Json::Null) => None,
+            Some(j) => Some(j.clone()),
         };
         Ok(ScenarioRecord {
             tag: s("tag")?,
@@ -745,6 +770,7 @@ impl ScenarioRecord {
                 .cloned()
                 .ok_or_else(|| format!("{name}: missing 'report'"))?,
             trace,
+            journeys,
             name,
         })
     }
@@ -1036,6 +1062,7 @@ mod tests {
                 seeds: vec![42, 43],
                 fault_profile: "none".into(),
                 threads: 1,
+                journeys: false,
             },
             scenarios: vec![ScenarioRecord {
                 name: "fw/TT/w100".into(),
@@ -1057,6 +1084,7 @@ mod tests {
                 }),
                 report: Json::parse("{\"traffic\":{\"flash_read_bytes\":4096}}").unwrap(),
                 trace: None,
+                journeys: None,
             }],
             suite_wall_ns: None,
             host: None,
@@ -1160,6 +1188,30 @@ mod tests {
         rep.env.threads = 4;
         let text = rep.render();
         assert!(text.contains("\"threads\": 4"));
+        let back = BenchReport::parse(&text).unwrap();
+        assert_eq!(back, rep);
+        assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn journeys_are_omitted_when_off_and_round_trip_otherwise() {
+        // Default records carry no journey keys at all — env flag and
+        // scenario section alike (byte-identity with pre-journey
+        // baselines).
+        let rep = tiny_report();
+        assert!(!rep.render().contains("journeys"));
+        let back = BenchReport::parse(&rep.render()).unwrap();
+        assert!(!back.env.journeys);
+        assert!(back.scenarios[0].journeys.is_none());
+
+        // A --journeys record carries both through a round trip.
+        let mut rep = tiny_report();
+        rep.env.journeys = true;
+        rep.scenarios[0].journeys =
+            Some(Json::parse("{\"sampled_walks\":3,\"p99_ns\":120}").unwrap());
+        let text = rep.render();
+        assert!(text.contains("\"journeys\": true"));
+        assert!(text.contains("\"sampled_walks\": 3"));
         let back = BenchReport::parse(&text).unwrap();
         assert_eq!(back, rep);
         assert_eq!(back.render(), text);

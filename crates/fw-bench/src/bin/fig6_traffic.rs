@@ -30,6 +30,7 @@ fn main() {
         trace: false,
         faults: fw_fault::FaultProfile::none(),
         threads: env_threads(),
+        journeys: false,
     };
     let res = run_suite(&suite).expect("suite has seeds and scenarios");
 

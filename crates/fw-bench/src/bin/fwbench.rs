@@ -5,10 +5,11 @@
 //!
 //! ```text
 //! fwbench run [--suite ci|paper] [--seeds N] [--label L] [--out PATH]
-//!             [--wall] [--no-trace] [--threads N]
+//!             [--wall] [--no-trace] [--journeys] [--threads N]
 //! fwbench compare [BASELINE] [CURRENT] [--noise-floor F]
-//!                 [--allow-thread-mismatch]
+//!                 [--allow-thread-mismatch] [--allow-journey-mismatch]
 //! fwbench hostperf RECORD [BASELINE]
+//! fwbench tail RECORD
 //! ```
 //!
 //! `run` defaults: the `ci` suite, 3 seeds (or `FW_SEEDS`), label = suite
@@ -28,16 +29,30 @@
 //! refuse to diff unless `--allow-thread-mismatch` is passed (the
 //! intended use: the threads=1 vs threads=4 equivalence gate).
 //!
+//! `run --journeys` records sampled walk journeys on every seed-0 run:
+//! the record's scenario rows gain a `journeys` section (walk-latency
+//! percentiles, per-walk critical-path decompositions, the tail
+//! attribution table) and the env fingerprint is stamped, so journey and
+//! plain records never diff silently. Journey records default to a
+//! `-journeys` label suffix for the same reason fault runs do: the plain
+//! `BENCH_<suite>.json` byte-identity baseline stays untouched.
+//!
 //! `hostperf` prints the `host` section of a `--wall` record — wall-clock,
 //! host work units, events/sec and events/sec-per-worker per scenario,
 //! plus the suite wall total — and, given a second record, the wall-clock
 //! speedup of the first over it. Informational only: host performance
 //! never gates.
+//!
+//! `tail` prints each scenario's tail-attribution table from a
+//! `--journeys` record, after checking the books: every sampled walk's
+//! segment durations must sum exactly to its end-to-end latency (the
+//! decomposition invariant), and a walk that doesn't reconcile fails the
+//! command.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use fw_bench::bench_json::{newest_bench_file, BenchReport};
+use fw_bench::bench_json::{newest_bench_file, BenchReport, Json};
 use fw_bench::compare::{compare_reports, CompareConfig};
 use fw_bench::runner::DEFAULT_SEED;
 use fw_bench::suite::{build_bench_report, env_seeds, env_threads, run_suite, Suite};
@@ -45,7 +60,7 @@ use fw_fault::FaultProfile;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  fwbench run [--suite ci|paper] [--seeds N] [--label L] [--out PATH] [--wall] [--no-trace] [--faults none|light|heavy] [--threads N]\n  fwbench compare [BASELINE] [CURRENT] [--noise-floor F] [--allow-thread-mismatch]\n  fwbench hostperf RECORD [BASELINE]"
+        "usage:\n  fwbench run [--suite ci|paper] [--seeds N] [--label L] [--out PATH] [--wall] [--no-trace] [--journeys] [--faults none|light|heavy] [--threads N]\n  fwbench compare [BASELINE] [CURRENT] [--noise-floor F] [--allow-thread-mismatch] [--allow-journey-mismatch]\n  fwbench hostperf RECORD [BASELINE]\n  fwbench tail RECORD"
     );
     ExitCode::from(2)
 }
@@ -56,6 +71,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("hostperf") => cmd_hostperf(&args[1..]),
+        Some("tail") => cmd_tail(&args[1..]),
         _ => usage(),
     }
 }
@@ -96,6 +112,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
     if args.iter().any(|a| a == "--no-trace") {
         suite.trace = false;
     }
+    if args.iter().any(|a| a == "--journeys") {
+        suite = suite.with_journeys();
+    }
     if let Some(name) = flag_value(args, "--faults") {
         match FaultProfile::parse(name) {
             Ok(p) => suite = suite.with_faults(p),
@@ -118,13 +137,16 @@ fn cmd_run(args: &[String]) -> ExitCode {
     };
     suite = suite.with_threads(threads);
     let include_wall = args.iter().any(|a| a == "--wall");
-    // Fault runs default to a suffixed label so they never clobber the
-    // fault-free BENCH_<suite>.json byte-identity baseline.
-    let default_label = if suite.faults.is_on() {
+    // Fault and journey runs default to a suffixed label so they never
+    // clobber the plain BENCH_<suite>.json byte-identity baseline.
+    let mut default_label = if suite.faults.is_on() {
         format!("{}-{}", suite.name, suite.faults.name)
     } else {
         suite.name.clone()
     };
+    if suite.journeys {
+        default_label.push_str("-journeys");
+    }
     let label = flag_value(args, "--label")
         .unwrap_or(&default_label)
         .to_string();
@@ -326,10 +348,105 @@ fn cmd_hostperf(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_tail(args: &[String]) -> ExitCode {
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [path] = paths.as_slice() else {
+        return usage();
+    };
+    let path = PathBuf::from(path);
+    let rep = match BenchReport::load(&path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fwbench tail: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let with_journeys: Vec<_> = rep
+        .scenarios
+        .iter()
+        .filter_map(|s| s.journeys.as_ref().map(|j| (s, j)))
+        .collect();
+    if with_journeys.is_empty() {
+        eprintln!(
+            "fwbench tail: {} has no journey sections — re-run with `fwbench run --journeys`",
+            path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let mut bad_walks = 0u64;
+    for (sc, j) in &with_journeys {
+        let lat = |k: &str| {
+            j.get("latency")
+                .and_then(|l| l.get(k))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+        };
+        println!(
+            "== {} — {} sampled walk(s), 1/{} sampling ==",
+            sc.name,
+            j.get("sampled_walks").and_then(Json::as_u64).unwrap_or(0),
+            j.get("sample_period").and_then(Json::as_u64).unwrap_or(0)
+        );
+        println!(
+            "latency ns: p50 {}  p95 {}  p99 {}  max {}  mean {}",
+            lat("p50_ns"),
+            lat("p95_ns"),
+            lat("p99_ns"),
+            lat("max_ns"),
+            lat("mean_ns")
+        );
+        println!(
+            "{:<14} {:>14} {:>8} {:>14} {:>8}",
+            "segment", "median ns/walk", "share", "tail ns/walk", "share"
+        );
+        for row in j.get("tail").and_then(Json::as_arr).unwrap_or(&[]) {
+            let u = |k: &str| row.get(k).and_then(Json::as_u64).unwrap_or(0);
+            let f = |k: &str| row.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+            println!(
+                "{:<14} {:>14} {:>7.1}% {:>14} {:>7.1}%",
+                row.get("kind").and_then(Json::as_str).unwrap_or("?"),
+                u("median_ns"),
+                f("median_share") * 100.0,
+                u("tail_ns"),
+                f("tail_share") * 100.0
+            );
+        }
+        // The decomposition invariant: per-walk segment durations sum
+        // exactly to the walk's end-to-end latency. A mismatch means the
+        // record (or the decomposition) is corrupt, so it fails loudly.
+        for w in j.get("walks").and_then(Json::as_arr).unwrap_or(&[]) {
+            let latency = w.get("latency_ns").and_then(Json::as_u64).unwrap_or(0);
+            let sum: u64 = match w.get("segments") {
+                Some(Json::Obj(pairs)) => pairs.iter().filter_map(|(_, v)| v.as_u64()).sum(),
+                _ => 0,
+            };
+            if sum != latency {
+                bad_walks += 1;
+                eprintln!(
+                    "fwbench tail: {} walk {}: segments sum to {} ns but latency is {} ns",
+                    sc.name,
+                    w.get("id").and_then(Json::as_u64).unwrap_or(0),
+                    sum,
+                    latency
+                );
+            }
+        }
+        println!();
+    }
+    if bad_walks > 0 {
+        eprintln!("fwbench tail: {bad_walks} walk(s) failed the segment-sum reconciliation");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_compare(args: &[String]) -> ExitCode {
     let mut cfg = CompareConfig::default();
     if args.iter().any(|a| a == "--allow-thread-mismatch") {
         cfg.allow_thread_mismatch = true;
+    }
+    if args.iter().any(|a| a == "--allow-journey-mismatch") {
+        cfg.allow_journey_mismatch = true;
     }
     if let Some(f) = flag_value(args, "--noise-floor") {
         match f.parse() {

@@ -6,6 +6,7 @@
 //! ```text
 //! cargo run --release -p fw-bench --bin fwtrace \
 //!     [fw|gw|iter] [TT|FS|CW|R2B|R8B] [walks] [out.json] [--threads N]
+//!     [--journeys]
 //! ```
 //!
 //! Defaults: `fw TT <default_walks/8> fwtrace.json`. A `.csv` sibling
@@ -13,6 +14,11 @@
 //! `--threads N` (or `FW_THREADS`) runs the engine's windowed sharded
 //! loop with per-shard tracers; the emitted trace is identical to the
 //! sequential one (the canonical tracer merge is order-independent).
+//! `--journeys` additionally records sampled walk journeys (fw/gw only —
+//! the iterative baseline has no per-walk event stream): the tail
+//! attribution table is printed, per-walk tracks are appended to the
+//! Chrome JSON (one Perfetto process per sampled walk), and a
+//! `<out>.journeys.csv` sibling carries the raw per-event rows.
 
 use flashwalker::{AccelConfig, OptToggles};
 use fw_bench::runner::{
@@ -20,7 +26,10 @@ use fw_bench::runner::{
 };
 use fw_bench::suite::env_threads;
 use fw_graph::DatasetId;
-use fw_sim::{chrome_trace_json, export, TraceConfig, TraceReport};
+use fw_sim::{
+    chrome_trace_json, chrome_trace_json_with_journeys, export, JourneyConfig, JourneyReport,
+    TraceConfig, TraceReport,
+};
 use fw_walk::Workload;
 
 /// Host memory for the baseline engines (the scaled mid-range sweep
@@ -30,7 +39,8 @@ const BASELINE_MEMORY: u64 = 8 << 20;
 fn main() {
     let raw: Vec<String> = std::env::args().collect();
     let threads = env_threads();
-    // Strip `--threads N` before the positional parse.
+    let journeys = raw.iter().any(|a| a == "--journeys");
+    // Strip `--threads N` and `--journeys` before the positional parse.
     let mut args: Vec<String> = Vec::new();
     let mut skip = false;
     for a in raw {
@@ -40,6 +50,9 @@ fn main() {
         }
         if a == "--threads" {
             skip = true;
+            continue;
+        }
+        if a == "--journeys" {
             continue;
         }
         args.push(a);
@@ -69,34 +82,49 @@ fn main() {
         id.abbrev()
     );
 
-    let trace: Option<TraceReport> = match engine.as_str() {
-        "gw" => {
-            graphwalker_engine(&p, BASELINE_MEMORY, DEFAULT_SEED)
-                .with_threads(threads)
-                .with_span_trace(cfg)
-                .run_detailed(wl)
-                .trace
-        }
-        // The iteration-synchronous baseline has no event loop to shard.
-        "iter" => {
-            iterative_engine(&p, BASELINE_MEMORY, DEFAULT_SEED)
-                .with_span_trace(cfg)
-                .run_detailed(wl)
-                .trace
-        }
-        _ => {
-            flashwalker_engine(
-                &p,
-                OptToggles::all(),
-                AccelConfig::scaled().alpha,
-                DEFAULT_SEED,
-            )
-            .with_threads(threads)
-            .with_span_trace(cfg)
-            .run_detailed(wl)
-            .trace
-        }
+    let jcfg = JourneyConfig {
+        seed: DEFAULT_SEED,
+        ..JourneyConfig::default()
     };
+    let (trace, journey_report): (Option<TraceReport>, Option<JourneyReport>) =
+        match engine.as_str() {
+            "gw" => {
+                let mut e = graphwalker_engine(&p, BASELINE_MEMORY, DEFAULT_SEED)
+                    .with_threads(threads)
+                    .with_span_trace(cfg);
+                if journeys {
+                    e = e.with_journeys(jcfg);
+                }
+                let r = e.run_detailed(wl);
+                (r.trace, r.journeys)
+            }
+            // The iteration-synchronous baseline has no event loop to shard
+            // and no per-walk event stream to journal.
+            "iter" => {
+                if journeys {
+                    eprintln!("fwtrace: --journeys is a no-op on the iterative baseline");
+                }
+                let r = iterative_engine(&p, BASELINE_MEMORY, DEFAULT_SEED)
+                    .with_span_trace(cfg)
+                    .run_detailed(wl);
+                (r.trace, None)
+            }
+            _ => {
+                let mut e = flashwalker_engine(
+                    &p,
+                    OptToggles::all(),
+                    AccelConfig::scaled().alpha,
+                    DEFAULT_SEED,
+                )
+                .with_threads(threads)
+                .with_span_trace(cfg);
+                if journeys {
+                    e = e.with_journeys(jcfg);
+                }
+                let r = e.run_detailed(wl);
+                (r.trace, r.journeys)
+            }
+        };
     let trace = trace.expect("span tracing was enabled");
 
     println!("{trace}");
@@ -107,7 +135,10 @@ fn main() {
         );
     }
 
-    let json = chrome_trace_json(&trace);
+    let json = match &journey_report {
+        Some(j) => chrome_trace_json_with_journeys(&trace, j),
+        None => chrome_trace_json(&trace),
+    };
     std::fs::write(&out, &json).expect("write chrome trace json");
     let csv_path = format!("{}.csv", out.trim_end_matches(".json"));
     std::fs::write(&csv_path, export::utilization_csv(&trace)).expect("write utilization csv");
@@ -118,4 +149,13 @@ fn main() {
         trace.dropped_spans,
         csv_path
     );
+    if let Some(j) = &journey_report {
+        print!("{}", j.render_table());
+        let jcsv_path = format!("{}.journeys.csv", out.trim_end_matches(".json"));
+        std::fs::write(&jcsv_path, j.journeys_csv()).expect("write journeys csv");
+        eprintln!(
+            "fwtrace: wrote {} ({} sampled walks)",
+            jcsv_path, j.sampled_walks
+        );
+    }
 }

@@ -32,6 +32,13 @@ pub struct CompareConfig {
     /// deliberately, *because* the simulated numbers must match exactly
     /// across thread counts.
     pub allow_thread_mismatch: bool,
+    /// Permit diffing a journey-enabled record against a plain one. Off
+    /// by default — the journey sections change what the record carries,
+    /// so a mixed diff usually means the wrong pair of records. The
+    /// simulated times themselves are journey-invariant (recording is
+    /// schedule-neutral), which is exactly why a deliberate cross-diff
+    /// with the override must still gate clean.
+    pub allow_journey_mismatch: bool,
 }
 
 impl Default for CompareConfig {
@@ -41,6 +48,7 @@ impl Default for CompareConfig {
             warn_mult: 1.0,
             fail_mult: 2.0,
             allow_thread_mismatch: false,
+            allow_journey_mismatch: false,
         }
     }
 }
@@ -184,6 +192,17 @@ pub fn compare_reports(
              pass --allow-thread-mismatch to diff across thread counts (the simulated \
              numbers are thread-invariant; this guard catches accidental record mixups)",
             base.env.threads, cur.env.threads
+        ));
+    }
+    if base.env.journeys != cur.env.journeys && !cfg.allow_journey_mismatch {
+        let which = |on: bool| if on { "with" } else { "without" };
+        return Err(format!(
+            "journey mismatch: baseline ran {} --journeys, current {} — pass \
+             --allow-journey-mismatch to diff anyway (journey recording is \
+             schedule-neutral, so the simulated numbers still have to match; \
+             this guard catches accidental record mixups)",
+            which(base.env.journeys),
+            which(cur.env.journeys)
         ));
     }
     if base.env.graph_scale != cur.env.graph_scale
@@ -514,6 +533,7 @@ mod tests {
             }),
             report: Json::Obj(vec![]),
             trace: None,
+            journeys: None,
         }
     }
 
@@ -530,6 +550,7 @@ mod tests {
                 seeds: vec![42, 43, 44],
                 fault_profile: "none".into(),
                 threads: 1,
+                journeys: false,
             },
             scenarios,
             suite_wall_ns: None,
@@ -558,6 +579,23 @@ mod tests {
         // numbers are thread-invariant, so the diff must gate clean.
         let cfg = CompareConfig {
             allow_thread_mismatch: true,
+            ..CompareConfig::default()
+        };
+        let res = compare_reports(&base, &cur, &cfg).expect("override permits the diff");
+        assert!(!res.failed());
+    }
+
+    #[test]
+    fn journey_and_plain_records_are_refused_unless_overridden() {
+        let base = sample();
+        let mut cur = sample();
+        cur.env.journeys = true;
+        let err = compare_reports(&base, &cur, &CompareConfig::default()).unwrap_err();
+        assert!(err.contains("journey mismatch"), "{err}");
+        // Journey recording is schedule-neutral, so an overridden diff
+        // against a plain baseline must still gate clean.
+        let cfg = CompareConfig {
+            allow_journey_mismatch: true,
             ..CompareConfig::default()
         };
         let res = compare_reports(&base, &cur, &cfg).expect("override permits the diff");

@@ -18,7 +18,7 @@ use fw_fault::FaultProfile;
 use fw_graph::datasets::{GRAPH_SCALE, STRUCT_SCALE};
 use fw_graph::DatasetId;
 use fw_sim::export::trace_summary_json;
-use fw_sim::{TraceConfig, WorkerPool};
+use fw_sim::{JourneyConfig, TraceConfig, WorkerPool};
 use fw_walk::{RunReport, WalkEngine, Workload};
 
 use crate::bench_json::{
@@ -221,6 +221,11 @@ pub struct Suite {
     /// wall-clock changes. 1 — the default — is the fully sequential
     /// reference path.
     pub threads: u32,
+    /// Record sampled walk journeys on each scenario's seed-0 run (adds
+    /// a `JourneyReport` tail-attribution summary to the record; does not
+    /// perturb simulated time). Off by default so plain records stay
+    /// byte-identical to pre-journey baselines.
+    pub journeys: bool,
 }
 
 impl Suite {
@@ -250,6 +255,7 @@ impl Suite {
             trace: true,
             faults: FaultProfile::none(),
             threads: 1,
+            journeys: false,
         }
     }
 
@@ -278,6 +284,7 @@ impl Suite {
             trace: true,
             faults: FaultProfile::none(),
             threads: 1,
+            journeys: false,
         }
     }
 
@@ -294,6 +301,7 @@ impl Suite {
             trace: false,
             faults: FaultProfile::none(),
             threads: 1,
+            journeys: false,
         }
     }
 
@@ -316,6 +324,7 @@ impl Suite {
             trace: false,
             faults: FaultProfile::none(),
             threads: 1,
+            journeys: false,
         }
     }
 
@@ -329,6 +338,13 @@ impl Suite {
     /// clamps to one, the sequential reference.
     pub fn with_threads(mut self, threads: u32) -> Suite {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Enable walk-journey recording on seed-0 runs (returns self for
+    /// chaining).
+    pub fn with_journeys(mut self) -> Suite {
+        self.journeys = true;
         self
     }
 }
@@ -432,6 +448,8 @@ pub struct SuiteResult {
     pub faults: FaultProfile,
     /// The worker-thread count the sweep ran with.
     pub threads: u32,
+    /// Whether walk journeys were recorded on seed-0 runs.
+    pub journeys: bool,
     /// Wall-clock for the whole sweep (dataset generation + every
     /// scenario×seed cell), nanoseconds. This is the number the
     /// thread-scaling experiments divide — per-cell wall times overlap
@@ -461,16 +479,26 @@ fn run_one(
     sc: &Scenario,
     seed: u64,
     trace: bool,
+    journeys: bool,
     faults: FaultProfile,
     threads: u32,
 ) -> RunReport {
     let wl = Workload::paper_default(sc.walks);
     let tcfg = TraceConfig::default();
+    // Journey sampling is seeded by the engine seed, so the sampled
+    // cohort is a pure function of the record's env fingerprint.
+    let jcfg = JourneyConfig {
+        seed,
+        ..JourneyConfig::default()
+    };
     match sc.engine {
         EngineKind::Flashwalker => {
             let mut e = flashwalker_engine(p, sc.opts, sc.alpha, seed).with_threads(threads);
             if trace {
                 e = e.with_span_trace(tcfg);
+            }
+            if journeys {
+                e = e.with_journeys(jcfg);
             }
             if faults.is_on() {
                 e = e.with_faults(faults);
@@ -481,6 +509,9 @@ fn run_one(
             let mut e = graphwalker_engine(p, sc.gw_memory, seed).with_threads(threads);
             if trace {
                 e = e.with_span_trace(tcfg);
+            }
+            if journeys {
+                e = e.with_journeys(jcfg);
             }
             if faults.is_on() {
                 e = e.with_faults(faults);
@@ -567,6 +598,7 @@ pub fn run_suite(suite: &Suite) -> Result<SuiteResult, String> {
             sc,
             seed,
             suite.trace && si == 0,
+            suite.journeys && si == 0,
             suite.faults,
             threads,
         );
@@ -625,6 +657,7 @@ pub fn run_suite(suite: &Suite) -> Result<SuiteResult, String> {
         seeds: suite.seeds.clone(),
         faults: suite.faults,
         threads,
+        journeys: suite.journeys,
         suite_wall_ns: t_suite.elapsed().as_nanos() as u64,
         results,
     })
@@ -662,6 +695,10 @@ pub fn build_bench_report(label: &str, res: &SuiteResult, include_wall: bool) ->
             let trace = seed0.trace.as_ref().map(|t| {
                 Json::parse(&trace_summary_json(t)).expect("fw-trace summary is well-formed")
             });
+            let journeys = seed0
+                .journeys
+                .as_ref()
+                .map(|j| Json::parse(&j.to_json()).expect("journey report is well-formed"));
             ScenarioRecord {
                 name: sc.name(),
                 tag: sc.tag.clone(),
@@ -678,6 +715,7 @@ pub fn build_bench_report(label: &str, res: &SuiteResult, include_wall: bool) ->
                 speedup_over_graphwalker: r.speedup_stat(),
                 report,
                 trace,
+                journeys,
             }
         })
         .collect();
@@ -704,6 +742,7 @@ pub fn build_bench_report(label: &str, res: &SuiteResult, include_wall: bool) ->
             seeds: res.seeds.clone(),
             fault_profile: res.faults.name.to_string(),
             threads: res.threads,
+            journeys: res.journeys,
         },
         scenarios,
         suite_wall_ns: include_wall.then_some(res.suite_wall_ns),

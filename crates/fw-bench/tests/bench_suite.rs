@@ -173,6 +173,50 @@ fn fault_suite_is_deterministic_and_reports_fault_metrics() {
     assert!(!clean.render().contains("\"faults\""));
 }
 
+/// Journey-enabled suites stamp the env fingerprint, attach a journey
+/// section to every scenario whose walks reconcile exactly (per-walk
+/// segment durations sum to the end-to-end latency — the invariant
+/// `fwbench tail` gates on), and stay byte-deterministic across
+/// same-seed runs; plain records carry no journey keys at all.
+#[test]
+fn journey_suite_reconciles_and_stays_deterministic() {
+    let journeyed = || tiny_suite().with_journeys();
+    let ra = build_bench_report("j", &run_suite(&journeyed()).expect("suite runs"), false);
+    let rb = build_bench_report("j", &run_suite(&journeyed()).expect("suite runs"), false);
+    assert_eq!(
+        ra.render(),
+        rb.render(),
+        "same-seed journey runs must be byte-identical"
+    );
+    assert!(ra.env.journeys);
+    for sc in &ra.scenarios {
+        let j = sc.journeys.as_ref().expect("journey section per scenario");
+        assert!(
+            j.get("sampled_walks").and_then(|v| v.as_u64()).unwrap_or(0) > 0,
+            "{}: at least one sampled walk",
+            sc.name
+        );
+        for w in j.get("walks").and_then(|v| v.as_arr()).unwrap_or(&[]) {
+            let latency = w.get("latency_ns").and_then(|v| v.as_u64()).unwrap();
+            let sum: u64 = match w.get("segments") {
+                Some(Json::Obj(pairs)) => pairs.iter().filter_map(|(_, v)| v.as_u64()).sum(),
+                _ => 0,
+            };
+            assert_eq!(
+                sum, latency,
+                "{}: walk segments must sum exactly to its latency",
+                sc.name
+            );
+        }
+    }
+    // The round trip preserves the journey sections byte-for-byte.
+    let back = BenchReport::parse(&ra.render()).expect("journey record parses");
+    assert_eq!(back.render(), ra.render());
+
+    // Plain records keep the pre-journey shape.
+    assert!(!shared_report().render().contains("journeys"));
+}
+
 /// The suite runner's report carries everything the schema promises:
 /// engine summaries with traffic, a trace summary on traced scenarios,
 /// paired speedups on FlashWalker cells, and a sane fingerprint.

@@ -135,6 +135,51 @@ fn heavy_fault_parallel_run_conserves_walks_across_shards() {
     );
 }
 
+/// Journey equivalence on the ci scenario grid (ISSUE 7 acceptance):
+/// the `JourneyReport` sections of a `--journeys` record are
+/// byte-identical at threads=1 and threads=4. Journey events are
+/// recorded from shard contexts and merged at finish, so this pins the
+/// order-independence of the merge, the canonical event sort, and the
+/// determinism of the seeded sampling — at the record level where CI
+/// consumes it. The grid is `ci_small`'s (fw/gw/fw-base on TT and R2B)
+/// with walk counts shrunk to debug-profile size.
+#[test]
+fn journey_sections_are_byte_identical_across_thread_counts() {
+    let suite = |threads: u32| {
+        let mut s = Suite::ci_small(vec![DEFAULT_SEED]);
+        for sc in &mut s.scenarios {
+            sc.walks = WALKS;
+        }
+        s.trace = false;
+        s.with_threads(threads).with_journeys()
+    };
+    let seq = build_bench_report("t", &run_suite(&suite(1)).unwrap(), false);
+    let par = build_bench_report("t", &run_suite(&suite(4)).unwrap(), false);
+    assert!(seq.env.journeys, "journey runs stamp the env fingerprint");
+    for (a, b) in seq.scenarios.iter().zip(&par.scenarios) {
+        assert_eq!(a.name, b.name);
+        let ja = a.journeys.as_ref().expect("journey section present");
+        let jb = b.journeys.as_ref().expect("journey section present");
+        assert_eq!(
+            ja.render(),
+            jb.render(),
+            "{}: journey section differs across thread counts",
+            a.name
+        );
+        assert!(
+            ja.get("sampled_walks")
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0)
+                > 0,
+            "{}: journey section must sample at least one walk",
+            a.name
+        );
+    }
+    // Full-record equality modulo the env `threads` stamp.
+    let unstamped = par.render().replace(",\n    \"threads\": 4", "");
+    assert_eq!(seq.render(), unstamped);
+}
+
 /// Suite-level byte equality: the BENCH record of a threads=4 run must
 /// be byte-identical to the threads=1 record except for the `threads`
 /// stamp in the env fingerprint (and identical to *itself* across

@@ -92,6 +92,47 @@ pub fn chrome_trace_json(report: &TraceReport) -> String {
     out
 }
 
+/// Like [`chrome_trace_json`], with one extra Perfetto *process* ("walk
+/// journeys") whose threads are sampled walk ids: every recorded
+/// [`crate::journey::JourneyEvent`] becomes an "X" event on its walk's
+/// row, so a walk's whole lifecycle (loads, reads, retries, hops,
+/// compute) reads left-to-right alongside the component tracks.
+pub fn chrome_trace_json_with_journeys(
+    report: &TraceReport,
+    journeys: &crate::journey::JourneyReport,
+) -> String {
+    let base = chrome_trace_json(report);
+    // Splice before the closing "\n]}\n" of the base document.
+    let body = base
+        .strip_suffix("\n]}\n")
+        .expect("chrome_trace_json ends with its event-array close");
+    let mut out = String::from(body);
+    let jpid = report.names.len();
+    let sep = if body.ends_with('[') { "" } else { "," };
+    let _ = write!(
+        out,
+        "{sep}\n{{\"ph\":\"M\",\"pid\":{jpid},\"name\":\"process_name\",\
+         \"args\":{{\"name\":\"walk journeys\"}}}}"
+    );
+    for w in &journeys.walks {
+        for e in &w.events {
+            let dur = e.end.as_nanos().saturating_sub(e.start.as_nanos());
+            let _ = write!(
+                out,
+                ",\n{{\"ph\":\"X\",\"pid\":{jpid},\"tid\":{},\"name\":\"{}\",\
+                 \"ts\":{},\"dur\":{},\"args\":{{\"lane\":{}}}}}",
+                w.id,
+                e.kind.name(),
+                us(e.start.as_nanos()),
+                us(dur),
+                e.lane
+            );
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
 /// Render a [`TraceReport`]'s derived summaries — per-group utilization,
 /// latency percentiles, queue depths and the bottleneck pick — as one
 /// hand-rolled JSON object (no serde; the workspace builds offline).
@@ -249,6 +290,40 @@ mod tests {
         let a = chrome_trace_json(&report());
         let b = chrome_trace_json(&report());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chrome_json_with_journeys_adds_walk_tracks() {
+        use crate::journey::{JourneyConfig, JourneyEventKind, JourneyRecorder};
+        let mut jr = JourneyRecorder::enabled(JourneyConfig {
+            seed: 0,
+            sample_period: 1,
+            max_walks: 16,
+        });
+        jr.event(
+            7,
+            JourneyEventKind::NandRead,
+            2,
+            SimTime(1_000),
+            SimTime(3_000),
+        );
+        jr.event(
+            7,
+            JourneyEventKind::Complete,
+            2,
+            SimTime(3_000),
+            SimTime(3_000),
+        );
+        let journeys = jr.finish().unwrap();
+        let json = chrome_trace_json_with_journeys(&report(), &journeys);
+        assert!(json.contains("\"name\":\"walk journeys\""));
+        assert!(json.contains("\"name\":\"nand_read\""));
+        assert!(json.contains("\"tid\":7"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // The base document is untouched apart from the splice.
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(json.ends_with("\n]}\n"));
     }
 
     #[test]

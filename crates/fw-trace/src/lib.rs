@@ -23,6 +23,9 @@
 //! * [`report`] — derived views ([`TraceReport`]): per-component
 //!   utilization, p50/p95/p99 latency summaries and queue-depth time
 //!   series,
+//! * [`journey`] — walk-granular lifecycle tracing: the sampled
+//!   [`JourneyRecorder`] and the derived [`JourneyReport`] with
+//!   end-to-end walk latency percentiles and tail attribution,
 //! * [`export`] — Chrome `trace_event` JSON (loadable in
 //!   `chrome://tracing` / Perfetto), CSV, and a human-readable text report.
 //!
@@ -36,13 +39,18 @@
 //! either `fw_trace::Tracer` or `fw_sim::Tracer`.
 
 pub mod export;
+pub mod journey;
 pub mod metrics;
 pub mod report;
 pub mod span;
 pub mod stats;
 pub mod time;
 
-pub use export::{chrome_trace_json, spans_csv};
+pub use export::{chrome_trace_json, chrome_trace_json_with_journeys, spans_csv};
+pub use journey::{
+    JourneyConfig, JourneyEvent, JourneyEventKind, JourneyLatency, JourneyRecorder, JourneyReport,
+    TailRow, WalkJourney,
+};
 pub use metrics::MetricsRegistry;
 pub use report::{ComponentUtil, LatencySummary, QueueDepthSeries, TraceReport};
 pub use span::{SpanRecord, TraceConfig, Tracer};

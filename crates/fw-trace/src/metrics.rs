@@ -10,14 +10,17 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use crate::stats::Histogram;
+use crate::stats::{Histogram, TimeSeries};
+use crate::time::SimTime;
 
-/// Dynamically named counters, gauges and histograms.
+/// Dynamically named counters, gauges, histograms and windowed time
+/// series.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
+    series: BTreeMap<String, TimeSeries>,
 }
 
 impl MetricsRegistry {
@@ -66,6 +69,26 @@ impl MetricsRegistry {
         self.histograms.get(name)
     }
 
+    /// Accumulate `value` into the named windowed time series at sim
+    /// time `at`, creating the series with width `window_ns` if absent.
+    /// An existing series keeps its original window width.
+    pub fn sample(&mut self, name: impl Into<String>, window_ns: u64, at: SimTime, value: f64) {
+        self.series
+            .entry(name.into())
+            .or_insert_with(|| TimeSeries::new(window_ns))
+            .add(at, value);
+    }
+
+    /// Read a windowed time series (`None` if never sampled).
+    pub fn series(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    /// Iterate time series in name order.
+    pub fn all_series(&self) -> impl Iterator<Item = (&str, &TimeSeries)> + '_ {
+        self.series.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
     /// Iterate counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
@@ -83,16 +106,20 @@ impl MetricsRegistry {
 
     /// Total number of named metrics of all kinds.
     pub fn len(&self) -> usize {
-        self.counters.len() + self.gauges.len() + self.histograms.len()
+        self.counters.len() + self.gauges.len() + self.histograms.len() + self.series.len()
     }
 
     /// True if no metric has been touched.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.series.is_empty()
     }
 
     /// Fold another registry into this one: counters add, gauges take the
-    /// other's value (last-writer-wins), histograms merge samples.
+    /// other's value (last-writer-wins), histograms merge samples, time
+    /// series merge window by window.
     pub fn merge(&mut self, other: &MetricsRegistry) {
         for (k, v) in &other.counters {
             *self.counters.entry(k.clone()).or_insert(0) += v;
@@ -103,6 +130,69 @@ impl MetricsRegistry {
         for (k, h) in &other.histograms {
             self.histograms.entry(k.clone()).or_default().merge(h);
         }
+        for (k, s) in &other.series {
+            match self.series.get_mut(k) {
+                Some(mine) => mine.merge(s),
+                None => {
+                    self.series.insert(k.clone(), s.clone());
+                }
+            }
+        }
+    }
+
+    /// Render the registry as OpenMetrics-style text exposition — the
+    /// format a future `fw-serve` scrape endpoint would return verbatim.
+    ///
+    /// Counters become `<name>_total`, gauges stay as-is, histograms emit
+    /// cumulative `_bucket{le="…"}` series plus `_sum`/`_count`, and each
+    /// windowed time series emits one gauge sample per window with the
+    /// window's start time (in simulated milliseconds) as the exemplar
+    /// label. Names are sanitized (`.` and `-` → `_`); output is sorted
+    /// by name and therefore byte-deterministic, ending with `# EOF`.
+    pub fn render_openmetrics(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect()
+        }
+        let mut s = String::with_capacity(1024);
+        for (k, v) in self.counters() {
+            let n = sanitize(k);
+            s.push_str(&format!("# TYPE {n} counter\n{n}_total {v}\n"));
+        }
+        for (k, v) in self.gauges() {
+            let n = sanitize(k);
+            s.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+        }
+        for (k, h) in self.histograms() {
+            let n = sanitize(k);
+            s.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cum = 0u64;
+            for (bound, count) in h.bucket_counts() {
+                cum += count;
+                s.push_str(&format!("{n}_bucket{{le=\"{bound}\"}} {cum}\n"));
+            }
+            s.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+            s.push_str(&format!("{n}_sum {}\n", h.sum()));
+            s.push_str(&format!("{n}_count {}\n", h.count()));
+        }
+        for (k, ts) in self.all_series() {
+            let n = sanitize(k);
+            s.push_str(&format!("# TYPE {n} gauge\n"));
+            let w = ts.window_ns();
+            for (i, v) in ts.windows().iter().enumerate() {
+                let at_ms = (i as u64 * w) / 1_000_000;
+                s.push_str(&format!("{n}{{window_ms=\"{at_ms}\"}} {v}\n"));
+            }
+        }
+        s.push_str("# EOF\n");
+        s
     }
 }
 
@@ -178,6 +268,45 @@ mod tests {
         assert_eq!(a.counter("c"), 3);
         assert_eq!(a.gauge("g"), Some(2.0));
         assert_eq!(a.histogram("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn windowed_series_sample_and_merge() {
+        use crate::time::SimTime;
+        let mut a = MetricsRegistry::new();
+        a.sample("walks.done", 100, SimTime(10), 1.0);
+        a.sample("walks.done", 100, SimTime(250), 2.0);
+        let mut b = MetricsRegistry::new();
+        b.sample("walks.done", 100, SimTime(50), 4.0);
+        a.merge(&b);
+        let ts = a.series("walks.done").unwrap();
+        assert_eq!(ts.windows(), &[5.0, 0.0, 2.0]);
+        assert_eq!(a.series("missing").map(|_| ()), None);
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn openmetrics_exposition_is_deterministic_and_complete() {
+        use crate::time::SimTime;
+        let mut m = MetricsRegistry::new();
+        m.add("chip.reads", 42);
+        m.set_gauge("chip.7.util", 0.5);
+        m.record("flash.read.ns", 1);
+        m.record("flash.read.ns", 1000);
+        m.sample("walks.done", 1_000_000, SimTime(0), 3.0);
+        let s = m.render_openmetrics();
+        assert_eq!(s, m.render_openmetrics(), "byte-deterministic");
+        assert!(s.contains("# TYPE chip_reads counter\nchip_reads_total 42\n"));
+        assert!(s.contains("# TYPE chip_7_util gauge\nchip_7_util 0.5\n"));
+        assert!(s.contains("# TYPE flash_read_ns histogram\n"));
+        assert!(s.contains("flash_read_ns_bucket{le=\"1\"} 1\n"));
+        assert!(s.contains("flash_read_ns_bucket{le=\"1023\"} 2\n"));
+        assert!(s.contains("flash_read_ns_bucket{le=\"+Inf\"} 2\n"));
+        assert!(s.contains("flash_read_ns_sum 1001\n"));
+        assert!(s.contains("flash_read_ns_count 2\n"));
+        assert!(s.contains("walks_done{window_ms=\"0\"} 3\n"));
+        assert!(s.ends_with("# EOF\n"));
     }
 
     #[test]

@@ -144,7 +144,10 @@ impl TraceReport {
     }
 
     /// The component group with the highest mean utilization — the
-    /// bottleneck candidate printed by `fwtrace`.
+    /// bottleneck candidate printed by `fwtrace`. Exact ties break to
+    /// the lexicographically first group name (`max_by` would keep the
+    /// *last* equal element of the name-sorted iteration, making the
+    /// answer depend on iteration order rather than a stated rule).
     pub fn bottleneck(&self) -> Option<(String, f64)> {
         let mut by_name: BTreeMap<&str, (f64, u32)> = BTreeMap::new();
         for c in &self.components {
@@ -155,7 +158,10 @@ impl TraceReport {
         by_name
             .into_iter()
             .map(|(n, (sum, cnt))| (n.to_string(), sum / cnt as f64))
-            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .fold(None, |best: Option<(String, f64)>, cand| match best {
+                Some(ref b) if cand.1 <= b.1 => best,
+                _ => Some(cand),
+            })
     }
 }
 
@@ -248,6 +254,20 @@ mod tests {
         let (name, util) = rep.bottleneck().unwrap();
         assert_eq!(name, "flash.read");
         assert!((util - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bottleneck_ties_break_to_the_first_name() {
+        // Two groups with *identical* mean utilization: the winner must
+        // be the lexicographically first name, not whichever the map
+        // happened to iterate last.
+        let mut tr = Tracer::enabled(TraceConfig::default());
+        tr.span("b.group", 0, SimTime(0), SimTime(500));
+        tr.span("a.group", 0, SimTime(0), SimTime(500));
+        let rep = tr.finish(SimTime(1000)).unwrap();
+        let (name, util) = rep.bottleneck().unwrap();
+        assert_eq!(name, "a.group");
+        assert!((util - 0.5).abs() < 1e-9);
     }
 
     #[test]

@@ -136,6 +136,21 @@ impl Histogram {
         self.max
     }
 
+    /// Sum of all recorded values (the OpenMetrics `_sum` series).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Iterate non-empty buckets as `(upper_bound, count)` pairs in
+    /// ascending bound order — the exposition format's `le` buckets.
+    pub fn bucket_counts(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (u64::MAX >> (63 - i), c))
+    }
+
     /// Approximate quantile: the upper bound of the bucket containing
     /// quantile `q`, clamped to [`Histogram::max`] so the estimate never
     /// exceeds any recorded value (an un-clamped power-of-two bound can
@@ -373,6 +388,20 @@ mod tests {
         assert!(h.p95() <= h.p99());
         assert!(h.p99() <= h.max());
         assert_eq!(h.p50(), h.quantile(0.5));
+    }
+
+    #[test]
+    fn histogram_sum_and_bucket_counts_expose_internals() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.sum(), 1006);
+        let buckets: Vec<(u64, u64)> = h.bucket_counts().collect();
+        // 1 → bucket 0 (≤1), 2 and 3 → bucket 1 (≤3), 1000 → bucket 9 (≤1023).
+        assert_eq!(buckets, vec![(1, 1), (3, 2), (1023, 1)]);
+        let total: u64 = buckets.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, h.count());
     }
 
     #[test]

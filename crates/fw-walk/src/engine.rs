@@ -8,7 +8,7 @@
 //! GraphWalker cache behaviour, …) stays on the engines' own `run_detailed`
 //! methods and report types; this module is the lowest common denominator.
 
-use fw_sim::{Duration, TraceReport};
+use fw_sim::{Duration, JourneyReport, TraceReport};
 
 use crate::walk::Walk;
 use crate::workload::Workload;
@@ -209,6 +209,13 @@ pub struct RunReport {
     /// Fault-injection counters; `None` when the engine ran fault-free
     /// (the default), so pre-fault summaries stay byte-identical.
     pub faults: Option<FaultSummary>,
+    /// Walk-journey report (per-walk lifecycle traces, latency
+    /// percentiles, tail attribution), when journey recording was
+    /// enabled on the engine. Deliberately excluded from
+    /// [`Self::summary_json`] — it has its own serializer
+    /// (`JourneyReport::to_json`) and benchmark-record column, so
+    /// journey-off records stay byte-identical.
+    pub journeys: Option<JourneyReport>,
 }
 
 impl RunReport {
@@ -321,6 +328,7 @@ mod tests {
             walk_log: Vec::new(),
             trace: None,
             faults: None,
+            journeys: None,
         };
         let json = r.summary_json();
         assert_eq!(json, r.summary_json());

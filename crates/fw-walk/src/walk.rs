@@ -20,16 +20,23 @@ pub struct Walk {
     pub src: VertexId,
     /// Vertex the walk currently lands in.
     pub cur: VertexId,
+    /// Walk identity: the walk's index in the initial population. Stable
+    /// across the walk's whole life (hops, hand-offs, spills), which is
+    /// what lets the journey layer stitch per-walk lifecycles together.
+    /// Fits in the record's existing 16-byte padding.
+    pub id: u32,
     /// Remaining hops before completion.
     pub hop: u16,
 }
 
 impl Walk {
-    /// A fresh walk of `len` hops starting at `start`.
+    /// A fresh walk of `len` hops starting at `start` (id 0; population
+    /// builders assign real ids).
     pub fn new(start: VertexId, len: u16) -> Walk {
         Walk {
             src: start,
             cur: start,
+            id: 0,
             hop: len,
         }
     }

@@ -143,7 +143,9 @@ impl Workload {
                     StartDist::UniformRandom => rng.next_below(n as u64) as VertexId,
                     StartDist::Single(v) => v,
                 };
-                Walk::new(start, hops)
+                let mut w = Walk::new(start, hops);
+                w.id = i as u32;
+                w
             })
             .collect()
     }

@@ -4,7 +4,7 @@
 
 use fw_graph::VertexId;
 use fw_nand::Ppa;
-use fw_sim::{Duration, SimTime};
+use fw_sim::{Duration, JourneyEventKind, SimTime};
 
 use super::{GraphWalkerSim, GwRun};
 
@@ -67,15 +67,40 @@ impl GraphWalkerSim<'_> {
         let page_bytes = self.ssd.config().geometry.page_bytes;
         let start = run.now + self.ssd.config().nvme_cmd_overhead;
         let mut done = start;
+        let j_on = self.journeys.is_enabled();
+        // Fault segments happen before we know which sampled walks waited
+        // on this load; collected as (kind, lane, start, end) and replayed
+        // onto the block's pooled walks below. The lane is the page index
+        // so same-timed retries on different pages stay distinct events.
+        let mut j_faults: Vec<(JourneyEventKind, u32, SimTime, SimTime)> = Vec::new();
+        let mut array_done = start;
+        let mut pcie_start: Option<SimTime> = None;
         for i in 0..num_pages {
             let ppa = self.placements[block as usize].pages[i];
             let (rd, fault) = self.ssd.array_read_checked(start, ppa);
             let mut end = rd.end;
-            if fault.hard_fail {
-                end = self.recover_host_read(ppa, end, run);
+            if j_on && fault.extra.as_nanos() > 0 {
+                j_faults.push((
+                    JourneyEventKind::EccRetry,
+                    i as u32,
+                    SimTime(end.as_nanos().saturating_sub(fault.extra.as_nanos())),
+                    end,
+                ));
             }
+            if fault.hard_fail {
+                let recovered = self.recover_host_read(ppa, end, run, i as u32, &mut j_faults);
+                if j_on {
+                    j_faults.push((JourneyEventKind::Stall, i as u32, end, recovered));
+                }
+                end = recovered;
+            }
+            array_done = array_done.max(end);
             let ch = self.ssd.channel_transfer(end, ppa.channel, page_bytes);
             let dma = self.ssd.pcie_transfer(ch.end, page_bytes);
+            pcie_start = Some(match pcie_start {
+                Some(s) if s <= ch.end => s,
+                _ => ch.end,
+            });
             done = done.max(dma.end);
         }
         // Watchdog: a block load that blows past the profile's timeout is
@@ -85,16 +110,42 @@ impl GraphWalkerSim<'_> {
         if self.faults.is_on() && done - run.now > self.faults.load_timeout {
             run.stalled_loads += 1;
             run.requeues += 1;
+            let stalled_at = done;
             done = done + self.faults.retry_backoff + self.ssd.config().nvme_cmd_overhead;
+            if j_on {
+                j_faults.push((JourneyEventKind::Stall, u32::MAX, stalled_at, done));
+            }
         }
-        let start = run.now;
+        let start_now = run.now;
         self.stream_tracer(block).span_bytes(
             "gw.load",
             block,
-            start,
+            start_now,
             done,
             num_pages as u64 * page_bytes,
         );
+        if j_on {
+            // Every walk pooled on this block waited out the whole load;
+            // the DMA leg is recorded for the per-walk tracks even though
+            // the load interval shadows it in the decomposition.
+            for k in 0..self.pools[block as usize].walks.len() {
+                let id = self.pools[block as usize].walks[k].id;
+                if !self.journeys.wants(id) {
+                    continue;
+                }
+                self.journeys
+                    .event(id, JourneyEventKind::SubgraphLoad, block, start_now, done);
+                self.journeys
+                    .event(id, JourneyEventKind::NandRead, block, start, array_done);
+                if let Some(ps) = pcie_start {
+                    self.journeys
+                        .event(id, JourneyEventKind::PcieTransfer, block, ps, done);
+                }
+                for &(kind, lane, s, e) in &j_faults {
+                    self.journeys.event(id, kind, lane, s, e);
+                }
+            }
+        }
         run.breakdown.load_graph += done - run.now;
         run.now = done;
     }
@@ -104,14 +155,32 @@ impl GraphWalkerSim<'_> {
     /// budget, then fall back to host-side reconstruction, charged as one
     /// final full-array pass (any residual errors on that pass are
     /// absorbed by the reconstruction). Returns when the page is in the
-    /// controller.
-    fn recover_host_read(&mut self, ppa: Ppa, failed_at: SimTime, run: &mut GwRun) -> SimTime {
+    /// controller. Retry-ladder time spent by the re-issued reads is
+    /// appended to `j_faults` so journeys reconcile with the injector's
+    /// aggregate retry counters.
+    fn recover_host_read(
+        &mut self,
+        ppa: Ppa,
+        failed_at: SimTime,
+        run: &mut GwRun,
+        lane: u32,
+        j_faults: &mut Vec<(JourneyEventKind, u32, SimTime, SimTime)>,
+    ) -> SimTime {
+        let j_on = self.journeys.is_enabled();
         let mut end = failed_at;
         for attempt in 0..self.faults.max_load_attempts.saturating_sub(1) {
             run.requeues += 1;
             let backoff = Duration::nanos(self.faults.retry_backoff.as_nanos() << attempt);
             let (r, fault) = self.ssd.array_read_checked(end + backoff, ppa);
             end = r.end;
+            if j_on && fault.extra.as_nanos() > 0 {
+                j_faults.push((
+                    JourneyEventKind::EccRetry,
+                    lane,
+                    SimTime(end.as_nanos().saturating_sub(fault.extra.as_nanos())),
+                    end,
+                ));
+            }
             if !fault.hard_fail {
                 return end;
             }
@@ -128,6 +197,8 @@ impl GraphWalkerSim<'_> {
             return;
         }
         let page_bytes = self.ssd.config().geometry.page_bytes;
+        let j_on = self.journeys.is_enabled();
+        let mut j_ids: Vec<u32> = Vec::new();
         let mut done = run.now;
         for (lpn, walks) in spilled {
             if let Some(r) = self.ssd.ftl_read_page(run.now, lpn) {
@@ -135,11 +206,25 @@ impl GraphWalkerSim<'_> {
                 done = done.max(dma.end);
             }
             self.ssd.ftl_mut().trim(lpn);
+            if j_on {
+                j_ids.extend(
+                    walks
+                        .iter()
+                        .map(|w| w.id)
+                        .filter(|&id| self.journeys.wants(id)),
+                );
+            }
             self.pools[block as usize].walks.extend(walks);
         }
         let start = run.now;
         self.stream_tracer(block)
             .span("gw.walk_io", block, start, done);
+        // Spill read-back is walk I/O over the host path; attributed to
+        // the PCIe leg in the journey decomposition.
+        for &id in &j_ids {
+            self.journeys
+                .event(id, JourneyEventKind::PcieTransfer, block, start, done);
+        }
         run.breakdown.walk_io += done - run.now;
         run.now = done;
     }

@@ -26,7 +26,10 @@ use fw_graph::partition::PartitionConfig;
 use fw_graph::{Csr, PartitionedGraph};
 use fw_nand::layout::GraphBlockPlacement;
 use fw_nand::{GraphLayout, Lpn, Ssd, SsdConfig};
-use fw_sim::{Duration, SimTime, TimeSeries, TraceConfig, TraceReport, Tracer, Xoshiro256pp};
+use fw_sim::{
+    Duration, JourneyConfig, JourneyEventKind, JourneyRecorder, JourneyReport, SimTime, TimeSeries,
+    TraceConfig, TraceReport, Tracer, Xoshiro256pp,
+};
 use fw_walk::{
     EngineBreakdown, FaultSummary, RunReport, RunStats, Traffic, Walk, WalkEngine, Workload,
 };
@@ -70,6 +73,9 @@ pub struct GwReport {
     /// Fault-injection counters, when the run had a nonzero fault
     /// profile ([`GraphWalkerSim::with_faults`]).
     pub faults: Option<FaultSummary>,
+    /// Walk-journey report, when
+    /// [`GraphWalkerSim::with_journeys`] was enabled.
+    pub journeys: Option<JourneyReport>,
 }
 
 impl From<GwReport> for RunReport {
@@ -102,6 +108,7 @@ impl From<GwReport> for RunReport {
             walk_log: r.walk_log,
             trace: r.trace,
             faults: r.faults,
+            journeys: r.journeys,
         }
     }
 }
@@ -174,6 +181,10 @@ pub struct GraphWalkerSim<'g> {
     /// merged into the root tracer at run end. The canonical
     /// [`Tracer::finish`] makes the report identical at any stream count.
     pub(super) stream_tracers: Vec<Tracer>,
+    /// Sampled per-walk lifecycle recorder; the scheduler loop is serial,
+    /// so one recorder serves every stream and the finished report is
+    /// identical at any thread count.
+    pub(super) journeys: JourneyRecorder,
 }
 
 impl<'g> GraphWalkerSim<'g> {
@@ -239,6 +250,7 @@ impl<'g> GraphWalkerSim<'g> {
             threads: 1,
             trace_cfg: None,
             stream_tracers: vec![Tracer::disabled()],
+            journeys: JourneyRecorder::disabled(),
         }
     }
 
@@ -290,6 +302,15 @@ impl<'g> GraphWalkerSim<'g> {
         self
     }
 
+    /// Enable sampled walk-journey recording; the derived report lands in
+    /// [`GwReport::journeys`]. Sampling is a pure function of
+    /// `cfg.seed` and the walk id, so recording never perturbs the
+    /// simulated schedule.
+    pub fn with_journeys(mut self, cfg: JourneyConfig) -> Self {
+        self.journeys = JourneyRecorder::enabled(cfg);
+        self
+    }
+
     /// Enable span tracing on the host loop and the underlying SSD;
     /// derived views land in [`GwReport::trace`].
     pub fn with_span_trace(mut self, cfg: TraceConfig) -> Self {
@@ -326,6 +347,13 @@ impl<'g> GraphWalkerSim<'g> {
         // Initial distribution (uncharged, like FlashWalker's).
         for w in self.wl.init_walks(self.csr, self.rng.next_u64()) {
             let b = self.block_of(w.cur);
+            self.journeys.event(
+                w.id,
+                JourneyEventKind::Enqueue,
+                b,
+                SimTime::ZERO,
+                SimTime::ZERO,
+            );
             self.pools[b as usize].walks.push(w);
         }
 
@@ -355,6 +383,7 @@ impl<'g> GraphWalkerSim<'g> {
         let ssd_tracer = self.ssd.take_tracer();
         self.tracer.merge(&ssd_tracer);
         let span_trace = self.tracer.finish(run.now);
+        let journeys = std::mem::replace(&mut self.journeys, JourneyRecorder::disabled()).finish();
 
         let s = *self.ssd.stats();
         let cfgp = *self.ssd.config();
@@ -394,6 +423,7 @@ impl<'g> GraphWalkerSim<'g> {
             walk_log: self.walk_log.take().unwrap_or_default(),
             trace: span_trace,
             faults,
+            journeys,
         }
     }
 }
@@ -579,6 +609,111 @@ mod tests {
         assert!(f.stalled_loads > 0);
         assert_eq!(f.stalled_loads, r.block_loads);
         assert!(f.requeues >= f.stalled_loads);
+    }
+
+    #[test]
+    fn journeys_off_by_default_and_deterministic_when_on() {
+        let g = graph(800, 8_000);
+        let base = run(&g, small_cfg(64 << 10), 1_000);
+        assert!(base.journeys.is_none(), "journeys are opt-in");
+        let journeyed = |_| {
+            GraphWalkerSim::new(&g, 4, small_cfg(64 << 10), SsdConfig::tiny(), 5)
+                .with_journeys(JourneyConfig::default())
+                .run_detailed(Workload::paper_default(1_000))
+        };
+        let a = journeyed(());
+        let b = journeyed(());
+        assert_eq!(a.time, base.time, "recording never perturbs the schedule");
+        assert_eq!(a.hops, base.hops);
+        let ja = a.journeys.expect("journeys on");
+        let jb = b.journeys.expect("journeys on");
+        assert_eq!(ja.to_json(), jb.to_json(), "byte-deterministic");
+        assert!(ja.sampled_walks > 0);
+        // Every walk's segments partition its latency exactly.
+        for w in &ja.walks {
+            let sum: u64 = w.segments.iter().map(|&(_, ns)| ns).sum();
+            assert_eq!(sum, w.latency_ns, "walk {} segments", w.id);
+        }
+    }
+
+    #[test]
+    fn heavy_fault_journeys_surface_ecc_retry_segments() {
+        let g = graph(2000, 20_000);
+        let r = GraphWalkerSim::new(&g, 4, small_cfg(96 << 10), SsdConfig::tiny(), 5)
+            .with_faults(fw_fault::FaultProfile::heavy())
+            .with_journeys(JourneyConfig {
+                seed: 7,
+                sample_period: 1,
+                max_walks: usize::MAX,
+            })
+            .run_detailed(Workload::paper_default(2_000));
+        let f = r.faults.expect("faulted run reports a summary");
+        assert!(f.read_retries > 0);
+        let j = r.journeys.expect("journeys on");
+        let retry_walks = j
+            .walks
+            .iter()
+            .filter(|w| {
+                w.segments
+                    .iter()
+                    .any(|&(k, ns)| k == JourneyEventKind::EccRetry && ns > 0)
+            })
+            .count();
+        assert!(
+            retry_walks > 0,
+            "heavy faults must show up as ecc_retry segments in sampled journeys"
+        );
+    }
+
+    #[test]
+    fn journey_retry_time_reconciles_with_fault_counters() {
+        // Soft-error-only profile: every injected error is recovered by
+        // the retry ladder (no hard fails, no recovery path) and a huge
+        // walk buffer prevents spills, so every block load has its full
+        // pool attached. With sample_period 1 every waiting walk records
+        // the load's retry segments; dedup by (lane, start, end) then
+        // recovers the injector's aggregate exactly.
+        let g = graph(2000, 20_000);
+        let profile = fw_fault::FaultProfile {
+            read_error_ppm: 150_000,
+            retry_success_pct: 100,
+            max_read_retries: 4,
+            retry_backoff: Duration::micros(1),
+            load_timeout: Duration::secs(1),
+            ..fw_fault::FaultProfile::none()
+        };
+        let cfg = GwConfig {
+            walk_buffer_bytes: 1 << 30,
+            ..small_cfg(96 << 10)
+        };
+        let r = GraphWalkerSim::new(&g, 4, cfg, SsdConfig::tiny(), 5)
+            .with_faults(profile)
+            .with_journeys(JourneyConfig {
+                seed: 7,
+                sample_period: 1,
+                max_walks: usize::MAX,
+            })
+            .run_detailed(Workload::paper_default(2_000));
+        assert_eq!(r.walk_spills, 0, "precondition: no spilled pools");
+        let f = r.faults.expect("faulted run reports a summary");
+        assert!(f.read_retries > 0, "profile must trigger retries");
+        assert_eq!(f.hard_read_fails, 0, "always-recovering profile");
+        let j = r.journeys.expect("journeys on");
+        let mut seen: std::collections::BTreeSet<(u32, u64, u64)> = Default::default();
+        let mut retry_ns: u64 = 0;
+        for w in &j.walks {
+            for e in &w.events {
+                if e.kind == JourneyEventKind::EccRetry
+                    && seen.insert((e.lane, e.start.as_nanos(), e.end.as_nanos()))
+                {
+                    retry_ns += e.end.as_nanos() - e.start.as_nanos();
+                }
+            }
+        }
+        assert_eq!(
+            retry_ns, f.retry_ns,
+            "per-walk retry segments must reconcile with the injector's aggregate"
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! pool, and the walk-buffer spill policy that bounds host memory.
 
 use fw_nand::Lpn;
-use fw_sim::Duration;
+use fw_sim::{Duration, JourneyEventKind};
 use fw_walk::workload::WalkEvent;
 use fw_walk::WALK_BYTES;
 
@@ -20,7 +20,17 @@ impl GraphWalkerSim<'_> {
         // nothing pushes into `block`'s own pool mid-update.
         let mut work = std::mem::take(&mut self.pools[block as usize].walks);
         let mut batch_hops: u64 = 0;
+        // Journey bookkeeping: the batch duration is only known after the
+        // drain, so sampled ids are collected and stamped below.
+        let j_on = self.journeys.is_enabled();
+        let mut j_ids: Vec<u32> = Vec::new();
+        let mut j_done: Vec<u32> = Vec::new();
+        let mut j_moved: Vec<(u32, u32)> = Vec::new();
         for mut w in work.drain(..) {
+            let jw = j_on && self.journeys.wants(w.id);
+            if jw {
+                j_ids.push(w.id);
+            }
             loop {
                 let (ev, _ops) = self.wl.step(self.csr, w, &mut self.rng);
                 batch_hops += 1;
@@ -28,6 +38,9 @@ impl GraphWalkerSim<'_> {
                     WalkEvent::Completed(done) => {
                         run.completed += 1;
                         run.progress.add(run.now, 1.0);
+                        if jw {
+                            j_done.push(done.id);
+                        }
                         if let Some(log) = &mut self.walk_log {
                             log.push(done);
                         }
@@ -41,6 +54,9 @@ impl GraphWalkerSim<'_> {
                             // account the walk to its block if we stop.
                             continue;
                         }
+                        if jw {
+                            j_moved.push((w.id, b));
+                        }
                         self.pools[b as usize].walks.push(w);
                         break;
                     }
@@ -53,6 +69,18 @@ impl GraphWalkerSim<'_> {
         let now = run.now;
         self.stream_tracer(block)
             .span("gw.update", block, now, now + cpu);
+        for &id in &j_ids {
+            self.journeys
+                .event(id, JourneyEventKind::SampleStep, block, now, now + cpu);
+        }
+        for &id in &j_done {
+            self.journeys
+                .event(id, JourneyEventKind::Complete, block, now + cpu, now + cpu);
+        }
+        for &(id, dest) in &j_moved {
+            self.journeys
+                .event(id, JourneyEventKind::Enqueue, dest, now + cpu, now + cpu);
+        }
         if let Some(per_hop) = cpu.as_nanos().checked_div(batch_hops) {
             self.stream_tracer(block).record("walk.step_ns", per_hop);
         }
@@ -72,6 +100,8 @@ impl GraphWalkerSim<'_> {
             return;
         }
         let mut batch_lpns: Vec<Lpn> = Vec::new();
+        let j_on = self.journeys.is_enabled();
+        let mut j_spilled: Vec<(u32, u32)> = Vec::new();
         let mut order: Vec<usize> = (0..self.pools.len())
             .filter(|&b| !self.pools[b].walks.is_empty())
             .collect();
@@ -83,6 +113,14 @@ impl GraphWalkerSim<'_> {
             let walks = std::mem::take(&mut self.pools[victim].walks);
             ram_walks -= walks.len() as u64;
             run.walk_spills += 1;
+            if j_on {
+                j_spilled.extend(
+                    walks
+                        .iter()
+                        .map(|w| (w.id, victim as u32))
+                        .filter(|&(id, _)| self.journeys.wants(id)),
+                );
+            }
             for chunk in walks.chunks(walks_per_page) {
                 self.next_lpn += 1;
                 let lpn = self.next_lpn;
@@ -99,6 +137,10 @@ impl GraphWalkerSim<'_> {
                 end,
                 batch_lpns.len() as u64 * self.ssd.config().geometry.page_bytes,
             );
+            for &(id, victim) in &j_spilled {
+                self.journeys
+                    .event(id, JourneyEventKind::PcieTransfer, victim, run.now, end);
+            }
             run.breakdown.walk_io += end - run.now;
             run.now = end;
         }

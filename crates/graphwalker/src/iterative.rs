@@ -87,7 +87,8 @@ impl From<IterReport> for RunReport {
             trace_window_ns: 0,
             walk_log: Vec::new(), // no walk logging
             trace: r.trace,
-            faults: None, // serial engine runs unfaulted
+            faults: None,   // serial engine runs unfaulted
+            journeys: None, // no per-walk lifecycle recording
         }
     }
 }
