@@ -170,6 +170,7 @@ mod tests {
             trace: None,
             faults: None,
             journeys: None,
+            critical: None,
         }
     }
 

@@ -145,6 +145,9 @@ pub struct FwReport {
     /// Walk-journey report, when
     /// [`super::FlashWalkerSim::with_journeys`] was enabled.
     pub journeys: Option<fw_sim::JourneyReport>,
+    /// Critical-path report (causal bottleneck attribution), when
+    /// [`super::FlashWalkerSim::with_critical`] was enabled.
+    pub critical: Option<fw_sim::CriticalReport>,
 }
 
 impl From<FwReport> for RunReport {
@@ -180,6 +183,7 @@ impl From<FwReport> for RunReport {
             trace: r.trace,
             faults: r.faults,
             journeys: r.journeys,
+            critical: r.critical,
         }
     }
 }

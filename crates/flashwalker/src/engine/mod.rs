@@ -72,8 +72,8 @@ use fw_graph::{Csr, PartitionedGraph, RangeTable, SubgraphMappingTable};
 use fw_nand::layout::GraphBlockPlacement;
 use fw_nand::{GraphLayout, Lpn, Ssd, SsdConfig};
 use fw_sim::{
-    JourneyConfig, JourneyRecorder, ShardId, ShardedClock, ShardedEventQueue, SimTime, TimeSeries,
-    TraceConfig, Tracer, Xoshiro256pp,
+    CriticalConfig, CriticalRecorder, JourneyConfig, JourneyRecorder, ShardId, ShardedClock,
+    ShardedEventQueue, SimTime, TimeSeries, TraceConfig, Tracer, Xoshiro256pp,
 };
 use fw_walk::{FaultSummary, RunReport, WalkEngine, Workload, WALK_BYTES};
 
@@ -161,6 +161,19 @@ pub struct FlashWalkerSim<'g> {
     /// and the canonical `JourneyRecorder::finish` sort makes the merged
     /// report independent of shard merge order.
     pub(super) shard_journeys: Vec<JourneyRecorder>,
+    /// Root critical-path recorder (merge target). Dependency nodes are
+    /// recorded by [`Self::sched_ev`] at every `schedule_at` site; node
+    /// ids are the queue's global sequence numbers, which the serial
+    /// commit plane makes identical at any thread count.
+    pub(super) critical: CriticalRecorder,
+    /// Per-shard critical recorders mirroring `shard_tracers`; gseq node
+    /// ids are globally unique, so the merge is a plain union and the
+    /// canonical `CriticalRecorder::finish` sort makes the report
+    /// independent of merge order.
+    pub(super) shard_criticals: Vec<CriticalRecorder>,
+    /// Causal anchor: the gseq of the event currently being dispatched.
+    /// Everything a handler schedules happens-after this event.
+    crit_cause: Option<u64>,
 }
 
 /// Walks per flash page (4 KB / 16 B).
@@ -291,6 +304,11 @@ impl<'g> FlashWalkerSim<'g> {
             shard_journeys: (0..geometry.channels as usize + 1)
                 .map(|_| JourneyRecorder::disabled())
                 .collect(),
+            critical: CriticalRecorder::disabled(),
+            shard_criticals: (0..geometry.channels as usize + 1)
+                .map(|_| CriticalRecorder::disabled())
+                .collect(),
+            crit_cause: None,
         }
     }
 
@@ -346,6 +364,22 @@ impl<'g> FlashWalkerSim<'g> {
         self
     }
 
+    /// Enable causal critical-path recording: every scheduled event
+    /// becomes a dependency-log node (component, lane, busy interval,
+    /// causing event), and the derived [`fw_sim::CriticalReport`] — whose
+    /// path segments sum *exactly* to end-to-end sim time — lands in
+    /// [`FwReport::critical`]. Zero-cost when not called; recording never
+    /// touches sim state, so enabling it leaves every other report byte
+    /// unchanged, and node ids are commit-order sequence numbers, so the
+    /// report is byte-identical at any thread count.
+    pub fn with_critical(mut self, cfg: CriticalConfig) -> Self {
+        self.critical = CriticalRecorder::enabled(cfg);
+        for c in &mut self.shard_criticals {
+            *c = CriticalRecorder::enabled(cfg);
+        }
+        self
+    }
+
     /// Set the Figure 8 trace window (default 1 ms).
     pub fn with_trace_window(mut self, window_ns: u64) -> Self {
         self.trace_window_ns = window_ns;
@@ -394,6 +428,27 @@ impl<'g> FlashWalkerSim<'g> {
     /// The board/PCIe shard: the last stream, after one per channel.
     pub(super) fn board_shard(&self) -> ShardId {
         ShardId(self.ssd.config().geometry.channels)
+    }
+
+    /// Schedule `ev` on `shard` at `at` and record the happens-before
+    /// edge: a dependency-log node spanning `[start, at]` on the
+    /// `(comp, lane)` resource, caused by the event being dispatched
+    /// (`crit_cause`). The node id is the queue's commit-order gseq, and
+    /// the node lands in the *target* shard's recorder — safe because
+    /// both run loops dispatch handlers serially (the commit plane is
+    /// serialized by design).
+    fn sched_ev(
+        &mut self,
+        shard: ShardId,
+        at: SimTime,
+        ev: Ev,
+        comp: &str,
+        lane: u32,
+        start: SimTime,
+    ) {
+        let cause = self.crit_cause;
+        let id = self.events.schedule_at(shard, at, ev);
+        self.shard_criticals[shard.index()].node(id, comp, lane, start, at, cause);
     }
 
     /// Conservative window lookahead: the fastest accelerator cycle. A
@@ -501,7 +556,14 @@ impl<'g> FlashWalkerSim<'g> {
         let mut guard: u64 = 0;
         while self.completed < self.total_walks {
             match self.events.pop() {
-                Some((now, _shard, ev)) => self.dispatch(now, ev),
+                Some((now, _shard, ev)) => {
+                    // The popped event is the cause of everything its
+                    // handler schedules. Quiesce keeps the last anchor:
+                    // refills happen-after the event that drained the
+                    // queue, keeping the dependency chain unbroken.
+                    self.crit_cause = self.events.last_popped_seq();
+                    self.dispatch(now, ev);
+                }
                 None => self.on_quiesce(),
             }
             guard += 1;
@@ -532,6 +594,7 @@ impl<'g> FlashWalkerSim<'g> {
                     clock.open_window(w);
                     while let Some((now, shard, ev)) = self.events.pop_within(w.end) {
                         clock.advance(shard, now);
+                        self.crit_cause = self.events.last_popped_seq();
                         self.dispatch(now, ev);
                         guard += 1;
                         assert!(
@@ -596,6 +659,12 @@ impl<'g> FlashWalkerSim<'g> {
             self.journeys.merge(j);
         }
         let journeys = std::mem::replace(&mut self.journeys, JourneyRecorder::disabled()).finish();
+        let shard_criticals = std::mem::take(&mut self.shard_criticals);
+        for c in &shard_criticals {
+            self.critical.merge(c);
+        }
+        let critical =
+            std::mem::replace(&mut self.critical, CriticalRecorder::disabled()).finish(horizon);
         let faults = self.faults.is_on().then(|| {
             let f = self.ssd.fault_stats();
             FaultSummary {
@@ -637,6 +706,7 @@ impl<'g> FlashWalkerSim<'g> {
             trace: span_trace,
             faults,
             journeys,
+            critical,
         }
     }
 }

@@ -147,10 +147,13 @@ impl FlashWalkerSim<'_> {
         if let Some(per_hop) = busy.as_nanos().checked_div(batch_hops) {
             self.shard_tracers[sh].record("walk.step_ns", per_hop);
         }
-        self.events.schedule_at(
+        self.sched_ev(
             self.shard_of_chip(chip),
             now + busy,
             Ev::ChipBatchDone { chip, outbox },
+            "chip.batch",
+            chip,
+            now,
         );
     }
 
@@ -197,10 +200,13 @@ impl FlashWalkerSim<'_> {
                     );
                 }
             }
-            self.events.schedule_at(
+            self.sched_ev(
                 self.shard_of_chan(ch),
                 res.end,
                 Ev::ChanArrive { ch, walks: outbox },
+                "chan.bus",
+                ch,
+                now,
             );
         } else {
             self.pools[sh].put_walks(outbox);
@@ -251,10 +257,13 @@ impl FlashWalkerSim<'_> {
         }
         self.pools[sh].put_walks(walks);
         if !retry.is_empty() {
-            self.events.schedule_at(
+            self.sched_ev(
                 self.shard_of_chip(chip),
                 now + Duration::micros(1),
                 Ev::ChipDeliver { chip, walks: retry },
+                "chip.deliver",
+                chip,
+                now,
             );
         } else {
             self.pools[sh].put_walks(retry);
@@ -368,10 +377,13 @@ impl FlashWalkerSim<'_> {
                 now + busy,
             );
         }
-        self.events.schedule_at(
+        self.sched_ev(
             self.shard_of_chan(ch),
             now + busy,
             Ev::ChanBatchDone { ch, to_board },
+            "chan.batch",
+            ch,
+            now,
         );
     }
 
@@ -618,13 +630,16 @@ impl FlashWalkerSim<'_> {
         }
         self.stats.board_dram_ns += dram.as_nanos();
         self.stats.board_map_ns += map.as_nanos();
-        self.events.schedule_at(
+        self.sched_ev(
             self.board_shard(),
             now + busy,
             Ev::BoardBatchDone {
                 deliveries: deliveries.buckets,
                 dirty_chips,
             },
+            "board.batch",
+            0,
+            now,
         );
     }
 
@@ -652,10 +667,13 @@ impl FlashWalkerSim<'_> {
                     );
                 }
             }
-            self.events.schedule_at(
+            self.sched_ev(
                 self.shard_of_chip(chip),
                 res.end,
                 Ev::ChipDeliver { chip, walks },
+                "chan.bus",
+                ch,
+                now,
             );
         }
         self.pools[bs].put_deliveries(deliveries);

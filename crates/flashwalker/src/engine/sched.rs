@@ -183,8 +183,14 @@ impl FlashWalkerSim<'_> {
         self.stats.load_latency_ns += (done - now).as_nanos();
         self.stats.load_walks += walks.len() as u64;
         self.pending_loads.insert((chip, sg), walks);
-        self.events
-            .schedule_at(self.shard_of_chip(chip), done, Ev::ChipLoaded { chip, sg });
+        self.sched_ev(
+            self.shard_of_chip(chip),
+            done,
+            Ev::ChipLoaded { chip, sg },
+            "sg.load",
+            chip,
+            now,
+        );
     }
 
     /// Recovery path for a chip-private page read whose ECC ladder was

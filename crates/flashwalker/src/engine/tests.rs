@@ -347,6 +347,75 @@ fn journey_report_is_identical_at_any_thread_count() {
 }
 
 #[test]
+fn critical_off_by_default_on_is_exact_and_schedule_neutral() {
+    let (csr, pg) = small_setup(1500, 15_000, 5_000);
+    let base = run(&csr, &pg, 2_000, crate::OptToggles::all());
+    assert!(base.critical.is_none(), "critical recording is opt-in");
+    let profiled = |_| {
+        let mut cfg = AccelConfig::scaled();
+        cfg.opts = crate::OptToggles::all();
+        FlashWalkerSim::new(&csr, &pg, cfg, SsdConfig::tiny(), 99)
+            .with_trace_window(100_000)
+            .with_critical(fw_sim::CriticalConfig::default())
+            .run_detailed(Workload::paper_default(2_000))
+    };
+    let a = profiled(());
+    let b = profiled(());
+    assert_eq!(a.time, base.time, "recording never perturbs the schedule");
+    assert_eq!(a.stats.hops, base.stats.hops);
+    let ca = a.critical.expect("critical on");
+    assert_eq!(
+        ca.to_json(),
+        b.critical.expect("critical on").to_json(),
+        "byte-deterministic"
+    );
+    // The tentpole invariant: the extracted critical path's wait+service
+    // segments sum *exactly* to the end-to-end simulated time.
+    assert_eq!(ca.total_ns, a.time.as_nanos());
+    assert_eq!(ca.path_total_ns(), ca.total_ns);
+    assert!(!ca.truncated);
+    assert_eq!(ca.dropped_nodes, 0);
+    assert!(!ca.shares.is_empty());
+}
+
+#[test]
+fn critical_path_sums_exactly_under_heavy_faults() {
+    let (csr, pg) = small_setup(1500, 15_000, 5_000);
+    let mut cfg = AccelConfig::scaled();
+    cfg.opts = crate::OptToggles::all();
+    let r = FlashWalkerSim::new(&csr, &pg, cfg, SsdConfig::tiny(), 99)
+        .with_faults(fw_fault::FaultProfile::heavy())
+        .with_critical(fw_sim::CriticalConfig::default())
+        .run_detailed(Workload::paper_default(2_000));
+    assert!(r.faults.expect("faulted summary").read_retries > 0);
+    let c = r.critical.expect("critical on");
+    assert_eq!(c.total_ns, r.time.as_nanos());
+    assert_eq!(c.path_total_ns(), c.total_ns);
+    assert!(!c.truncated);
+}
+
+#[test]
+fn critical_report_is_identical_at_any_thread_count() {
+    let (csr, pg) = small_setup(1500, 15_000, 8);
+    let at = |threads: u32| {
+        let mut cfg = AccelConfig::scaled();
+        cfg.opts = crate::OptToggles::all();
+        FlashWalkerSim::new(&csr, &pg, cfg, SsdConfig::tiny(), 99)
+            .with_threads(threads)
+            .with_critical(fw_sim::CriticalConfig::default())
+            .run_detailed(Workload::paper_default(2_000))
+            .critical
+            .expect("critical on")
+            .to_json()
+    };
+    assert_eq!(
+        at(1),
+        at(4),
+        "gseq node ids commit in the same order at any thread count"
+    );
+}
+
+#[test]
 fn heavy_fault_journeys_surface_retry_and_stall_segments() {
     let (csr, pg) = small_setup(1500, 15_000, 5_000);
     let mut cfg = AccelConfig::scaled();

@@ -577,6 +577,11 @@ pub struct EnvFingerprint {
     /// carry different sections, so a silent cross-diff hides which side
     /// actually measured the tails.
     pub journeys: bool,
+    /// Whether the run recorded critical-path profiles (`fwbench run
+    /// --critical`). Written only when true, for the same byte-identity
+    /// reason as `journeys`; absent on parse means false. `fwbench why`
+    /// requires both records to carry critical sections.
+    pub critical: bool,
 }
 
 impl EnvFingerprint {
@@ -600,6 +605,9 @@ impl EnvFingerprint {
         }
         if self.journeys {
             pairs.push(("journeys", Json::Bool(true)));
+        }
+        if self.critical {
+            pairs.push(("critical", Json::Bool(true)));
         }
         Json::obj(pairs)
     }
@@ -637,6 +645,7 @@ impl EnvFingerprint {
                 .to_string(),
             threads: v.get("threads").and_then(Json::as_u64).unwrap_or(1) as u32,
             journeys: matches!(v.get("journeys"), Some(Json::Bool(true))),
+            critical: matches!(v.get("critical"), Some(Json::Bool(true))),
         })
     }
 }
@@ -678,6 +687,11 @@ pub struct ScenarioRecord {
     /// null when off), the key is omitted entirely when journeys were not
     /// recorded so pre-journey records stay byte-identical.
     pub journeys: Option<Json>,
+    /// The seed-0 run's `CriticalReport::to_json` (fw-trace), parsed:
+    /// critical-path totals, per-component critical-time shares and the
+    /// heatmap summary. Key omitted entirely when critical recording was
+    /// off, so pre-critical records stay byte-identical.
+    pub critical: Option<Json>,
 }
 
 impl ScenarioRecord {
@@ -719,6 +733,9 @@ impl ScenarioRecord {
         if let Some(j) = &self.journeys {
             pairs.push(("journeys", j.clone()));
         }
+        if let Some(c) = &self.critical {
+            pairs.push(("critical", c.clone()));
+        }
         Json::obj(pairs)
     }
 
@@ -741,6 +758,10 @@ impl ScenarioRecord {
         let journeys = match v.get("journeys") {
             None | Some(Json::Null) => None,
             Some(j) => Some(j.clone()),
+        };
+        let critical = match v.get("critical") {
+            None | Some(Json::Null) => None,
+            Some(c) => Some(c.clone()),
         };
         Ok(ScenarioRecord {
             tag: s("tag")?,
@@ -771,6 +792,7 @@ impl ScenarioRecord {
                 .ok_or_else(|| format!("{name}: missing 'report'"))?,
             trace,
             journeys,
+            critical,
             name,
         })
     }
@@ -972,6 +994,56 @@ pub fn newest_bench_file(dir: &Path, exclude: &[&Path]) -> Option<PathBuf> {
     candidates.pop().map(|(_, p)| p)
 }
 
+/// Shared in-crate test fixtures (also used by `record`/`why` tests).
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use super::*;
+
+    pub(crate) fn tiny_report() -> BenchReport {
+        BenchReport {
+            schema: SCHEMA.to_string(),
+            label: "t".into(),
+            env: EnvFingerprint {
+                git_rev: "abc1234".into(),
+                config: "scaled".into(),
+                graph_scale: 500,
+                struct_scale: 16,
+                suite: "ci".into(),
+                seeds: vec![42, 43],
+                fault_profile: "none".into(),
+                threads: 1,
+                journeys: false,
+                critical: false,
+            },
+            scenarios: vec![ScenarioRecord {
+                name: "fw/TT/w100".into(),
+                tag: "fw".into(),
+                engine: "flashwalker".into(),
+                dataset: "TT".into(),
+                walks: 100,
+                num_seeds: 2,
+                sim_time_ns: StatU {
+                    mean: 1000,
+                    min: 990,
+                    max: 1010,
+                },
+                wall_time_ms: StatF::zero(),
+                speedup_over_graphwalker: Some(StatF {
+                    mean: 5.0,
+                    min: 4.5,
+                    max: 5.5,
+                }),
+                report: Json::parse("{\"traffic\":{\"flash_read_bytes\":4096}}").unwrap(),
+                trace: None,
+                journeys: None,
+                critical: None,
+            }],
+            suite_wall_ns: None,
+            host: None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1049,47 +1121,7 @@ mod tests {
         assert_eq!(Json::f(f64::INFINITY, 2), Json::Num("0.00".into()));
     }
 
-    fn tiny_report() -> BenchReport {
-        BenchReport {
-            schema: SCHEMA.to_string(),
-            label: "t".into(),
-            env: EnvFingerprint {
-                git_rev: "abc1234".into(),
-                config: "scaled".into(),
-                graph_scale: 500,
-                struct_scale: 16,
-                suite: "ci".into(),
-                seeds: vec![42, 43],
-                fault_profile: "none".into(),
-                threads: 1,
-                journeys: false,
-            },
-            scenarios: vec![ScenarioRecord {
-                name: "fw/TT/w100".into(),
-                tag: "fw".into(),
-                engine: "flashwalker".into(),
-                dataset: "TT".into(),
-                walks: 100,
-                num_seeds: 2,
-                sim_time_ns: StatU {
-                    mean: 1000,
-                    min: 990,
-                    max: 1010,
-                },
-                wall_time_ms: StatF::zero(),
-                speedup_over_graphwalker: Some(StatF {
-                    mean: 5.0,
-                    min: 4.5,
-                    max: 5.5,
-                }),
-                report: Json::parse("{\"traffic\":{\"flash_read_bytes\":4096}}").unwrap(),
-                trace: None,
-                journeys: None,
-            }],
-            suite_wall_ns: None,
-            host: None,
-        }
-    }
+    use super::tests_support::tiny_report;
 
     #[test]
     fn bench_report_round_trips_byte_identically() {
@@ -1212,6 +1244,28 @@ mod tests {
         let text = rep.render();
         assert!(text.contains("\"journeys\": true"));
         assert!(text.contains("\"sampled_walks\": 3"));
+        let back = BenchReport::parse(&text).unwrap();
+        assert_eq!(back, rep);
+        assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn critical_is_omitted_when_off_and_round_trips_otherwise() {
+        // Default records carry no critical keys at all (byte-identity
+        // with pre-critical baselines).
+        let rep = tiny_report();
+        assert!(!rep.render().contains("critical"));
+        let back = BenchReport::parse(&rep.render()).unwrap();
+        assert!(!back.env.critical);
+        assert!(back.scenarios[0].critical.is_none());
+
+        // A --critical record carries both through a round trip.
+        let mut rep = tiny_report();
+        rep.env.critical = true;
+        rep.scenarios[0].critical = Some(Json::parse("{\"total_ns\":1000,\"shares\":[]}").unwrap());
+        let text = rep.render();
+        assert!(text.contains("\"critical\": true"));
+        assert!(text.contains("\"total_ns\": 1000"));
         let back = BenchReport::parse(&text).unwrap();
         assert_eq!(back, rep);
         assert_eq!(back.render(), text);

@@ -62,6 +62,7 @@ fn main() {
         faults: fw_fault::FaultProfile::none(),
         threads: env_threads(),
         journeys: false,
+        critical: false,
     };
     let res = run_suite(&suite).expect("suite has seeds and scenarios");
 

@@ -5,9 +5,10 @@
 //!
 //! ```text
 //! fwbench run [--suite ci|paper] [--seeds N] [--label L] [--out PATH]
-//!             [--wall] [--no-trace] [--journeys] [--threads N]
+//!             [--wall] [--no-trace] [--journeys] [--critical] [--threads N]
 //! fwbench compare [BASELINE] [CURRENT] [--noise-floor F]
 //!                 [--allow-thread-mismatch] [--allow-journey-mismatch]
+//! fwbench why BASELINE CURRENT
 //! fwbench hostperf RECORD [BASELINE]
 //! fwbench tail RECORD
 //! ```
@@ -43,24 +44,42 @@
 //! speedup of the first over it. Informational only: host performance
 //! never gates.
 //!
+//! `run --critical` records the causal profile on every seed-0 run: the
+//! scenario rows gain a `critical` section (per-component critical-path
+//! shares plus the contention-heatmap summary) and the env fingerprint
+//! is stamped. Like journey runs, the default label gains a `-critical`
+//! suffix so the plain byte-identity baseline stays untouched.
+//!
+//! `why` diffs two `--critical` records: per scenario it attributes the
+//! sim-time movement to the components whose critical-path time grew — a
+//! causal answer to "what made this slower", where `compare` only says
+//! *that* it got slower. Mixed-up records (different fault profile,
+//! thread count, or generator config) are refused like `compare`.
+//!
 //! `tail` prints each scenario's tail-attribution table from a
 //! `--journeys` record, after checking the books: every sampled walk's
 //! segment durations must sum exactly to its end-to-end latency (the
 //! decomposition invariant), and a walk that doesn't reconcile fails the
 //! command.
+//!
+//! Exit codes, all subcommands: 0 ok, 1 gate failed, 2 usage, 3 record
+//! unreadable/malformed, 4 record parsed but an accounting invariant is
+//! violated (see EXPERIMENTS.md "Exit codes").
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use fw_bench::bench_json::{newest_bench_file, BenchReport, Json};
 use fw_bench::compare::{compare_reports, CompareConfig};
+use fw_bench::record::load_bench_report;
 use fw_bench::runner::DEFAULT_SEED;
 use fw_bench::suite::{build_bench_report, env_seeds, env_threads, run_suite, Suite};
+use fw_bench::why::why_reports;
 use fw_fault::FaultProfile;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  fwbench run [--suite ci|paper] [--seeds N] [--label L] [--out PATH] [--wall] [--no-trace] [--journeys] [--faults none|light|heavy] [--threads N]\n  fwbench compare [BASELINE] [CURRENT] [--noise-floor F] [--allow-thread-mismatch] [--allow-journey-mismatch]\n  fwbench hostperf RECORD [BASELINE]\n  fwbench tail RECORD"
+        "usage:\n  fwbench run [--suite ci|paper] [--seeds N] [--label L] [--out PATH] [--wall] [--no-trace] [--journeys] [--critical] [--faults none|light|heavy] [--threads N]\n  fwbench compare [BASELINE] [CURRENT] [--noise-floor F] [--allow-thread-mismatch] [--allow-journey-mismatch]\n  fwbench why BASELINE CURRENT\n  fwbench hostperf RECORD [BASELINE]\n  fwbench tail RECORD"
     );
     ExitCode::from(2)
 }
@@ -70,10 +89,20 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("why") => cmd_why(&args[1..]),
         Some("hostperf") => cmd_hostperf(&args[1..]),
         Some("tail") => cmd_tail(&args[1..]),
         _ => usage(),
     }
+}
+
+/// Load a record through the shared validating loader, mapping the two
+/// failure classes to their exit codes (3 parse, 4 invariant).
+fn load_record(cmd: &str, path: &Path) -> Result<BenchReport, ExitCode> {
+    load_bench_report(path).map_err(|e| {
+        eprintln!("fwbench {cmd}: {e}");
+        ExitCode::from(e.exit_code())
+    })
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -115,6 +144,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
     if args.iter().any(|a| a == "--journeys") {
         suite = suite.with_journeys();
     }
+    if args.iter().any(|a| a == "--critical") {
+        suite = suite.with_critical();
+    }
     if let Some(name) = flag_value(args, "--faults") {
         match FaultProfile::parse(name) {
             Ok(p) => suite = suite.with_faults(p),
@@ -146,6 +178,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
     };
     if suite.journeys {
         default_label.push_str("-journeys");
+    }
+    if suite.critical {
+        default_label.push_str("-critical");
     }
     let label = flag_value(args, "--label")
         .unwrap_or(&default_label)
@@ -232,12 +267,7 @@ fn cmd_hostperf(args: &[String]) -> ExitCode {
         [cur, base] => (PathBuf::from(cur), Some(PathBuf::from(base))),
         _ => return usage(),
     };
-    let load = |p: &Path| -> Result<BenchReport, ExitCode> {
-        BenchReport::load(p).map_err(|e| {
-            eprintln!("fwbench hostperf: {e}");
-            ExitCode::FAILURE
-        })
-    };
+    let load = |p: &Path| load_record("hostperf", p);
     let cur = match load(&cur_path) {
         Ok(r) => r,
         Err(c) => return c,
@@ -354,12 +384,12 @@ fn cmd_tail(args: &[String]) -> ExitCode {
         return usage();
     };
     let path = PathBuf::from(path);
-    let rep = match BenchReport::load(&path) {
+    // The shared loader already enforces the segment-sum invariant (exit
+    // 4 on violation); the per-walk reconciliation below re-derives the
+    // detail for the human-readable report.
+    let rep = match load_record("tail", &path) {
         Ok(r) => r,
-        Err(e) => {
-            eprintln!("fwbench tail: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(c) => return c,
     };
     let with_journeys: Vec<_> = rep
         .scenarios
@@ -487,19 +517,13 @@ fn cmd_compare(args: &[String]) -> ExitCode {
         _ => return usage(),
     };
 
-    let base = match BenchReport::load(&base_path) {
+    let base = match load_record("compare", &base_path) {
         Ok(r) => r,
-        Err(e) => {
-            eprintln!("fwbench compare: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(c) => return c,
     };
-    let cur = match BenchReport::load(&cur_path) {
+    let cur = match load_record("compare", &cur_path) {
         Ok(r) => r,
-        Err(e) => {
-            eprintln!("fwbench compare: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(c) => return c,
     };
     eprintln!(
         "fwbench compare: baseline {} (label '{}', rev {}) vs current {} (label '{}', rev {})",
@@ -521,6 +545,35 @@ fn cmd_compare(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("fwbench compare: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_why(args: &[String]) -> ExitCode {
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [base_path, cur_path] = paths.as_slice() else {
+        return usage();
+    };
+    let base = match load_record("why", Path::new(base_path)) {
+        Ok(r) => r,
+        Err(c) => return c,
+    };
+    let cur = match load_record("why", Path::new(cur_path)) {
+        Ok(r) => r,
+        Err(c) => return c,
+    };
+    eprintln!(
+        "fwbench why: baseline {base_path} (label '{}', rev {}) vs current {cur_path} (label '{}', rev {})",
+        base.label, base.env.git_rev, cur.label, cur.env.git_rev
+    );
+    match why_reports(&base, &cur) {
+        Ok(res) => {
+            print!("{}", res.render());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fwbench why: {e}");
             ExitCode::FAILURE
         }
     }

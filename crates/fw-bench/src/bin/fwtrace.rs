@@ -6,7 +6,7 @@
 //! ```text
 //! cargo run --release -p fw-bench --bin fwtrace \
 //!     [fw|gw|iter] [TT|FS|CW|R2B|R8B] [walks] [out.json] [--threads N]
-//!     [--journeys]
+//!     [--journeys] [--critical] [--heatmap]
 //! ```
 //!
 //! Defaults: `fw TT <default_walks/8> fwtrace.json`. A `.csv` sibling
@@ -19,6 +19,12 @@
 //! attribution table is printed, per-walk tracks are appended to the
 //! Chrome JSON (one Perfetto process per sampled walk), and a
 //! `<out>.journeys.csv` sibling carries the raw per-event rows.
+//! `--critical` records the happens-before dependency log (fw/gw only)
+//! and prints the critical-path share table — the *causal* counterpart
+//! to the utilization-ranked "busiest components" list. `--heatmap`
+//! (implies `--critical`) additionally writes a `<out>.heatmap.csv`
+//! contention heatmap (per-component busy fraction and queue depth per
+//! sim-time window) and appends a Perfetto counter track to the JSON.
 
 use flashwalker::{AccelConfig, OptToggles};
 use fw_bench::runner::{
@@ -27,8 +33,9 @@ use fw_bench::runner::{
 use fw_bench::suite::env_threads;
 use fw_graph::DatasetId;
 use fw_sim::{
-    chrome_trace_json, chrome_trace_json_with_journeys, export, JourneyConfig, JourneyReport,
-    TraceConfig, TraceReport,
+    chrome_trace_json, chrome_trace_json_with_heatmap, chrome_trace_json_with_journeys, export,
+    CriticalConfig, CriticalReport, HeatmapReport, JourneyConfig, JourneyReport, TraceConfig,
+    TraceReport,
 };
 use fw_walk::Workload;
 
@@ -40,7 +47,11 @@ fn main() {
     let raw: Vec<String> = std::env::args().collect();
     let threads = env_threads();
     let journeys = raw.iter().any(|a| a == "--journeys");
-    // Strip `--threads N` and `--journeys` before the positional parse.
+    let heatmap = raw.iter().any(|a| a == "--heatmap");
+    // The heatmap is derived from the dependency log, so asking for one
+    // turns critical recording on.
+    let critical = heatmap || raw.iter().any(|a| a == "--critical");
+    // Strip the flags before the positional parse.
     let mut args: Vec<String> = Vec::new();
     let mut skip = false;
     for a in raw {
@@ -52,7 +63,7 @@ fn main() {
             skip = true;
             continue;
         }
-        if a == "--journeys" {
+        if a == "--journeys" || a == "--critical" || a == "--heatmap" {
             continue;
         }
         args.push(a);
@@ -86,59 +97,96 @@ fn main() {
         seed: DEFAULT_SEED,
         ..JourneyConfig::default()
     };
-    let (trace, journey_report): (Option<TraceReport>, Option<JourneyReport>) =
-        match engine.as_str() {
-            "gw" => {
-                let mut e = graphwalker_engine(&p, BASELINE_MEMORY, DEFAULT_SEED)
-                    .with_threads(threads)
-                    .with_span_trace(cfg);
-                if journeys {
-                    e = e.with_journeys(jcfg);
-                }
-                let r = e.run_detailed(wl);
-                (r.trace, r.journeys)
-            }
-            // The iteration-synchronous baseline has no event loop to shard
-            // and no per-walk event stream to journal.
-            "iter" => {
-                if journeys {
-                    eprintln!("fwtrace: --journeys is a no-op on the iterative baseline");
-                }
-                let r = iterative_engine(&p, BASELINE_MEMORY, DEFAULT_SEED)
-                    .with_span_trace(cfg)
-                    .run_detailed(wl);
-                (r.trace, None)
-            }
-            _ => {
-                let mut e = flashwalker_engine(
-                    &p,
-                    OptToggles::all(),
-                    AccelConfig::scaled().alpha,
-                    DEFAULT_SEED,
-                )
+    let ccfg = CriticalConfig::default();
+    #[allow(clippy::type_complexity)]
+    let (trace, journey_report, critical_report): (
+        Option<TraceReport>,
+        Option<JourneyReport>,
+        Option<CriticalReport>,
+    ) = match engine.as_str() {
+        "gw" => {
+            let mut e = graphwalker_engine(&p, BASELINE_MEMORY, DEFAULT_SEED)
                 .with_threads(threads)
                 .with_span_trace(cfg);
-                if journeys {
-                    e = e.with_journeys(jcfg);
-                }
-                let r = e.run_detailed(wl);
-                (r.trace, r.journeys)
+            if journeys {
+                e = e.with_journeys(jcfg);
             }
-        };
+            if critical {
+                e = e.with_critical(ccfg);
+            }
+            let r = e.run_detailed(wl);
+            (r.trace, r.journeys, r.critical)
+        }
+        // The iteration-synchronous baseline has no event loop to shard
+        // and no per-walk event stream to journal.
+        "iter" => {
+            if journeys {
+                eprintln!("fwtrace: --journeys is a no-op on the iterative baseline");
+            }
+            if critical {
+                eprintln!("fwtrace: --critical is a no-op on the iterative baseline");
+            }
+            let r = iterative_engine(&p, BASELINE_MEMORY, DEFAULT_SEED)
+                .with_span_trace(cfg)
+                .run_detailed(wl);
+            (r.trace, None, None)
+        }
+        _ => {
+            let mut e = flashwalker_engine(
+                &p,
+                OptToggles::all(),
+                AccelConfig::scaled().alpha,
+                DEFAULT_SEED,
+            )
+            .with_threads(threads)
+            .with_span_trace(cfg);
+            if journeys {
+                e = e.with_journeys(jcfg);
+            }
+            if critical {
+                e = e.with_critical(ccfg);
+            }
+            let r = e.run_detailed(wl);
+            (r.trace, r.journeys, r.critical)
+        }
+    };
     let trace = trace.expect("span tracing was enabled");
 
     println!("{trace}");
-    if let Some((name, util)) = trace.bottleneck() {
-        println!(
-            "bottleneck: {name} at {:.1}% mean utilization",
-            util * 100.0
-        );
+    // Utilization ranks who was *busiest* — a correlation signal that
+    // often, but not always, coincides with the causal bottleneck the
+    // critical-path shares identify.
+    let candidates = trace.bottleneck_candidates(3);
+    if !candidates.is_empty() {
+        println!("busiest components (highest mean utilization — not causal):");
+        for (name, util) in &candidates {
+            println!("  {name} at {:.1}% mean utilization", util * 100.0);
+        }
+    }
+    if let Some(c) = &critical_report {
+        print!("{}", c.render_table());
     }
 
-    let json = match &journey_report {
+    let mut json = match &journey_report {
         Some(j) => chrome_trace_json_with_journeys(&trace, j),
         None => chrome_trace_json(&trace),
     };
+    if heatmap {
+        if let Some(c) = &critical_report {
+            let hm = HeatmapReport::from_critical(c, c.window_ns);
+            // Journey tracks occupy one extra Perfetto process.
+            let pid = trace.names.len() + usize::from(journey_report.is_some());
+            json = chrome_trace_json_with_heatmap(&json, &hm, pid);
+            let hcsv_path = format!("{}.heatmap.csv", out.trim_end_matches(".json"));
+            std::fs::write(&hcsv_path, hm.csv()).expect("write heatmap csv");
+            eprintln!(
+                "fwtrace: wrote {} ({} lanes x {} windows)",
+                hcsv_path,
+                hm.lanes.len(),
+                hm.windows
+            );
+        }
+    }
     std::fs::write(&out, &json).expect("write chrome trace json");
     let csv_path = format!("{}.csv", out.trim_end_matches(".json"));
     std::fs::write(&csv_path, export::utilization_csv(&trace)).expect("write utilization csv");

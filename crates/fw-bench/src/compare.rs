@@ -534,6 +534,7 @@ mod tests {
             report: Json::Obj(vec![]),
             trace: None,
             journeys: None,
+            critical: None,
         }
     }
 
@@ -551,6 +552,7 @@ mod tests {
                 fault_profile: "none".into(),
                 threads: 1,
                 journeys: false,
+                critical: false,
             },
             scenarios,
             suite_wall_ns: None,

@@ -14,14 +14,21 @@
 //!   `BENCH_*.json` record format with its in-crate parser,
 //! * [`compare`] — noise-aware regression gating between two records
 //!   plus paper-fidelity verdicts,
+//! * [`record`] — shared record loading/validation with distinct exit
+//!   codes for parse (3) vs invariant (4) failures,
+//! * [`why`] — causal trace diffing: attribute a sim-time movement to
+//!   the components whose critical-path time grew,
 //!
-//! all driven by the `fwbench` binary (`fwbench run` / `fwbench compare`).
+//! all driven by the `fwbench` binary (`fwbench run` / `fwbench compare`
+//! / `fwbench why`).
 
 pub mod bench_json;
 pub mod chart;
 pub mod compare;
+pub mod record;
 pub mod runner;
 pub mod suite;
+pub mod why;
 
 pub use runner::{
     flashwalker_engine, graphwalker_engine, iterative_engine, parallel_map, prepared, run_engine,

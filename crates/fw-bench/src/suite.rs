@@ -18,7 +18,7 @@ use fw_fault::FaultProfile;
 use fw_graph::datasets::{GRAPH_SCALE, STRUCT_SCALE};
 use fw_graph::DatasetId;
 use fw_sim::export::trace_summary_json;
-use fw_sim::{JourneyConfig, TraceConfig, WorkerPool};
+use fw_sim::{CriticalConfig, JourneyConfig, TraceConfig, WorkerPool};
 use fw_walk::{RunReport, WalkEngine, Workload};
 
 use crate::bench_json::{
@@ -226,6 +226,11 @@ pub struct Suite {
     /// perturb simulated time). Off by default so plain records stay
     /// byte-identical to pre-journey baselines.
     pub journeys: bool,
+    /// Record critical-path profiles on each scenario's seed-0 run (adds
+    /// a `CriticalReport` causal-attribution summary to the record; does
+    /// not perturb simulated time). Off by default for the same
+    /// byte-identity reason as `journeys`.
+    pub critical: bool,
 }
 
 impl Suite {
@@ -256,6 +261,7 @@ impl Suite {
             faults: FaultProfile::none(),
             threads: 1,
             journeys: false,
+            critical: false,
         }
     }
 
@@ -285,6 +291,7 @@ impl Suite {
             faults: FaultProfile::none(),
             threads: 1,
             journeys: false,
+            critical: false,
         }
     }
 
@@ -302,6 +309,7 @@ impl Suite {
             faults: FaultProfile::none(),
             threads: 1,
             journeys: false,
+            critical: false,
         }
     }
 
@@ -325,6 +333,7 @@ impl Suite {
             faults: FaultProfile::none(),
             threads: 1,
             journeys: false,
+            critical: false,
         }
     }
 
@@ -345,6 +354,13 @@ impl Suite {
     /// chaining).
     pub fn with_journeys(mut self) -> Suite {
         self.journeys = true;
+        self
+    }
+
+    /// Enable critical-path recording on seed-0 runs (returns self for
+    /// chaining).
+    pub fn with_critical(mut self) -> Suite {
+        self.critical = true;
         self
     }
 }
@@ -450,6 +466,8 @@ pub struct SuiteResult {
     pub threads: u32,
     /// Whether walk journeys were recorded on seed-0 runs.
     pub journeys: bool,
+    /// Whether critical-path profiles were recorded on seed-0 runs.
+    pub critical: bool,
     /// Wall-clock for the whole sweep (dataset generation + every
     /// scenario×seed cell), nanoseconds. This is the number the
     /// thread-scaling experiments divide — per-cell wall times overlap
@@ -474,12 +492,20 @@ impl SuiteResult {
     }
 }
 
+/// The observability layers enabled for one run (all seed-0-only in a
+/// suite: they are schedule-neutral but bulky in the record).
+#[derive(Debug, Clone, Copy, Default)]
+struct Probes {
+    trace: bool,
+    journeys: bool,
+    critical: bool,
+}
+
 fn run_one(
     p: &Prepared,
     sc: &Scenario,
     seed: u64,
-    trace: bool,
-    journeys: bool,
+    probes: Probes,
     faults: FaultProfile,
     threads: u32,
 ) -> RunReport {
@@ -491,14 +517,18 @@ fn run_one(
         seed,
         ..JourneyConfig::default()
     };
+    let ccfg = CriticalConfig::default();
     match sc.engine {
         EngineKind::Flashwalker => {
             let mut e = flashwalker_engine(p, sc.opts, sc.alpha, seed).with_threads(threads);
-            if trace {
+            if probes.trace {
                 e = e.with_span_trace(tcfg);
             }
-            if journeys {
+            if probes.journeys {
                 e = e.with_journeys(jcfg);
+            }
+            if probes.critical {
+                e = e.with_critical(ccfg);
             }
             if faults.is_on() {
                 e = e.with_faults(faults);
@@ -507,11 +537,14 @@ fn run_one(
         }
         EngineKind::Graphwalker => {
             let mut e = graphwalker_engine(p, sc.gw_memory, seed).with_threads(threads);
-            if trace {
+            if probes.trace {
                 e = e.with_span_trace(tcfg);
             }
-            if journeys {
+            if probes.journeys {
                 e = e.with_journeys(jcfg);
+            }
+            if probes.critical {
+                e = e.with_critical(ccfg);
             }
             if faults.is_on() {
                 e = e.with_faults(faults);
@@ -519,10 +552,13 @@ fn run_one(
             e.run(wl)
         }
         EngineKind::Iterative => {
+            // No event loop, no dependency log: `critical` is a no-op on
+            // the iteration-synchronous baseline (its record row simply
+            // omits the section).
             // The iteration-synchronous baseline has no event loop to
             // shard; it is identical at every thread count.
             let mut e = iterative_engine(p, sc.gw_memory, seed);
-            if trace {
+            if probes.trace {
                 e = e.with_span_trace(tcfg);
             }
             e.run(wl)
@@ -597,8 +633,11 @@ pub fn run_suite(suite: &Suite) -> Result<SuiteResult, String> {
             prep_of(sc.dataset),
             sc,
             seed,
-            suite.trace && si == 0,
-            suite.journeys && si == 0,
+            Probes {
+                trace: suite.trace && si == 0,
+                journeys: suite.journeys && si == 0,
+                critical: suite.critical && si == 0,
+            },
             suite.faults,
             threads,
         );
@@ -658,6 +697,7 @@ pub fn run_suite(suite: &Suite) -> Result<SuiteResult, String> {
         faults: suite.faults,
         threads,
         journeys: suite.journeys,
+        critical: suite.critical,
         suite_wall_ns: t_suite.elapsed().as_nanos() as u64,
         results,
     })
@@ -699,6 +739,10 @@ pub fn build_bench_report(label: &str, res: &SuiteResult, include_wall: bool) ->
                 .journeys
                 .as_ref()
                 .map(|j| Json::parse(&j.to_json()).expect("journey report is well-formed"));
+            let critical = seed0
+                .critical
+                .as_ref()
+                .map(|c| Json::parse(&c.to_json()).expect("critical report is well-formed"));
             ScenarioRecord {
                 name: sc.name(),
                 tag: sc.tag.clone(),
@@ -716,6 +760,7 @@ pub fn build_bench_report(label: &str, res: &SuiteResult, include_wall: bool) ->
                 report,
                 trace,
                 journeys,
+                critical,
             }
         })
         .collect();
@@ -743,6 +788,7 @@ pub fn build_bench_report(label: &str, res: &SuiteResult, include_wall: bool) ->
             fault_profile: res.faults.name.to_string(),
             threads: res.threads,
             journeys: res.journeys,
+            critical: res.critical,
         },
         scenarios,
         suite_wall_ns: include_wall.then_some(res.suite_wall_ns),

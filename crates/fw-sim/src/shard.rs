@@ -72,6 +72,10 @@ pub struct ShardedEventQueue<E> {
     gseq: u64,
     now: SimTime,
     popped: u64,
+    /// Global sequence number of the most recently popped event; the
+    /// causal anchor for dependency recording (everything a handler
+    /// schedules was caused by this event).
+    last_seq: Option<u64>,
 }
 
 impl<E> ShardedEventQueue<E> {
@@ -87,6 +91,7 @@ impl<E> ShardedEventQueue<E> {
             gseq: 0,
             now: SimTime::ZERO,
             popped: 0,
+            last_seq: None,
         }
     }
 
@@ -124,12 +129,15 @@ impl<E> ShardedEventQueue<E> {
         self.shards[shard.index()].len()
     }
 
-    /// Schedule `event` on `shard` at absolute time `at`.
+    /// Schedule `event` on `shard` at absolute time `at`. Returns the
+    /// event's globally-unique, monotone sequence number — the commit
+    /// order is identical at any thread count, so the returned id is a
+    /// deterministic node id for dependency logs.
     ///
     /// # Panics
     /// In debug builds, panics if `at` precedes the global clock (the
     /// same non-causality guard as the monolithic queue).
-    pub fn schedule_at(&mut self, shard: ShardId, at: SimTime, event: E) {
+    pub fn schedule_at(&mut self, shard: ShardId, at: SimTime, event: E) -> u64 {
         debug_assert!(
             at >= self.now,
             "scheduling into the past: {at:?} < {:?}",
@@ -138,12 +146,23 @@ impl<E> ShardedEventQueue<E> {
         let gseq = self.gseq;
         self.gseq += 1;
         self.shards[shard.index()].schedule_at(at, (gseq, event));
+        gseq
     }
 
     /// Schedule `event` on `shard` `delay` after the current global time.
+    /// Returns the event's global sequence number (see
+    /// [`Self::schedule_at`]).
     #[inline]
-    pub fn schedule_in(&mut self, shard: ShardId, delay: Duration, event: E) {
-        self.schedule_at(shard, self.now + delay, event);
+    pub fn schedule_in(&mut self, shard: ShardId, delay: Duration, event: E) -> u64 {
+        self.schedule_at(shard, self.now + delay, event)
+    }
+
+    /// Global sequence number of the most recently delivered event
+    /// (`None` before the first pop). Handlers use this as the *cause* of
+    /// every event they schedule while dispatching.
+    #[inline]
+    pub fn last_popped_seq(&self) -> Option<u64> {
+        self.last_seq
     }
 
     /// The shard holding the globally next event, by (time, global seq).
@@ -169,10 +188,11 @@ impl<E> ShardedEventQueue<E> {
     /// timestamp. Returns the owning shard alongside the payload.
     pub fn pop(&mut self) -> Option<(SimTime, ShardId, E)> {
         let i = self.head_shard()?;
-        let (t, (_, ev)) = self.shards[i].pop()?;
+        let (t, (g, ev)) = self.shards[i].pop()?;
         debug_assert!(t >= self.now);
         self.now = t;
         self.popped += 1;
+        self.last_seq = Some(g);
         Some((t, ShardId(i as u32), ev))
     }
 
@@ -314,6 +334,25 @@ mod tests {
         );
         assert_eq!(q.now(), SimTime(30));
         assert_eq!(q.events_processed(), 3);
+    }
+
+    #[test]
+    fn schedule_returns_monotone_gseq_and_pop_exposes_it() {
+        let mut q = ShardedEventQueue::new(2);
+        assert_eq!(q.last_popped_seq(), None);
+        let a = q.schedule_at(ShardId(0), SimTime(10), "a");
+        let b = q.schedule_at(ShardId(1), SimTime(20), "b");
+        let c = q.schedule_in(ShardId(0), Duration::nanos(5), "c");
+        assert_eq!((a, b, c), (0, 1, 2));
+        q.pop().unwrap(); // "c" at t=5
+        assert_eq!(q.last_popped_seq(), Some(c));
+        q.pop().unwrap(); // "a" at t=10
+        assert_eq!(q.last_popped_seq(), Some(a));
+        q.pop().unwrap(); // "b" at t=20
+        assert_eq!(q.last_popped_seq(), Some(b));
+        // Drained: the anchor keeps the last delivered event's id.
+        assert!(q.pop().is_none());
+        assert_eq!(q.last_popped_seq(), Some(b));
     }
 
     #[test]

@@ -133,6 +133,44 @@ pub fn chrome_trace_json_with_journeys(
     out
 }
 
+/// Splice a [`crate::heatmap::HeatmapReport`] into an already-rendered
+/// Chrome trace document as a Perfetto *counter* track: one process
+/// (`pid`, pass the next unused process id) holding per-component "C"
+/// events whose `args` carry the window's mean busy fraction and summed
+/// queue-depth occupancy. Lanes of one component are aggregated so the
+/// track count stays bounded on 128-chip geometries.
+pub fn chrome_trace_json_with_heatmap(
+    base: &str,
+    heatmap: &crate::heatmap::HeatmapReport,
+    pid: usize,
+) -> String {
+    let body = base
+        .strip_suffix("\n]}\n")
+        .expect("base document ends with its event-array close");
+    let mut out = String::from(body);
+    let sep = if body.ends_with('[') { "" } else { "," };
+    let _ = write!(
+        out,
+        "{sep}\n{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\
+         \"args\":{{\"name\":\"contention heatmap\"}}}}"
+    );
+    for (comp, cells) in heatmap.component_series() {
+        for (start, busy, depth) in cells {
+            let _ = write!(
+                out,
+                ",\n{{\"ph\":\"C\",\"pid\":{pid},\"name\":\"{}\",\"ts\":{},\
+                 \"args\":{{\"busy\":{:.4},\"depth\":{:.4}}}}}",
+                esc(&comp),
+                us(start),
+                busy,
+                depth
+            );
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
 /// Render a [`TraceReport`]'s derived summaries — per-group utilization,
 /// latency percentiles, queue depths and the bottleneck pick — as one
 /// hand-rolled JSON object (no serde; the workspace builds offline).
@@ -324,6 +362,36 @@ mod tests {
         // The base document is untouched apart from the splice.
         assert!(json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
         assert!(json.ends_with("\n]}\n"));
+    }
+
+    #[test]
+    fn chrome_json_with_heatmap_adds_counter_track() {
+        use crate::critical::{CriticalConfig, CriticalRecorder};
+        use crate::heatmap::HeatmapReport;
+        let mut cr = CriticalRecorder::enabled(CriticalConfig::default());
+        cr.node(0, "channel.bus", 2, SimTime(0), SimTime(30_000), None);
+        cr.node(
+            1,
+            "chip.batch",
+            5,
+            SimTime(30_000),
+            SimTime(50_000),
+            Some(0),
+        );
+        let crit = cr.finish(SimTime(50_000)).unwrap();
+        let hm = HeatmapReport::from_critical(&crit, 10_000);
+        let rep = report();
+        let base = chrome_trace_json(&rep);
+        let json = chrome_trace_json_with_heatmap(&base, &hm, rep.names.len());
+        assert!(json.contains("\"name\":\"contention heatmap\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"busy\":"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.ends_with("\n]}\n"));
+        // Splices compose: journeys first, heatmap second.
+        let again = chrome_trace_json_with_heatmap(&json, &hm, rep.names.len() + 1);
+        assert_eq!(again.matches('{').count(), again.matches('}').count());
     }
 
     #[test]

@@ -26,6 +26,11 @@
 //! * [`journey`] — walk-granular lifecycle tracing: the sampled
 //!   [`JourneyRecorder`] and the derived [`JourneyReport`] with
 //!   end-to-end walk latency percentiles and tail attribution,
+//! * [`critical`] — causal critical-path profiling: the happens-before
+//!   [`CriticalRecorder`] and the derived [`CriticalReport`] whose path
+//!   segments sum exactly to end-to-end sim time,
+//! * [`heatmap`] — windowed contention heatmaps (per-lane busy fraction
+//!   and queue-depth occupancy) derived from the same dependency log,
 //! * [`export`] — Chrome `trace_event` JSON (loadable in
 //!   `chrome://tracing` / Perfetto), CSV, and a human-readable text report.
 //!
@@ -38,7 +43,9 @@
 //! `fw-sim` re-exports this entire crate, so downstream code may use
 //! either `fw_trace::Tracer` or `fw_sim::Tracer`.
 
+pub mod critical;
 pub mod export;
+pub mod heatmap;
 pub mod journey;
 pub mod metrics;
 pub mod report;
@@ -46,7 +53,13 @@ pub mod span;
 pub mod stats;
 pub mod time;
 
-pub use export::{chrome_trace_json, chrome_trace_json_with_journeys, spans_csv};
+pub use critical::{
+    CritNode, CritSegment, CritShare, CriticalConfig, CriticalRecorder, CriticalReport,
+};
+pub use export::{
+    chrome_trace_json, chrome_trace_json_with_heatmap, chrome_trace_json_with_journeys, spans_csv,
+};
+pub use heatmap::{HeatSummary, HeatmapLane, HeatmapReport};
 pub use journey::{
     JourneyConfig, JourneyEvent, JourneyEventKind, JourneyLatency, JourneyRecorder, JourneyReport,
     TailRow, WalkJourney,

@@ -143,25 +143,38 @@ impl TraceReport {
         }
     }
 
-    /// The component group with the highest mean utilization — the
-    /// bottleneck candidate printed by `fwtrace`. Exact ties break to
+    /// The component group with the **highest mean utilization** — a
+    /// *correlation* signal, not causal attribution: a group can be busy
+    /// in parallel slack without ever bounding the makespan. For causal
+    /// attribution use the critical-path shares
+    /// ([`crate::critical::CriticalReport::shares`]). Exact ties break to
     /// the lexicographically first group name (`max_by` would keep the
     /// *last* equal element of the name-sorted iteration, making the
     /// answer depend on iteration order rather than a stated rule).
     pub fn bottleneck(&self) -> Option<(String, f64)> {
+        self.bottleneck_candidates(1).into_iter().next()
+    }
+
+    /// The top-`n` component groups by mean utilization, highest first
+    /// (ties break to the lexicographically first name). Same caveat as
+    /// [`Self::bottleneck`]: "most utilized" is not "on the critical
+    /// path".
+    pub fn bottleneck_candidates(&self, n: usize) -> Vec<(String, f64)> {
         let mut by_name: BTreeMap<&str, (f64, u32)> = BTreeMap::new();
         for c in &self.components {
             let e = by_name.entry(c.name.as_str()).or_insert((0.0, 0));
             e.0 += c.utilization;
             e.1 += 1;
         }
-        by_name
+        let mut ranked: Vec<(String, f64)> = by_name
             .into_iter()
-            .map(|(n, (sum, cnt))| (n.to_string(), sum / cnt as f64))
-            .fold(None, |best: Option<(String, f64)>, cand| match best {
-                Some(ref b) if cand.1 <= b.1 => best,
-                _ => Some(cand),
-            })
+            .map(|(name, (sum, cnt))| (name.to_string(), sum / cnt as f64))
+            .collect();
+        // BTreeMap iteration is name-sorted, so the stable sort keeps the
+        // lexicographically first name ahead on exact ties.
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+        ranked.truncate(n);
+        ranked
     }
 }
 
@@ -268,6 +281,17 @@ mod tests {
         let (name, util) = rep.bottleneck().unwrap();
         assert_eq!(name, "a.group");
         assert!((util - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bottleneck_candidates_rank_highest_first() {
+        let rep = sample_report();
+        let top = rep.bottleneck_candidates(3);
+        assert_eq!(top.len(), 2, "only two groups exist");
+        assert_eq!(top[0].0, "flash.read");
+        assert_eq!(top[1].0, "channel.bus");
+        assert!(top[0].1 >= top[1].1);
+        assert_eq!(rep.bottleneck_candidates(1).len(), 1);
     }
 
     #[test]

@@ -481,4 +481,108 @@ mod tests {
         let mut ts = TimeSeries::new(100);
         ts.add_spread(SimTime(200), SimTime(100), 1.0);
     }
+
+    /// Tiny deterministic generator for the sharded-merge property tests
+    /// (no rng dependency in this crate; SplitMix64's finalizer).
+    fn mix(seed: &mut u64) -> u64 {
+        *seed = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn timeseries_sharded_merge_matches_single_series() {
+        // threads=1 vs threads=4: samples partitioned across 4 shard
+        // series (shard = lane % 4, like the engines' event shards) must
+        // merge to the exact windows of the single series — including
+        // spread samples landing exactly on window boundaries, which is
+        // where the half-open bucketing could diverge between the two
+        // paths. Merge must also be order-independent.
+        let window = 100u64;
+        let mut whole = TimeSeries::new(window);
+        let mut shards: Vec<TimeSeries> = (0..4).map(|_| TimeSeries::new(window)).collect();
+        let mut seed = 42u64;
+        for i in 0..500u64 {
+            let lane = (mix(&mut seed) % 16) as usize;
+            // Bias starts/ends onto exact window edges every few samples.
+            let mut start = mix(&mut seed) % 2_000;
+            let mut len = mix(&mut seed) % 350;
+            if i % 5 == 0 {
+                start -= start % window; // start on a boundary
+            }
+            if i % 7 == 0 {
+                let end = start + len;
+                len += window - (end % window); // end on a boundary
+            }
+            let value = (mix(&mut seed) % 100) as f64;
+            whole.add_spread(SimTime(start), SimTime(start + len), value);
+            shards[lane % 4].add_spread(SimTime(start), SimTime(start + len), value);
+        }
+        let mut fwd = TimeSeries::new(window);
+        for s in &shards {
+            fwd.merge(s);
+        }
+        let mut rev = TimeSeries::new(window);
+        for s in shards.iter().rev() {
+            rev.merge(s);
+        }
+        // Window *structure* must match exactly; window *sums* are f64
+        // accumulated in a different order per path, so compare within a
+        // tight relative tolerance instead of bit equality.
+        let close = |a: &[f64], b: &[f64]| {
+            assert_eq!(a.len(), b.len(), "window count");
+            for (i, (x, y)) in a.iter().zip(b).enumerate() {
+                let scale = x.abs().max(y.abs()).max(1.0);
+                assert!((x - y).abs() <= 1e-9 * scale, "window {i}: {x} vs {y}");
+            }
+        };
+        close(fwd.windows(), whole.windows());
+        close(fwd.windows(), rev.windows());
+        assert!((fwd.total() - whole.total()).abs() <= 1e-9 * whole.total().abs().max(1.0));
+    }
+
+    #[test]
+    fn histogram_sharded_merge_preserves_percentiles() {
+        // Property-style: 4 shard histograms over a seeded skewed stream
+        // merge to *bucket-identical* state (merge adds buckets), so
+        // p50/p95/p99 match the single histogram exactly; and each
+        // percentile stays within the power-of-two bin resolution of the
+        // true sorted-order percentile.
+        for seed0 in [1u64, 7, 42, 1234] {
+            let mut whole = Histogram::new();
+            let mut shards: Vec<Histogram> = (0..4).map(|_| Histogram::new()).collect();
+            let mut values: Vec<u64> = Vec::new();
+            let mut seed = seed0;
+            for i in 0..2_000u64 {
+                // Skewed latency-like distribution spanning many buckets.
+                let v = 1 + (mix(&mut seed) % (1 << (1 + (mix(&mut seed) % 20))));
+                values.push(v);
+                whole.record(v);
+                shards[(i % 4) as usize].record(v);
+            }
+            let mut merged = Histogram::new();
+            for s in &shards {
+                merged.merge(s);
+            }
+            values.sort_unstable();
+            for q in [0.5, 0.95, 0.99] {
+                let m = merged.quantile(q);
+                assert_eq!(m, whole.quantile(q), "seed {seed0} q {q}: merge is exact");
+                let rank = (((values.len() as f64) * q).ceil() as usize).clamp(1, values.len()) - 1;
+                let exact = values[rank];
+                // Power-of-two buckets: the reported quantile is the
+                // bucket's upper bound (clamped to max), so it can sit at
+                // most one doubling away from the true order statistic.
+                assert!(
+                    m >= exact / 2 && m <= exact.saturating_mul(2),
+                    "seed {seed0} q {q}: {m} vs exact {exact}"
+                );
+            }
+            assert_eq!(merged.count(), whole.count());
+            assert_eq!(merged.max(), whole.max());
+            assert_eq!(merged.sum(), whole.sum());
+        }
+    }
 }

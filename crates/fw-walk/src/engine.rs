@@ -8,7 +8,7 @@
 //! GraphWalker cache behaviour, …) stays on the engines' own `run_detailed`
 //! methods and report types; this module is the lowest common denominator.
 
-use fw_sim::{Duration, JourneyReport, TraceReport};
+use fw_sim::{CriticalReport, Duration, JourneyReport, TraceReport};
 
 use crate::walk::Walk;
 use crate::workload::Workload;
@@ -216,6 +216,13 @@ pub struct RunReport {
     /// (`JourneyReport::to_json`) and benchmark-record column, so
     /// journey-off records stay byte-identical.
     pub journeys: Option<JourneyReport>,
+    /// Critical-path report (causal bottleneck attribution: dependency
+    /// log, critical-path segments summing exactly to `time`, per-
+    /// component critical-time shares), when critical recording was
+    /// enabled on the engine. Excluded from [`Self::summary_json`] for
+    /// the same byte-identity reason as `journeys`; it serializes via
+    /// `CriticalReport::to_json`.
+    pub critical: Option<CriticalReport>,
 }
 
 impl RunReport {
@@ -329,6 +336,7 @@ mod tests {
             trace: None,
             faults: None,
             journeys: None,
+            critical: None,
         };
         let json = r.summary_json();
         assert_eq!(json, r.summary_json());

@@ -27,8 +27,9 @@ use fw_graph::{Csr, PartitionedGraph};
 use fw_nand::layout::GraphBlockPlacement;
 use fw_nand::{GraphLayout, Lpn, Ssd, SsdConfig};
 use fw_sim::{
-    Duration, JourneyConfig, JourneyEventKind, JourneyRecorder, JourneyReport, SimTime, TimeSeries,
-    TraceConfig, TraceReport, Tracer, Xoshiro256pp,
+    CriticalConfig, CriticalRecorder, CriticalReport, Duration, JourneyConfig, JourneyEventKind,
+    JourneyRecorder, JourneyReport, SimTime, TimeSeries, TraceConfig, TraceReport, Tracer,
+    Xoshiro256pp,
 };
 use fw_walk::{
     EngineBreakdown, FaultSummary, RunReport, RunStats, Traffic, Walk, WalkEngine, Workload,
@@ -76,6 +77,11 @@ pub struct GwReport {
     /// Walk-journey report, when
     /// [`GraphWalkerSim::with_journeys`] was enabled.
     pub journeys: Option<JourneyReport>,
+    /// Critical-path report (causal bottleneck attribution), when
+    /// [`GraphWalkerSim::with_critical`] was enabled. The engine is
+    /// serial, so the "path" is the full phase chain — its value is the
+    /// per-phase share split, comparable with FlashWalker's.
+    pub critical: Option<CriticalReport>,
 }
 
 impl From<GwReport> for RunReport {
@@ -109,6 +115,7 @@ impl From<GwReport> for RunReport {
             trace: r.trace,
             faults: r.faults,
             journeys: r.journeys,
+            critical: r.critical,
         }
     }
 }
@@ -185,6 +192,14 @@ pub struct GraphWalkerSim<'g> {
     /// so one recorder serves every stream and the finished report is
     /// identical at any thread count.
     pub(super) journeys: JourneyRecorder,
+    /// Dependency recorder for the critical-path profile. The serial
+    /// loop records one node per non-empty phase (sched / load / walk
+    /// I/O / update / spill), chained in program order.
+    critical: CriticalRecorder,
+    /// Previous phase node: the cause of the next phase.
+    crit_prev: Option<u64>,
+    /// Next phase node id (no event queue to borrow gseq from).
+    crit_next_id: u64,
 }
 
 impl<'g> GraphWalkerSim<'g> {
@@ -251,6 +266,9 @@ impl<'g> GraphWalkerSim<'g> {
             trace_cfg: None,
             stream_tracers: vec![Tracer::disabled()],
             journeys: JourneyRecorder::disabled(),
+            critical: CriticalRecorder::disabled(),
+            crit_prev: None,
+            crit_next_id: 0,
         }
     }
 
@@ -311,6 +329,30 @@ impl<'g> GraphWalkerSim<'g> {
         self
     }
 
+    /// Enable causal critical-path recording; the derived
+    /// [`fw_sim::CriticalReport`] — whose path segments sum *exactly* to
+    /// end-to-end sim time — lands in [`GwReport::critical`]. Recording
+    /// never touches sim state, so every other report byte is unchanged.
+    pub fn with_critical(mut self, cfg: CriticalConfig) -> Self {
+        self.critical = CriticalRecorder::enabled(cfg);
+        self
+    }
+
+    /// Record one scheduler-loop phase as a dependency node, chained to
+    /// the previous phase. Zero-width phases (nothing happened) are
+    /// skipped; the chain stays unbroken because the next non-empty
+    /// phase starts where the last recorded one ended.
+    fn crit_phase(&mut self, comp: &str, lane: u32, start: SimTime, end: SimTime) {
+        if end <= start || !self.critical.is_enabled() {
+            return;
+        }
+        let id = self.crit_next_id;
+        self.crit_next_id += 1;
+        self.critical
+            .node(id, comp, lane, start, end, self.crit_prev);
+        self.crit_prev = Some(id);
+    }
+
     /// Enable span tracing on the host loop and the underlying SSD;
     /// derived views land in [`GwReport::trace`].
     pub fn with_span_trace(mut self, cfg: TraceConfig) -> Self {
@@ -364,14 +406,24 @@ impl<'g> GraphWalkerSim<'g> {
                 self.tracer.gauge("gw.queue", run.now, waiting);
             }
             // Scheduling overhead: a scan of per-block walk counts.
+            let t0 = run.now;
             let sched = Duration::nanos(self.pools.len() as u64 * 2);
             run.breakdown.other += sched;
             run.now += sched;
+            self.crit_phase("gw.sched", block, t0, run.now);
 
+            let t1 = run.now;
             self.ensure_cached(block, &mut run);
+            self.crit_phase("gw.load", block, t1, run.now);
+            let t2 = run.now;
             self.read_spilled(block, &mut run);
+            self.crit_phase("gw.walk_io", block, t2, run.now);
+            let t3 = run.now;
             self.update_block(block, &mut run);
+            self.crit_phase("gw.update", block, t3, run.now);
+            let t4 = run.now;
             self.spill_overflow(&mut run);
+            self.crit_phase("gw.spill", block, t4, run.now);
         }
 
         // Deterministic merge of the block-stream lanes (stream order is
@@ -384,6 +436,8 @@ impl<'g> GraphWalkerSim<'g> {
         self.tracer.merge(&ssd_tracer);
         let span_trace = self.tracer.finish(run.now);
         let journeys = std::mem::replace(&mut self.journeys, JourneyRecorder::disabled()).finish();
+        let critical =
+            std::mem::replace(&mut self.critical, CriticalRecorder::disabled()).finish(run.now);
 
         let s = *self.ssd.stats();
         let cfgp = *self.ssd.config();
@@ -424,6 +478,7 @@ impl<'g> GraphWalkerSim<'g> {
             trace: span_trace,
             faults,
             journeys,
+            critical,
         }
     }
 }
@@ -634,6 +689,46 @@ mod tests {
             let sum: u64 = w.segments.iter().map(|&(_, ns)| ns).sum();
             assert_eq!(sum, w.latency_ns, "walk {} segments", w.id);
         }
+    }
+
+    #[test]
+    fn critical_off_by_default_with_exact_sum_and_determinism_when_on() {
+        let g = graph(800, 8_000);
+        let base = run(&g, small_cfg(64 << 10), 1_000);
+        assert!(base.critical.is_none(), "critical recording is opt-in");
+        let profiled = |_| {
+            GraphWalkerSim::new(&g, 4, small_cfg(64 << 10), SsdConfig::tiny(), 5)
+                .with_critical(CriticalConfig::default())
+                .run_detailed(Workload::paper_default(1_000))
+        };
+        let a = profiled(());
+        let b = profiled(());
+        assert_eq!(a.time, base.time, "recording never perturbs the schedule");
+        assert_eq!(a.hops, base.hops);
+        let ca = a.critical.expect("critical on");
+        let cb = b.critical.expect("critical on");
+        assert_eq!(ca.to_json(), cb.to_json(), "byte-deterministic");
+        // The invariant: critical-path segments sum *exactly* to the
+        // end-to-end simulated time.
+        assert_eq!(ca.total_ns, a.time.as_nanos());
+        assert_eq!(ca.path_total_ns(), ca.total_ns);
+        assert!(!ca.truncated);
+        assert_eq!(ca.dropped_nodes, 0);
+        assert!(ca.shares.iter().any(|s| s.name == "gw.load"));
+    }
+
+    #[test]
+    fn critical_path_sums_exactly_under_heavy_faults() {
+        let g = graph(2000, 20_000);
+        let r = GraphWalkerSim::new(&g, 4, small_cfg(96 << 10), SsdConfig::tiny(), 5)
+            .with_faults(fw_fault::FaultProfile::heavy())
+            .with_critical(CriticalConfig::default())
+            .run_detailed(Workload::paper_default(2_000));
+        assert!(r.faults.expect("faulted summary").read_retries > 0);
+        let c = r.critical.expect("critical on");
+        assert_eq!(c.total_ns, r.time.as_nanos());
+        assert_eq!(c.path_total_ns(), c.total_ns);
+        assert!(!c.truncated);
     }
 
     #[test]

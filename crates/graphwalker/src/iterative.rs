@@ -89,6 +89,7 @@ impl From<IterReport> for RunReport {
             trace: r.trace,
             faults: None,   // serial engine runs unfaulted
             journeys: None, // no per-walk lifecycle recording
+            critical: None, // no dependency recording either
         }
     }
 }
