@@ -72,8 +72,8 @@ use fw_graph::{Csr, PartitionedGraph, RangeTable, SubgraphMappingTable};
 use fw_nand::layout::GraphBlockPlacement;
 use fw_nand::{GraphLayout, Lpn, Ssd, SsdConfig};
 use fw_sim::{
-    CriticalConfig, CriticalRecorder, JourneyConfig, JourneyRecorder, ShardId, ShardedClock,
-    ShardedEventQueue, SimTime, TimeSeries, TraceConfig, Tracer, Xoshiro256pp,
+    CriticalConfig, CriticalRecorder, JourneyConfig, JourneyRecorder, LaneRngs, RngModel, ShardId,
+    ShardedClock, ShardedEventQueue, SimTime, TimeSeries, TraceConfig, Tracer, Xoshiro256pp,
 };
 use fw_walk::{FaultSummary, RunReport, WalkEngine, Workload, WALK_BYTES};
 
@@ -106,6 +106,17 @@ pub struct FlashWalkerSim<'g> {
     /// the sequential reference loop.
     threads: u32,
     rng: Xoshiro256pp,
+    /// Which sampled-path universe this run inhabits (DESIGN.md §14).
+    /// `Global` (the default) draws every walk-sampling decision from the
+    /// single root `rng`; `Sharded` draws batch-time decisions from
+    /// per-lane jump-ahead streams in `lane_rngs` so lanes commit without
+    /// serializing on one generator.
+    rng_model: RngModel,
+    /// Per-lane walk RNG streams (one per event shard), 2^128 draws
+    /// apart via [`Xoshiro256pp::jump`]. Lane `i` is a pure function of
+    /// `(seed, i)`, never of thread count or visit order. Only consulted
+    /// when `rng_model` is `Sharded`.
+    lane_rngs: LaneRngs,
     /// Construction seed, kept so [`Self::with_faults`] can derive the
     /// injector's independent stream.
     seed: u64,
@@ -266,6 +277,8 @@ impl<'g> FlashWalkerSim<'g> {
             events: ShardedEventQueue::new(geometry.channels as usize + 1),
             threads: 1,
             rng: Xoshiro256pp::new(seed),
+            rng_model: RngModel::Global,
+            lane_rngs: LaneRngs::new(seed, geometry.channels as usize + 1),
             seed,
             faults: FaultProfile::none(),
             chips,
@@ -318,6 +331,17 @@ impl<'g> FlashWalkerSim<'g> {
     /// every report byte — is identical at any thread count.
     pub fn with_threads(mut self, n: u32) -> Self {
         self.threads = n.max(1);
+        self
+    }
+
+    /// Select the walk-RNG universe (default [`RngModel::Global`]).
+    /// `Global` reproduces the monolithic reference byte-for-byte;
+    /// `Sharded` samples batch-time walk decisions from per-lane
+    /// jump-ahead streams — a *different but statistically equivalent*
+    /// set of walk paths that is still byte-reproducible for a fixed seed
+    /// at any thread count (DESIGN.md §14).
+    pub fn with_rng(mut self, model: RngModel) -> Self {
+        self.rng_model = model;
         self
     }
 
@@ -469,17 +493,45 @@ impl<'g> FlashWalkerSim<'g> {
     }
 
     /// Ground-truth destination of a walk (data correctness; timing for
-    /// the lookup is charged separately by the timed structures).
-    fn true_dest(&mut self, v: fw_graph::VertexId) -> SgId {
-        if let Some(meta) = self.pg.find_dense(v) {
+    /// the lookup is charged separately by the timed structures), drawing
+    /// any dense-slice pre-walk from the supplied generator. Batch
+    /// handlers pass their lane's stream; init paths pass the root.
+    fn true_dest_in(pg: &PartitionedGraph, v: fw_graph::VertexId, rng: &mut Xoshiro256pp) -> SgId {
+        if let Some(meta) = pg.find_dense(v) {
             let meta = *meta;
-            let cap = self.pg.config.dense_slice_edges();
-            let (sg, _) = prewalk_slice(&meta, cap, &mut self.rng);
+            let cap = pg.config.dense_slice_edges();
+            let (sg, _) = prewalk_slice(&meta, cap, rng);
             sg
         } else {
-            self.pg
-                .subgraph_of(v)
+            pg.subgraph_of(v)
                 .expect("every vertex belongs to a subgraph")
+        }
+    }
+
+    /// [`Self::true_dest_in`] on the root RNG — the init/partition path,
+    /// which draws identically in both RNG universes.
+    fn true_dest(&mut self, v: fw_graph::VertexId) -> SgId {
+        Self::true_dest_in(self.pg, v, &mut self.rng)
+    }
+
+    /// Borrow the walk RNG a batch on `lane` must draw from: the root
+    /// generator in the global universe (moved out so helpers can take it
+    /// alongside `&mut self`; the same object, so the draw order is
+    /// untouched), the lane's own jump-ahead stream in the sharded one.
+    /// Must be returned via [`Self::put_walk_rng`] before the handler
+    /// yields.
+    pub(super) fn take_walk_rng(&mut self, lane: usize) -> Xoshiro256pp {
+        match self.rng_model {
+            RngModel::Global => std::mem::replace(&mut self.rng, Xoshiro256pp::new(0)),
+            RngModel::Sharded => self.lane_rngs.take(lane),
+        }
+    }
+
+    /// Return a generator borrowed with [`Self::take_walk_rng`].
+    pub(super) fn put_walk_rng(&mut self, lane: usize, rng: Xoshiro256pp) {
+        match self.rng_model {
+            RngModel::Global => self.rng = rng,
+            RngModel::Sharded => self.lane_rngs.put(lane, rng),
         }
     }
 
@@ -618,6 +670,48 @@ impl<'g> FlashWalkerSim<'g> {
         }
     }
 
+    /// The sharded-RNG commit loop: within each conservative window,
+    /// lanes drain *lane-major* — every in-window event of lane 0, then
+    /// lane 1, and so on — with each lane's walk sampling drawn from its
+    /// own jump-ahead stream. The cross-lane interleaving inside a window
+    /// therefore stops mattering: each lane's draws depend only on its
+    /// own event stream, so the run is byte-reproducible for a fixed seed
+    /// at ANY thread count by construction, and a lane's drain is an
+    /// independent unit of work the worker pool can commit concurrently.
+    ///
+    /// Soundness is the conservative-window argument: the lookahead is
+    /// the minimum accelerator cycle, every handler schedules follow-ups
+    /// at least one cycle out, and in-window events sit at `t >= w.start`
+    /// — so nothing dispatched here can schedule into a drained lane's
+    /// past (every follow-up lands at or beyond `w.end`).
+    fn run_loop_sharded(&mut self) {
+        let lookahead = self.window_lookahead();
+        let num = self.events.num_shards();
+        let mut guard: u64 = 0;
+        while self.completed < self.total_walks {
+            match self.events.next_window(lookahead) {
+                Some(w) => {
+                    for lane in 0..num {
+                        let sh = ShardId(lane as u32);
+                        while let Some((now, ev)) = self.events.pop_lane_within(sh, w.end) {
+                            self.crit_cause = self.events.last_popped_seq();
+                            self.dispatch(now, ev);
+                            guard += 1;
+                            assert!(
+                                guard < 500_000_000,
+                                "event guard tripped — runaway simulation"
+                            );
+                            if self.completed >= self.total_walks {
+                                return;
+                            }
+                        }
+                    }
+                }
+                None => self.on_quiesce(),
+            }
+        }
+    }
+
     /// Run `wl` to completion and return the engine-specific report with
     /// the full per-level statistics. The unified view is
     /// [`WalkEngine::run`].
@@ -632,7 +726,9 @@ impl<'g> FlashWalkerSim<'g> {
             self.maybe_fill_chip(chip, SimTime::ZERO);
         }
 
-        if self.threads > 1 {
+        if self.rng_model.is_sharded() {
+            self.run_loop_sharded();
+        } else if self.threads > 1 {
             self.run_loop_windowed();
         } else {
             self.run_loop_sequential();

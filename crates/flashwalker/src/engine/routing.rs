@@ -54,6 +54,9 @@ impl FlashWalkerSim<'_> {
         let mut guid_ops: u64 = 0;
         let mut outbox = self.pools[sh].take_walks();
         let mut completed_now: u64 = 0;
+        // The lane's walk RNG for the whole batch (the root generator in
+        // the global universe — same object, same draw order).
+        let mut wrng = self.take_walk_rng(sh);
         // Journey bookkeeping: batch duration is only known after the
         // drain, so sampled ids are collected now and stamped below.
         let j_on = self.shard_journeys[sh].is_enabled();
@@ -69,9 +72,9 @@ impl FlashWalkerSim<'_> {
                 let sg = tw.dest.expect("queued walk without destination");
                 let is_dense = self.pg.subgraphs[sg as usize].is_dense();
                 let (res, ops) = if is_dense {
-                    hop_dense_slice(&self.wl, self.csr, self.pg, sg, tw.walk, &mut self.rng)
+                    hop_dense_slice(&self.wl, self.csr, self.pg, sg, tw.walk, &mut wrng)
                 } else {
-                    hop_regular(&self.wl, self.csr, tw.walk, &mut self.rng)
+                    hop_regular(&self.wl, self.csr, tw.walk, &mut wrng)
                 };
                 upd_ops += ops as u64;
                 self.stats.hops += 1;
@@ -106,6 +109,7 @@ impl FlashWalkerSim<'_> {
             }
         }
 
+        self.put_walk_rng(sh, wrng);
         self.scratch = work;
         loaded.clear();
         self.loaded_scratch = loaded;
@@ -302,6 +306,7 @@ impl FlashWalkerSim<'_> {
         let mut upd_ops: u64 = 0;
         let mut to_board = self.pools[sh].take_walks();
         let mut completed_now: u64 = 0;
+        let mut wrng = self.take_walk_rng(sh);
         let j_on = self.shard_journeys[sh].is_enabled();
         let mut j_ids: Vec<u32> = Vec::new();
         let mut j_done: Vec<u32> = Vec::new();
@@ -318,7 +323,7 @@ impl FlashWalkerSim<'_> {
                     let (hit, gops) = guide_local(self.pg, &hot, tw.walk.cur);
                     guid_ops += gops as u64;
                     let Some(_sg) = hit else { break };
-                    let (res, ops) = hop_regular(&self.wl, self.csr, tw.walk, &mut self.rng);
+                    let (res, ops) = hop_regular(&self.wl, self.csr, tw.walk, &mut wrng);
                     upd_ops += ops as u64;
                     self.stats.hops += 1;
                     self.stats.chan_hops += 1;
@@ -349,6 +354,7 @@ impl FlashWalkerSim<'_> {
             }
             to_board.push(tw);
         }
+        self.put_walk_rng(sh, wrng);
         self.scratch = inbox;
         self.channels[ch as usize].hot = hot;
 
@@ -414,12 +420,15 @@ impl FlashWalkerSim<'_> {
         self.run_board_batch(now);
     }
 
-    /// Resolve a walk's destination with the timed structures. Returns
-    /// `(dest, guider_ops, map_probes)`; `None` dest means foreigner.
+    /// Resolve a walk's destination with the timed structures, drawing
+    /// any dense-slice pre-walk from `rng` (the caller's lane stream).
+    /// Returns `(dest, guider_ops, map_probes)`; `None` dest means
+    /// foreigner.
     pub(super) fn resolve_dest(
         &mut self,
         tw: &TWalk,
         cache_idx: usize,
+        rng: &mut fw_sim::Xoshiro256pp,
     ) -> (Option<SgId>, u64, u64) {
         let v = tw.walk.cur;
         let mut gops: u64 = 1; // dense-table bloom probe
@@ -427,7 +436,7 @@ impl FlashWalkerSim<'_> {
         // Dense vertices mapping table first (§III-D).
         if let Some(meta) = self.dense.lookup(v) {
             let cap = self.pg.config.dense_slice_edges();
-            let (sg, ops) = prewalk_slice(&meta, cap, &mut self.rng);
+            let (sg, ops) = prewalk_slice(&meta, cap, rng);
             gops += ops as u64;
             let dest = (self.pg.partition_of(sg) == self.current_partition).then_some(sg);
             return (dest, gops, probes);
@@ -496,6 +505,7 @@ impl FlashWalkerSim<'_> {
         let mut dirty_chips = self.pools[bs].take_chip_ids();
         let mut dirty_mask: u128 = 0;
         let mut completed_now: u64 = 0;
+        let mut wrng = self.take_walk_rng(bs);
         let j_on = self.shard_journeys[bs].is_enabled();
         let mut j_ids: Vec<u32> = Vec::new();
         let mut j_done: Vec<u32> = Vec::new();
@@ -509,7 +519,7 @@ impl FlashWalkerSim<'_> {
             // owns one; batches stripe walks across groups.
             let cache_idx = walk_i % self.caches.len();
             let route = loop {
-                let (dest, gops, probes) = self.resolve_dest(&tw, cache_idx);
+                let (dest, gops, probes) = self.resolve_dest(&tw, cache_idx, &mut wrng);
                 guid_ops += gops;
                 map_probes += probes;
                 self.stats.map_probes += probes;
@@ -521,8 +531,7 @@ impl FlashWalkerSim<'_> {
                             && hot.contains(&sg)
                             && !self.pg.subgraphs[sg as usize].is_dense()
                         {
-                            let (res, ops) =
-                                hop_regular(&self.wl, self.csr, tw.walk, &mut self.rng);
+                            let (res, ops) = hop_regular(&self.wl, self.csr, tw.walk, &mut wrng);
                             upd_ops += ops as u64;
                             self.stats.hops += 1;
                             self.stats.board_hops += 1;
@@ -564,12 +573,13 @@ impl FlashWalkerSim<'_> {
                 None => {
                     // Foreigner: resolve the true destination for storage
                     // (untimed — the walk is simply parked) and buffer it.
-                    let sg = self.true_dest(tw.walk.cur);
+                    let sg = Self::true_dest_in(self.pg, tw.walk.cur, &mut wrng);
                     tw.dest = Some(sg);
                     self.board.foreigner_buf.push(tw);
                 }
             }
         }
+        self.put_walk_rng(bs, wrng);
         self.scratch = inbox;
         self.board.hot = hot;
 
@@ -713,7 +723,7 @@ mod tests {
     use fw_graph::rmat::{generate_csr, RmatParams};
     use fw_graph::{Csr, PartitionedGraph};
     use fw_nand::SsdConfig;
-    use fw_sim::SimTime;
+    use fw_sim::{SimTime, Xoshiro256pp};
     use fw_walk::Walk;
 
     fn multi_partition_setup() -> (Csr, PartitionedGraph) {
@@ -746,7 +756,7 @@ mod tests {
         let sg0 = pg.partition_range(0).next().unwrap();
         let v = pg.subgraphs[sg0 as usize].low;
         if pg.find_dense(v).is_none() {
-            let (dest, gops, _probes) = sim.resolve_dest(&tw(v), 0);
+            let (dest, gops, _probes) = sim.resolve_dest(&tw(v), 0, &mut Xoshiro256pp::new(1));
             assert_eq!(dest, Some(pg.subgraph_of(v).unwrap()));
             assert!(gops >= 2, "bloom probe + lookup work");
         }
@@ -767,7 +777,7 @@ mod tests {
                     .unwrap_or(false)
         });
         if let Some(v) = v {
-            let (dest, _gops, _probes) = sim.resolve_dest(&tw(v), 0);
+            let (dest, _gops, _probes) = sim.resolve_dest(&tw(v), 0, &mut Xoshiro256pp::new(1));
             assert_eq!(dest, None, "foreigner for vertex {v}");
         }
     }
@@ -780,9 +790,10 @@ mod tests {
         let sg0 = pg.partition_range(0).next().unwrap();
         let v = pg.subgraphs[sg0 as usize].low;
         if pg.find_dense(v).is_none() {
-            let (_, _, probes_miss) = sim.resolve_dest(&tw(v), 0);
+            let mut rng = Xoshiro256pp::new(1);
+            let (_, _, probes_miss) = sim.resolve_dest(&tw(v), 0, &mut rng);
             let misses = sim.stats.cache_misses;
-            let (dest, _, probes_hit) = sim.resolve_dest(&tw(v), 0);
+            let (dest, _, probes_hit) = sim.resolve_dest(&tw(v), 0, &mut rng);
             assert_eq!(dest, Some(pg.subgraph_of(v).unwrap()));
             assert_eq!(sim.stats.cache_misses, misses, "second probe hits");
             assert!(sim.stats.cache_hits >= 1);

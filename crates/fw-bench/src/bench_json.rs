@@ -12,6 +12,8 @@
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
+use fw_sim::RngModel;
+
 /// Schema tag written at the top of every record. Bump on incompatible
 /// layout changes; `compare` refuses to diff mismatched schemas.
 pub const SCHEMA: &str = "fwbench/v1";
@@ -582,6 +584,19 @@ pub struct EnvFingerprint {
     /// reason as `journeys`; absent on parse means false. `fwbench why`
     /// requires both records to carry critical sections.
     pub critical: bool,
+    /// The walk-RNG universe the suite ran under (`fwbench run --rng`).
+    /// Written only when not [`RngModel::Global`] so default records stay
+    /// byte-identical to records written before the field existed; absent
+    /// on parse means global. `compare` refuses to diff records from
+    /// different universes unless explicitly overridden — sharded runs
+    /// sample different walk paths, so every simulated number legitimately
+    /// differs and a silent cross-diff would read as a huge regression.
+    pub rng: RngModel,
+    /// The *effective* worker count the suite sweep ran with: `threads`
+    /// clamped to the widest parallel pass. Written only when it differs
+    /// from `threads` (i.e. when the clamp fired) so ordinary records keep
+    /// their pre-field shape; absent on parse means equal to `threads`.
+    pub workers: u32,
 }
 
 impl EnvFingerprint {
@@ -609,6 +624,12 @@ impl EnvFingerprint {
         if self.critical {
             pairs.push(("critical", Json::Bool(true)));
         }
+        if self.rng != RngModel::Global {
+            pairs.push(("rng", Json::s(self.rng.as_str())));
+        }
+        if self.workers != self.threads {
+            pairs.push(("workers", Json::u(self.workers as u64)));
+        }
         Json::obj(pairs)
     }
 
@@ -631,6 +652,14 @@ impl EnvFingerprint {
             .iter()
             .map(|x| x.as_u64().ok_or("env: non-integer seed"))
             .collect::<Result<Vec<_>, _>>()?;
+        let threads = v.get("threads").and_then(Json::as_u64).unwrap_or(1) as u32;
+        let rng = match v.get("rng") {
+            None => RngModel::Global,
+            Some(x) => x
+                .as_str()
+                .and_then(RngModel::parse)
+                .ok_or("env: 'rng' is not a known model (\"global\" / \"sharded\")")?,
+        };
         Ok(EnvFingerprint {
             git_rev: s("git_rev")?,
             config: s("config")?,
@@ -643,9 +672,15 @@ impl EnvFingerprint {
                 .and_then(Json::as_str)
                 .unwrap_or("none")
                 .to_string(),
-            threads: v.get("threads").and_then(Json::as_u64).unwrap_or(1) as u32,
+            threads,
             journeys: matches!(v.get("journeys"), Some(Json::Bool(true))),
             critical: matches!(v.get("critical"), Some(Json::Bool(true))),
+            rng,
+            workers: v
+                .get("workers")
+                .and_then(Json::as_u64)
+                .map(|w| w as u32)
+                .unwrap_or(threads),
         })
     }
 }
@@ -1014,6 +1049,8 @@ pub(crate) mod tests_support {
                 threads: 1,
                 journeys: false,
                 critical: false,
+                rng: RngModel::Global,
+                workers: 1,
             },
             scenarios: vec![ScenarioRecord {
                 name: "fw/TT/w100".into(),
@@ -1266,6 +1303,53 @@ mod tests {
         let text = rep.render();
         assert!(text.contains("\"critical\": true"));
         assert!(text.contains("\"total_ns\": 1000"));
+        let back = BenchReport::parse(&text).unwrap();
+        assert_eq!(back, rep);
+        assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn rng_model_is_omitted_when_global_and_round_trips_otherwise() {
+        // Global-universe records keep the pre-rng-model shape
+        // (byte-identity with records written before the field existed)…
+        let rep = tiny_report();
+        assert!(!rep.render().contains("\"rng\""));
+        let back = BenchReport::parse(&rep.render()).unwrap();
+        assert_eq!(back.env.rng, RngModel::Global);
+
+        // …and sharded records carry the universe through a round trip.
+        let mut rep = tiny_report();
+        rep.env.rng = RngModel::Sharded;
+        let text = rep.render();
+        assert!(text.contains("\"rng\": \"sharded\""));
+        let back = BenchReport::parse(&text).unwrap();
+        assert_eq!(back, rep);
+        assert_eq!(back.render(), text);
+
+        // An unknown model is a parse error, not a silent default.
+        let bad = text.replace("\"sharded\"", "\"quantum\"");
+        assert!(BenchReport::parse(&bad).unwrap_err().contains("rng"));
+    }
+
+    #[test]
+    fn workers_field_is_omitted_unless_the_clamp_fired() {
+        // workers == threads (no clamp): field absent, parse defaults it
+        // back to the thread count.
+        let mut rep = tiny_report();
+        rep.env.threads = 4;
+        rep.env.workers = 4;
+        let text = rep.render();
+        assert!(!text.contains("\"workers\""));
+        let back = BenchReport::parse(&text).unwrap();
+        assert_eq!(back.env.workers, 4);
+
+        // A clamped run (--threads 8 against a 3-cell suite) records the
+        // effective count and round-trips.
+        let mut rep = tiny_report();
+        rep.env.threads = 8;
+        rep.env.workers = 3;
+        let text = rep.render();
+        assert!(text.contains("\"workers\": 3"));
         let back = BenchReport::parse(&text).unwrap();
         assert_eq!(back, rep);
         assert_eq!(back.render(), text);

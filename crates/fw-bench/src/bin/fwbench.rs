@@ -6,11 +6,15 @@
 //! ```text
 //! fwbench run [--suite ci|paper] [--seeds N] [--label L] [--out PATH]
 //!             [--wall] [--no-trace] [--journeys] [--critical] [--threads N]
+//!             [--rng global|sharded]
 //! fwbench compare [BASELINE] [CURRENT] [--noise-floor F]
 //!                 [--allow-thread-mismatch] [--allow-journey-mismatch]
+//!                 [--allow-rng-mismatch]
 //! fwbench why BASELINE CURRENT
 //! fwbench hostperf RECORD [BASELINE]
 //! fwbench tail RECORD
+//! fwbench stateq [--dataset TT] [--walks N] [--seed S]
+//!                [--faults none|light|heavy]
 //! ```
 //!
 //! `run` defaults: the `ci` suite, 3 seeds (or `FW_SEEDS`), label = suite
@@ -62,6 +66,20 @@
 //! decomposition invariant), and a walk that doesn't reconcile fails the
 //! command.
 //!
+//! `run --rng sharded` (or `FW_RNG=sharded`) switches every engine cell
+//! into the per-lane walk-RNG universe (DESIGN.md §14): walk-step draws
+//! come from jump-ahead lane streams instead of the one global generator,
+//! which is what lets shards commit window steps concurrently. The
+//! sharded universe samples *different walk paths*, so its records are
+//! never byte-comparable to global ones — the env fingerprint is stamped
+//! `rng`, the default label gains a `-sharded` suffix, and `compare`
+//! refuses the cross-universe diff unless `--allow-rng-mismatch` is
+//! passed. `fwbench stateq` is the principled cross-universe comparison:
+//! it runs the same cell once per universe and checks exact invariants
+//! (walk count, source conservation, completion under faults, hop
+//! totals) plus tolerance-gated statistics (endpoint-distribution TV
+//! distance, sampled latency percentiles, simulated time).
+//!
 //! Exit codes, all subcommands: 0 ok, 1 gate failed, 2 usage, 3 record
 //! unreadable/malformed, 4 record parsed but an accounting invariant is
 //! violated (see EXPERIMENTS.md "Exit codes").
@@ -73,13 +91,16 @@ use fw_bench::bench_json::{newest_bench_file, BenchReport, Json};
 use fw_bench::compare::{compare_reports, CompareConfig};
 use fw_bench::record::load_bench_report;
 use fw_bench::runner::DEFAULT_SEED;
+use fw_bench::stateq::{run_stateq, StateqConfig};
 use fw_bench::suite::{build_bench_report, env_seeds, env_threads, run_suite, Suite};
 use fw_bench::why::why_reports;
 use fw_fault::FaultProfile;
+use fw_graph::DatasetId;
+use fw_sim::RngModel;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  fwbench run [--suite ci|paper] [--seeds N] [--label L] [--out PATH] [--wall] [--no-trace] [--journeys] [--critical] [--faults none|light|heavy] [--threads N]\n  fwbench compare [BASELINE] [CURRENT] [--noise-floor F] [--allow-thread-mismatch] [--allow-journey-mismatch]\n  fwbench why BASELINE CURRENT\n  fwbench hostperf RECORD [BASELINE]\n  fwbench tail RECORD"
+        "usage:\n  fwbench run [--suite ci|paper] [--seeds N] [--label L] [--out PATH] [--wall] [--no-trace] [--journeys] [--critical] [--faults none|light|heavy] [--threads N] [--rng global|sharded]\n  fwbench compare [BASELINE] [CURRENT] [--noise-floor F] [--allow-thread-mismatch] [--allow-journey-mismatch] [--allow-rng-mismatch]\n  fwbench why BASELINE CURRENT\n  fwbench hostperf RECORD [BASELINE]\n  fwbench tail RECORD\n  fwbench stateq [--dataset TT] [--walks N] [--seed S] [--faults none|light|heavy]"
     );
     ExitCode::from(2)
 }
@@ -92,6 +113,7 @@ fn main() -> ExitCode {
         Some("why") => cmd_why(&args[1..]),
         Some("hostperf") => cmd_hostperf(&args[1..]),
         Some("tail") => cmd_tail(&args[1..]),
+        Some("stateq") => cmd_stateq(&args[1..]),
         _ => usage(),
     }
 }
@@ -168,9 +190,26 @@ fn cmd_run(args: &[String]) -> ExitCode {
         None => env_threads(),
     };
     suite = suite.with_threads(threads);
+    // --rng beats FW_RNG beats the global default, mirroring the
+    // --threads / FW_THREADS precedence.
+    let rng = match flag_value(args, "--rng")
+        .map(str::to_string)
+        .or_else(|| std::env::var("FW_RNG").ok())
+    {
+        Some(s) => match RngModel::parse(&s) {
+            Some(m) => m,
+            None => {
+                eprintln!("--rng / FW_RNG wants 'global' or 'sharded', got '{s}'");
+                return ExitCode::from(2);
+            }
+        },
+        None => RngModel::Global,
+    };
+    suite = suite.with_rng(rng);
     let include_wall = args.iter().any(|a| a == "--wall");
-    // Fault and journey runs default to a suffixed label so they never
-    // clobber the plain BENCH_<suite>.json byte-identity baseline.
+    // Fault, journey, and sharded-RNG runs default to a suffixed label so
+    // they never clobber the plain BENCH_<suite>.json byte-identity
+    // baseline.
     let mut default_label = if suite.faults.is_on() {
         format!("{}-{}", suite.name, suite.faults.name)
     } else {
@@ -182,6 +221,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
     if suite.critical {
         default_label.push_str("-critical");
     }
+    if suite.rng.is_sharded() {
+        default_label.push_str("-sharded");
+    }
     let label = flag_value(args, "--label")
         .unwrap_or(&default_label)
         .to_string();
@@ -190,12 +232,13 @@ fn cmd_run(args: &[String]) -> ExitCode {
         .unwrap_or_else(|| PathBuf::from(format!("BENCH_{label}.json")));
 
     eprintln!(
-        "fwbench: suite={} scenarios={} seeds={:?} faults={} threads={}",
+        "fwbench: suite={} scenarios={} seeds={:?} faults={} threads={} rng={}",
         suite.name,
         suite.scenarios.len(),
         suite.seeds,
         suite.faults.name,
-        suite.threads
+        suite.threads,
+        suite.rng.as_str()
     );
     let result = match run_suite(&suite) {
         Ok(r) => r,
@@ -308,17 +351,33 @@ fn cmd_hostperf(args: &[String]) -> ExitCode {
         }
     }
 
-    let threads = cur.env.threads.max(1);
+    // Per-worker figures divide by the *effective* worker count: when the
+    // clamp fired (`--threads` wider than the suite), `workers` is what
+    // actually ran. Records predating the field parse as workers==threads.
+    let workers = cur.env.workers.max(1);
     eprintln!(
         "fwbench hostperf: {} (label '{}', rev {}, {} worker(s))",
         cur_path.display(),
         cur.label,
         cur.env.git_rev,
-        threads
+        workers
     );
+    // Ideal-scaling efficiency: this record's ev/s-per-worker as a
+    // fraction of the baseline's. Against a 1-worker baseline this is
+    // exactly "how much of perfect N× scaling did N workers deliver".
+    let base_evs_per_worker = |name: &str| -> Option<f64> {
+        let b = base.as_ref()?;
+        let bw = b.env.workers.max(1) as f64;
+        b.host
+            .as_ref()?
+            .iter()
+            .find(|h| h.name == name)
+            .map(|h| h.events_per_sec.mean / bw)
+            .filter(|&e| e > 0.0)
+    };
     println!(
-        "{:<28} {:>13} {:>12} {:>14} {:>12} {:>9}",
-        "scenario", "wall_ms(mean)", "host_events", "events/sec", "ev/s/worker", "vs base"
+        "{:<28} {:>13} {:>12} {:>14} {:>12} {:>9} {:>7}",
+        "scenario", "wall_ms(mean)", "host_events", "events/sec", "ev/s/worker", "vs base", "eff"
     );
     let mut total_cur = 0u64;
     let mut total_base = 0u64;
@@ -328,28 +387,35 @@ fn cmd_hostperf(args: &[String]) -> ExitCode {
             total_base += b;
             b as f64 / h.wall_ns.mean.max(1) as f64
         });
+        let per_worker = h.events_per_sec.mean / workers as f64;
+        let eff = base_evs_per_worker(&h.name).map(|b| per_worker / b);
         println!(
-            "{:<28} {:>13.3} {:>12} {:>14.0} {:>12.0} {:>9}",
+            "{:<28} {:>13.3} {:>12} {:>14.0} {:>12.0} {:>9} {:>7}",
             h.name,
             h.wall_ns.mean as f64 / 1e6,
             h.host_events.mean,
             h.events_per_sec.mean,
-            h.events_per_sec.mean / threads as f64,
+            per_worker,
             match vs {
                 Some(s) => format!("{s:.2}x"),
+                None => "-".to_string(),
+            },
+            match eff {
+                Some(e) => format!("{:.0}%", e * 100.0),
                 None => "-".to_string(),
             }
         );
     }
     if total_base > 0 {
         println!(
-            "{:<28} {:>13.3} {:>12} {:>14} {:>12} {:>8.2}x",
+            "{:<28} {:>13.3} {:>12} {:>14} {:>12} {:>8.2}x {:>7}",
             "TOTAL",
             total_cur as f64 / 1e6,
             "-",
             "-",
             "-",
-            total_base as f64 / total_cur.max(1) as f64
+            total_base as f64 / total_cur.max(1) as f64,
+            "-"
         );
     }
     // Suite wall total: the elapsed time of the whole sweep, the number
@@ -360,15 +426,24 @@ fn cmd_hostperf(args: &[String]) -> ExitCode {
         Some(ns) => {
             let base_suite = base.as_ref().and_then(|b| b.suite_wall_ns);
             match base_suite {
-                Some(bns) => println!(
-                    "suite wall {:.3} ms at {} worker(s) — {:.2}x vs baseline's {:.3} ms at {} worker(s)",
-                    ns as f64 / 1e6,
-                    threads,
-                    bns as f64 / ns.max(1) as f64,
-                    bns as f64 / 1e6,
-                    base.as_ref().map(|b| b.env.threads.max(1)).unwrap_or(1)
-                ),
-                None => println!("suite wall {:.3} ms at {} worker(s)", ns as f64 / 1e6, threads),
+                Some(bns) => {
+                    let speedup = bns as f64 / ns.max(1) as f64;
+                    let base_workers =
+                        base.as_ref().map(|b| b.env.workers.max(1)).unwrap_or(1);
+                    // Suite-level scaling efficiency: measured speedup as
+                    // a fraction of the ideal worker-count ratio.
+                    let ideal = workers as f64 / base_workers as f64;
+                    println!(
+                        "suite wall {:.3} ms at {} worker(s) — {:.2}x vs baseline's {:.3} ms at {} worker(s) ({:.0}% of ideal)",
+                        ns as f64 / 1e6,
+                        workers,
+                        speedup,
+                        bns as f64 / 1e6,
+                        base_workers,
+                        speedup / ideal * 100.0
+                    );
+                }
+                None => println!("suite wall {:.3} ms at {} worker(s)", ns as f64 / 1e6, workers),
             }
         }
         None => eprintln!(
@@ -478,6 +553,9 @@ fn cmd_compare(args: &[String]) -> ExitCode {
     if args.iter().any(|a| a == "--allow-journey-mismatch") {
         cfg.allow_journey_mismatch = true;
     }
+    if args.iter().any(|a| a == "--allow-rng-mismatch") {
+        cfg.allow_rng_mismatch = true;
+    }
     if let Some(f) = flag_value(args, "--noise-floor") {
         match f.parse() {
             Ok(v) => cfg.noise_floor = v,
@@ -576,5 +654,71 @@ fn cmd_why(args: &[String]) -> ExitCode {
             eprintln!("fwbench why: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `fwbench stateq` — run the same scenario once per RNG universe
+/// (global vs sharded) on both engines and gate on the statistical
+/// equivalence report (see `fw_bench::stateq`). This is the *only*
+/// sanctioned way to compare the two universes: `compare` refuses the
+/// diff because their per-number values legitimately differ.
+fn cmd_stateq(args: &[String]) -> ExitCode {
+    let dataset = match flag_value(args, "--dataset").unwrap_or("TT") {
+        "TT" => DatasetId::Twitter,
+        "FS" => DatasetId::Friendster,
+        "CW" => DatasetId::ClueWeb,
+        "R2B" => DatasetId::Rmat2B,
+        "R8B" => DatasetId::Rmat8B,
+        other => {
+            eprintln!("--dataset wants one of TT/FS/CW/R2B/R8B, got '{other}'");
+            return ExitCode::from(2);
+        }
+    };
+    // Small default: the gate needs enough walks for the distribution
+    // checks to have power, not a paper-scale sweep.
+    let walks: u64 = match flag_value(args, "--walks") {
+        Some(w) => match w.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--walks wants a positive integer");
+                return ExitCode::from(2);
+            }
+        },
+        None => dataset.default_walks() / 16,
+    };
+    let seed: u64 = match flag_value(args, "--seed") {
+        Some(s) => match s.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--seed wants an integer");
+                return ExitCode::from(2);
+            }
+        },
+        None => DEFAULT_SEED,
+    };
+    let faults = match flag_value(args, "--faults") {
+        Some(name) => match FaultProfile::parse(name) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("fwbench: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => FaultProfile::none(),
+    };
+    eprintln!(
+        "fwbench stateq: dataset={} walks={} seed={} faults={}",
+        dataset.abbrev(),
+        walks,
+        seed,
+        faults.name
+    );
+    let report = run_stateq(dataset, walks, seed, faults, &StateqConfig::default());
+    print!("{}", report.render());
+    if report.failed() {
+        eprintln!("fwbench stateq: universes are NOT statistically equivalent");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }

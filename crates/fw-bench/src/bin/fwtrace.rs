@@ -6,7 +6,7 @@
 //! ```text
 //! cargo run --release -p fw-bench --bin fwtrace \
 //!     [fw|gw|iter] [TT|FS|CW|R2B|R8B] [walks] [out.json] [--threads N]
-//!     [--journeys] [--critical] [--heatmap]
+//!     [--rng global|sharded] [--journeys] [--critical] [--heatmap]
 //! ```
 //!
 //! Defaults: `fw TT <default_walks/8> fwtrace.json`. A `.csv` sibling
@@ -14,6 +14,9 @@
 //! `--threads N` (or `FW_THREADS`) runs the engine's windowed sharded
 //! loop with per-shard tracers; the emitted trace is identical to the
 //! sequential one (the canonical tracer merge is order-independent).
+//! `--rng sharded` (or `FW_RNG`) traces the per-lane walk-RNG universe
+//! instead — different walk paths, so a different (but equally
+//! deterministic) trace; see DESIGN.md §14.
 //! `--journeys` additionally records sampled walk journeys (fw/gw only —
 //! the iterative baseline has no per-walk event stream): the tail
 //! attribution table is printed, per-walk tracks are appended to the
@@ -30,7 +33,7 @@ use flashwalker::{AccelConfig, OptToggles};
 use fw_bench::runner::{
     flashwalker_engine, graphwalker_engine, iterative_engine, prepared, DEFAULT_SEED,
 };
-use fw_bench::suite::env_threads;
+use fw_bench::suite::{env_rng, env_threads};
 use fw_graph::DatasetId;
 use fw_sim::{
     chrome_trace_json, chrome_trace_json_with_heatmap, chrome_trace_json_with_journeys, export,
@@ -46,6 +49,7 @@ const BASELINE_MEMORY: u64 = 8 << 20;
 fn main() {
     let raw: Vec<String> = std::env::args().collect();
     let threads = env_threads();
+    let rng = env_rng();
     let journeys = raw.iter().any(|a| a == "--journeys");
     let heatmap = raw.iter().any(|a| a == "--heatmap");
     // The heatmap is derived from the dependency log, so asking for one
@@ -59,7 +63,7 @@ fn main() {
             skip = false;
             continue;
         }
-        if a == "--threads" {
+        if a == "--threads" || a == "--rng" {
             skip = true;
             continue;
         }
@@ -89,8 +93,9 @@ fn main() {
     let cfg = TraceConfig::default();
     let wl = Workload::paper_default(walks);
     eprintln!(
-        "fwtrace: engine={engine} dataset={} walks={walks} threads={threads}",
-        id.abbrev()
+        "fwtrace: engine={engine} dataset={} walks={walks} threads={threads} rng={}",
+        id.abbrev(),
+        rng.as_str()
     );
 
     let jcfg = JourneyConfig {
@@ -107,6 +112,7 @@ fn main() {
         "gw" => {
             let mut e = graphwalker_engine(&p, BASELINE_MEMORY, DEFAULT_SEED)
                 .with_threads(threads)
+                .with_rng(rng)
                 .with_span_trace(cfg);
             if journeys {
                 e = e.with_journeys(jcfg);
@@ -139,6 +145,7 @@ fn main() {
                 DEFAULT_SEED,
             )
             .with_threads(threads)
+            .with_rng(rng)
             .with_span_trace(cfg);
             if journeys {
                 e = e.with_journeys(jcfg);

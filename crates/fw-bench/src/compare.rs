@@ -39,6 +39,14 @@ pub struct CompareConfig {
     /// schedule-neutral), which is exactly why a deliberate cross-diff
     /// with the override must still gate clean.
     pub allow_journey_mismatch: bool,
+    /// Permit diffing records from different walk-RNG universes
+    /// (`--rng global` vs `--rng sharded`). Off by default and *unlike*
+    /// the thread/journey overrides, a cross-universe diff is expected to
+    /// show real deltas: sharded runs sample different walk paths, so
+    /// every simulated number legitimately moves. The override exists for
+    /// eyeballing the magnitude of that drift — the statistical-
+    /// equivalence gate (`fwbench stateq`) is the principled comparison.
+    pub allow_rng_mismatch: bool,
 }
 
 impl Default for CompareConfig {
@@ -49,6 +57,7 @@ impl Default for CompareConfig {
             fail_mult: 2.0,
             allow_thread_mismatch: false,
             allow_journey_mismatch: false,
+            allow_rng_mismatch: false,
         }
     }
 }
@@ -203,6 +212,16 @@ pub fn compare_reports(
              this guard catches accidental record mixups)",
             which(base.env.journeys),
             which(cur.env.journeys)
+        ));
+    }
+    if base.env.rng != cur.env.rng && !cfg.allow_rng_mismatch {
+        return Err(format!(
+            "rng-model mismatch: baseline ran --rng {}, current --rng {} — these are \
+             different sampling universes whose numbers legitimately differ; pass \
+             --allow-rng-mismatch to eyeball the drift, or use `fwbench stateq` for \
+             the statistical-equivalence comparison",
+            base.env.rng.as_str(),
+            cur.env.rng.as_str()
         ));
     }
     if base.env.graph_scale != cur.env.graph_scale
@@ -553,6 +572,8 @@ mod tests {
                 threads: 1,
                 journeys: false,
                 critical: false,
+                rng: fw_sim::RngModel::Global,
+                workers: 1,
             },
             scenarios,
             suite_wall_ns: None,
@@ -581,6 +602,27 @@ mod tests {
         // numbers are thread-invariant, so the diff must gate clean.
         let cfg = CompareConfig {
             allow_thread_mismatch: true,
+            ..CompareConfig::default()
+        };
+        let res = compare_reports(&base, &cur, &cfg).expect("override permits the diff");
+        assert!(!res.failed());
+    }
+
+    #[test]
+    fn cross_rng_model_compares_are_refused_unless_overridden() {
+        let base = sample();
+        let mut cur = sample();
+        cur.env.rng = fw_sim::RngModel::Sharded;
+        let err = compare_reports(&base, &cur, &CompareConfig::default()).unwrap_err();
+        assert!(err.contains("rng-model mismatch"), "{err}");
+        assert!(
+            err.contains("stateq"),
+            "error should point at stateq: {err}"
+        );
+        // The override permits the diff; with identical rows it still
+        // gates clean (real cross-universe records would show drift).
+        let cfg = CompareConfig {
+            allow_rng_mismatch: true,
             ..CompareConfig::default()
         };
         let res = compare_reports(&base, &cur, &cfg).expect("override permits the diff");

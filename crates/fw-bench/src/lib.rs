@@ -18,15 +18,18 @@
 //!   codes for parse (3) vs invariant (4) failures,
 //! * [`why`] — causal trace diffing: attribute a sim-time movement to
 //!   the components whose critical-path time grew,
+//! * [`stateq`] — the statistical-equivalence gate between the two
+//!   walk-RNG universes (`--rng global` vs `--rng sharded`),
 //!
 //! all driven by the `fwbench` binary (`fwbench run` / `fwbench compare`
-//! / `fwbench why`).
+//! / `fwbench why` / `fwbench stateq`).
 
 pub mod bench_json;
 pub mod chart;
 pub mod compare;
 pub mod record;
 pub mod runner;
+pub mod stateq;
 pub mod suite;
 pub mod why;
 

@@ -1,0 +1,634 @@
+//! Statistical-equivalence harness between the two walk-RNG universes
+//! (DESIGN.md §14): `--rng global` and `--rng sharded` sample *different
+//! walk paths* from the *same* walk distribution, so their records can
+//! never be diffed byte-for-byte — `fwbench compare` refuses the pair.
+//! This module is the principled comparison instead: it runs the same
+//! cell once per universe and checks
+//!
+//! * **exact invariants** that must hold regardless of which paths were
+//!   sampled — walk count, source conservation, completion of every walk
+//!   (heavy fault profiles included), and hop totals whenever no dead end
+//!   made them path-dependent — and
+//! * **tolerance-gated statistics** that must agree up to sampling noise
+//!   — the endpoint visit distribution (total-variation distance over
+//!   hashed vertex buckets), the sampled walk-latency percentiles, and
+//!   the simulated end-to-end time.
+//!
+//! `fwbench stateq` drives [`run_stateq`] and exits non-zero when any
+//! check fails; CI runs it as the sharded-universe admission gate.
+
+use fw_fault::FaultProfile;
+use fw_graph::DatasetId;
+use fw_sim::{JourneyConfig, RngModel};
+use fw_walk::{RunReport, WalkEngine, Workload};
+
+use crate::compare::Verdict;
+use crate::runner::{flashwalker_engine, graphwalker_engine, prepared, Prepared, DEFAULT_SEED};
+use crate::suite::default_gw_memory;
+
+/// Tolerances for the statistical checks. The total-variation bound is
+/// noise-aware: two finite samples from the *same* distribution still
+/// show an expected TV distance of roughly `sqrt(buckets / walks)`, so
+/// the gate scales its threshold with the sample instead of hard-coding
+/// a number that would be too tight for small cells and meaningless for
+/// large ones.
+#[derive(Debug, Clone, Copy)]
+pub struct StateqConfig {
+    /// Endpoint histogram size (rounded up to a power of two). Fewer
+    /// buckets → lower sampling noise → a tighter, more meaningful TV
+    /// bound; 16 keeps the noise term ~`4/sqrt(walks)`.
+    pub tv_buckets: usize,
+    /// Multiplier on the `sqrt(buckets / walks)` noise term (≈3 standard
+    /// deviations of the null-hypothesis TV distance).
+    pub tv_slack: f64,
+    /// Minimum TV threshold even for huge samples.
+    pub tv_floor: f64,
+    /// Max relative difference on each sampled walk-latency percentile
+    /// (p50/p95/p99). Percentiles are scheduling-sensitive, so this is
+    /// looser than the time bound.
+    pub latency_rel_max: f64,
+    /// Max relative difference on simulated end-to-end time.
+    pub time_rel_max: f64,
+}
+
+impl Default for StateqConfig {
+    fn default() -> Self {
+        StateqConfig {
+            tv_buckets: 16,
+            tv_slack: 3.0,
+            tv_floor: 0.02,
+            latency_rel_max: 0.35,
+            time_rel_max: 0.25,
+        }
+    }
+}
+
+/// Everything one universe's run contributes to the comparison,
+/// distilled from its [`RunReport`].
+#[derive(Debug, Clone)]
+pub struct UniverseSample {
+    /// Which universe produced the sample.
+    pub rng: RngModel,
+    /// Simulated end-to-end time, ns.
+    pub time_ns: u64,
+    /// Total hops executed.
+    pub hops: u64,
+    /// Completed walks in the log.
+    pub walk_count: u64,
+    /// Sorted walk sources (conservation is a multiset equality).
+    pub sources: Vec<u32>,
+    /// Walk endpoints, log order.
+    pub endpoints: Vec<u32>,
+    /// Whether every logged walk ran to completion.
+    pub all_done: bool,
+    /// Sampled walk-latency percentiles (p50, p95, p99), ns — present
+    /// when the run recorded journeys.
+    pub latency: Option<(u64, u64, u64)>,
+    /// Injected-fault activity (read retries + requeues) — present when
+    /// the run carried a fault summary.
+    pub fault_events: Option<u64>,
+}
+
+/// Distill a run's report into a [`UniverseSample`]. The report must
+/// come from a `with_walk_log()` run; an empty log would make every
+/// conservation check vacuous, so it is worth a loud panic here rather
+/// than a silent all-pass downstream.
+pub fn collect_sample(report: &RunReport, rng: RngModel) -> UniverseSample {
+    assert!(
+        !report.walk_log.is_empty(),
+        "stateq needs a walk log; run the engine with with_walk_log()"
+    );
+    let mut sources: Vec<u32> = report.walk_log.iter().map(|w| w.src).collect();
+    sources.sort_unstable();
+    UniverseSample {
+        rng,
+        time_ns: report.time.as_nanos(),
+        hops: report.stats.hops,
+        walk_count: report.walk_log.len() as u64,
+        sources,
+        endpoints: report.walk_log.iter().map(|w| w.cur).collect(),
+        all_done: report.walk_log.iter().all(|w| w.is_done()),
+        latency: report
+            .journeys
+            .as_ref()
+            .map(|j| (j.latency.p50_ns, j.latency.p95_ns, j.latency.p99_ns)),
+        fault_events: report.faults.as_ref().map(|f| f.read_retries + f.requeues),
+    }
+}
+
+/// One equivalence check's outcome.
+#[derive(Debug, Clone)]
+pub struct StateqCheck {
+    /// What was compared.
+    pub name: String,
+    /// Outcome ([`Verdict::Skip`] when the check does not apply).
+    pub verdict: Verdict,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+/// All checks for one engine's universe pair.
+#[derive(Debug, Clone)]
+pub struct EngineStateq {
+    /// Engine name ("flashwalker" / "graphwalker").
+    pub engine: String,
+    /// Checks in evaluation order.
+    pub checks: Vec<StateqCheck>,
+}
+
+/// The full gate result over every engine that ran.
+#[derive(Debug, Clone)]
+pub struct StateqReport {
+    /// Per-engine check lists.
+    pub engines: Vec<EngineStateq>,
+}
+
+impl StateqReport {
+    /// True when any check failed — `fwbench stateq` exits non-zero.
+    pub fn failed(&self) -> bool {
+        self.engines
+            .iter()
+            .flat_map(|e| &e.checks)
+            .any(|c| c.verdict == Verdict::Fail)
+    }
+
+    /// Render the verdict table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== statistical equivalence: --rng global vs --rng sharded =="
+        );
+        for e in &self.engines {
+            let _ = writeln!(out, "\n[{}]", e.engine);
+            for c in &e.checks {
+                let _ = writeln!(out, "  [{}] {} — {}", c.verdict, c.name, c.detail);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "\noverall: {}",
+            if self.failed() { "FAIL" } else { "pass" }
+        );
+        out
+    }
+}
+
+fn rel_diff(a: u64, b: u64) -> f64 {
+    let hi = a.max(b).max(1) as f64;
+    (a as f64 - b as f64).abs() / hi
+}
+
+/// Histogram endpoints into `buckets` cells by a fixed multiplicative
+/// hash of the vertex id — stable across runs, independent of vertex
+/// numbering locality, power-of-two cheap.
+fn bucket_counts(endpoints: &[u32], buckets: usize) -> Vec<u64> {
+    let buckets = buckets.next_power_of_two().max(2);
+    let shift = 64 - buckets.trailing_zeros();
+    let mut counts = vec![0u64; buckets];
+    for &v in endpoints {
+        let h = (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        counts[(h >> shift) as usize] += 1;
+    }
+    counts
+}
+
+/// Total-variation distance between two bucket histograms.
+fn tv_distance(a: &[u64], b: &[u64]) -> f64 {
+    let (ta, tb) = (a.iter().sum::<u64>(), b.iter().sum::<u64>());
+    if ta == 0 || tb == 0 {
+        return if ta == tb { 0.0 } else { 1.0 };
+    }
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x as f64 / ta as f64 - y as f64 / tb as f64).abs())
+        .sum::<f64>()
+        / 2.0
+}
+
+/// Evaluate every invariant and tolerance check for one engine's
+/// global/sharded pair. `walks` and `hops_per_walk` describe the
+/// workload the pair ran (the hop-total check needs the no-dead-end
+/// expectation).
+pub fn compare_universes(
+    engine: &str,
+    global: &UniverseSample,
+    sharded: &UniverseSample,
+    walks: u64,
+    hops_per_walk: u16,
+    cfg: &StateqConfig,
+) -> EngineStateq {
+    assert!(global.rng == RngModel::Global && sharded.rng == RngModel::Sharded);
+    let mut checks = Vec::new();
+    let exact = |name: &str, ok: bool, detail: String| StateqCheck {
+        name: name.into(),
+        verdict: if ok { Verdict::Pass } else { Verdict::Fail },
+        detail,
+    };
+
+    // Exact: both universes complete exactly the requested walks.
+    checks.push(exact(
+        "walk count",
+        global.walk_count == walks && sharded.walk_count == walks,
+        format!(
+            "global {} / sharded {} / requested {}",
+            global.walk_count, sharded.walk_count, walks
+        ),
+    ));
+
+    // Exact: the source multiset is conserved — initial placement draws
+    // from the init path, which is identical in both universes, so the
+    // sorted source lists must match element for element.
+    checks.push(exact(
+        "source conservation",
+        global.sources == sharded.sources,
+        format!(
+            "{} sources, multisets {}",
+            global.sources.len(),
+            if global.sources == sharded.sources {
+                "identical"
+            } else {
+                "DIFFER"
+            }
+        ),
+    ));
+
+    // Exact: every walk ran to completion — the invariant heavy fault
+    // profiles exist to stress.
+    checks.push(exact(
+        "every walk completes",
+        global.all_done && sharded.all_done,
+        format!(
+            "global {}, sharded {}",
+            if global.all_done {
+                "all done"
+            } else {
+                "INCOMPLETE"
+            },
+            if sharded.all_done {
+                "all done"
+            } else {
+                "INCOMPLETE"
+            },
+        ),
+    ));
+
+    // Conditional-exact: with a fixed hop budget and no dead ends, both
+    // universes execute exactly walks × hops_per_walk hops. A dead end
+    // ends a walk early on a path-dependent vertex, so once either
+    // universe fell short the totals are legitimately unequal — skip
+    // rather than guess a tolerance.
+    let expected_hops = walks * hops_per_walk as u64;
+    checks.push(
+        if global.hops == expected_hops && sharded.hops == expected_hops {
+            exact(
+                "hop totals",
+                true,
+                format!("both exactly {expected_hops} (walks × {hops_per_walk})"),
+            )
+        } else if global.hops == sharded.hops {
+            exact(
+                "hop totals",
+                true,
+                format!(
+                    "both {} (dead ends trimmed the budget equally)",
+                    global.hops
+                ),
+            )
+        } else {
+            StateqCheck {
+                name: "hop totals".into(),
+                verdict: Verdict::Skip,
+                detail: format!(
+                    "global {} vs sharded {} (dead ends make totals path-dependent; \
+                     expected {} without them)",
+                    global.hops, sharded.hops, expected_hops
+                ),
+            }
+        },
+    );
+
+    // Tolerance: endpoint visit distribution. Threshold scales with the
+    // null-hypothesis sampling noise of the smaller sample.
+    {
+        let a = bucket_counts(&global.endpoints, cfg.tv_buckets);
+        let b = bucket_counts(&sharded.endpoints, cfg.tv_buckets);
+        let n = global.endpoints.len().min(sharded.endpoints.len()).max(1);
+        let bound = cfg
+            .tv_floor
+            .max(cfg.tv_slack * (a.len() as f64 / n as f64).sqrt());
+        let tv = tv_distance(&a, &b);
+        checks.push(StateqCheck {
+            name: "endpoint distribution".into(),
+            verdict: if tv <= bound {
+                Verdict::Pass
+            } else {
+                Verdict::Fail
+            },
+            detail: format!(
+                "TV {:.4} over {} buckets (bound {:.4} at n={})",
+                tv,
+                a.len(),
+                bound,
+                n
+            ),
+        });
+    }
+
+    // Tolerance: sampled walk-latency percentiles. The journey sampler
+    // picks the same walk-id cohort in both universes (it hashes ids,
+    // not paths), so the percentiles estimate the same tail.
+    checks.push(match (global.latency, sharded.latency) {
+        (Some((g50, g95, g99)), Some((s50, s95, s99))) => {
+            let worst = [(g50, s50), (g95, s95), (g99, s99)]
+                .into_iter()
+                .map(|(a, b)| rel_diff(a, b))
+                .fold(0.0f64, f64::max);
+            StateqCheck {
+                name: "walk latency percentiles".into(),
+                verdict: if worst <= cfg.latency_rel_max {
+                    Verdict::Pass
+                } else {
+                    Verdict::Fail
+                },
+                detail: format!(
+                    "p50 {g50}/{s50}, p95 {g95}/{s95}, p99 {g99}/{s99} ns \
+                     (worst rel diff {:.3}, bound {:.3})",
+                    worst, cfg.latency_rel_max
+                ),
+            }
+        }
+        _ => StateqCheck {
+            name: "walk latency percentiles".into(),
+            verdict: Verdict::Skip,
+            detail: "journeys not recorded on both runs".into(),
+        },
+    });
+
+    // Tolerance: simulated end-to-end time.
+    {
+        let d = rel_diff(global.time_ns, sharded.time_ns);
+        checks.push(StateqCheck {
+            name: "simulated time".into(),
+            verdict: if d <= cfg.time_rel_max {
+                Verdict::Pass
+            } else {
+                Verdict::Fail
+            },
+            detail: format!(
+                "global {:.3} ms vs sharded {:.3} ms (rel diff {:.3}, bound {:.3})",
+                global.time_ns as f64 / 1e6,
+                sharded.time_ns as f64 / 1e6,
+                d,
+                cfg.time_rel_max
+            ),
+        });
+    }
+
+    // Exact, fault runs only: the injector engaged in both universes —
+    // a universe that dodged every fault would make the completion check
+    // vacuous on its side.
+    if global.fault_events.is_some() || sharded.fault_events.is_some() {
+        let (g, s) = (
+            global.fault_events.unwrap_or(0),
+            sharded.fault_events.unwrap_or(0),
+        );
+        checks.push(exact(
+            "fault machinery engaged",
+            g > 0 && s > 0,
+            format!("retries+requeues: global {g}, sharded {s}"),
+        ));
+    }
+
+    EngineStateq {
+        engine: engine.into(),
+        checks,
+    }
+}
+
+/// Run one engine's cell once per universe and collect both samples.
+fn run_pair(
+    p: &Prepared,
+    engine: &str,
+    walks: u64,
+    seed: u64,
+    faults: FaultProfile,
+) -> (UniverseSample, UniverseSample) {
+    let jcfg = JourneyConfig {
+        seed,
+        ..JourneyConfig::default()
+    };
+    let run = |rng: RngModel| -> RunReport {
+        let wl = Workload::paper_default(walks);
+        match engine {
+            "flashwalker" => {
+                let mut e = flashwalker_engine(
+                    p,
+                    flashwalker::OptToggles::all(),
+                    flashwalker::AccelConfig::scaled().alpha,
+                    seed,
+                )
+                .with_rng(rng)
+                .with_walk_log()
+                .with_journeys(jcfg);
+                if faults.is_on() {
+                    e = e.with_faults(faults);
+                }
+                e.run(wl)
+            }
+            "graphwalker" => {
+                let mut e = graphwalker_engine(p, default_gw_memory(), seed)
+                    .with_rng(rng)
+                    .with_walk_log()
+                    .with_journeys(jcfg);
+                if faults.is_on() {
+                    e = e.with_faults(faults);
+                }
+                e.run(wl)
+            }
+            other => panic!("stateq has no engine '{other}'"),
+        }
+    };
+    (
+        collect_sample(&run(RngModel::Global), RngModel::Global),
+        collect_sample(&run(RngModel::Sharded), RngModel::Sharded),
+    )
+}
+
+/// The full gate: both engines on one dataset cell, global vs sharded,
+/// every check evaluated. This is what `fwbench stateq` runs.
+pub fn run_stateq(
+    dataset: DatasetId,
+    walks: u64,
+    seed: u64,
+    faults: FaultProfile,
+    cfg: &StateqConfig,
+) -> StateqReport {
+    let p = prepared(dataset, DEFAULT_SEED);
+    let hops = Workload::paper_default(walks).initial_hops();
+    let engines = ["flashwalker", "graphwalker"]
+        .into_iter()
+        .map(|engine| {
+            eprintln!("[stateq] {engine} on {} (w{walks}) …", dataset.abbrev());
+            let (g, s) = run_pair(&p, engine, walks, seed, faults);
+            compare_universes(engine, &g, &s, walks, hops, cfg)
+        })
+        .collect();
+    StateqReport { engines }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rng: RngModel) -> UniverseSample {
+        // 4000 endpoints spread over 200 vertices with a mild skew; the
+        // sharded twin perturbs paths but not the distribution.
+        let offset = if rng.is_sharded() { 7 } else { 0 };
+        let endpoints: Vec<u32> = (0..4000u32).map(|i| (i * 31 + offset) % 200).collect();
+        UniverseSample {
+            rng,
+            time_ns: if rng.is_sharded() {
+                10_500_000
+            } else {
+                10_000_000
+            },
+            hops: 4000 * 6,
+            walk_count: 4000,
+            sources: (0..4000u32).map(|i| i % 100).collect(),
+            endpoints,
+            all_done: true,
+            latency: Some(if rng.is_sharded() {
+                (1_050, 5_250, 10_500)
+            } else {
+                (1_000, 5_000, 10_000)
+            }),
+            fault_events: None,
+        }
+    }
+
+    #[test]
+    fn matching_universes_pass_every_check() {
+        let (g, s) = (sample(RngModel::Global), sample(RngModel::Sharded));
+        let res = compare_universes("flashwalker", &g, &s, 4000, 6, &StateqConfig::default());
+        let rep = StateqReport { engines: vec![res] };
+        assert!(!rep.failed(), "{}", rep.render());
+        let hop = &rep.engines[0].checks[3];
+        assert_eq!(hop.name, "hop totals");
+        assert_eq!(hop.verdict, Verdict::Pass);
+        assert!(hop.detail.contains("exactly 24000"));
+    }
+
+    #[test]
+    fn lost_walks_and_broken_conservation_fail_exactly() {
+        let g = sample(RngModel::Global);
+        let mut s = sample(RngModel::Sharded);
+        s.walk_count = 3999;
+        s.sources[0] = 999;
+        s.all_done = false;
+        let res = compare_universes("gw", &g, &s, 4000, 6, &StateqConfig::default());
+        assert_eq!(res.checks[0].verdict, Verdict::Fail, "walk count");
+        assert_eq!(res.checks[1].verdict, Verdict::Fail, "conservation");
+        assert_eq!(res.checks[2].verdict, Verdict::Fail, "completion");
+    }
+
+    #[test]
+    fn dead_ends_downgrade_hop_totals_to_skip_not_fail() {
+        let g = sample(RngModel::Global);
+        let mut s = sample(RngModel::Sharded);
+        // Sharded lost 10 hops to dead ends; global ran the full budget.
+        s.hops -= 10;
+        let res = compare_universes("fw", &g, &s, 4000, 6, &StateqConfig::default());
+        let hop = &res.checks[3];
+        assert_eq!(hop.verdict, Verdict::Skip, "{}", hop.detail);
+        assert!(hop.detail.contains("path-dependent"));
+
+        // Equal-but-short totals still pass exactly.
+        let mut g2 = sample(RngModel::Global);
+        g2.hops -= 10;
+        let res = compare_universes("fw", &g2, &s, 4000, 6, &StateqConfig::default());
+        assert_eq!(res.checks[3].verdict, Verdict::Pass);
+    }
+
+    #[test]
+    fn skewed_endpoint_distribution_fails_the_tv_gate() {
+        let g = sample(RngModel::Global);
+        let mut s = sample(RngModel::Sharded);
+        // Collapse every sharded endpoint onto one vertex: TV → ~1.
+        s.endpoints = vec![3; 4000];
+        let res = compare_universes("fw", &g, &s, 4000, 6, &StateqConfig::default());
+        let tv = res
+            .checks
+            .iter()
+            .find(|c| c.name == "endpoint distribution")
+            .unwrap();
+        assert_eq!(tv.verdict, Verdict::Fail, "{}", tv.detail);
+    }
+
+    #[test]
+    fn tv_bound_scales_with_sample_size() {
+        let cfg = StateqConfig::default();
+        // Small samples get a wide berth; big ones a tight one.
+        let small = cfg.tv_slack * (16f64 / 100.0).sqrt();
+        let big = cfg.tv_slack * (16f64 / 1_000_000.0).sqrt();
+        assert!(small > 1.0, "a 100-walk cell is all noise: {small}");
+        assert!(big < cfg.tv_floor, "floor takes over at scale: {big}");
+    }
+
+    #[test]
+    fn latency_and_time_drift_beyond_tolerance_fail() {
+        let g = sample(RngModel::Global);
+        let mut s = sample(RngModel::Sharded);
+        s.latency = Some((2_000, 5_000, 10_000)); // p50 doubled
+        s.time_ns = 20_000_000; // 2× time
+        let res = compare_universes("fw", &g, &s, 4000, 6, &StateqConfig::default());
+        let lat = res
+            .checks
+            .iter()
+            .find(|c| c.name == "walk latency percentiles")
+            .unwrap();
+        assert_eq!(lat.verdict, Verdict::Fail, "{}", lat.detail);
+        let t = res
+            .checks
+            .iter()
+            .find(|c| c.name == "simulated time")
+            .unwrap();
+        assert_eq!(t.verdict, Verdict::Fail, "{}", t.detail);
+    }
+
+    #[test]
+    fn fault_check_appears_only_on_fault_runs_and_requires_both_sides() {
+        let g = sample(RngModel::Global);
+        let s = sample(RngModel::Sharded);
+        let res = compare_universes("fw", &g, &s, 4000, 6, &StateqConfig::default());
+        assert!(
+            !res.checks.iter().any(|c| c.name.contains("fault")),
+            "fault-free runs carry no fault check"
+        );
+
+        let mut g = sample(RngModel::Global);
+        let mut s = sample(RngModel::Sharded);
+        g.fault_events = Some(120);
+        s.fault_events = Some(0); // sharded side dodged every fault
+        let res = compare_universes("fw", &g, &s, 4000, 6, &StateqConfig::default());
+        let f = res
+            .checks
+            .iter()
+            .find(|c| c.name == "fault machinery engaged")
+            .unwrap();
+        assert_eq!(f.verdict, Verdict::Fail, "{}", f.detail);
+    }
+
+    #[test]
+    fn bucket_hash_is_stable_and_conserves_counts() {
+        let pts: Vec<u32> = (0..10_000).collect();
+        let a = bucket_counts(&pts, 16);
+        assert_eq!(a.len(), 16);
+        assert_eq!(a.iter().sum::<u64>(), 10_000);
+        assert_eq!(a, bucket_counts(&pts, 16), "pure function");
+        // A multiplicative hash spreads a contiguous range well.
+        assert!(a.iter().all(|&c| c > 300), "{a:?}");
+        assert!((tv_distance(&a, &a)).abs() < 1e-12);
+    }
+}

@@ -18,7 +18,7 @@ use fw_fault::FaultProfile;
 use fw_graph::datasets::{GRAPH_SCALE, STRUCT_SCALE};
 use fw_graph::DatasetId;
 use fw_sim::export::trace_summary_json;
-use fw_sim::{CriticalConfig, JourneyConfig, TraceConfig, WorkerPool};
+use fw_sim::{CriticalConfig, JourneyConfig, RngModel, TraceConfig, WorkerPool};
 use fw_walk::{RunReport, WalkEngine, Workload};
 
 use crate::bench_json::{
@@ -65,6 +65,25 @@ pub fn env_threads() -> u32 {
         })
         .unwrap_or(1)
         .max(1)
+}
+
+/// Walk-RNG model for a binary's sweep: `--rng global|sharded` on the
+/// command line, else `FW_RNG`, else the global default. An unknown
+/// spelling aborts rather than silently running the wrong universe —
+/// the two universes' numbers are not comparable (DESIGN.md §14).
+pub fn env_rng() -> RngModel {
+    let args: Vec<String> = std::env::args().collect();
+    let spelled = args
+        .iter()
+        .position(|a| a == "--rng")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .or_else(|| std::env::var("FW_RNG").ok());
+    match spelled {
+        None => RngModel::Global,
+        Some(s) => RngModel::parse(&s)
+            .unwrap_or_else(|| panic!("--rng / FW_RNG wants 'global' or 'sharded', got '{s}'")),
+    }
 }
 
 /// `FW_DATASETS=TT,FS` restricts the dataset grid; default all five.
@@ -231,6 +250,12 @@ pub struct Suite {
     /// not perturb simulated time). Off by default for the same
     /// byte-identity reason as `journeys`.
     pub critical: bool,
+    /// Walk-RNG universe for every FlashWalker and GraphWalker cell
+    /// (DESIGN.md §14). [`RngModel::Global`] — the default — keeps
+    /// records byte-identical to pre-rng-model baselines;
+    /// [`RngModel::Sharded`] samples per-lane streams and stamps `rng`
+    /// into the env fingerprint.
+    pub rng: RngModel,
 }
 
 impl Suite {
@@ -262,6 +287,7 @@ impl Suite {
             threads: 1,
             journeys: false,
             critical: false,
+            rng: RngModel::Global,
         }
     }
 
@@ -292,6 +318,7 @@ impl Suite {
             threads: 1,
             journeys: false,
             critical: false,
+            rng: RngModel::Global,
         }
     }
 
@@ -310,6 +337,7 @@ impl Suite {
             threads: 1,
             journeys: false,
             critical: false,
+            rng: RngModel::Global,
         }
     }
 
@@ -334,6 +362,7 @@ impl Suite {
             threads: 1,
             journeys: false,
             critical: false,
+            rng: RngModel::Global,
         }
     }
 
@@ -361,6 +390,13 @@ impl Suite {
     /// chaining).
     pub fn with_critical(mut self) -> Suite {
         self.critical = true;
+        self
+    }
+
+    /// Select the walk-RNG universe for every engine cell (returns self
+    /// for chaining).
+    pub fn with_rng(mut self, rng: RngModel) -> Suite {
+        self.rng = rng;
         self
     }
 }
@@ -468,6 +504,14 @@ pub struct SuiteResult {
     pub journeys: bool,
     /// Whether critical-path profiles were recorded on seed-0 runs.
     pub critical: bool,
+    /// The walk-RNG universe the suite ran under.
+    pub rng: RngModel,
+    /// The *effective* worker count: `threads` clamped to the widest
+    /// parallel pass (scenario×seed cells or dataset preparations). Extra
+    /// workers beyond that width are provably idle, so the clamp is
+    /// logged at run time and this — not the request — is what the env
+    /// fingerprint stamps.
+    pub workers: u32,
     /// Wall-clock for the whole sweep (dataset generation + every
     /// scenario×seed cell), nanoseconds. This is the number the
     /// thread-scaling experiments divide — per-cell wall times overlap
@@ -501,6 +545,7 @@ struct Probes {
     critical: bool,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_one(
     p: &Prepared,
     sc: &Scenario,
@@ -508,6 +553,7 @@ fn run_one(
     probes: Probes,
     faults: FaultProfile,
     threads: u32,
+    rng: RngModel,
 ) -> RunReport {
     let wl = Workload::paper_default(sc.walks);
     let tcfg = TraceConfig::default();
@@ -520,7 +566,9 @@ fn run_one(
     let ccfg = CriticalConfig::default();
     match sc.engine {
         EngineKind::Flashwalker => {
-            let mut e = flashwalker_engine(p, sc.opts, sc.alpha, seed).with_threads(threads);
+            let mut e = flashwalker_engine(p, sc.opts, sc.alpha, seed)
+                .with_threads(threads)
+                .with_rng(rng);
             if probes.trace {
                 e = e.with_span_trace(tcfg);
             }
@@ -536,7 +584,9 @@ fn run_one(
             e.run(wl)
         }
         EngineKind::Graphwalker => {
-            let mut e = graphwalker_engine(p, sc.gw_memory, seed).with_threads(threads);
+            let mut e = graphwalker_engine(p, sc.gw_memory, seed)
+                .with_threads(threads)
+                .with_rng(rng);
             if probes.trace {
                 e = e.with_span_trace(tcfg);
             }
@@ -556,7 +606,8 @@ fn run_one(
             // the iteration-synchronous baseline (its record row simply
             // omits the section).
             // The iteration-synchronous baseline has no event loop to
-            // shard; it is identical at every thread count.
+            // shard; it is identical at every thread count and in both
+            // RNG universes (it never draws from the walk lanes).
             let mut e = iterative_engine(p, sc.gw_memory, seed);
             if probes.trace {
                 e = e.with_span_trace(tcfg);
@@ -590,8 +641,6 @@ pub fn run_suite(suite: &Suite) -> Result<SuiteResult, String> {
         return Err(format!("suite '{}' has no scenarios to run", suite.name));
     }
     let threads = suite.threads.max(1);
-    let pool = WorkerPool::new(threads as usize);
-    let t_suite = Instant::now();
 
     // Prepare each dataset once, in first-appearance order.
     let mut order: Vec<DatasetId> = Vec::new();
@@ -600,16 +649,6 @@ pub fn run_suite(suite: &Suite) -> Result<SuiteResult, String> {
             order.push(sc.dataset);
         }
     }
-    let prepped: Vec<Prepared> = pool.map_ordered(order.clone(), |_, id| {
-        eprintln!("[{}] generating …", id.abbrev());
-        prepared(id, DEFAULT_SEED)
-    });
-    let prep_of = |d: DatasetId| -> &Prepared {
-        &prepped[order
-            .iter()
-            .position(|&x| x == d)
-            .expect("dataset prepared")]
-    };
 
     // One pool job per scenario×seed cell, split into a GraphWalker pass
     // and an everything-else pass.
@@ -623,6 +662,36 @@ pub fn run_suite(suite: &Suite) -> Result<SuiteResult, String> {
             }
         }
         v
+    };
+
+    // Workers beyond the widest parallel pass never receive a job; clamp
+    // the pool, say so, and let the env fingerprint record what actually
+    // ran rather than what was asked for.
+    let widest = cells(true)
+        .len()
+        .max(cells(false).len())
+        .max(order.len())
+        .max(1) as u32;
+    let workers = threads.min(widest);
+    if workers < threads {
+        eprintln!(
+            "[suite] --threads {} exceeds the {} parallel cells of suite '{}'; \
+             running {} workers (extra workers would sit idle)",
+            threads, widest, suite.name, workers
+        );
+    }
+    let pool = WorkerPool::new(workers as usize);
+    let t_suite = Instant::now();
+
+    let prepped: Vec<Prepared> = pool.map_ordered(order.clone(), |_, id| {
+        eprintln!("[{}] generating …", id.abbrev());
+        prepared(id, DEFAULT_SEED)
+    });
+    let prep_of = |d: DatasetId| -> &Prepared {
+        &prepped[order
+            .iter()
+            .position(|&x| x == d)
+            .expect("dataset prepared")]
     };
     let run_cell = |_: usize, (i, si): (usize, usize)| {
         let sc = &suite.scenarios[i];
@@ -640,6 +709,7 @@ pub fn run_suite(suite: &Suite) -> Result<SuiteResult, String> {
             },
             suite.faults,
             threads,
+            suite.rng,
         );
         (i, si, t0.elapsed().as_nanos() as u64, report)
     };
@@ -698,6 +768,8 @@ pub fn run_suite(suite: &Suite) -> Result<SuiteResult, String> {
         threads,
         journeys: suite.journeys,
         critical: suite.critical,
+        rng: suite.rng,
+        workers,
         suite_wall_ns: t_suite.elapsed().as_nanos() as u64,
         results,
     })
@@ -789,6 +861,8 @@ pub fn build_bench_report(label: &str, res: &SuiteResult, include_wall: bool) ->
             threads: res.threads,
             journeys: res.journeys,
             critical: res.critical,
+            rng: res.rng,
+            workers: res.workers,
         },
         scenarios,
         suite_wall_ns: include_wall.then_some(res.suite_wall_ns),

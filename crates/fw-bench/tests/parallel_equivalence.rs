@@ -18,10 +18,23 @@ use fw_bench::suite::{build_bench_report, default_gw_memory, run_suite, Suite};
 use fw_fault::FaultProfile;
 use fw_graph::DatasetId;
 use fw_sim::export::trace_summary_json;
-use fw_sim::TraceConfig;
+use fw_sim::{RngModel, TraceConfig};
 use fw_walk::{RunReport, WalkEngine, Workload};
 
 const WALKS: u64 = 400;
+
+/// Strip the env stamps that legitimately differ between a threads=1 and
+/// a threads=4 run of the same suite: the `threads` count and — when the
+/// worker clamp fired because the suite is narrower than `--threads` —
+/// the effective `workers` count. Each stamp is the trailing env key on
+/// its line, so the comma rides the preceding line.
+fn unstamp(record: &str) -> String {
+    let mut s = record.replace(",\n    \"threads\": 4", "");
+    for w in 1..4u32 {
+        s = s.replace(&format!(",\n    \"workers\": {w}"), "");
+    }
+    s
+}
 
 fn profiles() -> [FaultProfile; 3] {
     [
@@ -175,9 +188,8 @@ fn journey_sections_are_byte_identical_across_thread_counts() {
             a.name
         );
     }
-    // Full-record equality modulo the env `threads` stamp.
-    let unstamped = par.render().replace(",\n    \"threads\": 4", "");
-    assert_eq!(seq.render(), unstamped);
+    // Full-record equality modulo the env `threads`/`workers` stamps.
+    assert_eq!(seq.render(), unstamp(&par.render()));
 }
 
 /// Suite-level byte equality: the BENCH record of a threads=4 run must
@@ -200,13 +212,50 @@ fn bench_records_are_byte_stable_across_thread_counts() {
     let par = build_bench_report("t", &run_suite(&suite(4)).unwrap(), false).render();
     let par2 = build_bench_report("t", &run_suite(&suite(4)).unwrap(), false).render();
     assert_eq!(par, par2, "threads=4 double run must be byte-identical");
-    // Strip the one legitimate difference — the env `threads` stamp
-    // (the last env key, so the comma rides the preceding line) — and
-    // require the rest byte-equal.
-    let unstamped = par.replace(",\n    \"threads\": 4", "");
+    // Strip the legitimate differences — the env `threads` stamp and the
+    // clamped effective `workers` count — and require the rest byte-equal.
+    let unstamped = unstamp(&par);
     assert_ne!(par, unstamped, "threads=4 record must carry the stamp");
     assert_eq!(
         seq, unstamped,
         "threads=4 record differs from threads=1 beyond the env stamp"
+    );
+}
+
+/// Sharded-RNG byte-reproducibility (ISSUE 9 acceptance): a
+/// `--rng sharded` suite run produces a byte-identical BENCH record at
+/// threads=1 and threads=4 (modulo the same `threads`/`workers` env
+/// stamps), repeated sharded runs are self-identical (the CI double-run
+/// gate), and the record carries the `rng` env stamp so it can never
+/// silently diff against a global-universe record. Thread count never
+/// changes which lane stream a walk draws from: the sharded drain is
+/// lane-major and per-window serial by construction.
+#[test]
+fn sharded_rng_records_are_byte_stable_across_thread_counts() {
+    let suite = |threads: u32| {
+        let mut s = Suite::single(
+            DatasetId::Twitter,
+            WALKS,
+            default_gw_memory(),
+            vec![DEFAULT_SEED],
+        );
+        s.trace = true;
+        s.with_threads(threads).with_rng(RngModel::Sharded)
+    };
+    let seq = build_bench_report("t", &run_suite(&suite(1)).unwrap(), false).render();
+    let par = build_bench_report("t", &run_suite(&suite(4)).unwrap(), false).render();
+    let par2 = build_bench_report("t", &run_suite(&suite(4)).unwrap(), false).render();
+    assert_eq!(
+        par, par2,
+        "sharded threads=4 double run must be byte-identical"
+    );
+    assert!(
+        seq.contains("\"rng\": \"sharded\""),
+        "sharded runs stamp the env fingerprint"
+    );
+    assert_eq!(
+        seq,
+        unstamp(&par),
+        "sharded record differs across thread counts beyond the env stamps"
     );
 }

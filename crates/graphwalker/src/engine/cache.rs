@@ -2,32 +2,40 @@
 //! pre-walk), state-aware block picking, the LRU host block cache and the
 //! read-back of spilled walk pages.
 
-use fw_graph::VertexId;
+use fw_graph::{PartitionedGraph, VertexId};
 use fw_nand::Ppa;
-use fw_sim::{Duration, JourneyEventKind, SimTime};
+use fw_sim::{Duration, JourneyEventKind, SimTime, Xoshiro256pp};
 
 use super::{GraphWalkerSim, GwRun};
 
 impl GraphWalkerSim<'_> {
-    /// The graph block owning vertex `v`. Dense vertices pick a slice
-    /// proportionally (same pre-walk arithmetic as FlashWalker,
-    /// host-side).
-    pub(super) fn block_of(&mut self, v: VertexId) -> u32 {
-        match self.blocks.find_dense(v) {
+    /// The graph block owning vertex `v`, drawing any dense-vertex slice
+    /// pick from the supplied generator (same pre-walk arithmetic as
+    /// FlashWalker, host-side). Block-update bodies pass their lane's
+    /// stream; init paths pass the root.
+    pub(super) fn block_of_in(
+        blocks: &PartitionedGraph,
+        v: VertexId,
+        rng: &mut Xoshiro256pp,
+    ) -> u32 {
+        match blocks.find_dense(v) {
             Some(meta) => {
                 // Dense vertices are rare at 2 MB blocks; walks at one pick
                 // a slice proportionally.
                 let meta = *meta;
-                let cap = self.blocks.config.dense_slice_edges();
-                let rnd = self.rng.next_below(meta.total_degree);
+                let cap = blocks.config.dense_slice_edges();
+                let rnd = rng.next_below(meta.total_degree);
                 let idx = ((rnd / cap) as u32).min(meta.num_blocks - 1);
                 meta.first_subgraph + idx
             }
-            None => self
-                .blocks
-                .subgraph_of(v)
-                .expect("vertex outside all blocks"),
+            None => blocks.subgraph_of(v).expect("vertex outside all blocks"),
         }
+    }
+
+    /// [`Self::block_of_in`] on the root RNG — the init path, which draws
+    /// identically in both RNG universes.
+    pub(super) fn block_of(&mut self, v: VertexId) -> u32 {
+        Self::block_of_in(&self.blocks, v, &mut self.rng)
     }
 
     /// Pick the block with the most waiting walks (state-aware

@@ -28,8 +28,8 @@ use fw_nand::layout::GraphBlockPlacement;
 use fw_nand::{GraphLayout, Lpn, Ssd, SsdConfig};
 use fw_sim::{
     CriticalConfig, CriticalRecorder, CriticalReport, Duration, JourneyConfig, JourneyEventKind,
-    JourneyRecorder, JourneyReport, SimTime, TimeSeries, TraceConfig, TraceReport, Tracer,
-    Xoshiro256pp,
+    JourneyRecorder, JourneyReport, LaneRngs, RngModel, SimTime, TimeSeries, TraceConfig,
+    TraceReport, Tracer, Xoshiro256pp,
 };
 use fw_walk::{
     EngineBreakdown, FaultSummary, RunReport, RunStats, Traffic, Walk, WalkEngine, Workload,
@@ -162,6 +162,16 @@ pub struct GraphWalkerSim<'g> {
     wl: Workload,
     ssd: Ssd,
     rng: Xoshiro256pp,
+    /// Which sampled-path universe this run inhabits (DESIGN.md §14).
+    /// `Global` draws every hop from the root `rng`; `Sharded` draws each
+    /// block-update batch from the block's own jump-ahead lane stream in
+    /// `lane_rngs`.
+    rng_model: RngModel,
+    /// Per-block walk RNG streams, 2^128 draws apart. Lane `b` is a pure
+    /// function of `(seed, b)` — keyed by *block id*, never by thread
+    /// count — and lanes materialize on demand. Only consulted when
+    /// `rng_model` is `Sharded`.
+    lane_rngs: LaneRngs,
     /// Construction seed, kept so [`Self::with_faults`] can derive the
     /// injector's independent stream.
     seed: u64,
@@ -254,6 +264,8 @@ impl<'g> GraphWalkerSim<'g> {
             wl: Workload::paper_default(0),
             ssd: Ssd::new(ssd_cfg, static_blocks),
             rng: Xoshiro256pp::new(seed),
+            rng_model: RngModel::Global,
+            lane_rngs: LaneRngs::new(seed, 0),
             seed,
             faults: FaultProfile::none(),
             cache: Vec::new(),
@@ -279,6 +291,36 @@ impl<'g> GraphWalkerSim<'g> {
         self.threads = n.max(1);
         self.rebuild_stream_tracers();
         self
+    }
+
+    /// Select the walk-RNG universe (default [`RngModel::Global`]).
+    /// `Sharded` samples each block's update batches from the block's own
+    /// jump-ahead stream — different but statistically equivalent walk
+    /// paths, still byte-reproducible for a fixed seed at any thread
+    /// count because lanes are keyed by block id (DESIGN.md §14).
+    pub fn with_rng(mut self, model: RngModel) -> Self {
+        self.rng_model = model;
+        self
+    }
+
+    /// Borrow the walk RNG an update batch on `block` must draw from: the
+    /// root generator in the global universe (moved out so the batch can
+    /// hold it alongside `&mut self`; same object, same draw order), the
+    /// block's own lane stream in the sharded one. Must be returned via
+    /// [`Self::put_walk_rng`].
+    pub(super) fn take_walk_rng(&mut self, block: u32) -> Xoshiro256pp {
+        match self.rng_model {
+            RngModel::Global => std::mem::replace(&mut self.rng, Xoshiro256pp::new(0)),
+            RngModel::Sharded => self.lane_rngs.take(block as usize),
+        }
+    }
+
+    /// Return a generator borrowed with [`Self::take_walk_rng`].
+    pub(super) fn put_walk_rng(&mut self, block: u32, rng: Xoshiro256pp) {
+        match self.rng_model {
+            RngModel::Global => self.rng = rng,
+            RngModel::Sharded => self.lane_rngs.put(block as usize, rng),
+        }
     }
 
     fn rebuild_stream_tracers(&mut self) {
@@ -844,6 +886,83 @@ mod tests {
         expect.sort_unstable();
         assert_eq!(got, expect);
         assert!(r.walk_log.iter().all(|w| w.is_done()));
+    }
+
+    #[test]
+    fn explicit_global_rng_is_byte_identical_to_default() {
+        let g = graph(800, 8_000);
+        let base = run(&g, small_cfg(64 << 10), 1_000);
+        let explicit = GraphWalkerSim::new(&g, 4, small_cfg(64 << 10), SsdConfig::tiny(), 5)
+            .with_rng(RngModel::Global)
+            .run_detailed(Workload::paper_default(1_000));
+        assert_eq!(explicit.time, base.time);
+        assert_eq!(explicit.hops, base.hops);
+        assert_eq!(explicit.flash_read_bytes, base.flash_read_bytes);
+    }
+
+    #[test]
+    fn sharded_rng_conserves_walks_and_is_byte_reproducible_across_threads() {
+        // Per-block lane streams: the sampled paths are a pure function
+        // of (seed, block id), so the run is byte-reproducible at any
+        // thread count, and walk sources are conserved exactly through
+        // block switches and spills.
+        let g = graph(1500, 18_000);
+        let wl = Workload::paper_default(2_500);
+        let at = |threads: u32| {
+            GraphWalkerSim::new(&g, 4, small_cfg(96 << 10), SsdConfig::tiny(), 5)
+                .with_rng(RngModel::Sharded)
+                .with_threads(threads)
+                .with_walk_log()
+                .run_detailed(wl)
+        };
+        let a = at(1);
+        assert_eq!(a.walks, 2_500);
+        for threads in [2u32, 4] {
+            let r = at(threads);
+            assert_eq!(r.time, a.time, "threads={threads}");
+            assert_eq!(r.hops, a.hops);
+            assert_eq!(r.flash_read_bytes, a.flash_read_bytes);
+            assert_eq!(r.walk_log, a.walk_log, "identical sampled paths");
+        }
+        let mut got: Vec<u32> = a.walk_log.iter().map(|w| w.src).collect();
+        let mut expect: Vec<u32> = wl.init_walks(&g, 0).iter().map(|w| w.src).collect();
+        got.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(got, expect, "sharded universe conserves walk sources");
+        // And it IS a different universe than the global reference.
+        let global =
+            GraphWalkerSim::new(&g, 4, small_cfg(96 << 10), SsdConfig::tiny(), 5).run_detailed(wl);
+        assert_ne!(
+            (a.time, a.flash_read_bytes),
+            (global.time, global.flash_read_bytes),
+            "the sampled-path universes must actually differ"
+        );
+    }
+
+    #[test]
+    fn sharded_rng_completes_under_heavy_faults_at_every_thread_count() {
+        // Fault-retry accounting under the sharded universe: heavy
+        // profile, threads ∈ {1, 2, 4}, every walk completes and the
+        // retry ledger replays identically.
+        let g = graph(2000, 20_000);
+        let at = |threads: u32| {
+            GraphWalkerSim::new(&g, 4, small_cfg(96 << 10), SsdConfig::tiny(), 5)
+                .with_rng(RngModel::Sharded)
+                .with_threads(threads)
+                .with_faults(fw_fault::FaultProfile::heavy())
+                .run_detailed(Workload::paper_default(2_000))
+        };
+        let a = at(1);
+        assert_eq!(a.walks, 2_000, "every walk completes under heavy faults");
+        let f = a.faults.expect("faulted run reports a summary");
+        assert!(f.read_retries > 0, "heavy profile must trigger retries");
+        for threads in [2u32, 4] {
+            let r = at(threads);
+            assert_eq!(r.walks, 2_000);
+            assert_eq!(r.time, a.time, "threads={threads}");
+            assert_eq!(r.hops, a.hops);
+            assert_eq!(r.faults, a.faults, "fault ledger replays exactly");
+        }
     }
 
     #[test]

@@ -19,6 +19,11 @@ impl GraphWalkerSim<'_> {
         // cached (and keep hopping) or leave to *another* block's pool —
         // nothing pushes into `block`'s own pool mid-update.
         let mut work = std::mem::take(&mut self.pools[block as usize].walks);
+        // The batch's walk RNG: the root generator in the global universe
+        // (same object, same draw order), the block's own jump-ahead lane
+        // in the sharded one — GraphWalker lanes are keyed by block id, a
+        // pure function of the graph, never of thread count.
+        let mut wrng = self.take_walk_rng(block);
         let mut batch_hops: u64 = 0;
         // Journey bookkeeping: the batch duration is only known after the
         // drain, so sampled ids are collected and stamped below.
@@ -32,7 +37,7 @@ impl GraphWalkerSim<'_> {
                 j_ids.push(w.id);
             }
             loop {
-                let (ev, _ops) = self.wl.step(self.csr, w, &mut self.rng);
+                let (ev, _ops) = self.wl.step(self.csr, w, &mut wrng);
                 batch_hops += 1;
                 match ev {
                     WalkEvent::Completed(done) => {
@@ -48,7 +53,7 @@ impl GraphWalkerSim<'_> {
                     }
                     WalkEvent::Moved(next) => {
                         w = next;
-                        let b = self.block_of(w.cur);
+                        let b = Self::block_of_in(&self.blocks, w.cur, &mut wrng);
                         if self.cache.contains(&b) {
                             // Keep updating inside cached blocks, but
                             // account the walk to its block if we stop.
@@ -63,6 +68,7 @@ impl GraphWalkerSim<'_> {
                 }
             }
         }
+        self.put_walk_rng(block, wrng);
         self.pools[block as usize].walks = work;
         run.hops += batch_hops;
         let cpu = Duration::nanos(batch_hops * self.cfg.cpu_ns_per_hop);
