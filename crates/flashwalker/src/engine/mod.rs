@@ -411,6 +411,11 @@ impl<'g> FlashWalkerSim<'g> {
     }
 
     /// Collect every completed walk into [`FwReport::walk_log`].
+    ///
+    /// Besides the figure binaries, this is the serving layer's hook:
+    /// `fw-serve` runs every admitted batch with the walk log on and
+    /// installs the endpoint distribution of cacheable (single-source)
+    /// batches into its hot-source walk cache.
     pub fn with_walk_log(mut self) -> Self {
         self.walk_log = Some(Vec::new());
         self

@@ -1029,12 +1029,14 @@ pub fn newest_bench_file(dir: &Path, exclude: &[&Path]) -> Option<PathBuf> {
     candidates.pop().map(|(_, p)| p)
 }
 
-/// Shared in-crate test fixtures (also used by `record`/`why` tests).
-#[cfg(test)]
-pub(crate) mod tests_support {
+/// Shared test fixtures (also used by `record`/`why` unit tests and the
+/// `fwbench` CLI regression tests, which need to write doctored records
+/// to disk). Not part of the crate's real API.
+#[doc(hidden)]
+pub mod tests_support {
     use super::*;
 
-    pub(crate) fn tiny_report() -> BenchReport {
+    pub fn tiny_report() -> BenchReport {
         BenchReport {
             schema: SCHEMA.to_string(),
             label: "t".into(),

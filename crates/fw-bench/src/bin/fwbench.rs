@@ -15,6 +15,8 @@
 //! fwbench tail RECORD
 //! fwbench stateq [--dataset TT] [--walks N] [--seed S]
 //!                [--faults none|light|heavy]
+//! fwbench serve [--suite ci] [--seed S] [--queries N] [--label L]
+//!               [--out PATH] [--csv PATH] [--threads N]
 //! ```
 //!
 //! `run` defaults: the `ci` suite, 3 seeds (or `FW_SEEDS`), label = suite
@@ -80,6 +82,15 @@
 //! totals) plus tolerance-gated statistics (endpoint-distribution TV
 //! distance, sampled latency percentiles, simulated time).
 //!
+//! `serve` runs the online-serving suite (`fw-serve`, DESIGN.md §15):
+//! capacity-calibrated Poisson and bursty offered-load points through
+//! admission control, batching, and the hot-source walk cache, writing a
+//! `SERVE_<label>.json` record (schema `fwserve/v1`) plus an optional
+//! throughput-vs-p99 CSV (`--csv`). Everything is simulated time, so the
+//! record is byte-identical across runs — CI double-runs it and `cmp`s.
+//! The `SERVE_` prefix keeps these records out of `compare`'s `BENCH_*`
+//! auto-baseline discovery.
+//!
 //! Exit codes, all subcommands: 0 ok, 1 gate failed, 2 usage, 3 record
 //! unreadable/malformed, 4 record parsed but an accounting invariant is
 //! violated (see EXPERIMENTS.md "Exit codes").
@@ -89,8 +100,9 @@ use std::process::ExitCode;
 
 use fw_bench::bench_json::{newest_bench_file, BenchReport, Json};
 use fw_bench::compare::{compare_reports, CompareConfig};
-use fw_bench::record::load_bench_report;
+use fw_bench::record::{load_bench_report, load_serve_record};
 use fw_bench::runner::DEFAULT_SEED;
+use fw_bench::serve::{build_serve_record, render_serve_table, run_ci_serve_suite, serve_csv};
 use fw_bench::stateq::{run_stateq, StateqConfig};
 use fw_bench::suite::{build_bench_report, env_seeds, env_threads, run_suite, Suite};
 use fw_bench::why::why_reports;
@@ -100,7 +112,7 @@ use fw_sim::RngModel;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  fwbench run [--suite ci|paper] [--seeds N] [--label L] [--out PATH] [--wall] [--no-trace] [--journeys] [--critical] [--faults none|light|heavy] [--threads N] [--rng global|sharded]\n  fwbench compare [BASELINE] [CURRENT] [--noise-floor F] [--allow-thread-mismatch] [--allow-journey-mismatch] [--allow-rng-mismatch]\n  fwbench why BASELINE CURRENT\n  fwbench hostperf RECORD [BASELINE]\n  fwbench tail RECORD\n  fwbench stateq [--dataset TT] [--walks N] [--seed S] [--faults none|light|heavy]"
+        "usage:\n  fwbench run [--suite ci|paper] [--seeds N] [--label L] [--out PATH] [--wall] [--no-trace] [--journeys] [--critical] [--faults none|light|heavy] [--threads N] [--rng global|sharded]\n  fwbench compare [BASELINE] [CURRENT] [--noise-floor F] [--allow-thread-mismatch] [--allow-journey-mismatch] [--allow-rng-mismatch]\n  fwbench why BASELINE CURRENT\n  fwbench hostperf RECORD [BASELINE]\n  fwbench tail RECORD\n  fwbench stateq [--dataset TT] [--walks N] [--seed S] [--faults none|light|heavy]\n  fwbench serve [--suite ci] [--seed S] [--queries N] [--label L] [--out PATH] [--csv PATH] [--threads N]"
     );
     ExitCode::from(2)
 }
@@ -114,6 +126,7 @@ fn main() -> ExitCode {
         Some("hostperf") => cmd_hostperf(&args[1..]),
         Some("tail") => cmd_tail(&args[1..]),
         Some("stateq") => cmd_stateq(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => usage(),
     }
 }
@@ -322,30 +335,36 @@ fn cmd_hostperf(args: &[String]) -> ExitCode {
         );
         return ExitCode::FAILURE;
     };
-    let base = match &base_path {
-        Some(p) => match load(p) {
-            Ok(r) => Some(r),
+    // Carry the baseline path *with* the loaded record, so every later
+    // use of the path is on the proven-Some arm — a missing baseline
+    // argument can only reach the shared loader's error path (exit 3),
+    // never an unwrap.
+    let base: Option<(PathBuf, BenchReport)> = match base_path {
+        Some(p) => match load(&p) {
+            Ok(r) => Some((p, r)),
             Err(c) => return c,
         },
         None => None,
     };
-    // Baseline wall-ns per scenario: the `host` section when the record
-    // has one, else the scenario rows' `wall_time_ms` (older `--wall`
-    // records predate the section).
+    // Baseline wall-ns per scenario, resolved through the shared helper
+    // (host section first, scenario `wall_time_ms` fallback rounded
+    // half-up). A scenario the baseline can't price is *reported*, not
+    // silently dropped from the "vs base" column.
     let base_wall_ns = |name: &str| -> Option<u64> {
-        let b = base.as_ref()?;
-        if let Some(bh) = &b.host {
-            return bh.iter().find(|h| h.name == name).map(|h| h.wall_ns.mean);
+        let (_, b) = base.as_ref()?;
+        match fw_bench::hostperf::baseline_wall_ns(b, name) {
+            Ok(ns) => Some(ns),
+            Err(why) => {
+                eprintln!("fwbench hostperf: no baseline wall for '{name}': {why}");
+                None
+            }
         }
-        b.scenario(name)
-            .map(|s| (s.wall_time_ms.mean * 1e6) as u64)
-            .filter(|&ns| ns > 0)
     };
-    if let Some(b) = &base {
+    if let Some((p, b)) = &base {
         if b.host.is_none() && b.scenarios.iter().all(|s| s.wall_time_ms.mean == 0.0) {
             eprintln!(
                 "fwbench hostperf: baseline {} has no wall-clock data — re-run with `fwbench run --wall`",
-                base_path.as_ref().unwrap().display()
+                p.display()
             );
             return ExitCode::FAILURE;
         }
@@ -366,7 +385,7 @@ fn cmd_hostperf(args: &[String]) -> ExitCode {
     // fraction of the baseline's. Against a 1-worker baseline this is
     // exactly "how much of perfect N× scaling did N workers deliver".
     let base_evs_per_worker = |name: &str| -> Option<f64> {
-        let b = base.as_ref()?;
+        let (_, b) = base.as_ref()?;
         let bw = b.env.workers.max(1) as f64;
         b.host
             .as_ref()?
@@ -424,12 +443,12 @@ fn cmd_hostperf(args: &[String]) -> ExitCode {
     // inventing a total from overlapping per-cell times.
     match cur.suite_wall_ns {
         Some(ns) => {
-            let base_suite = base.as_ref().and_then(|b| b.suite_wall_ns);
+            let base_suite = base.as_ref().and_then(|(_, b)| b.suite_wall_ns);
             match base_suite {
                 Some(bns) => {
                     let speedup = bns as f64 / ns.max(1) as f64;
                     let base_workers =
-                        base.as_ref().map(|b| b.env.workers.max(1)).unwrap_or(1);
+                        base.as_ref().map(|(_, b)| b.env.workers.max(1)).unwrap_or(1);
                     // Suite-level scaling efficiency: measured speedup as
                     // a fraction of the ideal worker-count ratio.
                     let ideal = workers as f64 / base_workers as f64;
@@ -721,4 +740,79 @@ fn cmd_stateq(args: &[String]) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// `fwbench serve` — run the online-serving suite and write the
+/// `SERVE_<label>.json` record (schema `fwserve/v1`). The written file
+/// is read back through the validating serve-record loader before the
+/// command reports success, so a record that doesn't balance its own
+/// admission books can never be published with exit 0.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let suite_name = flag_value(args, "--suite").unwrap_or("ci");
+    if suite_name != "ci" {
+        eprintln!("unknown serve suite '{suite_name}' (known: ci)");
+        return ExitCode::from(2);
+    }
+    let seed: u64 = match flag_value(args, "--seed") {
+        Some(s) => match s.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--seed wants an integer");
+                return ExitCode::from(2);
+            }
+        },
+        None => DEFAULT_SEED,
+    };
+    let queries: u64 = match flag_value(args, "--queries") {
+        Some(q) => match q.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--queries wants a positive integer");
+                return ExitCode::from(2);
+            }
+        },
+        None => 96,
+    };
+    let threads: u32 = match flag_value(args, "--threads") {
+        Some(t) => match t.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--threads wants a positive integer");
+                return ExitCode::from(2);
+            }
+        },
+        None => env_threads(),
+    };
+    let label = flag_value(args, "--label")
+        .unwrap_or(suite_name)
+        .to_string();
+    let out: PathBuf = flag_value(args, "--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(format!("SERVE_{label}.json")));
+
+    eprintln!(
+        "fwbench serve: suite={suite_name} seed={seed} queries={queries}/scenario threads={threads}"
+    );
+    let result = run_ci_serve_suite(&label, seed, queries, threads);
+    let doc = build_serve_record(&result);
+    if let Err(e) = std::fs::write(&out, doc.render()) {
+        eprintln!("fwbench serve: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    // Self-check through the same loader CI and humans use, with the
+    // same exit-code contract (3 parse, 4 invariant).
+    if let Err(e) = load_serve_record(&out) {
+        eprintln!("fwbench serve: written record fails validation: {e}");
+        return ExitCode::from(e.exit_code());
+    }
+    if let Some(csv_path) = flag_value(args, "--csv") {
+        if let Err(e) = std::fs::write(csv_path, serve_csv(&doc)) {
+            eprintln!("fwbench serve: cannot write {csv_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("fwbench serve: wrote {csv_path}");
+    }
+    print!("{}", render_serve_table(&doc));
+    eprintln!("fwbench serve: wrote {}", out.display());
+    ExitCode::SUCCESS
 }

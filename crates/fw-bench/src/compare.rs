@@ -26,6 +26,15 @@ pub struct CompareConfig {
     pub warn_mult: f64,
     /// Slowdown beyond `fail_mult × noise` → fail (gate trips).
     pub fail_mult: f64,
+    /// Noise-floor widening for single-seed rows. A one-seed record has
+    /// `rel_spread() == 0` — the record carries *no* evidence about its
+    /// own run-to-run noise — so the band would collapse to the bare
+    /// `noise_floor`, making single-seed gating much twitchier than
+    /// multi-seed gating instead of more conservative. When either side
+    /// of a row has `num_seeds <= 1`, the floor becomes
+    /// `noise_floor * single_seed_floor_mult` and the row is flagged in
+    /// the rendered table. `1.0` restores the old collapsed behavior.
+    pub single_seed_floor_mult: f64,
     /// Permit diffing records produced at different worker-thread
     /// counts. Off by default — a thread-count mismatch usually means
     /// the wrong pair of records; the CI equivalence step turns it on
@@ -55,6 +64,7 @@ impl Default for CompareConfig {
             noise_floor: 0.02,
             warn_mult: 1.0,
             fail_mult: 2.0,
+            single_seed_floor_mult: 2.0,
             allow_thread_mismatch: false,
             allow_journey_mismatch: false,
             allow_rng_mismatch: false,
@@ -100,6 +110,10 @@ pub struct RegressionRow {
     /// Noise band used for this row (max of both records' seed spreads
     /// and the configured floor).
     pub noise: f64,
+    /// True when either record measured this scenario with one seed, so
+    /// the band fell back to the widened single-seed floor (the spread
+    /// carries no noise information).
+    pub single_seed: bool,
     /// Gate outcome.
     pub verdict: Verdict,
 }
@@ -145,16 +159,26 @@ impl CompareResult {
             "{:<28} {:>12} {:>12} {:>8} {:>8}  verdict",
             "scenario", "base_ms", "cur_ms", "delta", "noise"
         );
+        let mut any_single_seed = false;
         for r in &self.rows {
+            any_single_seed |= r.single_seed;
             let _ = writeln!(
                 out,
-                "{:<28} {:>12.3} {:>12.3} {:>+7.2}% {:>7.2}%  {}",
+                "{:<28} {:>12.3} {:>12.3} {:>+7.2}% {:>7.2}%  {}{}",
                 r.name,
                 r.base_ns as f64 / 1e6,
                 r.cur_ns as f64 / 1e6,
                 r.delta * 100.0,
                 r.noise * 100.0,
-                r.verdict
+                r.verdict,
+                if r.single_seed { " *" } else { "" }
+            );
+        }
+        if any_single_seed {
+            let _ = writeln!(
+                out,
+                "* single-seed row: no seed-spread evidence, widened noise floor applied \
+                 (gate is weaker — prefer multi-seed records)"
             );
         }
         for m in &self.missing {
@@ -246,11 +270,19 @@ pub fn compare_reports(
             missing.push(b.name.clone());
             continue;
         };
+        // A single-seed side has zero spread — no noise evidence — so the
+        // floor widens instead of the band collapsing to the bare floor.
+        let single_seed = b.num_seeds <= 1 || c.num_seeds <= 1;
+        let floor = if single_seed {
+            cfg.noise_floor * cfg.single_seed_floor_mult
+        } else {
+            cfg.noise_floor
+        };
         let noise = b
             .sim_time_ns
             .rel_spread()
             .max(c.sim_time_ns.rel_spread())
-            .max(cfg.noise_floor);
+            .max(floor);
         let base_ns = b.sim_time_ns.mean;
         let cur_ns = c.sim_time_ns.mean;
         let delta = if base_ns == 0 {
@@ -271,6 +303,7 @@ pub fn compare_reports(
             cur_ns,
             delta,
             noise,
+            single_seed,
             verdict,
         });
     }
@@ -776,6 +809,56 @@ mod tests {
         assert!(checks[1].detail.contains("no other dataset anchor"));
         assert_eq!(checks[2].verdict, Verdict::Skip, "{}", checks[2].detail);
         assert!(checks[2].detail.contains("fw/CW/w2000"));
+    }
+
+    /// Pin the single-seed noise-band behavior: with one seed,
+    /// `rel_spread()` is 0 and the band used to collapse to the bare 2%
+    /// floor, gating *tighter* than a 3-seed record with real spread.
+    /// The seed-count-aware floor widens single-seed rows by
+    /// `single_seed_floor_mult` and flags them in the rendered table.
+    #[test]
+    fn single_seed_rows_get_a_widened_floor_and_a_warning() {
+        // Zero-spread records: the only band evidence is the floor.
+        let base = report(vec![record("fw", "TT", 1000, 100_000_000, 0, None)]);
+        let mut cur = report(vec![record("fw", "TT", 1000, 105_000_000, 0, None)]);
+        // 5% slowdown. With 3 seeds the floor stays 2%: 5% > 2×2% → Fail.
+        let res = compare_reports(&base, &cur, &CompareConfig::default()).unwrap();
+        assert!(!res.rows[0].single_seed);
+        assert_eq!(res.rows[0].verdict, Verdict::Fail);
+
+        // Same movement measured with one seed on the current side: the
+        // floor widens to 4%, so 5% is a Warn (inside 2×4%), and the row
+        // is flagged as weakly gated.
+        cur.scenarios[0].num_seeds = 1;
+        let res = compare_reports(&base, &cur, &CompareConfig::default()).unwrap();
+        assert!(res.rows[0].single_seed);
+        assert!((res.rows[0].noise - 0.04).abs() < 1e-12);
+        assert_eq!(res.rows[0].verdict, Verdict::Warn);
+        let text = res.render();
+        assert!(text.contains("single-seed row"), "{text}");
+        assert!(text.contains(" *"), "{text}");
+
+        // A real measured spread still beats the widened floor.
+        cur.scenarios[0].sim_time_ns = StatU {
+            mean: 105_000_000,
+            min: 95_000_000,
+            max: 115_000_000,
+        };
+        let res = compare_reports(&base, &cur, &CompareConfig::default()).unwrap();
+        assert!(res.rows[0].noise > 0.04);
+
+        // Opting out (mult = 1.0) restores the collapsed band.
+        cur.scenarios[0].sim_time_ns = StatU {
+            mean: 105_000_000,
+            min: 105_000_000,
+            max: 105_000_000,
+        };
+        let cfg = CompareConfig {
+            single_seed_floor_mult: 1.0,
+            ..CompareConfig::default()
+        };
+        let res = compare_reports(&base, &cur, &cfg).unwrap();
+        assert_eq!(res.rows[0].verdict, Verdict::Fail);
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Baseline wall-clock lookup for `fwbench hostperf`.
+//!
+//! `hostperf` compares a record's host wall-clock against a baseline
+//! record. The baseline's per-scenario wall time comes from its `host`
+//! section when it has one; older `--wall` records predate the section
+//! and only carry the scenario rows' `wall_time_ms` column. That
+//! fallback path had two bugs this module exists to pin down:
+//!
+//! 1. `(mean_ms * 1e6) as u64` *floor*-truncates — `0.0003 ms` became
+//!    `299 ns` (float `0.0003 * 1e6 == 299.999…`), and anything below
+//!    a microsecond could collapse toward 0. The conversion now rounds
+//!    half-up.
+//! 2. a `.filter(|&ns| ns > 0)` silently dropped the scenario from the
+//!    comparison, so a baseline whose wall was below the record's
+//!    resolution looked like a missing scenario. The lookup now returns
+//!    a *reason* (`Err`) so the caller prints a visible warning instead.
+//!
+//! `wall_time_ms` renders at 4 decimals, so the fallback's resolution is
+//! 0.0001 ms = 100 ns; a parsed mean of exactly 0.0 is indistinguishable
+//! from "the baseline never ran `--wall`", and both report the same way.
+
+use crate::bench_json::BenchReport;
+
+/// Baseline wall nanoseconds for scenario `name`.
+///
+/// Prefers the baseline's `host` section (exact ns); falls back to the
+/// scenario row's `wall_time_ms` mean, converted with round-half-up and
+/// clamped to ≥ 1 ns so a sub-resolution-but-nonzero wall still
+/// participates in the comparison. Returns `Err(reason)` when the
+/// scenario cannot be compared — the caller must surface the reason, not
+/// drop the row silently.
+pub fn baseline_wall_ns(base: &BenchReport, name: &str) -> Result<u64, String> {
+    if let Some(host) = &base.host {
+        return match host.iter().find(|h| h.name == name) {
+            Some(h) => Ok(h.wall_ns.mean),
+            None => Err("not present in the baseline's host section".into()),
+        };
+    }
+    let Some(s) = base.scenario(name) else {
+        return Err("not present in the baseline record".into());
+    };
+    let mean_ms = s.wall_time_ms.mean;
+    if mean_ms <= 0.0 {
+        return Err(
+            "baseline has no wall data for it (wall_time_ms is 0 — the baseline either \
+             predates `--wall` or its wall was below the record's 0.1 µs resolution)"
+                .into(),
+        );
+    }
+    Ok(((mean_ms * 1e6).round() as u64).max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_json::{tests_support::tiny_report, HostScenario, StatF, StatU};
+
+    fn base_with_wall(mean_ms: f64) -> BenchReport {
+        let mut rep = tiny_report();
+        rep.scenarios[0].wall_time_ms = StatF {
+            mean: mean_ms,
+            min: mean_ms,
+            max: mean_ms,
+        };
+        rep
+    }
+
+    #[test]
+    fn host_section_wins_over_the_scenario_row() {
+        let mut rep = base_with_wall(123.0);
+        rep.host = Some(vec![HostScenario {
+            name: "fw/TT/w100".into(),
+            wall_ns: StatU {
+                mean: 777,
+                min: 777,
+                max: 777,
+            },
+            host_events: StatU {
+                mean: 10,
+                min: 10,
+                max: 10,
+            },
+            events_per_sec: StatF {
+                mean: 1.0,
+                min: 1.0,
+                max: 1.0,
+            },
+        }]);
+        assert_eq!(baseline_wall_ns(&rep, "fw/TT/w100"), Ok(777));
+        let err = baseline_wall_ns(&rep, "fw/TT/w999").unwrap_err();
+        assert!(err.contains("host section"), "{err}");
+    }
+
+    #[test]
+    fn fallback_rounds_half_up_instead_of_truncating() {
+        // The motivating float: 0.0003 * 1e6 == 299.999…, which the old
+        // `as u64` cast floored to 299.
+        assert_eq!(
+            baseline_wall_ns(&base_with_wall(0.0003), "fw/TT/w100"),
+            Ok(300)
+        );
+        // Sub-microsecond means survive instead of collapsing to 0.
+        assert_eq!(
+            baseline_wall_ns(&base_with_wall(0.0001), "fw/TT/w100"),
+            Ok(100)
+        );
+        // Sub-resolution-but-positive walls clamp to 1 ns, still compared.
+        assert_eq!(baseline_wall_ns(&base_with_wall(1e-7), "fw/TT/w100"), Ok(1));
+        assert_eq!(
+            baseline_wall_ns(&base_with_wall(2.5), "fw/TT/w100"),
+            Ok(2_500_000)
+        );
+    }
+
+    #[test]
+    fn zero_wall_is_a_visible_reason_not_a_silent_drop() {
+        // tiny_report uses StatF::zero() — the "baseline never ran
+        // --wall" shape.
+        let rep = tiny_report();
+        let err = baseline_wall_ns(&rep, "fw/TT/w100").unwrap_err();
+        assert!(err.contains("no wall data"), "{err}");
+        let err = baseline_wall_ns(&rep, "fw/XX/w1").unwrap_err();
+        assert!(err.contains("not present"), "{err}");
+    }
+}

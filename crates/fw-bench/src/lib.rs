@@ -20,15 +20,22 @@
 //!   the components whose critical-path time grew,
 //! * [`stateq`] — the statistical-equivalence gate between the two
 //!   walk-RNG universes (`--rng global` vs `--rng sharded`),
+//! * [`serve`] — the online-serving suite over `fw-serve`: capacity-
+//!   calibrated offered-load points, throughput-vs-p99 curves, and the
+//!   byte-deterministic `SERVE_*.json` record + CSV artifact,
+//! * [`hostperf`] — shared baseline wall-time resolution for
+//!   `fwbench hostperf` (explicit reasons instead of silent drops),
 //!
 //! all driven by the `fwbench` binary (`fwbench run` / `fwbench compare`
-//! / `fwbench why` / `fwbench stateq`).
+//! / `fwbench why` / `fwbench stateq` / `fwbench serve`).
 
 pub mod bench_json;
 pub mod chart;
 pub mod compare;
+pub mod hostperf;
 pub mod record;
 pub mod runner;
+pub mod serve;
 pub mod stateq;
 pub mod suite;
 pub mod why;

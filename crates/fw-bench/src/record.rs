@@ -58,6 +58,95 @@ pub fn load_bench_report(path: &Path) -> Result<BenchReport, LoadError> {
     Ok(rep)
 }
 
+/// Schema tag of `fwbench serve` records (`SERVE_<label>.json`). A
+/// distinct schema (and filename prefix) keeps serve records out of
+/// `compare`'s `BENCH_*` auto-baseline discovery.
+pub const SERVE_SCHEMA: &str = "fwserve/v1";
+
+/// Load an `fwbench serve` record with the same failure taxonomy as
+/// [`load_bench_report`]: unreadable/malformed/foreign-schema → exit 3,
+/// admission books that don't balance → exit 4.
+pub fn load_serve_record(path: &Path) -> Result<Json, LoadError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| LoadError::Parse(format!("cannot read {}: {e}", path.display())))?;
+    let doc =
+        Json::parse(&text).map_err(|e| LoadError::Parse(format!("{}: {e}", path.display())))?;
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(s) if s == SERVE_SCHEMA => {}
+        other => {
+            return Err(LoadError::Parse(format!(
+                "{}: schema {:?} is not '{SERVE_SCHEMA}'",
+                path.display(),
+                other.unwrap_or("<missing>")
+            )))
+        }
+    }
+    validate_serve_record(&doc).map_err(LoadError::Invariant)?;
+    Ok(doc)
+}
+
+/// The serve record's accounting invariants, per scenario:
+///
+/// * `admitted + rejected == offered` (the ISSUE's acceptance identity),
+/// * rejection reasons sum to `rejected`,
+/// * per-tenant tallies balance and sum to the totals,
+/// * per-query latency count equals `admitted`,
+/// * every admitted walk completed (`walks_completed == walks_admitted`).
+pub fn validate_serve_record(doc: &Json) -> Result<(), String> {
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .ok_or("record has no scenarios array")?;
+    for sc in scenarios {
+        let name = sc.get("name").and_then(Json::as_str).unwrap_or("<unnamed>");
+        let u = |k: &str| sc.get(k).and_then(Json::as_u64).unwrap_or(0);
+        let (offered, admitted, rejected) = (u("offered"), u("admitted"), u("rejected"));
+        if admitted + rejected != offered {
+            return Err(format!(
+                "{name}: admitted {admitted} + rejected {rejected} != offered {offered}"
+            ));
+        }
+        if u("rejected_capacity") + u("rejected_fairness") != rejected {
+            return Err(format!(
+                "{name}: rejection reasons do not sum to {rejected}"
+            ));
+        }
+        let (mut to, mut ta, mut tr) = (0u64, 0u64, 0u64);
+        for t in sc.get("tenants").and_then(Json::as_arr).unwrap_or(&[]) {
+            let tu = |k: &str| t.get(k).and_then(Json::as_u64).unwrap_or(0);
+            if tu("admitted") + tu("rejected") != tu("offered") {
+                return Err(format!("{name}: tenant books do not balance: {t:?}"));
+            }
+            to += tu("offered");
+            ta += tu("admitted");
+            tr += tu("rejected");
+        }
+        if (to, ta, tr) != (offered, admitted, rejected) {
+            return Err(format!(
+                "{name}: tenant sums ({to}, {ta}, {tr}) != totals ({offered}, {admitted}, {rejected})"
+            ));
+        }
+        let lat_count = sc
+            .get("latency")
+            .and_then(|l| l.get("count"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        if lat_count != admitted {
+            return Err(format!(
+                "{name}: latency count {lat_count} != admitted {admitted}"
+            ));
+        }
+        if u("walks_completed") != u("walks_admitted") {
+            return Err(format!(
+                "{name}: walks completed {} != walks admitted {}",
+                u("walks_completed"),
+                u("walks_admitted")
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Check the record's internal books. Pure; used by [`load_bench_report`]
 /// and directly by tests.
 pub fn validate_report(rep: &BenchReport) -> Result<(), String> {
@@ -189,5 +278,65 @@ mod tests {
     fn exit_codes_distinguish_parse_from_invariant() {
         assert_eq!(LoadError::Parse("x".into()).exit_code(), 3);
         assert_eq!(LoadError::Invariant("x".into()).exit_code(), 4);
+    }
+
+    fn serve_scenario(offered: u64, admitted: u64, rejected: u64) -> String {
+        format!(
+            r#"{{"name":"serve/fw/TT/poisson-x090","offered":{offered},"admitted":{admitted},
+                "rejected":{rejected},"rejected_capacity":{rejected},"rejected_fairness":0,
+                "walks_admitted":50,"walks_completed":50,
+                "tenants":[{{"tenant":0,"offered":{offered},"admitted":{admitted},"rejected":{rejected}}}],
+                "latency":{{"count":{admitted},"p50_ns":10,"p95_ns":20,"p99_ns":30,"max_ns":40,"mean_ns":15}}}}"#
+        )
+    }
+
+    fn serve_doc(scenario: &str) -> Json {
+        parse(&format!(
+            r#"{{"schema":"{SERVE_SCHEMA}","label":"t","scenarios":[{scenario}]}}"#
+        ))
+    }
+
+    #[test]
+    fn balanced_serve_record_passes() {
+        validate_serve_record(&serve_doc(&serve_scenario(10, 8, 2))).expect("books balance");
+    }
+
+    #[test]
+    fn serve_admission_identity_is_enforced() {
+        let err = validate_serve_record(&serve_doc(&serve_scenario(10, 8, 3))).unwrap_err();
+        assert!(
+            err.contains("admitted 8 + rejected 3 != offered 10"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn serve_latency_count_must_match_admitted() {
+        let sc = serve_scenario(10, 8, 2).replace("\"count\":8", "\"count\":7");
+        let err = validate_serve_record(&serve_doc(&sc)).unwrap_err();
+        assert!(err.contains("latency count 7 != admitted 8"), "{err}");
+    }
+
+    #[test]
+    fn serve_tenant_sums_must_match_totals() {
+        let sc = serve_scenario(10, 8, 2)
+            .replace("\"tenant\":0,\"offered\":10", "\"tenant\":0,\"offered\":9");
+        let err = validate_serve_record(&serve_doc(&sc)).unwrap_err();
+        assert!(err.contains("tenant"), "{err}");
+    }
+
+    #[test]
+    fn foreign_schema_is_a_parse_error_for_serve_records() {
+        let dir = std::env::temp_dir().join("fw_serve_record_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("SERVE_bad.json");
+        std::fs::write(&p, "{\"schema\":\"other/v9\",\"scenarios\":[]}\n").unwrap();
+        let err = load_serve_record(&p).unwrap_err();
+        assert_eq!(err.exit_code(), 3);
+        let p2 = dir.join("SERVE_unbalanced.json");
+        std::fs::write(&p2, serve_doc(&serve_scenario(10, 9, 2)).render()).unwrap();
+        let err = load_serve_record(&p2).unwrap_err();
+        assert_eq!(err.exit_code(), 4);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

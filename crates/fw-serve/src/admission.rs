@@ -1,0 +1,289 @@
+//! Bounded-backlog admission control with per-tenant fairness.
+//!
+//! The service cannot queue unboundedly: past saturation an open-loop
+//! arrival stream grows the backlog (and therefore p99) without limit,
+//! and one heavy tenant can starve everyone else. Admission enforces two
+//! caps, both measured in *walks* (the unit of device work, so a
+//! thousand-walk PPR query weighs more than a ten-walk probe):
+//!
+//! 1. a global backlog cap — reject when admitting would push queued
+//!    walks past `queue_capacity_walks`;
+//! 2. a per-tenant share cap — reject when the tenant alone would hold
+//!    more than `tenant_share` of the capacity, even if the queue has
+//!    room.
+//!
+//! Every decision is accounted: `admitted + rejected == offered` holds
+//! exactly, per tenant and in total, and the two rejection reasons are
+//! tallied separately. `fwbench`'s record loader re-checks the identity
+//! when it validates a serve record.
+
+use crate::query::WalkQuery;
+
+/// Admission policy parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Maximum queued (admitted, not yet started) walks.
+    pub queue_capacity_walks: u64,
+    /// Number of tenants (per-tenant accounting size).
+    pub tenants: u32,
+    /// Maximum fraction of `queue_capacity_walks` one tenant may hold,
+    /// in `(0, 1]`. `1.0` disables the fairness cap.
+    pub tenant_share: f64,
+}
+
+impl AdmissionConfig {
+    /// The per-tenant backlog cap in walks.
+    pub fn tenant_cap_walks(&self) -> u64 {
+        (self.queue_capacity_walks as f64 * self.tenant_share).floor() as u64
+    }
+}
+
+/// Per-tenant offered/admitted/rejected tallies (queries).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Queries offered by this tenant.
+    pub offered: u64,
+    /// Queries admitted.
+    pub admitted: u64,
+    /// Queries rejected (capacity or fairness).
+    pub rejected: u64,
+}
+
+/// Aggregate admission accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Total queries offered.
+    pub offered: u64,
+    /// Total queries admitted.
+    pub admitted: u64,
+    /// Total queries rejected.
+    pub rejected: u64,
+    /// Rejections due to the global backlog cap.
+    pub rejected_capacity: u64,
+    /// Rejections due to the per-tenant share cap.
+    pub rejected_fairness: u64,
+    /// Walks carried by offered / admitted queries.
+    pub walks_offered: u64,
+    /// Walks carried by admitted queries.
+    pub walks_admitted: u64,
+    /// Per-tenant tallies.
+    pub per_tenant: Vec<TenantStats>,
+}
+
+impl AdmissionStats {
+    /// Check the exact-accounting identities; returns the first broken
+    /// one as an error string.
+    pub fn check(&self) -> Result<(), String> {
+        if self.admitted + self.rejected != self.offered {
+            return Err(format!(
+                "admitted {} + rejected {} != offered {}",
+                self.admitted, self.rejected, self.offered
+            ));
+        }
+        if self.rejected_capacity + self.rejected_fairness != self.rejected {
+            return Err(format!(
+                "rejection reasons {} + {} != rejected {}",
+                self.rejected_capacity, self.rejected_fairness, self.rejected
+            ));
+        }
+        let (mut o, mut a, mut r) = (0u64, 0u64, 0u64);
+        for t in &self.per_tenant {
+            if t.admitted + t.rejected != t.offered {
+                return Err(format!("tenant accounting broken: {t:?}"));
+            }
+            o += t.offered;
+            a += t.admitted;
+            r += t.rejected;
+        }
+        if (o, a, r) != (self.offered, self.admitted, self.rejected) {
+            return Err(format!(
+                "tenant sums ({o}, {a}, {r}) != totals ({}, {}, {})",
+                self.offered, self.admitted, self.rejected
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The admission controller: decides offers, tracks the walk backlog.
+#[derive(Debug)]
+pub struct Admission {
+    cfg: AdmissionConfig,
+    queued_walks: u64,
+    per_tenant_walks: Vec<u64>,
+    stats: AdmissionStats,
+}
+
+impl Admission {
+    /// New controller with zero backlog.
+    pub fn new(cfg: AdmissionConfig) -> Admission {
+        assert!(cfg.queue_capacity_walks > 0, "zero queue capacity");
+        assert!(
+            cfg.tenant_share > 0.0 && cfg.tenant_share <= 1.0,
+            "tenant share out of range"
+        );
+        Admission {
+            queued_walks: 0,
+            per_tenant_walks: vec![0; cfg.tenants as usize],
+            stats: AdmissionStats {
+                per_tenant: vec![TenantStats::default(); cfg.tenants as usize],
+                ..AdmissionStats::default()
+            },
+            cfg,
+        }
+    }
+
+    /// Offer a query. On admit, its walks join the backlog; on reject,
+    /// the rejection is tallied with its reason. Returns whether the
+    /// query was admitted.
+    pub fn offer(&mut self, q: &WalkQuery) -> bool {
+        let w = q.kind.walks();
+        let t = q.tenant as usize;
+        self.stats.offered += 1;
+        self.stats.walks_offered += w;
+        self.stats.per_tenant[t].offered += 1;
+
+        let admit = if self.queued_walks + w > self.cfg.queue_capacity_walks {
+            self.stats.rejected_capacity += 1;
+            false
+        } else if self.per_tenant_walks[t] + w > self.cfg.tenant_cap_walks() {
+            self.stats.rejected_fairness += 1;
+            false
+        } else {
+            true
+        };
+
+        if admit {
+            self.queued_walks += w;
+            self.per_tenant_walks[t] += w;
+            self.stats.admitted += 1;
+            self.stats.walks_admitted += w;
+            self.stats.per_tenant[t].admitted += 1;
+        } else {
+            self.stats.rejected += 1;
+            self.stats.per_tenant[t].rejected += 1;
+        }
+        admit
+    }
+
+    /// Release a previously admitted query's walks from the backlog
+    /// (called when its batch starts service).
+    pub fn release(&mut self, q: &WalkQuery) {
+        let w = q.kind.walks();
+        debug_assert!(self.queued_walks >= w, "backlog underflow");
+        self.queued_walks -= w;
+        self.per_tenant_walks[q.tenant as usize] -= w;
+    }
+
+    /// Current backlog in walks.
+    pub fn backlog_walks(&self) -> u64 {
+        self.queued_walks
+    }
+
+    /// Accounting so far.
+    pub fn stats(&self) -> &AdmissionStats {
+        &self.stats
+    }
+
+    /// Consume the controller, returning final accounting.
+    pub fn into_stats(self) -> AdmissionStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryKind;
+
+    fn q(id: u64, tenant: u32, walks: u64) -> WalkQuery {
+        WalkQuery {
+            id,
+            tenant,
+            arrival_ns: id * 1000,
+            kind: QueryKind::KHop {
+                source: 1,
+                walks,
+                k: 3,
+            },
+        }
+    }
+
+    fn cfg() -> AdmissionConfig {
+        AdmissionConfig {
+            queue_capacity_walks: 100,
+            tenants: 2,
+            tenant_share: 0.6,
+        }
+    }
+
+    #[test]
+    fn accounting_is_exact_under_mixed_decisions() {
+        let mut adm = Admission::new(cfg());
+        // Tenant 0 fills to its 60-walk share cap, then gets fairness-
+        // rejected; tenant 1 still fits until global capacity runs out.
+        assert!(adm.offer(&q(0, 0, 40)));
+        assert!(adm.offer(&q(1, 0, 20)));
+        assert!(!adm.offer(&q(2, 0, 10)), "fairness cap");
+        assert!(adm.offer(&q(3, 1, 40)));
+        assert!(!adm.offer(&q(4, 1, 10)), "global capacity");
+        let s = adm.stats();
+        assert_eq!((s.offered, s.admitted, s.rejected), (5, 3, 2));
+        assert_eq!(s.rejected_fairness, 1);
+        assert_eq!(s.rejected_capacity, 1);
+        assert_eq!(s.walks_admitted, 100);
+        s.check().unwrap();
+    }
+
+    #[test]
+    fn release_reopens_capacity() {
+        let mut adm = Admission::new(cfg());
+        let a = q(0, 1, 60);
+        assert!(adm.offer(&a));
+        assert!(!adm.offer(&q(1, 1, 10)), "share cap at 60/100*0.6");
+        adm.release(&a);
+        assert_eq!(adm.backlog_walks(), 0);
+        assert!(adm.offer(&q(2, 1, 10)), "capacity reopened");
+        adm.stats().check().unwrap();
+    }
+
+    #[test]
+    fn heavy_tenant_cannot_starve_others() {
+        let mut adm = Admission::new(AdmissionConfig {
+            queue_capacity_walks: 100,
+            tenants: 4,
+            tenant_share: 0.5,
+        });
+        // Tenant 0 floods; only half the queue is ever theirs.
+        for i in 0..20 {
+            adm.offer(&q(i, 0, 10));
+        }
+        assert_eq!(adm.backlog_walks(), 50);
+        // Others still get in.
+        assert!(adm.offer(&q(100, 1, 30)));
+        assert!(adm.offer(&q(101, 2, 20)));
+        let s = adm.stats();
+        assert_eq!(s.per_tenant[0].admitted, 5);
+        assert_eq!(s.per_tenant[0].rejected, 15);
+        s.check().unwrap();
+    }
+
+    #[test]
+    fn check_catches_broken_accounting() {
+        let mut s = AdmissionStats {
+            offered: 2,
+            admitted: 1,
+            rejected: 1,
+            rejected_capacity: 1,
+            per_tenant: vec![TenantStats {
+                offered: 2,
+                admitted: 1,
+                rejected: 1,
+            }],
+            ..AdmissionStats::default()
+        };
+        s.check().unwrap();
+        s.rejected = 2;
+        assert!(s.check().is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! Walker's alias method for O(1) weighted sampling.
+//!
+//! SCARA's serving stack keeps precomputed walk distributions behind an
+//! `Alias` table so a cached source answers in two RNG draws instead of a
+//! binary search (SNIPPETS.md snippet 3). We use the same stack-based
+//! construction: normalize weights to mean 1, split indices into `small`
+//! (< 1) and `large` (≥ 1) stacks, and repeatedly let a large donor top
+//! up a small bucket. Construction is O(n), sampling is O(1), and —
+//! unlike the ITS cumulative-list path — the cost is independent of the
+//! distribution's size or skew, which is exactly what a hot-source cache
+//! wants.
+
+use fw_sim::Xoshiro256pp;
+
+/// An alias table over `n` outcomes `0..n`.
+///
+/// `prob[b]` is the probability that bucket `b` resolves to outcome `b`
+/// itself (vs. its alias partner `alias[b]`). Sampling draws a uniform
+/// bucket then flips a biased coin.
+#[derive(Debug, Clone)]
+pub struct Alias {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl Alias {
+    /// Build an alias table from non-negative weights.
+    ///
+    /// Zero weights are allowed (they get zero mass); the weight *sum*
+    /// must be positive and every weight finite.
+    ///
+    /// # Panics
+    /// Panics on an empty slice, a negative/non-finite weight, or an
+    /// all-zero weight vector — a cache entry with no mass is a caller
+    /// bug, not a samplable distribution.
+    pub fn new(weights: &[f64]) -> Alias {
+        assert!(!weights.is_empty(), "alias table over zero outcomes");
+        let mut sum = 0.0f64;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "bad alias weight {w}");
+            sum += w;
+        }
+        assert!(sum > 0.0, "alias weights sum to zero");
+
+        let n = weights.len();
+        // Normalize to mean 1: p[i] = w[i] * n / sum.
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * n as f64 / sum).collect();
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        // Stacks of bucket indices below / at-or-above the waterline.
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            // Bucket `s` keeps its own mass `prob[s]` and borrows the
+            // remaining `1 - prob[s]` from donor `l`.
+            alias[s as usize] = l;
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers on either stack are exactly full (modulo float
+        // round-off): pin them so no mass is lost.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+        }
+        Alias { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no outcomes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one outcome: uniform bucket, then a biased coin between the
+    /// bucket and its alias partner. Exactly two RNG draws, always.
+    pub fn sample(&self, rng: &mut Xoshiro256pp) -> u32 {
+        let b = rng.next_below(self.prob.len() as u64) as usize;
+        if rng.next_f64() < self.prob[b] {
+            b as u32
+        } else {
+            self.alias[b]
+        }
+    }
+
+    /// The probability mass the table actually assigns to each outcome:
+    /// `(prob[i] + Σ_{b: alias[b]==i} (1 - prob[b])) / n`. Used by tests
+    /// to check construction exactness against the input weights.
+    pub fn implied_probabilities(&self) -> Vec<f64> {
+        let n = self.prob.len();
+        let mut mass = vec![0.0f64; n];
+        for (b, &p) in self.prob.iter().enumerate() {
+            mass[b] += p;
+            mass[self.alias[b] as usize] += 1.0 - p;
+        }
+        for m in &mut mass {
+            *m /= n as f64;
+        }
+        mass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_exact(weights: &[f64]) {
+        let a = Alias::new(weights);
+        let sum: f64 = weights.iter().sum();
+        let implied = a.implied_probabilities();
+        let total: f64 = implied.iter().sum();
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "implied mass sums to {total}, lost mass on {weights:?}"
+        );
+        for (i, (&w, &p)) in weights.iter().zip(&implied).enumerate() {
+            let want = w / sum;
+            assert!(
+                (p - want).abs() < 1e-9,
+                "outcome {i}: implied {p} vs exact {want} for {weights:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn construction_is_exact_for_uniform_and_skewed_weights() {
+        assert_exact(&[1.0]);
+        assert_exact(&[1.0, 1.0, 1.0, 1.0]);
+        assert_exact(&[0.1, 0.2, 0.3, 0.4]);
+        assert_exact(&[5.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+        assert_exact(&[1e-6, 1.0, 1e6]);
+    }
+
+    #[test]
+    fn construction_is_exact_on_degenerate_weights() {
+        // Zero-weight outcomes: no mass lost, none invented.
+        assert_exact(&[0.0, 1.0, 0.0]);
+        assert_exact(&[0.0, 0.0, 0.0, 7.5]);
+        // One outcome holding all mass among many.
+        let mut w = vec![0.0; 64];
+        w[17] = 3.0;
+        assert_exact(&w);
+        // Heavy tail: one huge, many tiny.
+        let mut w = vec![1e-9; 100];
+        w[0] = 1.0;
+        assert_exact(&w);
+    }
+
+    #[test]
+    fn zero_mass_outcomes_are_never_sampled() {
+        let a = Alias::new(&[0.0, 2.0, 0.0, 1.0]);
+        let mut rng = Xoshiro256pp::new(11);
+        for _ in 0..10_000 {
+            let o = a.sample(&mut rng);
+            assert!(o == 1 || o == 3, "sampled zero-weight outcome {o}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to zero")]
+    fn all_zero_weights_panic() {
+        Alias::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero outcomes")]
+    fn empty_weights_panic() {
+        Alias::new(&[]);
+    }
+
+    #[test]
+    fn sampled_frequencies_match_weights() {
+        let weights = [1.0, 2.0, 4.0, 8.0];
+        let a = Alias::new(&weights);
+        let mut rng = Xoshiro256pp::new(77);
+        let mut counts = [0u64; 4];
+        let n = 200_000u64;
+        for _ in 0..n {
+            counts[a.sample(&mut rng) as usize] += 1;
+        }
+        let sum: f64 = weights.iter().sum();
+        for (i, &c) in counts.iter().enumerate() {
+            let got = c as f64 / n as f64;
+            let want = weights[i] / sum;
+            assert!(
+                (got - want).abs() < 0.01,
+                "outcome {i}: freq {got:.4} vs exact {want:.4}"
+            );
+        }
+    }
+
+    /// Alias sampling and the engines' ITS path (binary search over a
+    /// cumulative list, `fw_walk::its_search`) draw from the same
+    /// distribution: seeded frequencies over a skewed weight vector agree
+    /// within statistical noise. This pins the cache's sampler to the
+    /// engine's semantics.
+    #[test]
+    fn alias_agrees_with_direct_its_sampling() {
+        let weights = [0.5, 3.0, 0.25, 1.25, 7.0, 2.0];
+        let n_draws = 120_000u64;
+
+        let a = Alias::new(&weights);
+        let mut rng = Xoshiro256pp::new(1234);
+        let mut alias_counts = vec![0u64; weights.len()];
+        for _ in 0..n_draws {
+            alias_counts[a.sample(&mut rng) as usize] += 1;
+        }
+
+        // Direct ITS over the cumulative list, exactly as sample_biased
+        // does it (f32 cumulative list, uniform draw scaled by the total).
+        let mut cl: Vec<f32> = Vec::with_capacity(weights.len());
+        let mut acc = 0.0f32;
+        for &w in &weights {
+            acc += w as f32;
+            cl.push(acc);
+        }
+        let total = *cl.last().unwrap();
+        let mut rng = Xoshiro256pp::new(5678);
+        let mut its_counts = vec![0u64; weights.len()];
+        for _ in 0..n_draws {
+            let r = (rng.next_f64() as f32) * total;
+            let (idx, _) = fw_walk::its_search(&cl, 0, cl.len(), r);
+            its_counts[idx.min(weights.len() - 1)] += 1;
+        }
+
+        for i in 0..weights.len() {
+            let fa = alias_counts[i] as f64 / n_draws as f64;
+            let fi = its_counts[i] as f64 / n_draws as f64;
+            assert!(
+                (fa - fi).abs() < 0.01,
+                "outcome {i}: alias {fa:.4} vs ITS {fi:.4}"
+            );
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Deterministic open-loop arrival processes.
+//!
+//! The service is driven open-loop: query arrival times are generated up
+//! front from the process description and a seed, independent of how
+//! fast the device drains them. That is what makes throughput-vs-latency
+//! curves honest (closed-loop load generators self-throttle and hide
+//! queueing collapse) and what makes runs byte-reproducible: the arrival
+//! timeline is a pure function of `(process, n, seed)`.
+//!
+//! The generator is deliberately sequential — each inter-arrival gap
+//! depends on the running clock — so determinism across thread counts is
+//! trivial: there is nothing to parallelize, and a test pins that
+//! concurrent generation from the same seed yields identical timelines.
+
+use fw_sim::{derive_stream_seed, Xoshiro256pp};
+
+/// RNG stream tag for arrival-time generation (see
+/// [`fw_sim::derive_stream_seed`]; the walk lanes use `0x57A1C`).
+pub const ARRIVAL_STREAM: u64 = 0xA221;
+
+/// An open-loop arrival process over simulated nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at a constant mean rate: exponential
+    /// inter-arrival gaps with mean `1e9 / rate_qps` ns.
+    Poisson {
+        /// Mean offered load, queries per (simulated) second.
+        rate_qps: f64,
+    },
+    /// On/off burst modulation: within each `period_ns` window the first
+    /// `burst_fraction` is an *on* phase arriving at `burst_qps`, the
+    /// remainder an *off* phase at `base_qps`. Gaps are exponential at
+    /// the rate of the phase the clock currently sits in, so bursts
+    /// stress the queue the way diurnal / flash-crowd traffic does while
+    /// the long-run mean stays analyzable.
+    Bursty {
+        /// Off-phase rate, queries per second.
+        base_qps: f64,
+        /// On-phase rate, queries per second.
+        burst_qps: f64,
+        /// Full on+off cycle length in simulated ns.
+        period_ns: u64,
+        /// Fraction of the period spent in the on phase, in `(0, 1)`.
+        burst_fraction: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Short process name for records and scenario labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Poisson { .. } => "poisson",
+            ArrivalProcess::Bursty { .. } => "bursty",
+        }
+    }
+
+    /// Long-run mean offered load in queries per second.
+    pub fn offered_qps(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_qps } => rate_qps,
+            ArrivalProcess::Bursty {
+                base_qps,
+                burst_qps,
+                burst_fraction,
+                ..
+            } => burst_qps * burst_fraction + base_qps * (1.0 - burst_fraction),
+        }
+    }
+
+    /// Generate the first `n` arrival times (simulated ns, non-
+    /// decreasing). Pure function of `(self, n, seed)`: the RNG is a
+    /// dedicated [`ARRIVAL_STREAM`] derivation of `seed`, so arrival
+    /// timelines never share draws with walk sampling.
+    pub fn times(&self, n: u64, seed: u64) -> Vec<u64> {
+        let mut rng = Xoshiro256pp::new(derive_stream_seed(seed, ARRIVAL_STREAM));
+        let mut out = Vec::with_capacity(n as usize);
+        // The clock accumulates in f64 ns; gaps are >= 1 ns so rounding
+        // never makes the timeline go backwards.
+        let mut t = 0.0f64;
+        for _ in 0..n {
+            let rate_qps = self.rate_at(t);
+            let gap_ns = exp_gap_ns(&mut rng, rate_qps);
+            t += gap_ns;
+            out.push(t.round() as u64);
+        }
+        out
+    }
+
+    /// The instantaneous rate (qps) at simulated time `t_ns`.
+    fn rate_at(&self, t_ns: f64) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_qps } => rate_qps,
+            ArrivalProcess::Bursty {
+                base_qps,
+                burst_qps,
+                period_ns,
+                burst_fraction,
+            } => {
+                let phase = t_ns % period_ns as f64;
+                if phase < burst_fraction * period_ns as f64 {
+                    burst_qps
+                } else {
+                    base_qps
+                }
+            }
+        }
+    }
+}
+
+/// One exponential inter-arrival gap in ns at `rate_qps`, clamped to at
+/// least 1 ns so timestamps strictly advance.
+fn exp_gap_ns(rng: &mut Xoshiro256pp, rate_qps: f64) -> f64 {
+    debug_assert!(rate_qps > 0.0, "arrival rate must be positive");
+    let u = rng.next_f64();
+    let mean_ns = 1e9 / rate_qps;
+    (-(1.0 - u).ln() * mean_ns).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_rate_is_close_to_nominal() {
+        let p = ArrivalProcess::Poisson { rate_qps: 1000.0 };
+        let ts = p.times(20_000, 7);
+        assert_eq!(ts.len(), 20_000);
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "non-decreasing");
+        let span_s = *ts.last().unwrap() as f64 / 1e9;
+        let rate = 20_000.0 / span_s;
+        assert!(
+            (rate - 1000.0).abs() / 1000.0 < 0.05,
+            "empirical rate {rate:.1} qps vs nominal 1000"
+        );
+    }
+
+    #[test]
+    fn bursty_on_phase_is_denser_than_off_phase() {
+        let p = ArrivalProcess::Bursty {
+            base_qps: 200.0,
+            burst_qps: 4000.0,
+            period_ns: 100_000_000, // 100 ms cycle
+            burst_fraction: 0.2,
+        };
+        let ts = p.times(30_000, 9);
+        let (mut on, mut off) = (0u64, 0u64);
+        for &t in &ts {
+            if t % 100_000_000 < 20_000_000 {
+                on += 1;
+            } else {
+                off += 1;
+            }
+        }
+        // On phase holds 20% of the time but ~80% of arrivals
+        // (4000 * 0.2 vs 200 * 0.8 per cycle).
+        let on_share = on as f64 / (on + off) as f64;
+        assert!(on_share > 0.6, "burst share {on_share:.2}");
+        // Mean rate bookkeeping matches the closed form.
+        assert!((p.offered_qps() - (4000.0 * 0.2 + 200.0 * 0.8)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_seed_same_timeline_different_seed_differs() {
+        let p = ArrivalProcess::Poisson { rate_qps: 500.0 };
+        assert_eq!(p.times(1000, 42), p.times(1000, 42));
+        assert_ne!(p.times(1000, 42), p.times(1000, 43));
+        // Prefix property: the first k arrivals don't depend on n.
+        let long = p.times(1000, 42);
+        assert_eq!(&long[..100], &p.times(100, 42)[..]);
+    }
+
+    /// The byte-determinism contract `fwbench serve` relies on: arrival
+    /// timelines generated concurrently from many threads are identical
+    /// to the sequential ones, for both process shapes.
+    #[test]
+    fn generation_is_deterministic_across_thread_counts() {
+        let procs = [
+            ArrivalProcess::Poisson { rate_qps: 750.0 },
+            ArrivalProcess::Bursty {
+                base_qps: 100.0,
+                burst_qps: 2000.0,
+                period_ns: 50_000_000,
+                burst_fraction: 0.25,
+            },
+        ];
+        for p in procs {
+            let reference = p.times(5_000, 21);
+            let handles: Vec<_> = (0..8)
+                .map(|_| std::thread::spawn(move || p.times(5_000, 21)))
+                .collect();
+            for h in handles {
+                assert_eq!(
+                    h.join().unwrap(),
+                    reference,
+                    "{} timeline diverged across threads",
+                    p.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! The precomputed-walk cache for hot sources (SCARA's `WalkCache`).
+//!
+//! Single-source queries (PPR, k-hop) against a hot vertex repeat: the
+//! same `(source, termination)` class arrives again and again. SCARA's
+//! insight is that the *endpoint distribution* of such a run is itself a
+//! reusable artifact — store it once, and answer repeats by weighted
+//! sampling instead of re-walking the graph. We keep one [`Alias`] table
+//! per cached [`QueryClass`], built from the endpoint multiset of the
+//! class's first (miss) run, and charge a per-walk DRAM-ish sampling
+//! cost instead of an engine run on every hit.
+//!
+//! Eviction is LRU by a monotone touch tick. Ticks are unique, so the
+//! eviction victim is well-defined regardless of hash-map iteration
+//! order — determinism does not depend on the hasher.
+
+use std::collections::HashMap;
+
+use fw_graph::VertexId;
+use fw_sim::Xoshiro256pp;
+
+use crate::alias::Alias;
+use crate::query::QueryClass;
+
+/// Cache policy parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalkCacheConfig {
+    /// Maximum cached classes; 0 disables the cache entirely.
+    pub capacity: usize,
+    /// Modeled cost of serving one cached walk (alias draw + result
+    /// write), simulated ns. Orders of magnitude below an engine run —
+    /// that gap is the cache's whole value proposition.
+    pub hit_cost_ns_per_walk: u64,
+}
+
+impl WalkCacheConfig {
+    /// Default: 16 classes, 200 ns per cached walk (~DRAM-resident
+    /// sampling, in the spirit of SCARA's memory-tier cache).
+    pub fn default_cfg() -> WalkCacheConfig {
+        WalkCacheConfig {
+            capacity: 16,
+            hit_cost_ns_per_walk: 200,
+        }
+    }
+
+    /// A disabled cache (every lookup misses, nothing installs).
+    pub fn disabled() -> WalkCacheConfig {
+        WalkCacheConfig {
+            capacity: 0,
+            hit_cost_ns_per_walk: 0,
+        }
+    }
+}
+
+/// Hit/miss/eviction counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (including when disabled).
+    pub misses: u64,
+    /// Entries installed.
+    pub installs: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Walks served by alias sampling instead of the engine.
+    pub cached_walks_served: u64,
+}
+
+struct Entry {
+    /// Distinct endpoints, ascending (index space of `alias`).
+    endpoints: Vec<VertexId>,
+    alias: Alias,
+    /// Last-touch tick for LRU.
+    tick: u64,
+}
+
+/// The walk cache: `QueryClass -> endpoint alias table`.
+pub struct WalkCache {
+    cfg: WalkCacheConfig,
+    map: HashMap<QueryClass, Entry>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl WalkCache {
+    /// New, empty cache.
+    pub fn new(cfg: WalkCacheConfig) -> WalkCache {
+        WalkCache {
+            cfg,
+            map: HashMap::new(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Serve `walks` draws for `class` if cached: returns sampled
+    /// endpoints (and bumps LRU + hit stats), or `None` on a miss.
+    pub fn serve(
+        &mut self,
+        class: &QueryClass,
+        walks: u64,
+        rng: &mut Xoshiro256pp,
+    ) -> Option<Vec<VertexId>> {
+        let Some(e) = self.map.get_mut(class) else {
+            self.stats.misses += 1;
+            return None;
+        };
+        self.tick += 1;
+        e.tick = self.tick;
+        self.stats.hits += 1;
+        self.stats.cached_walks_served += walks;
+        let out = (0..walks)
+            .map(|_| e.endpoints[e.alias.sample(rng) as usize])
+            .collect();
+        Some(out)
+    }
+
+    /// Install the endpoint multiset of a completed single-source run as
+    /// this class's distribution. Endpoints are deduplicated (sorted
+    /// ascending) and their counts become the alias weights, so the
+    /// construction is order-independent and deterministic. Evicts the
+    /// least-recently-used entry when full. No-op when the cache is
+    /// disabled or `endpoints` is empty.
+    pub fn install(&mut self, class: QueryClass, endpoints: &[VertexId]) {
+        if self.cfg.capacity == 0 || endpoints.is_empty() {
+            return;
+        }
+        let mut sorted = endpoints.to_vec();
+        sorted.sort_unstable();
+        let mut uniq: Vec<VertexId> = Vec::new();
+        let mut weights: Vec<f64> = Vec::new();
+        for &v in &sorted {
+            if uniq.last() == Some(&v) {
+                *weights.last_mut().unwrap() += 1.0;
+            } else {
+                uniq.push(v);
+                weights.push(1.0);
+            }
+        }
+        if !self.map.contains_key(&class) && self.map.len() >= self.cfg.capacity {
+            // Unique ticks make min_by_key deterministic even though the
+            // map's iteration order is not.
+            let victim = *self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k)
+                .expect("cache non-empty");
+            self.map.remove(&victim);
+            self.stats.evictions += 1;
+        }
+        self.tick += 1;
+        let alias = Alias::new(&weights);
+        self.map.insert(
+            class,
+            Entry {
+                endpoints: uniq,
+                alias,
+                tick: self.tick,
+            },
+        );
+        self.stats.installs += 1;
+    }
+
+    /// Modeled service time for `walks` cached draws.
+    pub fn hit_cost_ns(&self, walks: u64) -> u64 {
+        self.cfg.hit_cost_ns_per_walk * walks
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Cached classes right now.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn khop(source: VertexId) -> QueryClass {
+        QueryClass::KHop { source, k: 3 }
+    }
+
+    #[test]
+    fn miss_then_install_then_hit() {
+        let mut c = WalkCache::new(WalkCacheConfig::default_cfg());
+        let mut rng = Xoshiro256pp::new(4);
+        assert!(c.serve(&khop(1), 10, &mut rng).is_none());
+        c.install(khop(1), &[5, 5, 5, 9]);
+        let out = c.serve(&khop(1), 1000, &mut rng).unwrap();
+        assert_eq!(out.len(), 1000);
+        assert!(out.iter().all(|&v| v == 5 || v == 9));
+        let five = out.iter().filter(|&&v| v == 5).count() as f64 / 1000.0;
+        assert!((five - 0.75).abs() < 0.05, "endpoint 5 share {five}");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.installs), (1, 1, 1));
+        assert_eq!(s.cached_walks_served, 1000);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_touched() {
+        let mut c = WalkCache::new(WalkCacheConfig {
+            capacity: 2,
+            hit_cost_ns_per_walk: 100,
+        });
+        let mut rng = Xoshiro256pp::new(8);
+        c.install(khop(1), &[1]);
+        c.install(khop(2), &[2]);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.serve(&khop(1), 1, &mut rng).is_some());
+        c.install(khop(3), &[3]);
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.serve(&khop(2), 1, &mut rng).is_none(), "2 was evicted");
+        assert!(c.serve(&khop(1), 1, &mut rng).is_some());
+        assert!(c.serve(&khop(3), 1, &mut rng).is_some());
+    }
+
+    #[test]
+    fn reinstall_replaces_without_eviction() {
+        let mut c = WalkCache::new(WalkCacheConfig {
+            capacity: 1,
+            hit_cost_ns_per_walk: 100,
+        });
+        let mut rng = Xoshiro256pp::new(8);
+        c.install(khop(1), &[1, 1]);
+        c.install(khop(1), &[7]);
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.serve(&khop(1), 3, &mut rng).unwrap(), vec![7, 7, 7]);
+    }
+
+    #[test]
+    fn disabled_cache_never_installs() {
+        let mut c = WalkCache::new(WalkCacheConfig::disabled());
+        let mut rng = Xoshiro256pp::new(8);
+        c.install(khop(1), &[1]);
+        assert!(c.serve(&khop(1), 1, &mut rng).is_none());
+        assert_eq!(c.stats().installs, 0);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn install_is_endpoint_order_independent() {
+        let mut a = WalkCache::new(WalkCacheConfig::default_cfg());
+        let mut b = WalkCache::new(WalkCacheConfig::default_cfg());
+        a.install(khop(1), &[9, 2, 2, 7, 9, 9]);
+        b.install(khop(1), &[2, 9, 9, 2, 7, 9]);
+        let mut ra = Xoshiro256pp::new(3);
+        let mut rb = Xoshiro256pp::new(3);
+        assert_eq!(
+            a.serve(&khop(1), 500, &mut ra),
+            b.serve(&khop(1), 500, &mut rb)
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! `fw-serve` — the online serving layer over the batch engines
+//! (ROADMAP item 2).
+//!
+//! FlashWalker is evaluated in the paper as a batch accelerator: submit a
+//! workload, wait, read counters. A production deployment — "random walk
+//! queries from millions of users" — is an *online* system: queries
+//! arrive continuously, are admitted or rejected against a bounded
+//! backlog, get batched into engine runs, and each caller observes a
+//! per-query latency (queueing wait + service). This crate models that
+//! front end on top of the existing deterministic simulation core:
+//!
+//! * [`arrival`] — open-loop arrival processes (Poisson and bursty
+//!   on/off), seeded through `fw-sim`'s RNG streams so a given config is
+//!   byte-reproducible.
+//! * [`query`] — the query vocabulary (PPR-from-source, DeepWalk /
+//!   Node2vec corpus batches, k-hop probes) and the deterministic query
+//!   mix generator with hot-source skew and a heavy-hitter tenant.
+//! * [`admission`] — bounded-backlog admission control with a per-tenant
+//!   fairness cap and exact rejection accounting
+//!   (`admitted + rejected == offered`, per tenant and in total).
+//! * [`alias`] — Walker's alias method for O(1) weighted sampling
+//!   (SCARA's `Alias` idiom), used by the walk cache.
+//! * [`cache`] — a precomputed-walk cache for hot sources: the endpoint
+//!   distribution of a completed single-source run is installed as an
+//!   alias table, and repeat queries are served by sampling it at DRAM
+//!   cost instead of re-running the engine (SCARA's `WalkCache`).
+//! * [`service`] — the virtual-timeline service loop that ties the
+//!   above together around a [`fw_walk::WalkEngine`] and emits a
+//!   [`service::ServeReport`] with per-query latency percentiles
+//!   (derived via `fw-trace`'s exact nearest-rank
+//!   [`fw_trace::JourneyLatency`]).
+//!
+//! Everything is simulated time; nothing here spawns threads or does
+//! wall-clock I/O, so `fwbench serve` records are byte-deterministic.
+
+pub mod admission;
+pub mod alias;
+pub mod arrival;
+pub mod cache;
+pub mod query;
+pub mod service;
+
+pub use admission::{Admission, AdmissionConfig, AdmissionStats, TenantStats};
+pub use alias::Alias;
+pub use arrival::ArrivalProcess;
+pub use cache::{CacheStats, WalkCache, WalkCacheConfig};
+pub use query::{QueryClass, QueryKind, QueryMix, WalkQuery};
+pub use service::{
+    probe_walks_per_sec, run_serve, QueryOutcome, ServeConfig, ServeEngine, ServeHost, ServeReport,
+};

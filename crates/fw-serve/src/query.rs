@@ -1,0 +1,394 @@
+//! The walk-query vocabulary and the deterministic query-mix generator.
+//!
+//! Four query shapes cover the serving workloads the ROADMAP names:
+//! PPR-from-source (personalized recommendation), DeepWalk and Node2vec
+//! corpus batches (embedding refresh), and k-hop neighborhood probes
+//! (feature lookups). Each maps onto an existing [`fw_walk::Workload`]
+//! constructor, so the engines execute service traffic through exactly
+//! the code path the batch benchmarks exercise.
+
+use fw_graph::VertexId;
+use fw_sim::{derive_stream_seed, Xoshiro256pp};
+use fw_walk::Workload;
+
+/// RNG stream tag for query-mix generation (sources, sizes, tenants).
+pub const QUERY_MIX_STREAM: u64 = 0x01B5;
+
+/// One walk query shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryKind {
+    /// Personalized PageRank from one source: `walks` restart-terminated
+    /// walks (stop probability `alpha`, hop cap `max_hops`).
+    Ppr {
+        /// Source vertex.
+        source: VertexId,
+        /// Number of walks.
+        walks: u64,
+        /// Per-hop stop probability.
+        alpha: f64,
+        /// Hop cap.
+        max_hops: u16,
+    },
+    /// DeepWalk corpus slice: `walks` unbiased fixed-length walks spread
+    /// round-robin over the vertex set.
+    DeepWalk {
+        /// Number of walks.
+        walks: u64,
+        /// Walk length.
+        len: u16,
+    },
+    /// Node2vec corpus slice. Executes as the repo's node2vec stand-in:
+    /// weight-biased ITS walks when the graph carries weights, unbiased
+    /// otherwise (the generated datasets are unweighted; see
+    /// `Workload::node2vec_biased`).
+    Node2vec {
+        /// Number of walks.
+        walks: u64,
+        /// Walk length.
+        len: u16,
+    },
+    /// k-hop neighborhood probe from one source.
+    KHop {
+        /// Source vertex.
+        source: VertexId,
+        /// Number of walks.
+        walks: u64,
+        /// Exact hop count.
+        k: u16,
+    },
+}
+
+/// Batching/caching identity of a query: two queries with the same class
+/// sample the same walk distribution, so they may be merged into one
+/// engine run and may share a cache entry. `alpha` is keyed by its bit
+/// pattern so the class is `Eq + Hash`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryClass {
+    /// PPR identity: source and termination parameters.
+    Ppr {
+        /// Source vertex.
+        source: VertexId,
+        /// `alpha.to_bits()`.
+        alpha_bits: u64,
+        /// Hop cap.
+        max_hops: u16,
+    },
+    /// DeepWalk identity: walk length.
+    DeepWalk {
+        /// Walk length.
+        len: u16,
+    },
+    /// Node2vec identity: walk length.
+    Node2vec {
+        /// Walk length.
+        len: u16,
+    },
+    /// k-hop identity: source and hop count.
+    KHop {
+        /// Source vertex.
+        source: VertexId,
+        /// Hop count.
+        k: u16,
+    },
+}
+
+impl QueryKind {
+    /// Number of walks this query asks for.
+    pub fn walks(&self) -> u64 {
+        match *self {
+            QueryKind::Ppr { walks, .. }
+            | QueryKind::DeepWalk { walks, .. }
+            | QueryKind::Node2vec { walks, .. }
+            | QueryKind::KHop { walks, .. } => walks,
+        }
+    }
+
+    /// Batching/caching class of this query.
+    pub fn class(&self) -> QueryClass {
+        match *self {
+            QueryKind::Ppr {
+                source,
+                alpha,
+                max_hops,
+                ..
+            } => QueryClass::Ppr {
+                source,
+                alpha_bits: alpha.to_bits(),
+                max_hops,
+            },
+            QueryKind::DeepWalk { len, .. } => QueryClass::DeepWalk { len },
+            QueryKind::Node2vec { len, .. } => QueryClass::Node2vec { len },
+            QueryKind::KHop { source, k, .. } => QueryClass::KHop { source, k },
+        }
+    }
+
+    /// Short class name for records and per-query outcomes.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryKind::Ppr { .. } => "ppr",
+            QueryKind::DeepWalk { .. } => "deepwalk",
+            QueryKind::Node2vec { .. } => "node2vec",
+            QueryKind::KHop { .. } => "khop",
+        }
+    }
+
+    /// The single source vertex, for cacheable (single-source) classes.
+    pub fn source(&self) -> Option<VertexId> {
+        match *self {
+            QueryKind::Ppr { source, .. } | QueryKind::KHop { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+
+    /// Whether the walk-cache may answer this query: only single-source
+    /// classes have a reusable endpoint distribution (corpus batches
+    /// start everywhere, so "the answer" is the walks themselves).
+    pub fn cacheable(&self) -> bool {
+        self.source().is_some()
+    }
+
+    /// The engine workload for `total_walks` merged walks of this class.
+    /// `weighted` selects the node2vec biased path (requires graph
+    /// weights — see [`QueryKind::Node2vec`]).
+    pub fn workload(&self, total_walks: u64, weighted: bool) -> Workload {
+        match *self {
+            QueryKind::Ppr {
+                source,
+                alpha,
+                max_hops,
+                ..
+            } => Workload::ppr(total_walks, source, alpha, max_hops),
+            QueryKind::DeepWalk { len, .. } => Workload::deepwalk(total_walks, len),
+            QueryKind::Node2vec { len, .. } => {
+                if weighted {
+                    Workload::node2vec_biased(total_walks, len)
+                } else {
+                    Workload::deepwalk(total_walks, len)
+                }
+            }
+            QueryKind::KHop { source, k, .. } => Workload::khop(total_walks, source, k),
+        }
+    }
+}
+
+/// One query in flight: identity, tenant, arrival time, shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalkQuery {
+    /// Dense query id, `0..n` in arrival order.
+    pub id: u64,
+    /// Issuing tenant, `0..tenants`.
+    pub tenant: u32,
+    /// Arrival time (simulated ns).
+    pub arrival_ns: u64,
+    /// Query shape.
+    pub kind: QueryKind,
+}
+
+/// Deterministic query-mix description. Percentages select the class of
+/// each query; the remainder after `ppr_pct + deepwalk_pct + khop_pct`
+/// is node2vec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryMix {
+    /// Percent of queries that are PPR-from-source.
+    pub ppr_pct: u32,
+    /// Percent that are DeepWalk corpus slices.
+    pub deepwalk_pct: u32,
+    /// Percent that are k-hop probes (remainder is node2vec).
+    pub khop_pct: u32,
+    /// Mean walks per query; individual queries draw 0.5×..2× this.
+    pub walks_per_query: u64,
+    /// Number of tenants issuing queries.
+    pub tenants: u32,
+    /// Share of traffic issued by tenant 0, the heavy hitter (the rest
+    /// is spread uniformly over the other tenants). Exercises the
+    /// per-tenant fairness cap under overload.
+    pub aggressor_share: f64,
+    /// Size of the hot-source set for single-source queries.
+    pub hot_sources: u32,
+    /// Probability a single-source query targets the hot set (the rest
+    /// pick a uniform random vertex) — this is what gives the walk
+    /// cache its hit rate.
+    pub hot_fraction: f64,
+}
+
+impl QueryMix {
+    /// A serving mix with enough skew to exercise every mechanism:
+    /// 45% PPR / 20% deepwalk / 25% k-hop / 10% node2vec, four tenants
+    /// with a 40% heavy hitter, and 70% of single-source traffic on 8
+    /// hot sources.
+    pub fn default_mix(walks_per_query: u64) -> QueryMix {
+        QueryMix {
+            ppr_pct: 45,
+            deepwalk_pct: 20,
+            khop_pct: 25,
+            walks_per_query,
+            tenants: 4,
+            aggressor_share: 0.4,
+            hot_sources: 8,
+            hot_fraction: 0.7,
+        }
+    }
+
+    /// Generate the query stream: one query per arrival timestamp. Pure
+    /// function of `(self, arrivals, num_vertices, seed)`; the RNG is
+    /// the dedicated [`QUERY_MIX_STREAM`] derivation of `seed`.
+    pub fn generate(&self, arrivals: &[u64], num_vertices: u32, seed: u64) -> Vec<WalkQuery> {
+        assert!(
+            self.ppr_pct + self.deepwalk_pct + self.khop_pct <= 100,
+            "query mix percentages exceed 100"
+        );
+        assert!(self.tenants >= 1 && num_vertices >= 1);
+        let mut rng = Xoshiro256pp::new(derive_stream_seed(seed, QUERY_MIX_STREAM));
+        arrivals
+            .iter()
+            .enumerate()
+            .map(|(i, &arrival_ns)| {
+                let tenant = self.draw_tenant(&mut rng);
+                let walks = self.draw_walks(&mut rng);
+                let class_roll = rng.next_below(100) as u32;
+                let kind = if class_roll < self.ppr_pct {
+                    QueryKind::Ppr {
+                        source: self.draw_source(&mut rng, num_vertices),
+                        walks,
+                        alpha: 0.15,
+                        max_hops: 16,
+                    }
+                } else if class_roll < self.ppr_pct + self.deepwalk_pct {
+                    QueryKind::DeepWalk { walks, len: 6 }
+                } else if class_roll < self.ppr_pct + self.deepwalk_pct + self.khop_pct {
+                    QueryKind::KHop {
+                        source: self.draw_source(&mut rng, num_vertices),
+                        walks,
+                        k: 3,
+                    }
+                } else {
+                    QueryKind::Node2vec { walks, len: 8 }
+                };
+                WalkQuery {
+                    id: i as u64,
+                    tenant,
+                    arrival_ns,
+                    kind,
+                }
+            })
+            .collect()
+    }
+
+    fn draw_tenant(&self, rng: &mut Xoshiro256pp) -> u32 {
+        if self.tenants == 1 {
+            return 0;
+        }
+        if rng.next_f64() < self.aggressor_share {
+            0
+        } else {
+            1 + rng.next_below(self.tenants as u64 - 1) as u32
+        }
+    }
+
+    fn draw_walks(&self, rng: &mut Xoshiro256pp) -> u64 {
+        // Uniform in [0.5x, 2x) of the mean, at least one walk.
+        let lo = (self.walks_per_query / 2).max(1);
+        let hi = self.walks_per_query * 2;
+        lo + rng.next_below(hi - lo + 1)
+    }
+
+    fn draw_source(&self, rng: &mut Xoshiro256pp, num_vertices: u32) -> VertexId {
+        let hot = self.hot_sources.min(num_vertices).max(1);
+        if rng.next_f64() < self.hot_fraction {
+            // Spread hot ids over the vertex range so they land in
+            // different partitions/subgraphs.
+            let h = rng.next_below(hot as u64) as u32;
+            (h * (num_vertices / hot).max(1)) % num_vertices
+        } else {
+            rng.next_below(num_vertices as u64) as VertexId
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix() -> QueryMix {
+        QueryMix::default_mix(32)
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_matches_arrivals() {
+        let arrivals: Vec<u64> = (0..500).map(|i| i * 1000).collect();
+        let a = mix().generate(&arrivals, 4096, 11);
+        let b = mix().generate(&arrivals, 4096, 11);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        for (i, q) in a.iter().enumerate() {
+            assert_eq!(q.id, i as u64);
+            assert_eq!(q.arrival_ns, arrivals[i]);
+            assert!(q.tenant < 4);
+            assert!(q.kind.walks() >= 16 && q.kind.walks() <= 64);
+            if let Some(s) = q.kind.source() {
+                assert!(s < 4096);
+            }
+        }
+        assert_ne!(a, mix().generate(&arrivals, 4096, 12));
+    }
+
+    #[test]
+    fn mix_respects_percentages_roughly() {
+        let arrivals: Vec<u64> = (0..4000).map(|i| i * 100).collect();
+        let qs = mix().generate(&arrivals, 1 << 14, 3);
+        let count = |n: &str| qs.iter().filter(|q| q.kind.name() == n).count() as f64 / 4000.0;
+        assert!((count("ppr") - 0.45).abs() < 0.05);
+        assert!((count("deepwalk") - 0.20).abs() < 0.05);
+        assert!((count("khop") - 0.25).abs() < 0.05);
+        assert!((count("node2vec") - 0.10).abs() < 0.05);
+        // Tenant 0 is the heavy hitter.
+        let t0 = qs.iter().filter(|q| q.tenant == 0).count() as f64 / 4000.0;
+        assert!((t0 - 0.4).abs() < 0.05, "aggressor share {t0:.2}");
+    }
+
+    #[test]
+    fn hot_sources_dominate_single_source_queries() {
+        let arrivals: Vec<u64> = (0..3000).map(|i| i * 100).collect();
+        let qs = mix().generate(&arrivals, 1 << 14, 5);
+        let sourced: Vec<VertexId> = qs.iter().filter_map(|q| q.kind.source()).collect();
+        let mut counts = std::collections::HashMap::new();
+        for s in &sourced {
+            *counts.entry(*s).or_insert(0u64) += 1;
+        }
+        let mut by_count: Vec<u64> = counts.values().copied().collect();
+        by_count.sort_unstable_by(|a, b| b.cmp(a));
+        let top8: u64 = by_count.iter().take(8).sum();
+        let share = top8 as f64 / sourced.len() as f64;
+        assert!(share > 0.6, "top-8 sources hold {share:.2} of traffic");
+    }
+
+    #[test]
+    fn class_identity_merges_equal_shapes_and_splits_different_ones() {
+        let a = QueryKind::Ppr {
+            source: 7,
+            walks: 10,
+            alpha: 0.15,
+            max_hops: 16,
+        };
+        let b = QueryKind::Ppr {
+            source: 7,
+            walks: 99,
+            alpha: 0.15,
+            max_hops: 16,
+        };
+        assert_eq!(a.class(), b.class(), "walk count is not part of identity");
+        let c = QueryKind::Ppr {
+            source: 8,
+            walks: 10,
+            alpha: 0.15,
+            max_hops: 16,
+        };
+        assert_ne!(a.class(), c.class());
+        assert!(a.cacheable());
+        assert!(!QueryKind::DeepWalk { walks: 5, len: 6 }.cacheable());
+        assert_eq!(
+            QueryKind::DeepWalk { walks: 5, len: 6 }.class(),
+            QueryKind::DeepWalk { walks: 7, len: 6 }.class()
+        );
+    }
+}

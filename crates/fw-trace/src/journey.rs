@@ -366,11 +366,16 @@ fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
     sorted[rank - 1]
 }
 
-impl JourneyReport {
-    fn from_walks(sample_period: u64, walks: Vec<WalkJourney>) -> JourneyReport {
-        let mut lat: Vec<u64> = walks.iter().map(|w| w.latency_ns).collect();
+impl JourneyLatency {
+    /// Exact nearest-rank percentiles over a latency list (ns). This is
+    /// the one percentile derivation shared by walk journeys and by
+    /// `fw-serve`'s per-query latency summaries, so both report the same
+    /// order statistics for the same data. The input need not be sorted;
+    /// an empty list yields the all-zero summary.
+    pub fn from_latencies(latencies: &[u64]) -> JourneyLatency {
+        let mut lat = latencies.to_vec();
         lat.sort_unstable();
-        let latency = JourneyLatency {
+        JourneyLatency {
             count: lat.len() as u64,
             p50_ns: nearest_rank(&lat, 0.50),
             p95_ns: nearest_rank(&lat, 0.95),
@@ -381,7 +386,14 @@ impl JourneyReport {
             } else {
                 lat.iter().sum::<u64>() / lat.len() as u64
             },
-        };
+        }
+    }
+}
+
+impl JourneyReport {
+    fn from_walks(sample_period: u64, walks: Vec<WalkJourney>) -> JourneyReport {
+        let lat: Vec<u64> = walks.iter().map(|w| w.latency_ns).collect();
+        let latency = JourneyLatency::from_latencies(&lat);
         let tail = tail_table(&walks, latency.p50_ns, latency.p99_ns);
         JourneyReport {
             sampled_walks: walks.len() as u64,
@@ -557,6 +569,22 @@ mod tests {
 
     fn t(ns: u64) -> SimTime {
         SimTime(ns)
+    }
+
+    #[test]
+    fn latency_from_latencies_is_exact_nearest_rank() {
+        let lat = JourneyLatency::from_latencies(&[]);
+        assert_eq!(lat, JourneyLatency::default());
+        // 1..=100 in shuffled order: pX is exactly X.
+        let mut xs: Vec<u64> = (1..=100).rev().collect();
+        xs.swap(3, 60);
+        let lat = JourneyLatency::from_latencies(&xs);
+        assert_eq!(lat.count, 100);
+        assert_eq!(lat.p50_ns, 50);
+        assert_eq!(lat.p95_ns, 95);
+        assert_eq!(lat.p99_ns, 99);
+        assert_eq!(lat.max_ns, 100);
+        assert_eq!(lat.mean_ns, 50); // floor(5050 / 100)
     }
 
     #[test]

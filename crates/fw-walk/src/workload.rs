@@ -123,6 +123,19 @@ impl Workload {
         }
     }
 
+    /// A k-hop neighborhood probe from one source: `num_walks` unbiased
+    /// walks of exactly `k` hops, all starting at `source`. The endpoint
+    /// multiset estimates the k-hop neighborhood distribution — the
+    /// online query shape `fw-serve` batches alongside PPR.
+    pub fn khop(num_walks: u64, source: VertexId, k: u16) -> Workload {
+        Workload {
+            num_walks,
+            start: StartDist::Single(source),
+            bias: Bias::Unbiased,
+            termination: Termination::FixedHops(k),
+        }
+    }
+
     /// Initial hop budget of a walk.
     pub fn initial_hops(&self) -> u16 {
         match self.termination {
@@ -250,6 +263,21 @@ mod tests {
         let wl = Workload::ppr(100, 42, 0.15, 32);
         let walks = wl.init_walks(&g, 1);
         assert!(walks.iter().all(|w| w.cur == 42 && w.hop == 32));
+    }
+
+    #[test]
+    fn khop_walks_start_at_source_and_walk_exactly_k_hops() {
+        let g = graph();
+        let wl = Workload::khop(50, 7, 3);
+        let mut rng = Xoshiro256pp::new(5);
+        for start in wl.init_walks(&g, 2) {
+            assert_eq!(start.cur, 7);
+            assert_eq!(start.hop, 3);
+            let (done, hops) = wl.run_to_completion(&g, start, &mut rng);
+            assert!(done.is_done());
+            assert!(hops <= 3, "k-hop probes never exceed k hops: {hops}");
+            assert_eq!(done.src, 7);
+        }
     }
 
     #[test]

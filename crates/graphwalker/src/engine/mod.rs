@@ -345,6 +345,11 @@ impl<'g> GraphWalkerSim<'g> {
     }
 
     /// Collect every completed walk into [`GwReport::walk_log`].
+    ///
+    /// Besides the figure binaries, this is the serving layer's hook:
+    /// `fw-serve` runs every admitted batch with the walk log on and
+    /// installs the endpoint distribution of cacheable (single-source)
+    /// batches into its hot-source walk cache.
     pub fn with_walk_log(mut self) -> Self {
         self.walk_log = Some(Vec::new());
         self
